@@ -1,0 +1,30 @@
+# Developer loop for the reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments experiments-quick examples clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro.experiments.cli
+
+experiments-quick:
+	$(PYTHON) -m repro.experiments.cli --quick
+
+examples:
+	for script in examples/*.py; do \
+		echo "== $$script =="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+clean:
+	rm -rf .pytest_cache .hypothesis src/repro.egg-info
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +

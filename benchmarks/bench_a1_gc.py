@@ -1,0 +1,25 @@
+"""A1 benchmark - AGDP garbage collection on vs off (Lemma 3.4 ablation).
+
+Times identical synthetic AGDP scripts in both modes: without dead-node
+collection every Ausiello update sweeps an ever-growing matrix.
+"""
+
+import pytest
+
+from repro.experiments.e4_agdp import steady_state_agdp
+
+from conftest import print_experiment_once
+
+
+@pytest.mark.parametrize("gc", [True, False], ids=["gc-on", "gc-off"])
+def test_agdp_gc_modes(benchmark, gc, request):
+    print_experiment_once(
+        request, "a1-agdp-gc-ablation", durations=(40.0, 80.0)
+    )
+    result = benchmark(
+        steady_state_agdp, 12, 150, degree=3, seed=3, gc_enabled=gc
+    )
+    if gc:
+        assert len(result) <= 14
+    else:
+        assert len(result) == 151  # every node ever added is still there

@@ -1,0 +1,40 @@
+"""A2 benchmark - history GC on vs off (Figure 2 ablation).
+
+Times identical gossip runs with the history buffer garbage collection
+enabled and disabled; without GC the payload filter scans an unbounded
+buffer on every send.
+"""
+
+import pytest
+
+from repro.core import EfficientCSA
+
+from conftest import build_gossip_sim, print_experiment_once
+
+
+@pytest.mark.parametrize("gc", [True, False], ids=["gc-on", "gc-off"])
+def test_history_gc_modes(benchmark, gc, request):
+    print_experiment_once(
+        request, "a2-history-gc-ablation", durations=(40.0, 80.0)
+    )
+
+    def run():
+        sim = build_gossip_sim(
+            topology="line",
+            n=5,
+            estimators={
+                "efficient": lambda p, s: EfficientCSA(p, s, history_gc=gc)
+            },
+        )
+        sim.run_until(80.0)
+        return sim
+
+    sim = benchmark(run)
+    peak = max(
+        sim.estimator(p, "efficient").history.stats.max_buffer
+        for p in sim.network.processors
+    )
+    if gc:
+        assert peak < 100
+    else:
+        assert peak > 100  # the buffer kept everything

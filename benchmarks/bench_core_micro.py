@@ -1,0 +1,86 @@
+"""Micro-benchmarks of the core data structures.
+
+Not tied to one experiment: these size the primitive costs that the
+experiment-level numbers are built from - view bookkeeping, sync-graph
+construction, shortest paths on harvested views, payload filtering.
+"""
+
+import pytest
+
+from repro.core import (
+    EfficientCSA,
+    View,
+    bellman_ford_from,
+    build_sync_graph,
+    external_bounds,
+    extremal_execution,
+    source_point,
+)
+from repro.sim import run_workload, standard_network, topologies
+from repro.sim.workloads import PeriodicGossip
+
+
+@pytest.fixture(scope="module")
+def harvested():
+    names, links = topologies.ring(6)
+    network = standard_network(names, links, seed=17, drift_ppm=200)
+    result = run_workload(
+        network,
+        PeriodicGossip(period=4.0, seed=17),
+        {"efficient": lambda p, s: EfficientCSA(p, s)},
+        duration=120.0,
+        seed=17,
+    )
+    view = result.trace.global_view()
+    return result, view, network.spec
+
+
+def test_view_rebuild(benchmark, harvested):
+    result, view, _spec = harvested
+
+    def rebuild():
+        fresh = View()
+        for record in result.trace:
+            fresh.add(record.event)
+        return fresh
+
+    rebuilt = benchmark(rebuild)
+    assert len(rebuilt) == len(view)
+
+
+def test_view_from_point(benchmark, harvested):
+    _result, view, _spec = harvested
+    point = view.last_event("p3").eid
+    sub = benchmark(view.view_from, point)
+    assert point in sub
+
+
+def test_sync_graph_build(benchmark, harvested):
+    _result, view, spec = harvested
+    graph = benchmark(build_sync_graph, view, spec)
+    assert len(graph) == len(view)
+
+
+def test_bellman_ford_on_view(benchmark, harvested):
+    _result, view, spec = harvested
+    graph = build_sync_graph(view, spec)
+    start = view.last_event("p3").eid
+    dist = benchmark(bellman_ford_from, graph, start)
+    assert dist[start] == 0.0
+
+
+def test_external_bounds_query(benchmark, harvested):
+    _result, view, spec = harvested
+    graph = build_sync_graph(view, spec)
+    point = view.last_event("p4").eid
+    bound = benchmark(external_bounds, view, spec, point, graph)
+    assert bound.is_bounded
+
+
+def test_extremal_execution_build(benchmark, harvested):
+    _result, view, spec = harvested
+    graph = build_sync_graph(view, spec)
+    point = view.last_event("p2").eid
+    sp = source_point(view, spec)
+    rt = benchmark(extremal_execution, view, spec, point, sp, "upper", graph)
+    assert len(rt) == len(view)

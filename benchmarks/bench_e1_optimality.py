@@ -1,0 +1,46 @@
+"""E1 benchmark - cost of optimal synchronization (Theorem 2.1 / Sec 3).
+
+Benchmarks a complete gossip execution with the efficient optimal CSA
+attached, and the from-scratch oracle computation (full view + Bellman-
+Ford) for contrast.  The experiment table (soundness, equality, tightness
+checks) is printed once.
+"""
+
+import pytest
+
+from repro.core import EfficientCSA, build_sync_graph, external_bounds
+
+from conftest import build_gossip_sim, print_experiment_once
+
+
+def run_with_efficient_csa():
+    sim = build_gossip_sim(
+        topology="ring",
+        n=5,
+        estimators={"efficient": lambda p, s: EfficientCSA(p, s)},
+    )
+    sim.run_until(60.0)
+    return sim
+
+
+def test_efficient_csa_full_run(benchmark, request):
+    print_experiment_once(request, "e1-optimality", duration=40.0)
+    sim = benchmark(run_with_efficient_csa)
+    for proc in sim.network.processors:
+        assert sim.estimator(proc, "efficient").estimate().is_bounded
+
+
+def test_oracle_from_scratch_query(benchmark):
+    """Price of one optimal query recomputed from the whole view - the
+    baseline cost the AGDP machinery amortises away."""
+    sim = run_with_efficient_csa()
+    view = sim.trace.global_view()
+    spec = sim.spec
+    point = view.last_event("p3").eid
+
+    def query():
+        graph = build_sync_graph(view, spec)
+        return external_bounds(view, spec, point, graph)
+
+    bound = benchmark(query)
+    assert bound.is_bounded

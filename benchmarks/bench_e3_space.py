@@ -1,0 +1,34 @@
+"""E3 benchmark - history buffer behaviour across diameters (Lemma 3.3).
+
+Benchmarks full gossip runs on lines of increasing diameter; the space
+table (|H_v| vs K1*(D+1)) is printed once by the experiment.
+"""
+
+import pytest
+
+from repro.core import EfficientCSA
+
+from conftest import build_gossip_sim, print_experiment_once
+
+
+@pytest.mark.parametrize("n", [4, 8, 12])
+def test_line_gossip_run(benchmark, n, request):
+    print_experiment_once(
+        request, "e3-history-space", sizes=(4, 6, 8), duration=60.0
+    )
+
+    def run():
+        sim = build_gossip_sim(
+            topology="line",
+            n=n,
+            estimators={"efficient": lambda p, s: EfficientCSA(p, s)},
+        )
+        sim.run_until(40.0)
+        return sim
+
+    sim = benchmark(run)
+    diameter = sim.spec.diameter()
+    k1 = sim.trace.link_send_speed()
+    for proc in sim.network.processors:
+        buffer_peak = sim.estimator(proc, "efficient").history.stats.max_buffer
+        assert buffer_peak <= max(k1, 1) * (diameter + 1) + n

@@ -1,0 +1,37 @@
+"""E4 benchmark - AGDP per-insertion cost scaling (Lemma 3.5).
+
+The paper's bound: O(L^2) time per edge insertion at L live nodes.  We
+benchmark a steady-state AGDP workload at several live-set sizes; the
+timing series should grow ~quadratically in L (the machine-independent
+pair-update counters are asserted by the experiment itself, printed once).
+"""
+
+import pytest
+
+from repro.experiments.e4_agdp import steady_state_agdp
+
+from conftest import print_experiment_once
+
+SIZES = [8, 16, 32, 64]
+
+
+@pytest.mark.parametrize("live", SIZES)
+def test_agdp_steady_state_insertions(benchmark, live, request):
+    print_experiment_once(
+        request, "e4-agdp-cost", live_sizes=(8, 16, 32), steps=60
+    )
+    result = benchmark(steady_state_agdp, live, 60, degree=3, seed=1)
+    # sanity on the benchmarked object: the live target was respected
+    assert len(result) <= live + 2
+    per_insert = result.stats.pair_updates / result.stats.edges_inserted
+    # the L^2 envelope with a generous constant
+    assert per_insert <= 4 * (live + 2) ** 2
+
+
+@pytest.mark.parametrize("backend", ["dict", "numpy"])
+def test_agdp_backend_comparison(benchmark, backend):
+    """Dict vs vectorised numpy backend at a large live-set size."""
+    result = benchmark(
+        steady_state_agdp, 96, 60, degree=3, seed=1, backend=backend
+    )
+    assert len(result) <= 98

@@ -1,0 +1,41 @@
+"""E5 benchmark - live-point tracking under controlled K2 (Lemma 4.1).
+
+Benchmarks asymmetric-ping runs whose burst parameter dials K2; the
+live-points table is printed once by the experiment.
+"""
+
+import pytest
+
+from repro.core import EfficientCSA
+from repro.sim import Simulation, standard_network, topologies
+from repro.sim.workloads import AsymmetricPing
+
+from conftest import print_experiment_once
+
+
+@pytest.mark.parametrize("burst", [1, 2, 4])
+def test_asymmetric_ping_run(benchmark, burst, request):
+    print_experiment_once(
+        request,
+        "e5-live-points",
+        bursts=(1, 2),
+        ring_sizes=(4, 6),
+        duration=60.0,
+    )
+
+    def run():
+        names, links = topologies.ring(4)
+        network = standard_network(names, links, seed=burst, delay=(0.05, 1.2))
+        sim = Simulation(network, seed=burst)
+        sim.attach_estimators("efficient", lambda p, s: EfficientCSA(p, s))
+        AsymmetricPing(burst=burst, gap=0.3, cycle_pause=3.0, seed=burst).install(sim)
+        sim.run_until(60.0)
+        return sim
+
+    sim = benchmark(run)
+    n_links = len(sim.network.links)
+    k2 = sim.trace.link_asymmetry()
+    assert k2 <= burst
+    for proc in sim.network.processors:
+        live_peak = sim.estimator(proc, "efficient").live.max_live
+        assert live_peak <= 4 * max(k2, 1) * n_links + len(sim.network.processors)

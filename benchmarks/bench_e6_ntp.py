@@ -1,0 +1,34 @@
+"""E6 benchmark - the optimal CSA under NTP-style polling (Sec 4).
+
+Benchmarks complete hierarchy runs at two scales; the NTP complexity
+table (K1, K2, live, |E|^2) is printed once by the experiment.
+"""
+
+import pytest
+
+from repro.core import EfficientCSA
+from repro.sim import Simulation
+from repro.sim.workloads import make_ntp_system
+
+from conftest import print_experiment_once
+
+
+@pytest.mark.parametrize("shape", [(2, 3), (2, 4, 6)])
+def test_ntp_hierarchy_run(benchmark, shape, request):
+    print_experiment_once(
+        request, "e6-ntp-pattern", shapes=((2, 3), (2, 4, 6)), duration=120.0
+    )
+
+    def run():
+        network, workload = make_ntp_system(shape, poll_period=15.0, seed=1)
+        sim = Simulation(network, seed=1)
+        sim.attach_estimators("efficient", lambda p, s: EfficientCSA(p, s))
+        workload.install(sim)
+        sim.run_until(120.0)
+        return sim
+
+    sim = benchmark(run)
+    assert sim.trace.link_asymmetry() <= 2
+    # every server ends up synchronized
+    for proc in sim.network.processors:
+        assert sim.estimator(proc, "efficient").estimate().is_bounded

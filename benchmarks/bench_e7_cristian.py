@@ -1,0 +1,34 @@
+"""E7 benchmark - the optimal CSA under Cristian-style bursts (Sec 4).
+
+Benchmarks the width-triggered probabilistic workload; the complexity
+table is printed once by the experiment.
+"""
+
+import pytest
+
+from repro.core import EfficientCSA
+from repro.sim import Simulation
+from repro.sim.workloads import make_cristian_system
+
+from conftest import print_experiment_once
+
+
+@pytest.mark.parametrize("clients", [3, 8])
+def test_cristian_burst_run(benchmark, clients, request):
+    print_experiment_once(
+        request, "e7-cristian-pattern", client_counts=(3, 6), duration=150.0
+    )
+
+    def run():
+        network, workload = make_cristian_system(
+            clients, width_threshold=0.05, seed=2, monitor_channel="efficient"
+        )
+        sim = Simulation(network, seed=2)
+        sim.attach_estimators("efficient", lambda p, s: EfficientCSA(p, s))
+        workload.install(sim)
+        sim.run_until(150.0)
+        return sim, workload
+
+    sim, workload = benchmark(run)
+    assert sum(workload.bursts.values()) > 0
+    assert sim.trace.link_asymmetry() <= 2

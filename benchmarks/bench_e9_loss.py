@@ -1,0 +1,43 @@
+"""E9 benchmark - lossy operation with and without loss detection.
+
+The live-point growth table (Sec 3.3) is printed once; the benchmark
+times full lossy runs in both modes - undetected losses also cost time,
+because dead-but-undetected points inflate every AGDP update.
+"""
+
+import math
+
+import pytest
+
+from repro.core import EfficientCSA
+
+from conftest import build_gossip_sim, print_experiment_once
+
+
+@pytest.mark.parametrize("detection", [True, False], ids=["detect", "no-detect"])
+def test_lossy_run(benchmark, detection, request):
+    print_experiment_once(
+        request, "e9-message-loss", loss_probs=(0.2,), duration=120.0
+    )
+
+    def run():
+        sim = build_gossip_sim(
+            topology="ring",
+            n=5,
+            loss_prob=0.25,
+            loss_detection_delay=3.0 if detection else math.inf,
+            estimators={
+                "efficient": lambda p, s: EfficientCSA(p, s, reliable=False)
+            },
+        )
+        sim.run_until(80.0)
+        return sim
+
+    sim = benchmark(run)
+    assert sim.messages_lost > 0
+    peak_live = max(
+        sim.estimator(p, "efficient").live.max_live
+        for p in sim.network.processors
+    )
+    if detection:
+        assert peak_live < 40

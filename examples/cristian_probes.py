@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Cristian-style probabilistic synchronization (Sec 4).
+
+Clients keep a certified interval for standard time; clock drift widens
+it between contacts; when it crosses a threshold the client fires a burst
+of round-trip probes until the bound is tight again.  This example plots
+(in ASCII) one client's interval width over time - the sawtooth is the
+probabilistic mechanism at work - and reports burst statistics.
+
+Run:  python examples/cristian_probes.py
+"""
+
+from repro.analysis import render_table, sparkline
+from repro.core import EfficientCSA
+from repro.sim import run_workload
+from repro.sim.workloads import make_cristian_system
+
+THRESHOLD = 0.05
+
+
+def main():
+    network, workload = make_cristian_system(
+        6,
+        width_threshold=THRESHOLD,
+        check_period=5.0,
+        drift_ppm=300,
+        seed=11,
+        monitor_channel="efficient",
+    )
+    result = run_workload(
+        network,
+        workload,
+        {"efficient": lambda proc, spec: EfficientCSA(proc, spec)},
+        duration=600.0,
+        sample_period=3.0,
+    )
+
+    series = [
+        s.width
+        for s in result.samples_for("efficient", proc="client0")
+        if s.bound.is_bounded
+    ]
+    print(f"client0 interval width over time (threshold {THRESHOLD * 1000:.0f} ms):")
+    print(sparkline(series))
+    print(f"min {1000 * min(series):.1f} ms   max {1000 * max(series):.1f} ms")
+
+    rows = [
+        {
+            "client": client,
+            "bursts": count,
+            "probes_sent": sum(
+                1
+                for r in result.trace
+                if r.event.is_send and r.event.proc == client
+            ),
+        }
+        for client, count in sorted(workload.bursts.items())
+        if client.startswith("client")
+    ]
+    print()
+    print(render_table(rows, title="Probe bursts per client"))
+    print()
+    k2 = result.trace.link_asymmetry()
+    print(f"K2 measured: {k2} (paper: 2 for probe/reply traffic)")
+    assert not result.soundness_violations()
+    print("all sampled intervals contained true time")
+
+
+if __name__ == "__main__":
+    main()

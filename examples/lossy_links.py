@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Message loss and the Sec 3.3 detection mechanism.
+
+Runs the same lossy gossip execution twice: once with loss detection (a
+flag is raised a few seconds after a drop, propagates with the reports,
+and each processor garbage-collects the dead point) and once without.
+Without detection, every lost message's send point stays live forever -
+the state blow-up the paper warns about.
+
+Run:  python examples/lossy_links.py
+"""
+
+import math
+
+from repro.analysis import render_table
+from repro.core import EfficientCSA
+from repro.sim import run_workload, standard_network, topologies
+from repro.sim.workloads import PeriodicGossip
+
+
+def run_once(detection):
+    names, links = topologies.ring(5)
+    network = standard_network(names, links, seed=3, loss_prob=0.25)
+    return run_workload(
+        network,
+        PeriodicGossip(period=4.0, seed=3),
+        {"efficient": lambda p, s: EfficientCSA(p, s, reliable=False)},
+        duration=300.0,
+        sample_period=20.0,
+        loss_detection_delay=3.0 if detection else math.inf,
+    )
+
+
+def main():
+    rows = []
+    for detection in (True, False):
+        result = run_once(detection)
+        peak_live = max(
+            result.sim.estimator(p, "efficient").live.max_live
+            for p in result.sim.network.processors
+        )
+        peak_agdp = max(
+            result.sim.estimator(p, "efficient").agdp.stats.max_nodes
+            for p in result.sim.network.processors
+        )
+        rows.append(
+            {
+                "loss detection": detection,
+                "messages sent": result.sim.messages_sent,
+                "messages lost": result.sim.messages_lost,
+                "peak live points": peak_live,
+                "peak AGDP nodes": peak_agdp,
+                "soundness violations": len(result.soundness_violations()),
+            }
+        )
+    print(render_table(rows, title="Sec 3.3: the cost of undetected loss"))
+    print(
+        "\nNote: estimates stay sound either way - an undetected lost send"
+        "\nis wasteful (it is tracked forever), not wrong."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: optimal external clock synchronization in ~30 lines.
+
+Builds a 4-processor line (p0 holds standard time), drives periodic
+gossip across it, attaches the paper's efficient optimal CSA, and prints
+each processor's certified interval for the source clock - together with
+the true value, which the algorithm of course never sees.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import EfficientCSA
+from repro.sim import run_workload, standard_network, topologies
+from repro.sim.workloads import PeriodicGossip
+
+
+def main():
+    names, links = topologies.line(4)
+    network = standard_network(
+        names,
+        links,
+        seed=2026,
+        drift_ppm=100,        # workstation-grade quartz clocks
+        delay=(0.005, 0.080),  # transit bounds per link, in seconds
+    )
+    result = run_workload(
+        network,
+        PeriodicGossip(period=5.0, seed=2026),
+        {"efficient": lambda proc, spec: EfficientCSA(proc, spec)},
+        duration=120.0,
+        sample_period=30.0,
+    )
+
+    print("processor  hops  certified source-time interval      truth     width")
+    for proc in names:
+        estimator = result.sim.estimator(proc, "efficient")
+        bound = estimator.estimate_now(result.sim.local_time(proc))
+        truth = result.sim.now
+        hops = names.index(proc)
+        print(
+            f"{proc:<9}  {hops:<4}  [{bound.lower:12.6f}, {bound.upper:12.6f}]"
+            f"  {truth:9.3f}  {bound.width:8.6f}"
+        )
+        assert bound.contains(truth, tolerance=1e-6), "optimality would be hollow"
+
+    violations = result.soundness_violations()
+    print(f"\nsampled {len(result.samples)} intervals during the run; "
+          f"{len(violations)} ever excluded true time")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Debugging synchronization quality: which constraint is the bottleneck?
+
+Each endpoint of an optimal interval is a shortest path of concrete
+constraints — specific messages' transit bounds, specific clocks' drift
+over specific gaps.  The witness explainer reconstructs that chain, so
+"my interval is 80 ms wide, why?" has an actionable answer: the dominant
+step names the link (or the silent period) to fix.
+
+The scenario: a 3-hop line where the middle link is much sloppier than
+the others.  The explainer fingers it immediately.
+
+Run:  python examples/why_this_wide.py
+"""
+
+from repro.core import EfficientCSA, TransitSpec, explain_external_bounds
+from repro.sim import LinkConfig, Network, PiecewiseDriftingClock, run_workload
+from repro.sim.workloads import PeriodicGossip
+
+
+def main():
+    clocks = {
+        name: PiecewiseDriftingClock(seed=i, offset=2.0 * i)
+        for i, name in enumerate(["relay1", "relay2", "client"], start=1)
+    }
+    network = Network(
+        source="source",
+        clocks=clocks,
+        links=[
+            LinkConfig("source", "relay1", transit=TransitSpec(0.005, 0.015)),
+            LinkConfig("relay1", "relay2", transit=TransitSpec(0.005, 0.500)),  # sloppy!
+            LinkConfig("relay2", "client", transit=TransitSpec(0.005, 0.015)),
+        ],
+    )
+    result = run_workload(
+        network,
+        PeriodicGossip(period=5.0, seed=3),
+        {"efficient": lambda proc, spec: EfficientCSA(proc, spec)},
+        duration=60.0,
+    )
+
+    view = result.trace.global_view()
+    spec = result.sim.spec
+    point = view.last_event("client").eid
+    estimator = result.sim.estimator("client", "efficient")
+    print(f"client's certified interval: {estimator.estimate()}\n")
+
+    witnesses = explain_external_bounds(view, spec, point)
+    for endpoint in ("upper", "lower"):
+        witness = witnesses[endpoint]
+        print(witness.describe_condensed())
+        dominant = witness.dominant_step()
+        print(
+            f"  => heaviest constraint: {dominant.tail} -> {dominant.head} "
+            f"({dominant.kind}, {dominant.weight:+.4f})\n"
+        )
+    print(
+        "Both witnesses run through the relay1-relay2 hop: its 0.5 s transit"
+        "\nupper bound dominates everything else.  Fix that link (or send"
+        "\ntraffic both ways across it) and the client tightens immediately."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists so that the package
+can be installed editable in offline environments lacking the ``wheel``
+package (``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,43 @@
+"""repro - reproduction of Ostrovsky & Patt-Shamir (PODC 1999),
+"Optimal and Efficient Clock Synchronization Under Drifting Clocks".
+
+Layout
+------
+``repro.core``
+    The theory (views, bounds mappings, synchronization graphs, the Clock
+    Synchronization Theorem) and the algorithms: the Sec 2.3
+    full-information reference and the paper's efficient optimal CSA
+    (history propagation + live points + AGDP).
+``repro.sim``
+    A deterministic discrete-event simulator: drifting clocks, links with
+    transit bounds and loss, workloads (gossip, NTP hierarchy, Cristian
+    probes), execution traces with real-time oracles.
+``repro.baselines``
+    Practical comparators the paper discusses: drift-free optimal with a
+    fudge factor, an NTP-style offset/delay filter, Cristian round-trip
+    estimation.
+``repro.analysis``
+    Metrics, complexity accounting, and claim checkers used by the
+    experiments.
+``repro.experiments``
+    One module per experiment in DESIGN.md (E1-E9, A1, A2), runnable via
+    ``python -m repro.experiments.cli``.
+
+Quickstart
+----------
+>>> from repro.core import EfficientCSA
+>>> from repro.sim import standard_network, run_workload, topologies
+>>> from repro.sim.workloads import PeriodicGossip
+>>> names, links = topologies.line(4)
+>>> net = standard_network(names, links, seed=7)
+>>> result = run_workload(
+...     net, PeriodicGossip(period=5.0, seed=7),
+...     {"efficient": lambda p, s: EfficientCSA(p, s)},
+...     duration=120.0, sample_period=10.0)
+>>> all(s.sound for s in result.samples)
+True
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["core", "sim", "baselines", "analysis", "experiments"]

@@ -1,0 +1,51 @@
+"""Analysis utilities: metrics, complexity accounting, claim checkers, tables."""
+
+from .claims import (
+    ClaimCheck,
+    check_execution_satisfies_spec,
+    check_optimal_equals_full,
+    check_report_once,
+    check_soundness,
+    check_tightness,
+)
+from .complexity import ComplexityReport, collect_complexity, loglog_slope
+from .plots import ascii_plot, histogram, sparkline
+from .spacetime import spacetime_diagram
+from .metrics import (
+    PointErrorStats,
+    WidthStats,
+    midpoint_error_stats,
+    convergence_time,
+    dominance_check,
+    fraction_within,
+    soundness_summary,
+    width_stats,
+)
+from .tables import format_value, render_markdown_table, render_table
+
+__all__ = [
+    "ClaimCheck",
+    "ComplexityReport",
+    "PointErrorStats",
+    "WidthStats",
+    "check_execution_satisfies_spec",
+    "check_optimal_equals_full",
+    "check_report_once",
+    "check_soundness",
+    "check_tightness",
+    "collect_complexity",
+    "convergence_time",
+    "fraction_within",
+    "dominance_check",
+    "format_value",
+    "loglog_slope",
+    "midpoint_error_stats",
+    "render_markdown_table",
+    "render_table",
+    "ascii_plot",
+    "histogram",
+    "sparkline",
+    "soundness_summary",
+    "spacetime_diagram",
+    "width_stats",
+]

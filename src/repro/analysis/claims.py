@@ -1,0 +1,192 @@
+"""Executable claim checkers: each paper statement as a pass/fail check.
+
+Every experiment reduces to one or more :class:`ClaimCheck` values so that
+EXPERIMENTS.md (and the integration tests) can assert "the paper's claim
+holds on this run" mechanically.  The checkers re-derive everything from
+the omniscient trace - they never trust the estimators' own bookkeeping.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.csa import EfficientCSA
+from ..core.csa_full import FullInformationCSA
+from ..core.events import EventId
+from ..core.theorem import (
+    check_execution,
+    external_bounds,
+    extremal_execution,
+    source_point,
+)
+from ..core.syncgraph import build_sync_graph
+from ..sim.runner import RunResult
+
+__all__ = [
+    "ClaimCheck",
+    "check_soundness",
+    "check_optimal_equals_full",
+    "check_execution_satisfies_spec",
+    "check_tightness",
+    "check_report_once",
+]
+
+
+@dataclass(frozen=True)
+class ClaimCheck:
+    """One verified claim: a name, a verdict, and the numbers behind it."""
+
+    name: str
+    passed: bool
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def __str__(self):
+        mark = "PASS" if self.passed else "FAIL"
+        detail = ", ".join(f"{k}={v}" for k, v in self.details.items())
+        return f"[{mark}] {self.name}: {detail}"
+
+
+def check_soundness(result: RunResult, channels: Sequence[str]) -> ClaimCheck:
+    """Every sampled interval of the given channels contains true time."""
+    relevant = [s for s in result.samples if s.channel in channels]
+    violations = [s for s in relevant if not s.sound]
+    return ClaimCheck(
+        name="soundness",
+        passed=not violations,
+        details={
+            "samples": len(relevant),
+            "violations": len(violations),
+            "channels": ",".join(channels),
+        },
+    )
+
+
+def check_execution_satisfies_spec(result: RunResult) -> ClaimCheck:
+    """The simulated execution obeys its own advertised specification."""
+    view = result.trace.global_view()
+    errors = check_execution(
+        view, result.sim.spec, result.trace.real_times, tolerance=1e-6
+    )
+    return ClaimCheck(
+        name="execution-satisfies-spec",
+        passed=not errors,
+        details={"events": len(view), "violations": len(errors)},
+    )
+
+
+def check_optimal_equals_full(
+    result: RunResult,
+    efficient_channel: str = "efficient",
+    full_channel: str = "full",
+    *,
+    tolerance: float = 1e-7,
+) -> ClaimCheck:
+    """The Sec 3 algorithm's final estimates equal the Sec 2.3 reference's.
+
+    Compared at the last local point of every processor (where both are
+    defined on the same view by Lemma 3.1).
+    """
+    mismatches = []
+    for proc in result.sim.network.processors:
+        efficient = result.sim.estimator(proc, efficient_channel)
+        full = result.sim.estimator(proc, full_channel)
+        if not isinstance(efficient, EfficientCSA) or not isinstance(
+            full, FullInformationCSA
+        ):
+            raise TypeError("channels must be (EfficientCSA, FullInformationCSA)")
+        e = efficient.estimate()
+        f = full.estimate()
+        lower_gap = abs(e.lower - f.lower)
+        upper_gap = abs(e.upper - f.upper)
+        if math.isinf(e.lower) and math.isinf(f.lower):
+            lower_gap = 0.0
+        if math.isinf(e.upper) and math.isinf(f.upper):
+            upper_gap = 0.0
+        if lower_gap > tolerance or upper_gap > tolerance:
+            mismatches.append((proc, str(e), str(f)))
+    return ClaimCheck(
+        name="efficient-equals-full-information",
+        passed=not mismatches,
+        details={
+            "processors": len(result.sim.network.processors),
+            "mismatches": len(mismatches),
+            "first": mismatches[0] if mismatches else "",
+        },
+    )
+
+
+def check_tightness(
+    result: RunResult,
+    points: Optional[Sequence[EventId]] = None,
+    *,
+    tolerance: float = 1e-6,
+) -> ClaimCheck:
+    """Theorem 2.1 tightness: both interval endpoints are attained by legal,
+    indistinguishable executions.
+
+    For each checked point, builds the extremal real-time assignments and
+    validates them against the full specification.
+    """
+    view = result.trace.global_view()
+    spec = result.sim.spec
+    sp = source_point(view, spec)
+    if sp is None:
+        return ClaimCheck("tightness", False, {"reason": "no source point"})
+    graph = build_sync_graph(view, spec)
+    if points is None:
+        points = [
+            view.last_event(proc).eid
+            for proc in view.processors
+            if proc != spec.source
+        ]
+    checked = 0
+    failures: List[str] = []
+    for p in points:
+        bound = external_bounds(view, spec, p, graph)
+        for endpoint, target in (("upper", bound.upper), ("lower", bound.lower)):
+            if math.isinf(target):
+                continue
+            checked += 1
+            rt = extremal_execution(view, spec, p, sp, endpoint, graph=graph)
+            errors = check_execution(view, spec, rt, tolerance=tolerance)
+            if errors:
+                failures.append(f"{p}/{endpoint}: {errors[0]}")
+                continue
+            attained = rt[p]
+            if abs(attained - target) > tolerance:
+                failures.append(
+                    f"{p}/{endpoint}: attained {attained}, bound {target}"
+                )
+    return ClaimCheck(
+        name="tightness-endpoints-attained",
+        passed=not failures,
+        details={"endpoints_checked": checked, "failures": len(failures),
+                 "first": failures[0] if failures else ""},
+    )
+
+
+def check_report_once(result: RunResult, channel: str = "efficient") -> ClaimCheck:
+    """Lemma 3.2: no event is reported twice over the same link direction.
+
+    Requires the channel's EfficientCSA instances to have been created with
+    ``track_reports=True``.
+    """
+    worst = 0
+    total_reports = 0
+    for proc in result.sim.network.processors:
+        estimator = result.sim.estimator(proc, channel)
+        reports = estimator.history.stats.reports
+        if reports is None:
+            return ClaimCheck(
+                "report-once", False, {"reason": "report tracking disabled"}
+            )
+        for count in reports.values():
+            worst = max(worst, count)
+            total_reports += count
+    return ClaimCheck(
+        name="report-once-per-link-direction",
+        passed=worst <= 1,
+        details={"max_reports_per_event_direction": worst, "total": total_reports},
+    )

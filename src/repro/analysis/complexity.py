@@ -1,0 +1,135 @@
+"""Complexity accounting: the quantities of Theorem 3.6 / Corollary 4.1.1.
+
+Collects, from a finished run, the empirical values of the parameters the
+paper's bounds are stated in -
+
+* ``K1`` - relative system speed (events system-wide between consecutive
+  events at one processor),
+* ``K2`` - link send asymmetry,
+* ``L``  - peak live points,
+* ``D``  - network hop diameter,
+* per-processor peaks of AGDP matrix size, history buffer, payload size -
+
+and provides a tiny log-log regression used by the scaling experiments to
+verify growth exponents (e.g. AGDP cost ~ L^2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.csa import EfficientCSA
+from ..core.events import ProcessorId
+from ..sim.runner import RunResult
+
+__all__ = ["ComplexityReport", "collect_complexity", "loglog_slope"]
+
+
+@dataclass(frozen=True)
+class ComplexityReport:
+    """Empirical complexity parameters of one run (for channel ``channel``)."""
+
+    channel: str
+    n_processors: int
+    n_links: int
+    diameter: int
+    events_total: int
+    messages_sent: int
+    k1_relative_speed: int
+    k1_link_send_speed: int
+    k2_link_asymmetry: int
+    max_live_points_oracle: int
+    max_live_points_csa: int
+    max_agdp_nodes: int
+    max_agdp_cells: int
+    max_history_buffer: int
+    max_payload_records: int
+    k2_bound_live_points: int
+
+    def bounds_hold(self) -> Dict[str, bool]:
+        """The paper's inequalities, instantiated with measured values."""
+        k2e = max(self.k2_bound_live_points, 1)
+        return {
+            # Lemma 4.1: live points = O(K2 |E|); constant 4 covers the
+            # additive last-point-per-processor term on sparse graphs.
+            "live_le_4_k2_E": self.max_live_points_csa <= 4 * k2e + self.n_processors,
+            # Lemma 3.3: |H_v| = O(K1 (D+1)), K1 in the link-send sense
+            "history_le_k1_dp1": self.max_history_buffer
+            <= max(1, self.k1_link_send_speed) * (self.diameter + 1)
+            + self.n_processors,
+            # AGDP node count tracks live points (plus the in-flight node)
+            "agdp_close_to_live": self.max_agdp_nodes
+            <= self.max_live_points_csa + 1,
+            # Thm 3.6 message size: a report is a subset of H_v, so it is
+            # bounded by the same K1*(D+1) envelope
+            "payload_le_history_envelope": self.max_payload_records
+            <= max(1, self.k1_link_send_speed) * (self.diameter + 1)
+            + self.n_processors,
+        }
+
+
+def collect_complexity(result: RunResult, channel: str = "efficient") -> ComplexityReport:
+    """Aggregate complexity counters from every processor's EfficientCSA."""
+    network = result.sim.network
+    spec = network.spec
+    max_live_csa = 0
+    max_agdp_nodes = 0
+    max_agdp_cells = 0
+    max_history = 0
+    max_payload = 0
+    for proc in network.processors:
+        estimator = result.sim.estimator(proc, channel)
+        if not isinstance(estimator, EfficientCSA):
+            raise TypeError(
+                f"channel {channel!r} at {proc!r} is not an EfficientCSA"
+            )
+        stats = estimator.stats()
+        max_live_csa = max(max_live_csa, stats.max_live_points)
+        max_agdp_nodes = max(max_agdp_nodes, stats.max_agdp_nodes)
+        max_agdp_cells = max(max_agdp_cells, stats.max_agdp_nodes**2)
+        max_history = max(max_history, stats.max_history_buffer)
+        max_payload = max(max_payload, stats.max_payload_records)
+    k2 = result.trace.link_asymmetry()
+    n_links = len(network.links)
+    return ComplexityReport(
+        channel=channel,
+        n_processors=len(network.processors),
+        n_links=n_links,
+        diameter=spec.diameter(),
+        events_total=len(result.trace),
+        messages_sent=result.sim.messages_sent,
+        k1_relative_speed=result.trace.relative_system_speed(),
+        k1_link_send_speed=result.trace.link_send_speed(),
+        k2_link_asymmetry=k2,
+        max_live_points_oracle=result.trace.max_live_points(),
+        max_live_points_csa=max_live_csa,
+        max_agdp_nodes=max_agdp_nodes,
+        max_agdp_cells=max_agdp_cells,
+        max_history_buffer=max_history,
+        max_payload_records=max_payload,
+        k2_bound_live_points=k2 * n_links,
+    )
+
+
+def loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of ``log y`` against ``log x``.
+
+    Used by the scaling experiments: a measured cost growing like ``x^a``
+    yields slope ~``a``.  Requires positive inputs and at least two points.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need two or more paired positive points")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("log-log regression needs positive values")
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(y) for y in ys]
+    n = len(lx)
+    mean_x = sum(lx) / n
+    mean_y = sum(ly) / n
+    sxx = sum((x - mean_x) ** 2 for x in lx)
+    if sxx == 0:
+        raise ValueError("x values must not be all equal")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(lx, ly))
+    return sxy / sxx

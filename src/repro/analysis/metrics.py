@@ -1,0 +1,179 @@
+"""Estimate-quality metrics over sampled runs.
+
+These summarise :class:`~repro.sim.runner.EstimateSample` streams into the
+quantities the experiments report: soundness rates, width statistics, and
+pairwise dominance between estimator channels (is the optimal interval
+really never wider than a sound baseline's?).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.events import ProcessorId
+from ..sim.runner import EstimateSample
+
+__all__ = [
+    "WidthStats",
+    "width_stats",
+    "soundness_summary",
+    "dominance_check",
+    "convergence_time",
+    "fraction_within",
+    "PointErrorStats",
+    "midpoint_error_stats",
+]
+
+
+@dataclass(frozen=True)
+class WidthStats:
+    """Distribution summary of interval widths (bounded samples only)."""
+
+    count: int
+    bounded: int
+    mean: float
+    median: float
+    p95: float
+    max: float
+
+    @classmethod
+    def empty(cls) -> "WidthStats":
+        return cls(0, 0, math.inf, math.inf, math.inf, math.inf)
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    if not sorted_values:
+        return math.inf
+    index = min(int(q * (len(sorted_values) - 1) + 0.5), len(sorted_values) - 1)
+    return sorted_values[index]
+
+
+def width_stats(samples: Iterable[EstimateSample]) -> WidthStats:
+    samples = list(samples)
+    widths = sorted(s.width for s in samples if s.bound.is_bounded)
+    if not widths:
+        return WidthStats(len(samples), 0, math.inf, math.inf, math.inf, math.inf)
+    return WidthStats(
+        count=len(samples),
+        bounded=len(widths),
+        mean=sum(widths) / len(widths),
+        median=_percentile(widths, 0.5),
+        p95=_percentile(widths, 0.95),
+        max=widths[-1],
+    )
+
+
+def soundness_summary(
+    samples: Iterable[EstimateSample],
+) -> Dict[str, Tuple[int, int]]:
+    """Per channel: (total samples, unsound samples)."""
+    out: Dict[str, List[int]] = {}
+    for sample in samples:
+        total, bad = out.setdefault(sample.channel, [0, 0])
+        out[sample.channel][0] = total + 1
+        if not sample.sound:
+            out[sample.channel][1] = bad + 1
+    return {ch: (t, b) for ch, (t, b) in out.items()}
+
+
+@dataclass(frozen=True)
+class PointErrorStats:
+    """Accuracy of a point estimator (|estimate - truth|) over samples."""
+
+    count: int
+    mean_abs: float
+    rms: float
+    max_abs: float
+
+    @classmethod
+    def from_errors(cls, errors: Sequence[float]) -> "PointErrorStats":
+        if not errors:
+            return cls(0, math.inf, math.inf, math.inf)
+        absolute = [abs(e) for e in errors]
+        return cls(
+            count=len(absolute),
+            mean_abs=sum(absolute) / len(absolute),
+            rms=math.sqrt(sum(e * e for e in absolute) / len(absolute)),
+            max_abs=max(absolute),
+        )
+
+
+def midpoint_error_stats(samples: Iterable[EstimateSample]) -> PointErrorStats:
+    """Accuracy of the interval *midpoint* as a point estimate of truth.
+
+    A certified interval is more than a point estimate, but its midpoint
+    is also a natural one - and for the optimal algorithm it is usually
+    competitive with dedicated point estimators (NTP's filter), with the
+    guarantee on top.  Unbounded samples are skipped.
+    """
+    errors = [
+        sample.bound.midpoint - sample.truth
+        for sample in samples
+        if sample.bound.is_bounded
+    ]
+    return PointErrorStats.from_errors(errors)
+
+
+def convergence_time(
+    samples: Iterable[EstimateSample],
+    *,
+    threshold: float,
+) -> Optional[float]:
+    """First sampled real time at which the width is <= ``threshold``.
+
+    ``None`` if the stream never converges.  Filter the samples to one
+    (channel, processor) before calling - the function is agnostic.
+    """
+    best: Optional[float] = None
+    for sample in samples:
+        if sample.width <= threshold and (best is None or sample.rt < best):
+            best = sample.rt
+    return best
+
+
+def fraction_within(
+    samples: Iterable[EstimateSample],
+    *,
+    threshold: float,
+) -> float:
+    """Fraction of samples whose width is <= ``threshold`` (NaN-free)."""
+    total = 0
+    within = 0
+    for sample in samples:
+        total += 1
+        if sample.width <= threshold:
+            within += 1
+    return within / total if total else 0.0
+
+
+def dominance_check(
+    samples: Iterable[EstimateSample],
+    optimal_channel: str,
+    other_channels: Sequence[str],
+    *,
+    tolerance: float = 1e-9,
+) -> Dict[str, int]:
+    """How often each other channel produced a *strictly tighter* interval
+    than the optimal channel at the same (time, processor).
+
+    For sound interval algorithms the count must be zero - that is what
+    "optimal" means operationally.  (Point estimators with statistical
+    budgets may score nonzero; they are not sound intervals.)
+    """
+    by_key: Dict[Tuple[float, ProcessorId], Dict[str, EstimateSample]] = {}
+    for sample in samples:
+        by_key.setdefault((sample.rt, sample.proc), {})[sample.channel] = sample
+    wins = {ch: 0 for ch in other_channels}
+    for grouped in by_key.values():
+        optimal = grouped.get(optimal_channel)
+        if optimal is None:
+            continue
+        for ch in other_channels:
+            other = grouped.get(ch)
+            if other is None or not other.bound.is_bounded:
+                continue
+            if other.width < optimal.width - tolerance:
+                wins[ch] += 1
+    return wins

@@ -1,0 +1,108 @@
+"""Terminal plotting helpers for experiment reports and examples.
+
+The reproduction is terminal-first (no plotting dependencies); these
+helpers render the series the paper's narrative is about - interval
+widths over time, scaling curves - as compact ASCII artifacts:
+
+* :func:`sparkline` - one-line intensity strip of a series;
+* :func:`ascii_plot` - a small multi-row scatter/line canvas;
+* :func:`histogram` - horizontal-bar distribution summary.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["sparkline", "ascii_plot", "histogram"]
+
+_SPARK_BLOCKS = " .:-=+*#%@"
+
+
+def _finite(values: Iterable[float]) -> List[float]:
+    return [v for v in values if not (math.isnan(v) or math.isinf(v))]
+
+
+def sparkline(values: Sequence[float], width: int = 72) -> str:
+    """A one-line intensity strip: each cell is the max of its bucket.
+
+    Infinite/NaN values render as the top block (they are "off scale").
+    """
+    if not values:
+        return ""
+    finite = _finite(values)
+    top = max(finite) if finite else 1.0
+    if top <= 0:
+        top = 1.0
+    step = max(1, math.ceil(len(values) / width))
+    cells = []
+    for start in range(0, len(values), step):
+        bucket = values[start : start + step]
+        worst = max(bucket)
+        if math.isinf(worst) or math.isnan(worst):
+            cells.append(_SPARK_BLOCKS[-1])
+            continue
+        level = min(int(worst / top * (len(_SPARK_BLOCKS) - 1)), len(_SPARK_BLOCKS) - 1)
+        cells.append(_SPARK_BLOCKS[max(level, 0)])
+    return "".join(cells)
+
+
+def ascii_plot(
+    points: Sequence[Tuple[float, float]],
+    *,
+    width: int = 64,
+    height: int = 12,
+    marker: str = "*",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """A minimal scatter plot on a character canvas, with axis ranges."""
+    finite = [
+        (x, y)
+        for x, y in points
+        if not any(math.isnan(v) or math.isinf(v) for v in (x, y))
+    ]
+    if not finite:
+        return "(no finite points)"
+    xs = [p[0] for p in finite]
+    ys = [p[1] for p in finite]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    canvas = [[" "] * width for _ in range(height)]
+    for x, y in finite:
+        col = min(int((x - x_lo) / x_span * (width - 1)), width - 1)
+        row = min(int((y - y_lo) / y_span * (height - 1)), height - 1)
+        canvas[height - 1 - row][col] = marker
+    lines = [f"{y_label}: [{y_lo:g}, {y_hi:g}]"]
+    lines += ["|" + "".join(row) for row in canvas]
+    lines.append("+" + "-" * width)
+    lines.append(f"{x_label}: [{x_lo:g}, {x_hi:g}]")
+    return "\n".join(lines)
+
+
+def histogram(
+    values: Sequence[float],
+    *,
+    bins: int = 10,
+    width: int = 48,
+) -> str:
+    """Horizontal-bar histogram of a (finite) sample."""
+    finite = _finite(values)
+    if not finite:
+        return "(no finite values)"
+    lo, hi = min(finite), max(finite)
+    span = (hi - lo) or 1.0
+    counts = [0] * bins
+    for value in finite:
+        index = min(int((value - lo) / span * bins), bins - 1)
+        counts[index] += 1
+    peak = max(counts)
+    lines = []
+    for i, count in enumerate(counts):
+        left = lo + span * i / bins
+        right = lo + span * (i + 1) / bins
+        bar = "#" * (0 if peak == 0 else round(count / peak * width))
+        lines.append(f"[{left:10.4g}, {right:10.4g})  {bar} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Plain-text table rendering for experiment reports.
+
+The paper has no empirical tables; EXPERIMENTS.md records ours.  This
+renderer produces aligned monospace tables (and a markdown variant for the
+docs) from rows of dictionaries, deterministic in column order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["format_value", "render_table", "render_markdown_table"]
+
+
+def format_value(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value in (float("inf"), float("-inf")):
+            return "inf" if value > 0 else "-inf"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _normalise(
+    rows: Sequence[Dict[str, object]], columns: Optional[Sequence[str]]
+) -> (List[str], List[List[str]]):
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    cells = [[format_value(row.get(col, "")) for col in columns] for row in rows]
+    return list(columns), cells
+
+
+def render_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Aligned monospace table; column order inferred from first rows."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns, cells = _normalise(rows, columns)
+    widths = [
+        max(len(col), *(len(row[i]) for row in cells))
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_markdown_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    if not rows:
+        return "(no rows)"
+    columns, cells = _normalise(rows, columns)
+    lines = ["| " + " | ".join(columns) + " |"]
+    lines.append("|" + "|".join("---" for _ in columns) + "|")
+    for row in cells:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)

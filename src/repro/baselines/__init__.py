@@ -1,0 +1,33 @@
+"""Practical comparators the paper positions itself against (Secs 1, 4).
+
+* :class:`DriftFreeFudgeCSA` - the pre-existing recipe: Patt-Shamir &
+  Rajsbaum's drift-free optimal algorithm re-run over a sliding window
+  with an additive drift fudge.  Sound but suboptimal [18].
+* :class:`NTPFilterCSA` - an NTP-style offset/delay clock filter with a
+  root-distance error budget (statistical, not certified).
+* :class:`CristianCSA` - Cristian's probabilistic round-trip reading,
+  generalised to certified intervals chained through the hierarchy.
+* :class:`WindowedCSA` - drift-aware optimal bounds on a sliding window:
+  sound without any fudge, isolating what forgetting (vs pretending
+  drift-freedom) costs.
+
+All three implement the same passive :class:`~repro.core.csa_base.Estimator`
+interface as the optimal algorithms, so any experiment can run them over
+the very same execution.
+"""
+
+from .cristian import CristianCSA
+from .common import RoundTripMixin, RoundTripPayload, RoundTripSample
+from .driftfree_fudge import DriftFreeFudgeCSA
+from .ntp_filter import NTPFilterCSA
+from .windowed import WindowedCSA
+
+__all__ = [
+    "CristianCSA",
+    "DriftFreeFudgeCSA",
+    "NTPFilterCSA",
+    "RoundTripMixin",
+    "RoundTripPayload",
+    "RoundTripSample",
+    "WindowedCSA",
+]

@@ -1,0 +1,123 @@
+"""Shared machinery for the practical baseline estimators.
+
+The NTP-style and Cristian-style baselines communicate like their real
+counterparts: each message carries the sender's transmit timestamp, an
+echo of the last timestamp received from the destination (so the receiver
+can recognise a completed round trip), and the sender's own current belief
+about source time.  :class:`RoundTripPayload` is that packet;
+:class:`RoundTripMixin` implements the per-neighbor bookkeeping both
+baselines share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..core.events import Event, ProcessorId
+from ..core.intervals import ClockBound
+
+__all__ = ["RoundTripPayload", "RoundTripSample", "RoundTripMixin"]
+
+
+@dataclass(frozen=True)
+class RoundTripPayload:
+    """On-wire data of the round-trip baselines (NTP's org/rec/xmt triple).
+
+    ``org``/``rec`` echo the destination's last transmit local time and the
+    local time it was received here; ``xmt`` is this packet's transmit
+    local time.  ``source_bound`` is the sender's current interval for the
+    source clock at ``xmt`` (``None`` if it has none), and ``root_error``
+    the sender's scalar error budget (used by the NTP-style filter).
+    """
+
+    xmt: float
+    org: Optional[float]
+    rec: Optional[float]
+    source_bound: Optional[ClockBound]
+    root_error: float = float("inf")
+
+
+@dataclass(frozen=True)
+class RoundTripSample:
+    """A completed round trip ``t1 -> (t2, t3) -> t4``, in local clocks.
+
+    ``t1``/``t4`` are this processor's clock; ``t2``/``t3`` the peer's.
+    """
+
+    peer: ProcessorId
+    t1: float
+    t2: float
+    t3: float
+    t4: float
+    peer_bound: Optional[ClockBound]
+    peer_root_error: float
+
+    @property
+    def round_trip(self) -> float:
+        """Local round-trip time minus the peer's processing time (NTP delta)."""
+        return (self.t4 - self.t1) - (self.t3 - self.t2)
+
+    @property
+    def total_local_elapsed(self) -> float:
+        """Full local time between the probe send and the reply receive."""
+        return self.t4 - self.t1
+
+    @property
+    def offset(self) -> float:
+        """NTP theta: estimated peer-minus-local clock offset."""
+        return 0.5 * ((self.t2 - self.t1) + (self.t3 - self.t4))
+
+
+class RoundTripMixin:
+    """Per-neighbor org/rec/xmt bookkeeping.
+
+    Subclasses call :meth:`_rt_build_payload` in ``on_send`` and
+    :meth:`_rt_ingest` in ``on_receive``; the latter returns a completed
+    :class:`RoundTripSample` when the packet closes a round trip.
+    """
+
+    def _rt_init(self) -> None:
+        #: my last transmit local time per neighbor
+        self._rt_last_xmt: Dict[ProcessorId, float] = {}
+        #: last (peer_xmt, my_receive_lt) per neighbor
+        self._rt_last_recv: Dict[ProcessorId, Tuple[float, float]] = {}
+
+    def _rt_build_payload(
+        self,
+        event: Event,
+        source_bound: Optional[ClockBound],
+        root_error: float = float("inf"),
+    ) -> RoundTripPayload:
+        dest = event.dest
+        org = rec = None
+        if dest in self._rt_last_recv:
+            org, rec = self._rt_last_recv[dest]
+        self._rt_last_xmt[dest] = event.lt
+        return RoundTripPayload(
+            xmt=event.lt,
+            org=org,
+            rec=rec,
+            source_bound=source_bound,
+            root_error=root_error,
+        )
+
+    def _rt_ingest(
+        self, event: Event, payload: RoundTripPayload
+    ) -> Optional[RoundTripSample]:
+        peer = event.send_eid.proc
+        self._rt_last_recv[peer] = (payload.xmt, event.lt)
+        if payload.org is None:
+            return None
+        if self._rt_last_xmt.get(peer) != payload.org:
+            # the echo does not match our latest probe (reordered or stale)
+            return None
+        return RoundTripSample(
+            peer=peer,
+            t1=payload.org,
+            t2=payload.rec,
+            t3=payload.xmt,
+            t4=event.lt,
+            peer_bound=payload.source_bound,
+            peer_root_error=payload.root_error,
+        )

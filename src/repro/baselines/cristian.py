@@ -1,0 +1,138 @@
+"""Cristian-style probabilistic clock synchronization [Cristian '89].
+
+Cristian's reading algorithm: a client probes a time server; when the
+reply arrives it knows the server's clock value ``t3`` was current at some
+real instant inside the round trip, so the server's time *now* lies in an
+interval of width about the round trip.  Short round trips give tight
+intervals - hence the probabilistic strategy of retrying until one is
+short.
+
+Our implementation generalises the halving argument to guaranteed
+intervals chained through the hierarchy (so that it is a *sound* interval
+algorithm, comparable with the optimal one):
+
+* the probed peer reports its own source interval ``[S_lo, S_hi]`` valid
+  at its transmit time ``t3``;
+* the prober's local elapsed time over the round trip bounds the real
+  elapsed time through its drift spec;
+* the message spent at least the link's transit lower bound ``L`` in each
+  direction, so the real time between ``t3`` and the reply's arrival lies
+  in ``[L, beta * (t4 - t1) - L]``;
+* therefore source time at arrival lies in
+  ``[S_lo + L, S_hi + beta * (t4 - t1) - L]``.
+
+Between round trips the estimate is carried forward widened by the local
+drift, and each new interval is intersected with the carried one (both are
+sound).  The estimator uses *only* round trips - it ignores the one-way
+constraint web the optimal algorithm mines - which is exactly why the
+optimal algorithm beats it on the same traffic (experiment E8).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+from ..core.csa_base import Estimator
+from ..core.events import Event, ProcessorId
+from ..core.errors import SpecificationError
+from ..core.intervals import ClockBound
+from ..core.specs import SystemSpec
+from .common import RoundTripMixin, RoundTripPayload, RoundTripSample
+
+__all__ = ["CristianCSA"]
+
+
+class CristianCSA(Estimator, RoundTripMixin):
+    """Round-trip interval estimation with drift carry-forward."""
+
+    name = "cristian"
+
+    def __init__(self, proc: ProcessorId, spec: SystemSpec):
+        super().__init__(proc, spec)
+        self._rt_init()
+        #: (local time, bound) of the best current estimate
+        self._anchor: Optional[Tuple[float, ClockBound]] = None
+        self.samples_taken = 0
+        self.samples_rejected = 0
+
+    # -- event hooks -------------------------------------------------------------
+
+    def on_send(self, event: Event) -> RoundTripPayload:
+        self._track_local(event)
+        return self._rt_build_payload(event, self._bound_at(event.lt))
+
+    def on_receive(self, event: Event, payload: RoundTripPayload) -> None:
+        self._track_local(event)
+        if not isinstance(payload, RoundTripPayload):
+            raise TypeError(
+                f"Cristian CSA expected RoundTripPayload, got {type(payload).__name__}"
+            )
+        sample = self._rt_ingest(event, payload)
+        if sample is None:
+            # Not a completed round trip; still use the one-way lower bound:
+            # the peer's interval at xmt, aged by at least the link's
+            # minimum transit time, bounds source time from below.
+            self._absorb_one_way(event, payload)
+            return
+        self._absorb_round_trip(event, sample)
+
+    # -- sample processing ----------------------------------------------------------
+
+    def _absorb_round_trip(self, event: Event, sample: RoundTripSample) -> None:
+        self.samples_taken += 1
+        if sample.peer_bound is None or not sample.peer_bound.is_bounded:
+            self.samples_rejected += 1
+            return
+        drift = self.spec.drift_of(self.proc)
+        transit_reply = self.spec.transit_of(sample.peer, self.proc)
+        transit_probe = self.spec.transit_of(self.proc, sample.peer)
+        #: real elapsed over the whole round trip, bounded by my drift
+        max_elapsed = drift.beta * sample.total_local_elapsed
+        lower = sample.peer_bound.lower + transit_reply.lower
+        upper = sample.peer_bound.upper + max_elapsed - transit_probe.lower
+        if lower > upper:
+            self.samples_rejected += 1
+            return
+        self._merge(event.lt, ClockBound(lower, upper))
+
+    def _absorb_one_way(self, event: Event, payload: RoundTripPayload) -> None:
+        if payload.source_bound is None:
+            return
+        peer = event.send_eid.proc
+        transit = self.spec.transit_of(peer, self.proc)
+        lower = payload.source_bound.lower + transit.lower
+        if math.isinf(lower):
+            return
+        upper = (
+            payload.source_bound.upper + transit.upper
+            if transit.is_bounded and payload.source_bound.is_bounded
+            else math.inf
+        )
+        self._merge(event.lt, ClockBound(lower, upper))
+
+    def _merge(self, lt: float, fresh: ClockBound) -> None:
+        carried = self._bound_at(lt)
+        try:
+            combined = carried.intersect(fresh)
+        except SpecificationError:
+            # disjoint through float slop on degenerate links; keep tighter
+            combined = fresh if fresh.width < carried.width else carried
+        self._anchor = (lt, combined)
+
+    # -- estimates ----------------------------------------------------------------
+
+    def _bound_at(self, lt: float) -> ClockBound:
+        if self.proc == self.spec.source:
+            return ClockBound.exact(lt)
+        if self._anchor is None:
+            return ClockBound.unbounded()
+        anchor_lt, bound = self._anchor
+        return bound.advance(lt - anchor_lt, self.spec.drift_of(self.proc))
+
+    def estimate(self) -> ClockBound:
+        if self._last_local is None:
+            return ClockBound.unbounded()
+        if self.proc == self.spec.source:
+            return ClockBound.exact(self._last_local.lt)
+        return self._bound_at(self._last_local.lt)

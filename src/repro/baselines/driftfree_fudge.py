@@ -1,0 +1,183 @@
+"""Drift-free optimal synchronization plus a fudge factor.
+
+The paper (Sec 1) describes the pre-existing practical recipe built on
+Patt-Shamir & Rajsbaum's drift-free algorithm:
+
+    "It is not difficult to adapt this simple algorithm to scenarios where
+    clocks drift by running a new version of the algorithm every short
+    while (say, every hour), and combining the results by adding a 'fudge
+    factor' to account for the drift.  Such implementations may beat other
+    practical algorithms, but they are still not optimal [18]."
+
+This estimator implements that recipe faithfully:
+
+* information is disseminated with the same Figure 2 history protocol (so
+  the comparison with the optimal algorithm isolates the *interpretation*
+  of the data, not the amount of data);
+* at each query it restricts attention to a recent **window** of events
+  (a per-processor local-time suffix of span ``window``);
+* within the window it runs the **drift-free** computation: drift edges
+  get weight 0 in both directions (local elapsed time treated as exact
+  real elapsed time), transit edges keep their real weights;
+* the resulting interval is widened by the **fudge factor**
+  ``n_procs * window * max_deviation``, which provably restores
+  soundness: along any simple path, replacing true drift weights by zero
+  under-counts by at most ``max_deviation * window`` per processor
+  visited;
+* between windows the previous estimate is carried forward, widened by
+  the processor's own drift - and the reported interval is the
+  intersection of the carried and fresh intervals (both sound).
+
+The estimator is sound but suboptimal, exactly as [18] found; experiment
+E8 quantifies the gap against the Sec 3 algorithm on identical traffic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+from ..core.csa_base import Estimator
+from ..core.distances import INF, WeightedDigraph, bellman_ford_from
+from ..core.errors import InconsistentSpecificationError, ProtocolError
+from ..core.events import Event, EventId, ProcessorId
+from ..core.history import HistoryModule, HistoryPayload
+from ..core.intervals import ClockBound
+from ..core.specs import SystemSpec
+from ..core.view import View
+
+__all__ = ["DriftFreeFudgeCSA"]
+
+
+class DriftFreeFudgeCSA(Estimator):
+    """Windowed drift-free Bellman-Ford with an additive drift fudge."""
+
+    name = "driftfree-fudge"
+
+    def __init__(
+        self,
+        proc: ProcessorId,
+        spec: SystemSpec,
+        *,
+        window: float = 30.0,
+        fudge_scale: Optional[float] = None,
+    ):
+        super().__init__(proc, spec)
+        self.window = window
+        max_dev = max(spec.drift_of(w).max_deviation for w in spec.processors)
+        if fudge_scale is None:
+            # provably sound: a simple path visits each processor's local
+            # chain at most once, accumulating <= window * max_dev each
+            fudge_scale = len(spec.processors) * max_dev
+        self.fudge = fudge_scale * window
+        self.history = HistoryModule(proc, spec.neighbors(proc))
+        self.view = View()
+        #: carried-forward estimate: (local time it was made at, bound)
+        self._anchor: Optional[Tuple[float, ClockBound]] = None
+        #: cache: estimate already computed at this event
+        self._cached_at: Optional[EventId] = None
+        self._cached: Optional[ClockBound] = None
+
+    # -- event hooks -------------------------------------------------------------
+
+    def on_send(self, event: Event) -> HistoryPayload:
+        self._track_local(event)
+        self.view.add(event)
+        self.history.record_local(event)
+        payload, _token = self.history.prepare_payload(event.dest)
+        return payload
+
+    def on_receive(self, event: Event, payload: HistoryPayload) -> None:
+        self._track_local(event)
+        sender = event.send_eid.proc
+        new_events, _flags = self.history.ingest_payload(sender, payload)
+        for reported in new_events:
+            self.view.add(reported)
+        self.history.record_local(event)
+        self.view.add(event)
+
+    def on_internal(self, event: Event) -> None:
+        self._track_local(event)
+        self.view.add(event)
+        self.history.record_local(event)
+
+    # -- the windowed drift-free computation ------------------------------------------
+
+    def _window_graph(self) -> Tuple[WeightedDigraph, Optional[EventId]]:
+        """Drift-free synchronization graph over the recent window.
+
+        Returns the graph and the latest source event inside the window
+        (``None`` if the window contains no source point).
+        """
+        graph = WeightedDigraph()
+        source_rep: Optional[EventId] = None
+        cutoff: Dict[ProcessorId, float] = {}
+        for w in self.view.processors:
+            last = self.view.last_event(w)
+            cutoff[w] = last.lt - self.window
+        retained = set()
+        for w in self.view.processors:
+            previous: Optional[Event] = None
+            for ev in self.view.events_of(w):
+                if ev.lt < cutoff[w]:
+                    continue
+                retained.add(ev.eid)
+                graph.add_node(ev.eid)
+                if previous is not None:
+                    # drift-free: local elapsed time counts as exact
+                    graph.add_edge(ev.eid, previous.eid, 0.0)
+                    graph.add_edge(previous.eid, ev.eid, 0.0)
+                previous = ev
+                if w == self.spec.source:
+                    source_rep = ev.eid
+        for ev in self.view.events():
+            if not ev.is_receive or ev.eid not in retained:
+                continue
+            if ev.send_eid not in retained:
+                continue
+            send = self.view.event(ev.send_eid)
+            transit = self.spec.transit_of(send.proc, ev.proc)
+            observed = ev.lt - send.lt
+            if transit.is_bounded:
+                graph.add_edge(ev.eid, send.eid, transit.upper - observed)
+            graph.add_edge(send.eid, ev.eid, observed - transit.lower)
+        return graph, source_rep
+
+    def _fresh_estimate(self, p: EventId, lt_p: float) -> ClockBound:
+        graph, source_rep = self._window_graph()
+        if source_rep is None or p not in graph:
+            return ClockBound.unbounded()
+        try:
+            d_p_sp = bellman_ford_from(graph, p).get(source_rep, INF)
+            d_sp_p = bellman_ford_from(graph, source_rep).get(p, INF)
+        except InconsistentSpecificationError:
+            # The drift-free fiction can contradict the timestamps (the
+            # window's pretend-constraints close a negative cycle).  A real
+            # deployment would discard the round; we fall back to the
+            # carried-forward estimate.
+            return ClockBound.unbounded()
+        lower = -math.inf if math.isinf(d_sp_p) else lt_p - d_sp_p - self.fudge
+        upper = math.inf if math.isinf(d_p_sp) else lt_p + d_p_sp + self.fudge
+        return ClockBound(lower, upper)
+
+    # -- estimates ----------------------------------------------------------------
+
+    def estimate(self) -> ClockBound:
+        if self._last_local is None:
+            return ClockBound.unbounded()
+        p = self._last_local.eid
+        if self._cached_at == p and self._cached is not None:
+            return self._cached
+        lt_p = self._last_local.lt
+        bound = self._fresh_estimate(p, lt_p)
+        if self._anchor is not None:
+            anchor_lt, anchor_bound = self._anchor
+            carried = anchor_bound.advance(
+                lt_p - anchor_lt, self.spec.drift_of(self.proc)
+            )
+            bound = bound.intersect(carried)
+        if bound.is_bounded:
+            self._anchor = (lt_p, bound)
+        self._cached_at = p
+        self._cached = bound
+        return bound

@@ -1,0 +1,170 @@
+"""An NTP-style offset/delay filter [Mills, RFC 1305].
+
+NTP computes, from each completed round trip ``t1 -> (t2, t3) -> t4``,
+
+* the offset ``theta = ((t2 - t1) + (t3 - t4)) / 2`` of the peer's clock
+  relative to the local clock, and
+* the delay ``delta = (t4 - t1) - (t3 - t2)``;
+
+keeps the last few samples per peer, selects the minimum-delay sample (the
+*clock filter* - the sample least distorted by queueing), chains the
+peer's own synchronisation distance, and quotes the time as the selected
+offset with an error budget (the *root distance*)
+
+    ``lambda = lambda_peer + delta / 2 + dispersion``
+
+where dispersion grows with the local drift rate times the age of the
+sample.  NTP's quoted bound is a well-motivated *statistical* budget, not
+a guarantee: the true source time is expected - but not certified - to lie
+within ``theta +/- lambda``.
+
+Experiment E8 runs this filter beside the optimal algorithm on identical
+traffic.  Two things are measured: (a) how often the NTP-style interval
+actually contains true time (it usually does - the budget is generous),
+and (b) its width against the optimal certified interval.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from ..core.csa_base import Estimator
+from ..core.events import Event, ProcessorId
+from ..core.intervals import ClockBound
+from ..core.specs import SystemSpec
+from .common import RoundTripMixin, RoundTripPayload, RoundTripSample
+
+__all__ = ["NTPFilterCSA"]
+
+#: NTP keeps an 8-stage clock filter shift register per peer
+_FILTER_STAGES = 8
+
+
+class NTPFilterCSA(Estimator, RoundTripMixin):
+    """Offset/delay sampling, min-delay clock filter, root-distance budget."""
+
+    name = "ntp"
+
+    def __init__(
+        self,
+        proc: ProcessorId,
+        spec: SystemSpec,
+        *,
+        filter_stages: int = _FILTER_STAGES,
+    ):
+        super().__init__(proc, spec)
+        self._rt_init()
+        #: per peer: recent (local_time_taken, offset_vs_source, root_error)
+        self._filters: Dict[ProcessorId, Deque[Tuple[float, float, float]]] = {}
+        self._filter_stages = filter_stages
+        #: selected synchronization state: (lt chosen, offset, root error)
+        self._selected: Optional[Tuple[float, float, float]] = None
+        self.samples_taken = 0
+
+    # -- event hooks -------------------------------------------------------------
+
+    def on_send(self, event: Event) -> RoundTripPayload:
+        self._track_local(event)
+        offset, root = self._current_offset_and_root(event.lt)
+        bound = None
+        if offset is not None:
+            bound = ClockBound(
+                event.lt + offset - root, event.lt + offset + root
+            )
+        return self._rt_build_payload(
+            event, bound, root_error=root if offset is not None else math.inf
+        )
+
+    def on_receive(self, event: Event, payload: RoundTripPayload) -> None:
+        self._track_local(event)
+        if not isinstance(payload, RoundTripPayload):
+            raise TypeError(
+                f"NTP filter expected RoundTripPayload, got {type(payload).__name__}"
+            )
+        sample = self._rt_ingest(event, payload)
+        if sample is None:
+            return
+        self._absorb(event.lt, sample)
+
+    # -- the clock filter --------------------------------------------------------------
+
+    def _peer_offset_vs_source(
+        self, sample: RoundTripSample
+    ) -> Optional[Tuple[float, float]]:
+        """(peer source-offset at t3, peer root error) from its payload."""
+        if sample.peer == self.spec.source:
+            return 0.0, 0.0
+        if sample.peer_bound is None or not sample.peer_bound.is_bounded:
+            return None
+        # The peer quoted source time in [lo, hi] at its local t3: its
+        # source-minus-local offset estimate is midpoint - t3.
+        midpoint = sample.peer_bound.midpoint
+        return midpoint - sample.t3, sample.peer_root_error
+
+    def _absorb(self, now_lt: float, sample: RoundTripSample) -> None:
+        peer_state = self._peer_offset_vs_source(sample)
+        if peer_state is None:
+            return
+        peer_offset, peer_root = peer_state
+        if math.isinf(peer_root):
+            return
+        self.samples_taken += 1
+        #: theta: peer clock minus mine; chain the peer's own source offset
+        offset_vs_source = sample.offset + peer_offset
+        root = peer_root + sample.round_trip / 2
+        stage = self._filters.setdefault(
+            sample.peer, deque(maxlen=self._filter_stages)
+        )
+        stage.append((now_lt, offset_vs_source, root))
+        self._select(now_lt)
+
+    def _dispersion(self, now_lt: float, taken_lt: float) -> float:
+        """Error growth with sample age, at the local drift rate."""
+        rho = self.spec.drift_of(self.proc).max_deviation
+        return rho * max(now_lt - taken_lt, 0.0)
+
+    def _select(self, now_lt: float) -> None:
+        best: Optional[Tuple[float, float, float]] = None
+        best_distance = math.inf
+        for stage in self._filters.values():
+            for taken_lt, offset, root in stage:
+                distance = root + self._dispersion(now_lt, taken_lt)
+                if distance < best_distance:
+                    best_distance = distance
+                    best = (taken_lt, offset, root)
+        if best is not None:
+            self._selected = best
+
+    def _current_offset_and_root(self, now_lt: float) -> Tuple[Optional[float], float]:
+        if self.proc == self.spec.source:
+            return 0.0, 0.0
+        if self._selected is None:
+            return None, math.inf
+        taken_lt, offset, root = self._selected
+        return offset, root + self._dispersion(now_lt, taken_lt)
+
+    # -- estimates ----------------------------------------------------------------
+
+    def estimate(self) -> ClockBound:
+        if self._last_local is None:
+            return ClockBound.unbounded()
+        lt = self._last_local.lt
+        offset, root = self._current_offset_and_root(lt)
+        if offset is None:
+            return ClockBound.unbounded()
+        return ClockBound(lt + offset - root, lt + offset + root)
+
+    def point_estimate(self, local_time: float) -> Optional[float]:
+        """NTP's headline output: the corrected clock reading."""
+        offset, _root = self._current_offset_and_root(local_time)
+        if offset is None:
+            return None
+        return local_time + offset
+
+    def estimate_now(self, local_time: float) -> ClockBound:
+        offset, root = self._current_offset_and_root(local_time)
+        if offset is None:
+            return ClockBound.unbounded()
+        return ClockBound(local_time + offset - root, local_time + offset + root)

@@ -1,0 +1,150 @@
+"""Windowed optimal synchronization: forget the past, keep the math right.
+
+A natural middle point between the paper's algorithm and the drift-free
+fudge recipe: run the *drift-aware* Theorem 2.1 computation, but only on
+a sliding window of recent events (a per-processor local-time suffix).
+A restriction of a view asserts a *subset* of the constraints, so the
+result is sound by construction — no fudge factor needed — but looser
+than the true optimum because discarded constraints can no longer
+tighten it.
+
+This isolates what the fudge recipe actually loses: comparing
+
+* optimal (all constraints, drift-aware),
+* windowed (recent constraints, drift-aware)        <- this class
+* drift-free + fudge (recent constraints, drift-pretending + repair),
+
+on the same execution shows how much of the gap is *forgetting* versus
+*pretending*.  Used by the E8 extension rows and the baseline tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+from ..core.csa_base import Estimator
+from ..core.distances import INF, WeightedDigraph, bellman_ford_from
+from ..core.errors import InconsistentSpecificationError
+from ..core.events import Event, EventId, ProcessorId
+from ..core.history import HistoryModule, HistoryPayload
+from ..core.intervals import ClockBound
+from ..core.specs import SystemSpec
+from ..core.view import View
+
+__all__ = ["WindowedCSA"]
+
+
+class WindowedCSA(Estimator):
+    """Drift-aware optimal bounds restricted to a sliding event window."""
+
+    name = "windowed"
+
+    def __init__(
+        self,
+        proc: ProcessorId,
+        spec: SystemSpec,
+        *,
+        window: float = 30.0,
+    ):
+        super().__init__(proc, spec)
+        self.window = window
+        self.history = HistoryModule(proc, spec.neighbors(proc))
+        self.view = View()
+        self._anchor: Optional[Tuple[float, ClockBound]] = None
+        self._cached_at: Optional[EventId] = None
+        self._cached: Optional[ClockBound] = None
+
+    # -- event hooks -------------------------------------------------------------
+
+    def on_send(self, event: Event) -> HistoryPayload:
+        self._track_local(event)
+        self.view.add(event)
+        self.history.record_local(event)
+        payload, _token = self.history.prepare_payload(event.dest)
+        return payload
+
+    def on_receive(self, event: Event, payload: HistoryPayload) -> None:
+        self._track_local(event)
+        sender = event.send_eid.proc
+        new_events, _flags = self.history.ingest_payload(sender, payload)
+        for reported in new_events:
+            self.view.add(reported)
+        self.history.record_local(event)
+        self.view.add(event)
+
+    def on_internal(self, event: Event) -> None:
+        self._track_local(event)
+        self.view.add(event)
+        self.history.record_local(event)
+
+    # -- windowed computation ------------------------------------------------------
+
+    def _window_graph(self) -> Tuple[WeightedDigraph, Optional[EventId]]:
+        """Drift-aware synchronization graph over the recent window."""
+        graph = WeightedDigraph()
+        source_rep: Optional[EventId] = None
+        retained = set()
+        for w in self.view.processors:
+            last = self.view.last_event(w)
+            cutoff = last.lt - self.window
+            drift = self.spec.drift_of(w)
+            previous: Optional[Event] = None
+            for ev in self.view.events_of(w):
+                if ev.lt < cutoff:
+                    continue
+                retained.add(ev.eid)
+                graph.add_node(ev.eid)
+                if previous is not None:
+                    delta = ev.lt - previous.lt
+                    graph.add_edge(ev.eid, previous.eid, (drift.beta - 1.0) * delta)
+                    graph.add_edge(previous.eid, ev.eid, (1.0 - drift.alpha) * delta)
+                previous = ev
+                if w == self.spec.source:
+                    source_rep = ev.eid
+        for ev in self.view.events():
+            if not ev.is_receive or ev.eid not in retained:
+                continue
+            if ev.send_eid not in retained:
+                continue
+            send = self.view.event(ev.send_eid)
+            transit = self.spec.transit_of(send.proc, ev.proc)
+            observed = ev.lt - send.lt
+            if transit.is_bounded:
+                graph.add_edge(ev.eid, send.eid, transit.upper - observed)
+            graph.add_edge(send.eid, ev.eid, observed - transit.lower)
+        return graph, source_rep
+
+    def _fresh_estimate(self, p: EventId, lt_p: float) -> ClockBound:
+        graph, source_rep = self._window_graph()
+        if source_rep is None or p not in graph:
+            return ClockBound.unbounded()
+        # the window is a genuine constraint subset: no inconsistency is
+        # possible for views of real executions, so no fallback needed
+        d_p_sp = bellman_ford_from(graph, p).get(source_rep, INF)
+        d_sp_p = bellman_ford_from(graph, source_rep).get(p, INF)
+        lower = -math.inf if math.isinf(d_sp_p) else lt_p - d_sp_p
+        upper = math.inf if math.isinf(d_p_sp) else lt_p + d_p_sp
+        return ClockBound(lower, upper)
+
+    # -- estimates ----------------------------------------------------------------
+
+    def estimate(self) -> ClockBound:
+        if self._last_local is None:
+            return ClockBound.unbounded()
+        p = self._last_local.eid
+        if self._cached_at == p and self._cached is not None:
+            return self._cached
+        lt_p = self._last_local.lt
+        bound = self._fresh_estimate(p, lt_p)
+        if self._anchor is not None:
+            anchor_lt, anchor_bound = self._anchor
+            carried = anchor_bound.advance(
+                lt_p - anchor_lt, self.spec.drift_of(self.proc)
+            )
+            bound = bound.intersect(carried)
+        if bound.is_bounded:
+            self._anchor = (lt_p, bound)
+        self._cached_at = p
+        self._cached = bound
+        return bound

@@ -1,0 +1,112 @@
+"""Core theory and algorithms of the reproduction.
+
+The public surface re-exports the classes a downstream user needs:
+
+* data model - :class:`Event`, :class:`EventId`, :class:`View`;
+* specifications - :class:`DriftSpec`, :class:`TransitSpec`,
+  :class:`SystemSpec`, :class:`ClockBound`;
+* the synchronization-graph theory (Definition 2.1 / Theorem 2.1) -
+  :func:`build_sync_graph`, :func:`relative_bounds`,
+  :func:`external_bounds`, :func:`extremal_execution`;
+* the algorithms - :class:`FullInformationCSA` (Sec 2.3 reference),
+  :class:`EfficientCSA` (the paper's main result, Sec 3), and its parts
+  :class:`HistoryModule`, :class:`LiveTracker`, :class:`AGDP`.
+"""
+
+from .agdp import AGDP, AGDPStats
+from .agdp_numpy import NumpyAGDP
+from .csa import CSAStats, EfficientCSA
+from .csa_base import Estimator
+from .csa_full import FullInformationCSA
+from .distances import (
+    WeightedDigraph,
+    bellman_ford_from,
+    bellman_ford_to,
+    floyd_warshall,
+)
+from .errors import (
+    EstimateUnavailableError,
+    InconsistentSpecificationError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    SpecificationError,
+    UnknownEventError,
+    ViewError,
+)
+from .explain import Witness, WitnessStep, explain_external_bounds
+from .general import GeneralSynchronizer
+from .events import Event, EventId, EventKind, LinkId, ProcessorId, link_id
+from .history import HistoryModule, HistoryPayload, HistoryStats
+from .intervals import ClockBound
+from .live import LiveTracker
+from .specs import TOP, DriftSpec, SystemSpec, TransitSpec
+from .syncgraph import (
+    ExplicitBoundsMapping,
+    build_sync_graph,
+    drift_edge_weights,
+    incident_sync_edges,
+    sync_graph_from_bounds,
+    transit_edge_weights,
+)
+from .theorem import (
+    check_execution,
+    external_bounds,
+    extremal_execution,
+    relative_bounds,
+    source_point,
+)
+from .view import View
+
+__all__ = [
+    "AGDP",
+    "AGDPStats",
+    "CSAStats",
+    "ClockBound",
+    "DriftSpec",
+    "EfficientCSA",
+    "Estimator",
+    "EstimateUnavailableError",
+    "Event",
+    "EventId",
+    "EventKind",
+    "ExplicitBoundsMapping",
+    "FullInformationCSA",
+    "GeneralSynchronizer",
+    "HistoryModule",
+    "HistoryPayload",
+    "HistoryStats",
+    "InconsistentSpecificationError",
+    "LinkId",
+    "LiveTracker",
+    "NumpyAGDP",
+    "ProcessorId",
+    "ProtocolError",
+    "ReproError",
+    "SimulationError",
+    "SpecificationError",
+    "SystemSpec",
+    "TOP",
+    "TransitSpec",
+    "UnknownEventError",
+    "View",
+    "ViewError",
+    "Witness",
+    "WitnessStep",
+    "WeightedDigraph",
+    "bellman_ford_from",
+    "bellman_ford_to",
+    "build_sync_graph",
+    "check_execution",
+    "drift_edge_weights",
+    "explain_external_bounds",
+    "external_bounds",
+    "extremal_execution",
+    "floyd_warshall",
+    "incident_sync_edges",
+    "link_id",
+    "relative_bounds",
+    "source_point",
+    "sync_graph_from_bounds",
+    "transit_edge_weights",
+]

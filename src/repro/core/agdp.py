@@ -1,0 +1,215 @@
+"""The Accumulated Graph Distance Problem (AGDP) and its solver (Sec 3.2).
+
+AGDP abstracts the on-line synchronization problem as a dynamic graph
+problem:
+
+* initially the graph has one node, the *source*, marked live;
+* each step adds one new node (marked live) plus edges joining it to live
+  nodes, then unmarks ("kills") some endpoints of the new edges;
+* the task is to know, at all times, distances between live nodes (in
+  particular from the source).
+
+The solver maintains a *complete* weighted digraph ``G`` over the non-dead
+nodes whose edge weights equal exact distances in the accumulated graph
+(Lemma 3.4).  Edge insertion uses the Ausiello et al. incremental
+all-pairs-shortest-paths update - inserting ``(x, y, w)`` can only shorten
+paths through the new edge, so
+
+    ``d'(r, s) = min(d(r, s), d(r, x) + w + d(y, s))``
+
+for every pair ``(r, s)``: ``O(L^2)`` time per edge insertion for ``L``
+live nodes (Lemma 3.5).  Killing a node simply deletes its row and column;
+Lemma 3.4 guarantees no live-live distance is lost.
+
+For the garbage-collection ablation (experiment A1) the solver can be run
+with ``gc_enabled=False``: dead nodes are then retained, which preserves
+answers trivially but lets the matrix grow with the execution length -
+exactly the blow-up the paper's construction avoids.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+from .errors import InconsistentSpecificationError
+
+__all__ = ["AGDP", "AGDPStats"]
+
+INF = math.inf
+
+NodeKey = Hashable
+
+
+@dataclass
+class AGDPStats:
+    """Operation counters for complexity experiments (E4, E6, E7, A1)."""
+
+    nodes_added: int = 0
+    nodes_killed: int = 0
+    edges_inserted: int = 0
+    #: total pair relaxations performed across all edge insertions
+    pair_updates: int = 0
+    #: largest node-set size ever held (live + in-flight insertions)
+    max_nodes: int = 0
+
+    def matrix_cells(self) -> int:
+        """Peak memory proxy: cells of the largest distance matrix held."""
+        return self.max_nodes * self.max_nodes
+
+
+class AGDP:
+    """Incremental all-pairs distances over the live nodes of a growing graph.
+
+    Node keys are arbitrary hashables.  Weights may be negative; a negative
+    cycle (impossible for views of real executions) raises
+    :class:`InconsistentSpecificationError`.
+    """
+
+    def __init__(self, source: Optional[NodeKey] = None, *, gc_enabled: bool = True):
+        self._dist: Dict[NodeKey, Dict[NodeKey, float]] = {}
+        self._source = source
+        self._gc_enabled = gc_enabled
+        #: retained only when gc is disabled, to answer is_live queries
+        self._dead: Set[NodeKey] = set()
+        self.stats = AGDPStats()
+        if source is not None:
+            self.add_node(source)
+
+    # -- inspection --------------------------------------------------------------
+
+    @property
+    def source(self) -> NodeKey:
+        return self._source
+
+    @property
+    def gc_enabled(self) -> bool:
+        return self._gc_enabled
+
+    def __contains__(self, node: NodeKey) -> bool:
+        return node in self._dist
+
+    def __len__(self) -> int:
+        return len(self._dist)
+
+    @property
+    def nodes(self) -> Set[NodeKey]:
+        return set(self._dist)
+
+    @property
+    def live_nodes(self) -> Set[NodeKey]:
+        return set(self._dist) - self._dead
+
+    def distance(self, x: NodeKey, y: NodeKey) -> float:
+        """Exact distance from ``x`` to ``y`` in the accumulated graph.
+
+        ``inf`` when ``y`` is unreachable from ``x``.  Both nodes must be
+        present (live, or dead-but-retained when gc is disabled).
+        """
+        try:
+            return self._dist[x][y]
+        except KeyError:
+            raise KeyError(f"node {x!r} or {y!r} is not tracked by this AGDP") from None
+
+    def distances_from(self, x: NodeKey) -> Dict[NodeKey, float]:
+        return dict(self._dist[x])
+
+    def distances_to(self, y: NodeKey) -> Dict[NodeKey, float]:
+        if y not in self._dist:
+            raise KeyError(f"node {y!r} is not tracked by this AGDP")
+        return {x: row[y] for x, row in self._dist.items()}
+
+    # -- mutation ----------------------------------------------------------------
+
+    def add_node(self, node: NodeKey) -> None:
+        """Insert a new isolated live node (one AGDP input step starts here)."""
+        if node in self._dist:
+            raise ValueError(f"node {node!r} already present")
+        for row in self._dist.values():
+            row[node] = INF
+        self._dist[node] = {other: INF for other in self._dist}
+        self._dist[node][node] = 0.0
+        self.stats.nodes_added += 1
+        self.stats.max_nodes = max(self.stats.max_nodes, len(self._dist))
+
+    def insert_edge(self, x: NodeKey, y: NodeKey, weight: float) -> None:
+        """Insert edge ``x -> y`` and restore all-pairs exactness.
+
+        Per the AGDP specification at least one endpoint is the newly added
+        node and the other is live, but the update is correct for any
+        present endpoints; the relaxed precondition is convenient for the
+        ablation modes.
+        """
+        if x not in self._dist or y not in self._dist:
+            raise KeyError(f"edge endpoints {x!r}, {y!r} must be present")
+        if math.isnan(weight):
+            raise ValueError("edge weight must not be NaN")
+        if math.isinf(weight):
+            return  # a TOP bound carries no information
+        if x == y:
+            if weight < 0:
+                raise InconsistentSpecificationError(
+                    f"negative self-loop at {x!r}"
+                )
+            return
+        self.stats.edges_inserted += 1
+        back = self._dist[y][x]
+        if back + weight < -1e-9:
+            raise InconsistentSpecificationError(
+                f"inserting ({x!r} -> {y!r}, {weight}) closes a negative cycle "
+                f"(d({y!r}, {x!r}) = {back})"
+            )
+        if weight >= self._dist[x][y]:
+            return  # no path improves
+        # Ausiello et al. update: any strictly shorter path uses the new edge
+        # exactly once (no negative cycles), so it decomposes r ~> x -> y ~> s.
+        to_x = {r: row[x] for r, row in self._dist.items() if not math.isinf(row[x])}
+        from_y = {s: d for s, d in self._dist[y].items() if not math.isinf(d)}
+        for r, d_rx in to_x.items():
+            row = self._dist[r]
+            base = d_rx + weight
+            for s, d_ys in from_y.items():
+                candidate = base + d_ys
+                self.stats.pair_updates += 1
+                if candidate < row[s]:
+                    row[s] = candidate
+
+    def kill(self, node: NodeKey) -> None:
+        """Unmark ``node`` as live; with gc enabled, drop its row and column."""
+        if node not in self._dist:
+            raise KeyError(f"node {node!r} is not present")
+        if self._source is not None and node == self._source:
+            raise ValueError("the source node is live forever")
+        self.stats.nodes_killed += 1
+        if not self._gc_enabled:
+            self._dead.add(node)
+            return
+        del self._dist[node]
+        for row in self._dist.values():
+            del row[node]
+
+    def step(
+        self,
+        node: NodeKey,
+        edges: Iterable[Tuple[NodeKey, NodeKey, float]],
+        kills: Iterable[NodeKey] = (),
+    ) -> None:
+        """One AGDP input step: add ``node``, insert ``edges``, kill ``kills``.
+
+        Every edge must have ``node`` as one endpoint (the AGDP contract:
+        new edges connect live nodes to the new node).
+        """
+        self.add_node(node)
+        for x, y, w in edges:
+            if node not in (x, y):
+                raise ValueError(
+                    f"AGDP step for {node!r} may only insert incident edges, got ({x!r}, {y!r})"
+                )
+            self.insert_edge(x, y, w)
+        for victim in kills:
+            self.kill(victim)
+
+    def matrix_size(self) -> int:
+        """Current number of matrix cells held (space proxy for Lemma 3.5)."""
+        return len(self._dist) * len(self._dist)

@@ -1,0 +1,276 @@
+"""The paper's main result: the efficient optimal CSA (Sec 3).
+
+Per processor the algorithm composes three pieces:
+
+1. the **history propagation protocol** (Figure 2,
+   :class:`~repro.core.history.HistoryModule`), which guarantees that at
+   every point the processor knows exactly its local view (Lemma 3.1);
+2. a **live-point tracker** (Definition 3.1,
+   :class:`~repro.core.live.LiveTracker`), which turns the stream of newly
+   learned events into AGDP steps - one new node plus its incident
+   synchronization-graph edges, followed by the kill-set of points that
+   ceased to be live;
+3. the **AGDP solver** (Figure 3, :class:`~repro.core.agdp.AGDP`), which
+   maintains exact distances between all live points in `O(L^2)` space and
+   `O(L^2)` time per inserted edge (Lemmas 3.4/3.5).
+
+The estimate at a point ``p`` is then read off AGDP distances to/from the
+latest known source point ``sp`` (always live - it is the last known point
+of the source processor):
+
+    ``ext_L = LT(p) - d(sp, p)``      ``ext_U = LT(p) + d(p, sp)``
+
+which by Theorem 2.1 equals the full-information optimum.  Experiment E1
+asserts the equality event-for-event against
+:class:`~repro.core.csa_full.FullInformationCSA`.
+
+Message loss (Sec 3.3) is supported end-to-end: a detection signal flags
+the lost send, un-lives it, propagates the flag through history payloads,
+and each processor garbage-collects the point from its AGDP.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from .agdp import AGDP
+from .csa_base import Estimator
+from .errors import ProtocolError
+from .events import Event, EventId, ProcessorId
+from .history import HistoryModule, HistoryPayload
+from .intervals import ClockBound
+from .live import LiveTracker
+from .specs import SystemSpec, TOP
+
+__all__ = ["EfficientCSA", "CSAStats"]
+
+
+@dataclass
+class CSAStats:
+    """Roll-up of the complexity counters of Theorem 3.6 / Corollary 4.1.1."""
+
+    max_live_points: int
+    max_agdp_nodes: int
+    agdp_pair_updates: int
+    agdp_edges_inserted: int
+    max_history_buffer: int
+    max_payload_records: int
+    records_sent: int
+    events_observed: int
+
+    def space_proxy(self) -> int:
+        """``O(L^2 + K1*D)`` proxy: peak matrix cells + peak history buffer."""
+        return self.max_agdp_nodes * self.max_agdp_nodes + self.max_history_buffer
+
+
+class EfficientCSA(Estimator):
+    """The optimal, efficient external synchronization algorithm of Sec 3."""
+
+    name = "efficient"
+
+    def __init__(
+        self,
+        proc: ProcessorId,
+        spec: SystemSpec,
+        *,
+        reliable: bool = True,
+        agdp_gc: bool = True,
+        agdp_backend: str = "dict",
+        history_gc: bool = True,
+        track_reports: bool = False,
+    ):
+        super().__init__(proc, spec)
+        self.history = HistoryModule(
+            proc,
+            spec.neighbors(proc),
+            reliable=reliable,
+            track_reports=track_reports,
+            gc_enabled=history_gc,
+        )
+        self.live = LiveTracker()
+        if agdp_backend == "dict":
+            self.agdp = AGDP(gc_enabled=agdp_gc)
+        elif agdp_backend == "numpy":
+            from .agdp_numpy import NumpyAGDP
+
+            self.agdp = NumpyAGDP(gc_enabled=agdp_gc)
+        else:
+            raise ValueError(
+                f"unknown AGDP backend {agdp_backend!r} (use 'dict' or 'numpy')"
+            )
+        self.reliable = reliable
+        #: latest known event of the source processor (the AGDP query anchor)
+        self._source_rep: Optional[EventId] = None
+        #: pending history delivery tokens per local send (unreliable mode)
+        self._pending_tokens: Dict[EventId, int] = {}
+
+    # -- event hooks -------------------------------------------------------------
+
+    def on_send(self, event: Event) -> HistoryPayload:
+        if not event.is_send:
+            raise ProtocolError(f"on_send called with {event.kind} event {event.eid}")
+        self._track_local(event)
+        self.history.record_local(event)
+        self._agdp_insert(event)
+        payload, token = self.history.prepare_payload(event.dest)
+        if not self.reliable:
+            self._pending_tokens[event.eid] = token
+        return payload
+
+    def on_receive(self, event: Event, payload: HistoryPayload) -> None:
+        if not event.is_receive:
+            raise ProtocolError(f"on_receive called with {event.kind} event {event.eid}")
+        if not isinstance(payload, HistoryPayload):
+            raise TypeError(
+                f"efficient CSA expected a HistoryPayload, got {type(payload).__name__}"
+            )
+        self._track_local(event)
+        sender = event.send_eid.proc
+        new_events, new_flags = self.history.ingest_payload(sender, payload)
+        for reported in new_events:
+            self._agdp_insert(reported)
+        self.history.record_local(event)
+        self._agdp_insert(event)
+        for flag in new_flags:
+            self._apply_loss_flag(flag)
+
+    def on_internal(self, event: Event) -> None:
+        self._track_local(event)
+        self.history.record_local(event)
+        self._agdp_insert(event)
+
+    def on_delivery_confirmed(self, send_eid: EventId) -> None:
+        token = self._pending_tokens.pop(send_eid, None)
+        if token is not None:
+            self.history.confirm_delivery(token)
+
+    def on_loss_detected(self, send_eid: EventId) -> None:
+        """Sec 3.3: locally detected loss of a message this processor sent."""
+        token = self._pending_tokens.pop(send_eid, None)
+        if token is not None:
+            self.history.abort_delivery(token)
+        if self.history.record_loss(send_eid):
+            self._apply_loss_flag(send_eid)
+
+    # -- core insertion ------------------------------------------------------------
+
+    def _agdp_insert(self, event: Event) -> None:
+        """One AGDP step: insert ``event`` with its incident edges, then kill.
+
+        Events must arrive in a topological order of the view; the history
+        protocol guarantees this for reported events and the caller
+        interleaves local events correctly.
+        """
+        eid = event.eid
+        edges = []
+        pred = self.live.last_event(event.proc)
+        if pred is not None:
+            pred_id, pred_lt = pred
+            if pred_id != eid.pred():
+                raise ProtocolError(
+                    f"{self.proc!r} inserting {eid} after {pred_id} (gap)"
+                )
+            drift = self.spec.drift_of(event.proc)
+            delta = event.lt - pred_lt
+            edges.append((eid, pred_id, (drift.beta - 1.0) * delta))
+            edges.append((pred_id, eid, (1.0 - drift.alpha) * delta))
+        if event.is_receive:
+            send_lt = self.live.send_lt(event.send_eid)
+            if send_lt is not None and event.send_eid in self.agdp:
+                transit = self.spec.transit_of(event.send_eid.proc, event.proc)
+                observed = event.lt - send_lt
+                if transit.is_bounded:
+                    edges.append((eid, event.send_eid, transit.upper - observed))
+                edges.append((event.send_eid, eid, observed - transit.lower))
+            # else: the send was flagged lost and collected before this late
+            # delivery; its constraints are gone, which is sound (fewer
+            # constraints only widen bounds).
+        kills = [k for k in self.live.observe(event) if k in self.agdp]
+        self.agdp.step(eid, edges, kills)
+        if event.proc == self.spec.source:
+            self._source_rep = eid
+
+    def _apply_loss_flag(self, send_eid: EventId) -> None:
+        for victim in self.live.flag_lost(send_eid):
+            if victim in self.agdp:
+                self.agdp.kill(victim)
+
+    # -- estimates ----------------------------------------------------------------
+
+    def estimate(self) -> ClockBound:
+        if self._last_local is None or self._source_rep is None:
+            return ClockBound.unbounded()
+        p = self._last_local.eid
+        sp = self._source_rep
+        lt_p = self._last_local.lt
+        d_p_sp = self.agdp.distance(p, sp)
+        d_sp_p = self.agdp.distance(sp, p)
+        lower = -math.inf if math.isinf(d_sp_p) else lt_p - d_sp_p
+        upper = math.inf if math.isinf(d_p_sp) else lt_p + d_p_sp
+        return ClockBound(lower, upper)
+
+    def estimate_of(self, proc: ProcessorId) -> ClockBound:
+        """Bounds on ``RT`` at the last *known* point of another processor.
+
+        The last known point of every processor is live, so the optimal
+        interval for it is directly available - this is how a monitoring
+        node can bound every peer's situation from its own view.
+        """
+        if self._source_rep is None:
+            return ClockBound.unbounded()
+        last = self.live.last_event(proc)
+        if last is None:
+            return ClockBound.unbounded()
+        eid, lt = last
+        d_p_sp = self.agdp.distance(eid, self._source_rep)
+        d_sp_p = self.agdp.distance(self._source_rep, eid)
+        lower = -math.inf if math.isinf(d_sp_p) else lt - d_sp_p
+        upper = math.inf if math.isinf(d_p_sp) else lt + d_p_sp
+        return ClockBound(lower, upper)
+
+    def relative_estimate(
+        self, proc_a: ProcessorId, proc_b: ProcessorId
+    ) -> ClockBound:
+        """Optimal bounds on ``RT(a) - RT(b)`` at the two processors' last
+        known points (internal-synchronization-style output).
+
+        Theorem 2.1 applies to *any* pair of points, not just pairs with a
+        source point, and both processors' last known points are live, so
+        their distances sit in the AGDP matrix already:
+
+            ``RT(p_a) - RT(p_b) in [virt_del - d(p_b, p_a),
+                                    virt_del + d(p_a, p_b)]``.
+
+        This works even before any source information arrives - it is how
+        a system without access to standard time still bounds relative
+        offsets (cf. the internal-synchronization literature the paper
+        builds on).
+        """
+        last_a = self.live.last_event(proc_a)
+        last_b = self.live.last_event(proc_b)
+        if last_a is None or last_b is None:
+            return ClockBound.unbounded()
+        eid_a, lt_a = last_a
+        eid_b, lt_b = last_b
+        virt_del = lt_a - lt_b
+        d_ab = self.agdp.distance(eid_a, eid_b)
+        d_ba = self.agdp.distance(eid_b, eid_a)
+        lower = -math.inf if math.isinf(d_ba) else virt_del - d_ba
+        upper = math.inf if math.isinf(d_ab) else virt_del + d_ab
+        return ClockBound(lower, upper)
+
+    # -- accounting ----------------------------------------------------------------
+
+    def stats(self) -> CSAStats:
+        return CSAStats(
+            max_live_points=self.live.max_live,
+            max_agdp_nodes=self.agdp.stats.max_nodes,
+            agdp_pair_updates=self.agdp.stats.pair_updates,
+            agdp_edges_inserted=self.agdp.stats.edges_inserted,
+            max_history_buffer=self.history.stats.max_buffer,
+            max_payload_records=self.history.stats.max_payload,
+            records_sent=self.history.stats.records_sent,
+            events_observed=self.live.events_observed,
+        )

@@ -1,0 +1,123 @@
+"""The passive clock-synchronization-algorithm (CSA) interface (Sec 2.2).
+
+The paper studies *passive* algorithms: a CSA is a layer between the send
+module (which decides when messages flow) and the network.  It may fill
+information into outgoing messages and read information from incoming
+ones, but it never initiates traffic and never alters timing.  This module
+defines that interface; the optimal algorithms and every baseline implement
+it, which is what lets experiment E8 attach several estimators to the same
+execution and compare them point-for-point.
+
+Lifecycle per processor:
+
+* ``on_send(event)`` - called at each send event of this processor;
+  returns an opaque payload the network will carry alongside the
+  application message.
+* ``on_receive(event, payload)`` - called at each receive event with the
+  payload produced by the *same estimator type* at the sender.
+* ``on_internal(event)`` - any other locally observable point.
+* ``on_delivery_confirmed(send_eid)`` / ``on_loss_detected(send_eid)`` -
+  optional signals from the system's delivery/loss detection mechanism
+  (Sec 3.3); reliable-network runs never call them.
+* ``estimate()`` - the external-synchronization interval at the last local
+  point; ``estimate_now(local_time)`` - the interval for the present local
+  clock reading, advanced by the processor's own drift bounds.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from .errors import EstimateUnavailableError
+from .events import Event, EventId, ProcessorId
+from .intervals import ClockBound
+from .specs import SystemSpec
+
+__all__ = ["Estimator"]
+
+
+class Estimator(abc.ABC):
+    """Abstract passive external-synchronization estimator."""
+
+    #: short identifier used to route payloads between peer estimators
+    name: str = "estimator"
+
+    def __init__(self, proc: ProcessorId, spec: SystemSpec):
+        self.proc = proc
+        self.spec = spec
+        self._last_local: Optional[Event] = None
+
+    # -- event hooks -------------------------------------------------------------
+
+    @abc.abstractmethod
+    def on_send(self, event: Event) -> object:
+        """Handle a local send event; return the payload to piggyback."""
+
+    @abc.abstractmethod
+    def on_receive(self, event: Event, payload: object) -> None:
+        """Handle a local receive event carrying a peer's payload."""
+
+    def on_internal(self, event: Event) -> None:
+        """Handle a local internal event (default: just track it)."""
+        self._track_local(event)
+
+    def on_delivery_confirmed(self, send_eid: EventId) -> None:
+        """The message sent at ``send_eid`` is known to have been delivered."""
+
+    def on_loss_detected(self, send_eid: EventId) -> None:
+        """The message sent at ``send_eid`` is known to have been lost."""
+
+    # -- estimates ----------------------------------------------------------------
+
+    @abc.abstractmethod
+    def estimate(self) -> ClockBound:
+        """Source-clock bounds at this processor's last local event."""
+
+    def estimate_now(self, local_time: float) -> ClockBound:
+        """Source-clock bounds at the current local clock reading.
+
+        Derived from :meth:`estimate` by advancing through this processor's
+        drift spec over the local time elapsed since the last event.
+        """
+        base = self.estimate()
+        if self._last_local is None:
+            return base
+        elapsed = local_time - self._last_local.lt
+        if elapsed < 0:
+            raise ValueError(
+                f"local time {local_time} precedes last event at {self._last_local.lt}"
+            )
+        if not base.is_bounded and base.lower == -base.upper:
+            return base  # still completely uninformed
+        return base.advance(elapsed, self.spec.drift_of(self.proc))
+
+    def estimate_strict(self) -> ClockBound:
+        """Like :meth:`estimate`, but raises
+        :class:`~repro.core.errors.EstimateUnavailableError` instead of
+        returning an interval with an infinite endpoint.
+        """
+        bound = self.estimate()
+        if not bound.is_bounded:
+            raise EstimateUnavailableError(
+                f"{self.proc!r} has no bounded source estimate yet"
+            )
+        return bound
+
+    # -- shared helpers -------------------------------------------------------------
+
+    @property
+    def last_local_event(self) -> Optional[Event]:
+        return self._last_local
+
+    def _track_local(self, event: Event) -> None:
+        if event.proc != self.proc:
+            raise ValueError(
+                f"estimator of {self.proc!r} given event of {event.proc!r}"
+            )
+        if self._last_local is not None and event.lt <= self._last_local.lt:
+            raise ValueError(
+                f"local time went backwards at {self.proc!r}: "
+                f"{self._last_local.lt} then {event.lt}"
+            )
+        self._last_local = event

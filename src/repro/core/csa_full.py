@@ -1,0 +1,79 @@
+"""The general optimal algorithm of Sec 2.3 (full-information reference).
+
+    "Send, in every message, the complete local view from the send point.
+    Merge local views in the natural way.  At any point, compute the
+    synchronization graph defined by the local view from that point and
+    the associated bounds mapping.  Set ext_L = LT(p) - d(sp, p) and
+    ext_U = LT(p) + d(p, sp)."
+
+This is optimal but impractical: views, messages, and per-query work all
+grow with the length of the execution.  We implement it verbatim as the
+correctness oracle against which the efficient Sec 3 algorithm is compared
+(they must produce *identical* intervals), and as the non-garbage-collected
+arm of the ablation experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .csa_base import Estimator
+from .events import Event, EventId, ProcessorId
+from .intervals import ClockBound
+from .specs import SystemSpec
+from .theorem import external_bounds
+from .view import View
+
+__all__ = ["FullInformationCSA"]
+
+
+class FullInformationCSA(Estimator):
+    """Keeps the entire local view; ships it whole in every message."""
+
+    name = "full"
+
+    def __init__(self, proc: ProcessorId, spec: SystemSpec):
+        super().__init__(proc, spec)
+        self.view = View()
+        #: peak view size, for the ablation space accounting
+        self.max_view_events = 0
+        #: total events shipped (message size accounting)
+        self.events_shipped = 0
+
+    # -- event hooks -------------------------------------------------------------
+
+    def on_send(self, event: Event) -> View:
+        self._absorb_local(event)
+        payload = self.view.copy()
+        self.events_shipped += len(payload)
+        return payload
+
+    def on_receive(self, event: Event, payload: View) -> None:
+        if not isinstance(payload, View):
+            raise TypeError(
+                f"full-information CSA expected a View payload, got {type(payload).__name__}"
+            )
+        self.view.merge(payload)
+        self._absorb_local(event)
+
+    def on_internal(self, event: Event) -> None:
+        self._absorb_local(event)
+
+    def on_loss_detected(self, send_eid: EventId) -> None:
+        """The reference algorithm keeps lost sends; views are never pruned."""
+
+    def _absorb_local(self, event: Event) -> None:
+        self._track_local(event)
+        self.view.add(event)
+        self.max_view_events = max(self.max_view_events, len(self.view))
+
+    # -- estimates ----------------------------------------------------------------
+
+    def estimate(self) -> ClockBound:
+        if self._last_local is None:
+            return ClockBound.unbounded()
+        return external_bounds(self.view, self.spec, self._last_local.eid)
+
+    def estimate_at(self, point: EventId) -> ClockBound:
+        """Oracle helper: the optimal estimate at any point of the kept view."""
+        return external_bounds(self.view, self.spec, point)

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch one base class.  The most important subclass is
+:class:`InconsistentSpecificationError`: by the Clock Synchronization Theorem
+a view of a *real* execution always yields a synchronization graph without
+negative cycles, so a negative cycle means the supplied real-time
+specifications contradict the observed timestamps.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SpecificationError(ReproError):
+    """A real-time specification (drift/transit bound) is malformed."""
+
+
+class InconsistentSpecificationError(ReproError):
+    """The timestamps in a view violate the real-time specifications.
+
+    Detected as a negative cycle in the synchronization graph.  For views
+    recorded from executions that really satisfy their specifications this
+    can never happen (Theorem 2.1); seeing it means either the specification
+    is wrong (e.g. the advertised drift bound is tighter than the hardware's
+    actual drift) or the view was corrupted.
+    """
+
+
+class ViewError(ReproError):
+    """A view operation was attempted that violates view integrity.
+
+    Examples: adding an event whose per-processor predecessor is missing,
+    adding a receive whose matching send is unknown, or re-adding an event
+    with conflicting attributes.
+    """
+
+
+class UnknownEventError(ViewError):
+    """An operation referenced an event that is not part of the view."""
+
+
+class ProtocolError(ReproError):
+    """The history-propagation protocol received malformed input.
+
+    Raised, e.g., when a message payload reports events out of causal order
+    or skips a per-processor sequence number.
+    """
+
+
+class EstimateUnavailableError(ReproError):
+    """No source information has reached this processor yet.
+
+    Until a point of the source processor enters the local view, the
+    optimal external synchronization estimate is the trivial interval
+    ``(-inf, +inf)``; callers that prefer an exception over an unbounded
+    interval receive this error.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation was driven into an invalid state."""

@@ -1,0 +1,220 @@
+"""Witness paths: *why* is the optimal interval exactly this wide?
+
+By Theorem 2.1 each endpoint of an optimal interval is a shortest-path
+distance in the synchronization graph, so each endpoint has a *witness*:
+the chain of concrete constraints (message transit bounds and drift
+bounds between specific events) whose weights sum to it.  This module
+reconstructs and renders those chains - the production-debugging answer
+to "which link/clock do I improve to tighten my synchronization?".
+
+A witness step is one constraint:
+
+* ``drift`` - consecutive events at one processor, contributing
+  ``(beta - 1) * delta`` or ``(1 - alpha) * delta``;
+* ``transit-upper`` / ``transit-lower`` - a message's bound, contributing
+  ``upper - observed`` or ``observed - lower``.
+
+The sum of contributions equals the distance, i.e. the slack the endpoint
+adds beyond the raw local-time difference.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from .distances import INF, WeightedDigraph
+from .errors import InconsistentSpecificationError, UnknownEventError
+from .events import EventId
+from .specs import SystemSpec
+from .syncgraph import build_sync_graph
+from .theorem import source_point
+from .view import View
+
+__all__ = ["WitnessStep", "Witness", "explain_external_bounds"]
+
+
+@dataclass(frozen=True)
+class WitnessStep:
+    """One constraint on the witness path."""
+
+    tail: EventId
+    head: EventId
+    weight: float
+    kind: str  # "drift" | "transit-upper" | "transit-lower"
+
+    def describe(self) -> str:
+        return f"{self.tail} -> {self.head}  {self.kind:14s} {self.weight:+.6g}"
+
+
+@dataclass(frozen=True)
+class Witness:
+    """A full witness: the path certifying one interval endpoint."""
+
+    endpoint: str  # "upper" | "lower"
+    distance: float
+    steps: Tuple[WitnessStep, ...]
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.endpoint} endpoint: slack {self.distance:.6g} over "
+            f"{len(self.steps)} constraint(s)"
+        ]
+        lines += ["  " + step.describe() for step in self.steps]
+        return "\n".join(lines)
+
+    def dominant_step(self) -> Optional[WitnessStep]:
+        """The single constraint contributing the most slack.
+
+        Most meaningful when the witness slack is positive (the typical
+        lower-endpoint witness): it names the lever to pull - usually a
+        sloppy link's transit bound or a long silent period's drift.
+        """
+        if not self.steps:
+            return None
+        return max(self.steps, key=lambda step: step.weight)
+
+    def condensed(self) -> List[str]:
+        """Human-scale summary: consecutive drift steps at one processor
+        are merged into a single line; transit steps stay individual."""
+        lines: List[str] = []
+        run_proc: Optional[str] = None
+        run_weight = 0.0
+        run_count = 0
+
+        def flush():
+            nonlocal run_proc, run_weight, run_count
+            if run_proc is not None:
+                lines.append(
+                    f"{run_proc}: {run_count} drift step(s)  {run_weight:+.6g}"
+                )
+                run_proc = None
+                run_weight = 0.0
+                run_count = 0
+
+        for step in self.steps:
+            if step.kind == "drift":
+                if run_proc != step.tail.proc:
+                    flush()
+                    run_proc = step.tail.proc
+                run_weight += step.weight
+                run_count += 1
+            else:
+                flush()
+                lines.append(step.describe())
+        flush()
+        return lines
+
+    def describe_condensed(self) -> str:
+        header = (
+            f"{self.endpoint} endpoint: slack {self.distance:+.6g} over "
+            f"{len(self.steps)} constraint(s)"
+        )
+        return "\n".join([header] + ["  " + line for line in self.condensed()])
+
+
+def _shortest_path_with_parents(
+    graph: WeightedDigraph, start: Hashable
+) -> Tuple[Dict, Dict]:
+    """Bellman-Ford (SPFA) that also records predecessor edges."""
+    dist: Dict = {start: 0.0}
+    parent: Dict = {}
+    queue = [start]
+    in_queue = {start}
+    passes: Dict = {}
+    limit = len(graph) + 1
+    head = 0
+    while head < len(queue):
+        node = queue[head]
+        head += 1
+        in_queue.discard(node)
+        if head > 1024 and head * 2 > len(queue):
+            queue = queue[head:]
+            head = 0
+        base = dist[node]
+        for succ, weight in graph.successors(node).items():
+            candidate = base + weight
+            if candidate < dist.get(succ, INF) - 1e-18:
+                dist[succ] = candidate
+                parent[succ] = node
+                passes[succ] = passes.get(succ, 0) + 1
+                if passes[succ] > limit:
+                    raise InconsistentSpecificationError(
+                        "negative cycle while reconstructing a witness path"
+                    )
+                if succ not in in_queue:
+                    in_queue.add(succ)
+                    queue.append(succ)
+    return dist, parent
+
+
+def _classify_edge(view: View, spec: SystemSpec, tail: EventId, head: EventId) -> str:
+    if tail.proc == head.proc:
+        return "drift"
+    tail_event = view.event(tail)
+    head_event = view.event(head)
+    if tail_event.is_receive and tail_event.send_eid == head:
+        return "transit-upper"   # receive -> send carries the upper bound
+    if head_event.is_receive and head_event.send_eid == tail:
+        return "transit-lower"   # send -> receive carries the lower bound
+    return "explicit"
+
+
+def _walk(
+    graph: WeightedDigraph,
+    parent: Dict,
+    view: View,
+    spec: SystemSpec,
+    start: EventId,
+    goal: EventId,
+) -> Tuple[WitnessStep, ...]:
+    chain: List[WitnessStep] = []
+    node = goal
+    while node != start:
+        previous = parent[node]
+        chain.append(
+            WitnessStep(
+                tail=previous,
+                head=node,
+                weight=graph.weight(previous, node),
+                kind=_classify_edge(view, spec, previous, node),
+            )
+        )
+        node = previous
+    chain.reverse()
+    return tuple(chain)
+
+
+def explain_external_bounds(
+    view: View, spec: SystemSpec, p: EventId
+) -> Dict[str, Optional[Witness]]:
+    """Witnesses for both endpoints of the optimal interval at ``p``.
+
+    Returns ``{"upper": Witness | None, "lower": Witness | None}`` with
+    ``None`` for infinite (unconstrained) endpoints.  The ``upper``
+    witness is the shortest path ``p -> sp`` (its slack is added above
+    ``LT(p)``); the ``lower`` witness is the shortest path ``sp -> p``.
+    """
+    if p not in view:
+        raise UnknownEventError(f"point {p} is not in the view")
+    sp = source_point(view, spec)
+    out: Dict[str, Optional[Witness]] = {"upper": None, "lower": None}
+    if sp is None:
+        return out
+    graph = build_sync_graph(view, spec)
+    dist_from_p, parent_from_p = _shortest_path_with_parents(graph, p)
+    if not math.isinf(dist_from_p.get(sp, INF)):
+        out["upper"] = Witness(
+            endpoint="upper",
+            distance=dist_from_p[sp],
+            steps=_walk(graph, parent_from_p, view, spec, p, sp),
+        )
+    dist_from_sp, parent_from_sp = _shortest_path_with_parents(graph, sp)
+    if not math.isinf(dist_from_sp.get(p, INF)):
+        out["lower"] = Witness(
+            endpoint="lower",
+            distance=dist_from_sp[p],
+            steps=_walk(graph, parent_from_sp, view, spec, sp, p),
+        )
+    return out

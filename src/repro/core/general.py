@@ -1,0 +1,158 @@
+"""The paper's general model: synchronization from *arbitrary* bounds.
+
+Sections 1-2 emphasise that a CSA is *general* if it works for any bounds
+mapping - "unrestricted non-negative parameters (including infinity)" -
+not merely the drift + transit family.  :class:`GeneralSynchronizer` is
+that generality made concrete: a workbench where you declare points with
+their local times and assert any real-time bounds between any pair of
+points, then read off optimal intervals via the Clock Synchronization
+Theorem.
+
+This is the right tool when timing knowledge does not come from messages:
+e.g. "sensor A triggered between 2 and 5 seconds before actuator B", or
+one-shot cross-system calibration constraints.  The on-line algorithms in
+:mod:`repro.core.csa` specialise this machinery to the drift/transit
+family where the efficient live-point structure applies.
+
+Example
+-------
+>>> sync = GeneralSynchronizer(source="clockhouse")
+>>> t0 = sync.add_point("clockhouse", lt=100.0)
+>>> a0 = sync.add_point("sensor", lt=7.0)
+>>> # the sensor event occurred 2 to 5 seconds after the source point
+>>> sync.assert_range(a0, t0, 2.0, 5.0)
+>>> sync.external_bounds(a0)
+ClockBound(lower=102.0, upper=105.0)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+from .distances import INF, WeightedDigraph, bellman_ford_from, bellman_ford_to
+from .errors import SpecificationError, UnknownEventError
+from .events import Event, EventId, EventKind, ProcessorId
+from .intervals import ClockBound
+from .syncgraph import ExplicitBoundsMapping, sync_graph_from_bounds
+from .view import View
+
+__all__ = ["GeneralSynchronizer"]
+
+
+class GeneralSynchronizer:
+    """Optimal synchronization over an explicit, arbitrary bounds mapping.
+
+    Points are grouped by named *timelines* (the model's processors); per
+    timeline, local times must strictly increase.  No bounds are implied
+    automatically - even consecutive points of one timeline are
+    unconstrained until asserted - except on the designated source
+    timeline, whose local clock *defines* real time: consecutive source
+    points are pinned to their exact local-time difference.
+    """
+
+    def __init__(self, source: ProcessorId = "source"):
+        self.source = source
+        self._view = View()
+        self._bounds = ExplicitBoundsMapping()
+        #: cached synchronization graph, rebuilt lazily after mutations
+        self._graph: Optional[WeightedDigraph] = None
+
+    # -- declaring the view -----------------------------------------------------------
+
+    def add_point(self, timeline: ProcessorId, lt: float) -> EventId:
+        """Declare the next point of ``timeline`` at local time ``lt``."""
+        seq = self._view.last_seq(timeline) + 1
+        event = Event(EventId(timeline, seq), lt, EventKind.INTERNAL)
+        previous = self._view.last_event(timeline)
+        self._view.add(event)
+        if timeline == self.source and previous is not None:
+            delta = lt - previous.lt
+            self._bounds.set_range(event.eid, previous.eid, delta, delta)
+        self._graph = None
+        return event.eid
+
+    def assert_upper(self, p: EventId, q: EventId, upper: float) -> None:
+        """Assert ``RT(p) - RT(q) <= upper`` (the raw bounds-mapping form)."""
+        self._require(p)
+        self._require(q)
+        self._bounds.set(p, q, upper)
+        self._graph = None
+
+    def assert_range(self, p: EventId, q: EventId, lower: float, upper: float) -> None:
+        """Assert ``RT(p) - RT(q) in [lower, upper]``."""
+        if lower > upper:
+            raise SpecificationError(f"empty range [{lower}, {upper}]")
+        self._require(p)
+        self._require(q)
+        self._bounds.set_range(p, q, lower, upper)
+        self._graph = None
+
+    def assert_drift(self, timeline: ProcessorId, alpha: float, beta: float) -> None:
+        """Constrain all *currently declared* consecutive pairs of a
+        timeline by a drift band, as the standard model would."""
+        if not (0 < alpha <= beta):
+            raise SpecificationError(f"bad drift band [{alpha}, {beta}]")
+        events = self._view.events_of(timeline)
+        for earlier, later in zip(events, events[1:]):
+            delta = later.lt - earlier.lt
+            self._bounds.set_range(later.eid, earlier.eid, alpha * delta, beta * delta)
+        self._graph = None
+
+    def _require(self, eid: EventId) -> None:
+        if eid not in self._view:
+            raise UnknownEventError(f"point {eid} was never declared")
+
+    # -- queries -----------------------------------------------------------------------
+
+    def _sync_graph(self) -> WeightedDigraph:
+        if self._graph is None:
+            self._graph = sync_graph_from_bounds(self._view, self._bounds)
+        return self._graph
+
+    def relative_bounds(self, p: EventId, q: EventId) -> ClockBound:
+        """Theorem 2.1: the optimal interval for ``RT(p) - RT(q)``.
+
+        Raises :class:`InconsistentSpecificationError` if the asserted
+        bounds contradict each other (negative cycle).
+        """
+        self._require(p)
+        self._require(q)
+        graph = self._sync_graph()
+        virt_del = self._view.event(p).lt - self._view.event(q).lt
+        d_pq = bellman_ford_from(graph, p).get(q, INF)
+        d_qp = bellman_ford_to(graph, p).get(q, INF)
+        lower = -INF if math.isinf(d_qp) else virt_del - d_qp
+        upper = INF if math.isinf(d_pq) else virt_del + d_pq
+        return ClockBound(lower, upper)
+
+    def external_bounds(self, p: EventId) -> ClockBound:
+        """Optimal bounds on real time (source clock) at point ``p``."""
+        self._require(p)
+        sp_event = self._view.last_event(self.source)
+        if sp_event is None:
+            return ClockBound.unbounded()
+        relative = self.relative_bounds(p, sp_event.eid)
+        return relative.shift(sp_event.lt)
+
+    def consistent(self) -> bool:
+        """Whether the asserted bounds admit any execution at all."""
+        from .distances import floyd_warshall
+        from .errors import InconsistentSpecificationError
+
+        try:
+            floyd_warshall(self._sync_graph())
+        except InconsistentSpecificationError:
+            return False
+        return True
+
+    @property
+    def view(self) -> View:
+        return self._view
+
+    @property
+    def bounds(self) -> ExplicitBoundsMapping:
+        return self._bounds
+
+    def __len__(self) -> int:
+        return len(self._view)

@@ -1,0 +1,332 @@
+"""The full-information history propagation protocol (Sec 3.1, Figure 2).
+
+Each processor ``v`` keeps
+
+* a history buffer ``H_v`` of event records, and
+* for each neighbor ``u`` and each processor ``w``, a watermark
+  ``C_vu[w]`` - the last event of ``w`` that ``v`` knows ``u`` knows
+  (reported by ``v`` to ``u`` or by ``u`` to ``v``).
+
+On sending to ``u``, the message carries every buffered event ``u`` might
+lack (``seq > C_vu[loc]``); watermarks are advanced and the buffer is
+garbage-collected.  The protocol is a vector-clock variant and guarantees
+(Lemma 3.1) that at every point ``p`` the processor at ``p`` knows exactly
+the local view from ``p``, with each event reported at most once per link
+direction (Lemma 3.2) and buffer size ``O(K1 * (D + 1))`` (Lemma 3.3).
+
+**Pseudo-code erratum.**  Figure 2 of the paper garbage-collects with
+``H_v <- {p in H_v | for some neighbor u': LT(p) <= C_vu'[loc(p)]}``, which
+*keeps* events some neighbor already knows and drops the rest - the
+opposite of the surrounding prose and of what Lemmas 3.2/3.3 require.  We
+implement the prose: **keep ``p`` iff some neighbor still lacks it**
+(``seq(p) > C_vu'[loc(p)]`` for some ``u'``).  See DESIGN.md.
+
+Watermarks are stored as per-processor *sequence numbers* rather than local
+times; the two orders agree (local times strictly increase per processor)
+and integers avoid floating-point comparisons.
+
+**Message loss (Sec 3.3).**  The paper assumes reliable communication for
+the transformation and sketches loss handling via a detection mechanism.
+Advancing ``C_vu`` at send time is only sound if the message arrives, so
+:meth:`prepare_payload` returns a *delivery token*:
+
+* in ``reliable`` mode (default) the token is confirmed immediately -
+  exactly Figure 2;
+* in unreliable mode nothing advances until :meth:`confirm_delivery`,
+  and payloads are computed against confirmed watermarks only.  A lost
+  payload is simply :meth:`abort_delivery`-ed; later payloads re-report the
+  same contiguous range, so receivers can never observe a sequence gap
+  (duplicates are skipped).  Report-once then holds per *successful*
+  delivery, matching the paper's refined ``K1`` assumption.
+
+Loss flags (Sec 3.3) ride along with event records and are disseminated
+once per link direction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .errors import ProtocolError
+from .events import Event, EventId, ProcessorId
+
+__all__ = ["HistoryPayload", "HistoryStats", "HistoryModule"]
+
+
+@dataclass(frozen=True)
+class HistoryPayload:
+    """The synchronization data piggybacked on one application message.
+
+    ``records`` is in a topological order of the happens-before relation
+    (a subsequence of the sender's learn order), so the receiver may
+    process it left to right.
+    """
+
+    records: Tuple[Event, ...]
+    loss_flags: Tuple[EventId, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def size(self) -> int:
+        """Report size in records (the paper's message-size unit)."""
+        return len(self.records) + len(self.loss_flags)
+
+
+@dataclass
+class HistoryStats:
+    """Counters backing Lemmas 3.2/3.3 and the message-size bound of Thm 3.6."""
+
+    records_sent: int = 0
+    records_received: int = 0
+    duplicate_records_received: int = 0
+    payloads_sent: int = 0
+    payloads_received: int = 0
+    max_buffer: int = 0
+    max_payload: int = 0
+    #: per-(event, neighbor) report counts by *this* module; kept only when
+    #: report tracking is enabled (Lemma 3.2 experiment)
+    reports: Optional[Dict[Tuple[EventId, ProcessorId], int]] = None
+
+
+@dataclass
+class _DeliveryToken:
+    token_id: int
+    neighbor: ProcessorId
+    #: watermark advances implied by this payload: proc -> max seq shipped
+    marks: Dict[ProcessorId, int]
+    loss_flags: Tuple[EventId, ...]
+    settled: bool = False
+
+
+class HistoryModule:
+    """Per-processor state of the Figure 2 protocol."""
+
+    def __init__(
+        self,
+        proc: ProcessorId,
+        neighbors: Iterable[ProcessorId],
+        *,
+        reliable: bool = True,
+        track_reports: bool = False,
+        gc_enabled: bool = True,
+    ):
+        self.proc = proc
+        self.neighbors: Tuple[ProcessorId, ...] = tuple(sorted(set(neighbors)))
+        if proc in self.neighbors:
+            raise ProtocolError(f"processor {proc!r} cannot neighbor itself")
+        #: H_v - buffered event records keyed by id
+        self._buffer: Dict[EventId, Event] = {}
+        #: learn order: a topological order over everything this module saw
+        self._learn_order: Dict[EventId, int] = {}
+        self._learn_counter = 0
+        #: C_vu[w] as sequence-number watermarks (-1 = knows nothing of w)
+        self._watermark: Dict[ProcessorId, Dict[ProcessorId, int]] = {
+            u: {} for u in self.neighbors
+        }
+        #: K_v[w] - this module's own knowledge frontier per processor
+        self._known: Dict[ProcessorId, int] = {}
+        #: Sec 3.3 loss flags known / already confirmed-shipped per neighbor
+        self._loss_known: Set[EventId] = set()
+        self._loss_sent: Dict[ProcessorId, Set[EventId]] = {
+            u: set() for u in self.neighbors
+        }
+        self.reliable = reliable
+        self._gc_enabled = gc_enabled
+        self._tokens: Dict[int, _DeliveryToken] = {}
+        self._token_ids = itertools.count()
+        self.stats = HistoryStats(reports={} if track_reports else None)
+
+    # -- inspection ---------------------------------------------------------------
+
+    def known_seq(self, proc: ProcessorId) -> int:
+        """Highest event sequence number of ``proc`` this module knows."""
+        return self._known.get(proc, -1)
+
+    def knows(self, eid: EventId) -> bool:
+        return eid.seq <= self.known_seq(eid.proc)
+
+    def watermark(self, neighbor: ProcessorId, proc: ProcessorId) -> int:
+        """``C_vu[w]`` as a sequence number (-1 when unknown)."""
+        try:
+            return self._watermark[neighbor].get(proc, -1)
+        except KeyError:
+            raise ProtocolError(f"{neighbor!r} is not a neighbor of {self.proc!r}") from None
+
+    def buffer_size(self) -> int:
+        """``|H_v|`` - the Lemma 3.3 quantity."""
+        return len(self._buffer)
+
+    def buffered_events(self) -> List[Event]:
+        return sorted(self._buffer.values(), key=lambda e: self._learn_order[e.eid])
+
+    @property
+    def loss_flags(self) -> Set[EventId]:
+        return set(self._loss_known)
+
+    def pending_tokens(self) -> int:
+        return len(self._tokens)
+
+    # -- local events ---------------------------------------------------------------
+
+    def record_local(self, event: Event) -> None:
+        """Record an event occurring at this processor (in sequence order)."""
+        if event.proc != self.proc:
+            raise ProtocolError(
+                f"module of {self.proc!r} given local event of {event.proc!r}"
+            )
+        self._learn(event)
+
+    def record_loss(self, send_eid: EventId) -> bool:
+        """Record a locally detected message loss; returns True if new."""
+        if send_eid in self._loss_known:
+            return False
+        self._loss_known.add(send_eid)
+        return True
+
+    def _learn(self, event: Event) -> None:
+        eid = event.eid
+        expected = self.known_seq(eid.proc) + 1
+        if eid.seq != expected:
+            raise ProtocolError(
+                f"{self.proc!r} learned {eid} out of order (expected seq {expected})"
+            )
+        self._known[eid.proc] = eid.seq
+        self._learn_order[eid] = self._learn_counter
+        self._learn_counter += 1
+        # Buffer the event iff some neighbor might still lack it.
+        if any(
+            eid.seq > self._watermark[u].get(eid.proc, -1) for u in self.neighbors
+        ):
+            self._buffer[eid] = event
+            self.stats.max_buffer = max(self.stats.max_buffer, len(self._buffer))
+
+    # -- protocol: sending ------------------------------------------------------------
+
+    def prepare_payload(self, neighbor: ProcessorId) -> Tuple[HistoryPayload, int]:
+        """Figure 2 send handler: fill the message; returns (payload, token).
+
+        Must be called when a message to ``neighbor`` is sent and only
+        *after* the send event itself has been recorded with
+        :meth:`record_local` (the local view from the send point includes
+        the send point).  In reliable mode the token is already settled;
+        in unreliable mode the caller's delivery-detection mechanism must
+        eventually call :meth:`confirm_delivery` or :meth:`abort_delivery`.
+        """
+        if neighbor not in self._watermark:
+            raise ProtocolError(f"{neighbor!r} is not a neighbor of {self.proc!r}")
+        marks = self._watermark[neighbor]
+        fresh = [
+            event
+            for eid, event in self._buffer.items()
+            if eid.seq > marks.get(eid.proc, -1)
+        ]
+        fresh.sort(key=lambda e: self._learn_order[e.eid])
+        advance: Dict[ProcessorId, int] = {}
+        for event in fresh:
+            if event.seq > advance.get(event.proc, -1):
+                advance[event.proc] = event.seq
+            if self.stats.reports is not None:
+                key = (event.eid, neighbor)
+                self.stats.reports[key] = self.stats.reports.get(key, 0) + 1
+        flags = tuple(sorted(self._loss_known - self._loss_sent[neighbor]))
+        payload = HistoryPayload(records=tuple(fresh), loss_flags=flags)
+        token = _DeliveryToken(
+            token_id=next(self._token_ids),
+            neighbor=neighbor,
+            marks=advance,
+            loss_flags=flags,
+        )
+        self.stats.payloads_sent += 1
+        self.stats.records_sent += len(fresh)
+        self.stats.max_payload = max(self.stats.max_payload, payload.size)
+        if self.reliable:
+            self._settle(token, confirmed=True)
+        else:
+            self._tokens[token.token_id] = token
+        return payload, token.token_id
+
+    def confirm_delivery(self, token_id: int) -> None:
+        """Acknowledge that the payload under ``token_id`` reached its neighbor."""
+        self._settle(self._take_token(token_id), confirmed=True)
+
+    def abort_delivery(self, token_id: int) -> None:
+        """Record that the payload under ``token_id`` was lost in transit.
+
+        Nothing to undo: watermarks only advance on confirmation, so the
+        shipped events remain buffered and will be re-reported.
+        """
+        self._settle(self._take_token(token_id), confirmed=False)
+
+    def _take_token(self, token_id: int) -> _DeliveryToken:
+        token = self._tokens.pop(token_id, None)
+        if token is None:
+            raise ProtocolError(
+                f"unknown or already settled delivery token {token_id} at {self.proc!r}"
+            )
+        return token
+
+    def _settle(self, token: _DeliveryToken, *, confirmed: bool) -> None:
+        if token.settled:
+            raise ProtocolError(f"delivery token {token.token_id} settled twice")
+        token.settled = True
+        if not confirmed:
+            return
+        marks = self._watermark[token.neighbor]
+        for proc, seq in token.marks.items():
+            if seq > marks.get(proc, -1):
+                marks[proc] = seq
+        self._loss_sent[token.neighbor].update(token.loss_flags)
+        self._gc()
+
+    # -- protocol: receiving ------------------------------------------------------------
+
+    def ingest_payload(
+        self, neighbor: ProcessorId, payload: HistoryPayload
+    ) -> Tuple[List[Event], List[EventId]]:
+        """Figure 2 receive handler.
+
+        Returns ``(new_events, new_loss_flags)``: the events this module had
+        not known, in topological order, plus newly learned loss flags.  The
+        caller records the receive event itself separately (it is a local
+        event, not part of the payload).
+        """
+        if neighbor not in self._watermark:
+            raise ProtocolError(f"{neighbor!r} is not a neighbor of {self.proc!r}")
+        marks = self._watermark[neighbor]
+        new_events: List[Event] = []
+        self.stats.payloads_received += 1
+        for event in payload.records:
+            self.stats.records_received += 1
+            w = event.proc
+            if event.seq > marks.get(w, -1):
+                marks[w] = event.seq
+            if self.knows(event.eid):
+                self.stats.duplicate_records_received += 1
+                continue
+            self._learn(event)
+            new_events.append(event)
+        new_flags = [f for f in payload.loss_flags if f not in self._loss_known]
+        self._loss_known.update(new_flags)
+        # the sender evidently knows these flags; never ship them back
+        self._loss_sent[neighbor].update(payload.loss_flags)
+        self._gc()
+        return new_events, new_flags
+
+    # -- garbage collection ----------------------------------------------------------
+
+    def _gc(self) -> None:
+        """Corrected Figure 2 GC: drop events every neighbor already has."""
+        if not self._gc_enabled:
+            return
+        keep: Dict[EventId, Event] = {}
+        for eid, event in self._buffer.items():
+            if any(
+                eid.seq > self._watermark[u].get(eid.proc, -1)
+                for u in self.neighbors
+            ):
+                keep[eid] = event
+        self._buffer = keep

@@ -1,0 +1,96 @@
+"""Interval arithmetic for clock estimates.
+
+An external synchronization estimate is an interval ``[lower, upper]``
+guaranteed to contain the source clock's value (i.e. real time).  Intervals
+may be half- or fully unbounded before source information arrives.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .errors import SpecificationError
+from .specs import DriftSpec
+
+__all__ = ["ClockBound"]
+
+
+@dataclass(frozen=True)
+class ClockBound:
+    """A closed interval ``[lower, upper]`` (endpoints may be infinite)."""
+
+    lower: float
+    upper: float
+
+    def __post_init__(self):
+        if math.isnan(self.lower) or math.isnan(self.upper):
+            raise SpecificationError("clock bound endpoints must not be NaN")
+        if self.lower > self.upper:
+            raise SpecificationError(
+                f"empty clock bound [{self.lower}, {self.upper}]"
+            )
+
+    @classmethod
+    def unbounded(cls) -> "ClockBound":
+        """The trivial estimate: no information about the source clock."""
+        return cls(-math.inf, math.inf)
+
+    @classmethod
+    def exact(cls, value: float) -> "ClockBound":
+        return cls(value, value)
+
+    @property
+    def width(self) -> float:
+        """Interval width; ``inf`` when either endpoint is unbounded."""
+        return self.upper - self.lower
+
+    @property
+    def is_bounded(self) -> bool:
+        return not (math.isinf(self.lower) or math.isinf(self.upper))
+
+    @property
+    def midpoint(self) -> float:
+        """Midpoint; only defined for bounded intervals."""
+        if not self.is_bounded:
+            raise SpecificationError("midpoint of an unbounded clock bound")
+        return 0.5 * (self.lower + self.upper)
+
+    def contains(self, value: float, *, tolerance: float = 0.0) -> bool:
+        """Whether ``value`` lies inside the interval (with slack for floats)."""
+        return self.lower - tolerance <= value <= self.upper + tolerance
+
+    def intersect(self, other: "ClockBound") -> "ClockBound":
+        """Tightest interval implied by both; raises if they are disjoint."""
+        lower = max(self.lower, other.lower)
+        upper = min(self.upper, other.upper)
+        if lower > upper:
+            raise SpecificationError(
+                f"inconsistent clock bounds {self} and {other}"
+            )
+        return ClockBound(lower, upper)
+
+    def shift(self, delta: float) -> "ClockBound":
+        """Translate both endpoints by ``delta``."""
+        return ClockBound(self.lower + delta, self.upper + delta)
+
+    def widen(self, lower_slack: float, upper_slack: float) -> "ClockBound":
+        """Relax the interval outwards by the given non-negative slacks."""
+        if lower_slack < 0 or upper_slack < 0:
+            raise SpecificationError("widening slacks must be non-negative")
+        return ClockBound(self.lower - lower_slack, self.upper + upper_slack)
+
+    def advance(self, elapsed_lt: float, drift: DriftSpec) -> "ClockBound":
+        """Propagate the estimate forward by ``elapsed_lt`` local time units.
+
+        If the source clock was in ``[lower, upper]`` at some point and the
+        local clock has since advanced by ``elapsed_lt``, the real elapsed
+        time lies in ``[alpha * elapsed_lt, beta * elapsed_lt]``, so the
+        source clock is now in
+        ``[lower + alpha * elapsed_lt, upper + beta * elapsed_lt]``.
+        """
+        low_elapsed, high_elapsed = drift.elapsed_real_bounds(elapsed_lt)
+        return ClockBound(self.lower + low_elapsed, self.upper + high_elapsed)
+
+    def __str__(self):
+        return f"[{self.lower:g}, {self.upper:g}]"

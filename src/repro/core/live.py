@@ -1,0 +1,150 @@
+"""Incremental live-point tracking (Definition 3.1).
+
+A point ``p`` of a view is *live* iff
+
+* ``p`` is the last point of its processor in the view, or
+* ``p`` is the send event of a message whose receive is not in the view
+  (and the message has not been flagged as lost, Sec 3.3).
+
+The efficient algorithm never stores the whole view, so liveness must be
+maintained incrementally as events are learned in topological order.  This
+tracker holds O(#processors + #in-flight messages) state: the last known
+event per processor and the set of undelivered sends, and reports exactly
+which nodes *die* at each insertion - the kill-set handed to the AGDP
+solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from .errors import ProtocolError
+from .events import Event, EventId, ProcessorId
+
+__all__ = ["LiveTracker"]
+
+
+@dataclass(frozen=True)
+class _LastEvent:
+    seq: int
+    lt: float
+    is_send: bool
+
+
+class LiveTracker:
+    """Maintains Definition 3.1 liveness over a view learned event-by-event."""
+
+    def __init__(self):
+        self._last: Dict[ProcessorId, _LastEvent] = {}
+        #: undelivered, unflagged send events and their local times
+        self._undelivered: Dict[EventId, float] = {}
+        #: sends flagged lost (Sec 3.3); retained to ignore late duplicates
+        self._lost: Set[EventId] = set()
+        #: total number of events observed (for complexity accounting)
+        self.events_observed = 0
+        #: peak number of simultaneously live points
+        self.max_live = 0
+
+    # -- queries -----------------------------------------------------------------
+
+    def last_event(self, proc: ProcessorId) -> Optional[Tuple[EventId, float]]:
+        """The last known event of ``proc`` as ``(eid, lt)``, or ``None``."""
+        last = self._last.get(proc)
+        if last is None:
+            return None
+        return EventId(proc, last.seq), last.lt
+
+    def last_seq(self, proc: ProcessorId) -> int:
+        last = self._last.get(proc)
+        return -1 if last is None else last.seq
+
+    def knows(self, eid: EventId) -> bool:
+        """Whether the tracked view contains ``eid``."""
+        return eid.seq <= self.last_seq(eid.proc)
+
+    def is_live(self, eid: EventId) -> bool:
+        if not self.knows(eid):
+            raise ProtocolError(f"liveness of unknown event {eid}")
+        if self.last_seq(eid.proc) == eid.seq:
+            return True
+        return eid in self._undelivered
+
+    def live_points(self) -> Set[EventId]:
+        live = {
+            EventId(proc, last.seq) for proc, last in self._last.items()
+        }
+        live.update(self._undelivered)
+        return live
+
+    def live_count(self) -> int:
+        return len(self.live_points())
+
+    def undelivered_sends(self) -> Set[EventId]:
+        return set(self._undelivered)
+
+    def send_lt(self, send_eid: EventId) -> Optional[float]:
+        """Local time of an undelivered tracked send, or ``None``."""
+        return self._undelivered.get(send_eid)
+
+    @property
+    def processors(self) -> Tuple[ProcessorId, ...]:
+        return tuple(sorted(self._last))
+
+    # -- mutation ----------------------------------------------------------------
+
+    def observe(self, event: Event) -> List[EventId]:
+        """Record ``event`` (the next event of its processor) and return kills.
+
+        The returned list contains the event ids that were live before this
+        insertion and are dead after it.  The caller must feed events in a
+        topological order of the view (per-processor sequence numbers must
+        be contiguous); violations raise :class:`ProtocolError`.
+        """
+        eid = event.eid
+        expected = self.last_seq(eid.proc) + 1
+        if eid.seq != expected:
+            raise ProtocolError(
+                f"event {eid} observed out of order (expected seq {expected})"
+            )
+        dead: List[EventId] = []
+        prev = self._last.get(eid.proc)
+        if prev is not None:
+            prev_id = EventId(eid.proc, prev.seq)
+            # the old last point stays live only as an undelivered send
+            if prev_id not in self._undelivered:
+                dead.append(prev_id)
+        if event.is_receive:
+            send_eid = event.send_eid
+            if send_eid in self._undelivered:
+                del self._undelivered[send_eid]
+                if self.last_seq(send_eid.proc) != send_eid.seq:
+                    dead.append(send_eid)
+            elif send_eid not in self._lost and self.knows(send_eid):
+                raise ProtocolError(
+                    f"message {send_eid} delivered twice (receive {eid})"
+                )
+        self._last[eid.proc] = _LastEvent(eid.seq, event.lt, event.is_send)
+        if event.is_send:
+            self._undelivered[eid] = event.lt
+        self.events_observed += 1
+        self.max_live = max(self.max_live, self.live_count())
+        return dead
+
+    def flag_lost(self, send_eid: EventId) -> List[EventId]:
+        """Sec 3.3: mark a send's message as lost; return newly dead points.
+
+        Idempotent; flagging an unknown or already-delivered send is a
+        no-op (the detector may race with a late delivery elsewhere).
+        """
+        self._lost.add(send_eid)
+        if send_eid not in self._undelivered:
+            return []
+        del self._undelivered[send_eid]
+        if self.last_seq(send_eid.proc) == send_eid.seq:
+            return []
+        return [send_eid]
+
+    @property
+    def lost_flags(self) -> Set[EventId]:
+        return set(self._lost)

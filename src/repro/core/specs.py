@@ -1,0 +1,293 @@
+"""Real-time specifications: drift bounds, transit bounds, bounds mappings.
+
+The paper expresses all timing knowledge uniformly as a *bounds mapping*
+``B`` assigning to ordered event pairs an upper bound on the real-time
+difference: an execution satisfies ``B`` iff ``RT(p) - RT(q) <= B(p, q)``
+for all pairs.  Two families of bounds cover the systems studied:
+
+* **Clock drift bounds.**  If ``p`` follows ``q`` at the same processor and
+  the local clock advanced by ``delta = LT(p) - LT(q) >= 0`` between them,
+  then ``RT(p) - RT(q)`` lies in ``[alpha * delta, beta * delta]`` where
+  ``0 < alpha <= beta`` characterise the clock.  The paper's 100 ppm example
+  is ``alpha = 0.9999``, ``beta = 1.0001``.  The source clock runs at real
+  time: ``alpha = beta = 1``.
+
+* **Message transit bounds.**  If ``q`` receives the message sent at ``p``
+  over some link, then ``RT(q) - RT(p)`` lies in ``[lower, upper]`` with
+  ``0 <= lower <= upper <= inf``.
+
+A :class:`SystemSpec` bundles per-processor drift specs and per-link transit
+specs together with the designated source processor; it is the static,
+globally known configuration the synchronization algorithm interprets
+timestamps against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from .errors import SpecificationError
+from .events import LinkId, ProcessorId, link_id
+
+__all__ = [
+    "TOP",
+    "DriftSpec",
+    "TransitSpec",
+    "SystemSpec",
+]
+
+#: The paper's ``⊤``: the trivial upper bound meaning "no information".
+TOP = math.inf
+
+
+@dataclass(frozen=True)
+class DriftSpec:
+    """Bounds on elapsed real time per unit of elapsed local time.
+
+    If a processor's clock advances by ``delta >= 0`` local time units
+    between events ``q`` and ``p`` (``p`` later), then
+    ``RT(p) - RT(q) in [alpha * delta, beta * delta]``.
+
+    ``alpha = beta = 1`` describes a drift-free clock (e.g. the source).
+    """
+
+    alpha: float
+    beta: float
+
+    def __post_init__(self):
+        if not (0 < self.alpha <= self.beta):
+            raise SpecificationError(
+                f"drift spec requires 0 < alpha <= beta, got alpha={self.alpha}, beta={self.beta}"
+            )
+        if math.isinf(self.beta):
+            raise SpecificationError("drift spec beta must be finite")
+
+    @classmethod
+    def perfect(cls) -> "DriftSpec":
+        """A drift-free clock: local elapsed time equals real elapsed time."""
+        return cls(1.0, 1.0)
+
+    @classmethod
+    def from_ppm(cls, ppm: float) -> "DriftSpec":
+        """Drift spec in the paper's parts-per-million style.
+
+        A ``ppm``-accurate clock showing ``delta`` elapsed local units
+        guarantees real elapsed time in
+        ``[(1 - ppm*1e-6) * delta, (1 + ppm*1e-6) * delta]``.
+        """
+        if ppm < 0:
+            raise SpecificationError(f"ppm must be non-negative, got {ppm}")
+        rho = ppm * 1e-6
+        if rho >= 1:
+            raise SpecificationError(f"ppm={ppm} implies a clock that can stop")
+        return cls(1.0 - rho, 1.0 + rho)
+
+    @classmethod
+    def from_rate_bounds(cls, r_min: float, r_max: float) -> "DriftSpec":
+        """Drift spec for a clock whose rate ``dLT/dRT`` stays in [r_min, r_max].
+
+        A rate-``r`` clock showing ``delta`` local units took ``delta / r``
+        real units, hence ``alpha = 1 / r_max`` and ``beta = 1 / r_min``.
+        """
+        if not (0 < r_min <= r_max) or math.isinf(r_max):
+            raise SpecificationError(
+                f"rate bounds require 0 < r_min <= r_max < inf, got [{r_min}, {r_max}]"
+            )
+        return cls(1.0 / r_max, 1.0 / r_min)
+
+    @property
+    def is_drift_free(self) -> bool:
+        return self.alpha == 1.0 and self.beta == 1.0
+
+    @property
+    def max_deviation(self) -> float:
+        """Worst one-sided deviation per local time unit, ``max(beta-1, 1-alpha)``."""
+        return max(self.beta - 1.0, 1.0 - self.alpha)
+
+    def elapsed_real_bounds(self, delta_lt: float) -> Tuple[float, float]:
+        """Bounds on elapsed real time for ``delta_lt >= 0`` elapsed local time."""
+        if delta_lt < 0:
+            raise SpecificationError(f"elapsed local time must be >= 0, got {delta_lt}")
+        return self.alpha * delta_lt, self.beta * delta_lt
+
+
+@dataclass(frozen=True)
+class TransitSpec:
+    """Bounds on the transit time of a message over a link.
+
+    ``RT(receive) - RT(send) in [lower, upper]``; ``upper`` may be
+    ``math.inf`` (the paper's ``⊤``) when no upper bound is known, and in
+    any physical system ``lower >= 0``.
+    """
+
+    lower: float = 0.0
+    upper: float = TOP
+
+    def __post_init__(self):
+        if not (0 <= self.lower <= self.upper):
+            raise SpecificationError(
+                f"transit spec requires 0 <= lower <= upper, got [{self.lower}, {self.upper}]"
+            )
+        if math.isinf(self.lower):
+            raise SpecificationError("transit spec lower bound must be finite")
+
+    @classmethod
+    def unbounded(cls) -> "TransitSpec":
+        """Completely arbitrary delivery time (only non-negativity known)."""
+        return cls(0.0, TOP)
+
+    @classmethod
+    def exactly(cls, delay: float) -> "TransitSpec":
+        """A link with a known, fixed transit time."""
+        return cls(delay, delay)
+
+    @property
+    def is_bounded(self) -> bool:
+        return not math.isinf(self.upper)
+
+    @property
+    def slack(self) -> float:
+        """The uncertainty window ``upper - lower`` of the link."""
+        return self.upper - self.lower
+
+
+@dataclass
+class SystemSpec:
+    """The full, static real-time specification of a system.
+
+    Attributes
+    ----------
+    source:
+        The designated source processor, whose clock runs at real time.
+        Its drift spec is forced to :meth:`DriftSpec.perfect`.
+    drift:
+        Advertised drift bounds per processor.
+    transit:
+        Transit bounds per link.  Bidirectional links may be asymmetric:
+        the key is the canonical :func:`link_id` and the value maps the
+        *sending* processor to that direction's spec; a plain
+        :class:`TransitSpec` value means both directions share it.
+    """
+
+    source: ProcessorId
+    drift: Dict[ProcessorId, DriftSpec] = field(default_factory=dict)
+    transit: Dict[LinkId, object] = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.drift = dict(self.drift)
+        self.drift[self.source] = DriftSpec.perfect()
+        normalized: Dict[LinkId, Dict[ProcessorId, TransitSpec]] = {}
+        for lid, spec in self.transit.items():
+            u, v = lid
+            canon = link_id(u, v)
+            if isinstance(spec, TransitSpec):
+                normalized[canon] = {u: spec, v: spec}
+            else:
+                directions = dict(spec)
+                unknown = set(directions) - {u, v}
+                if unknown:
+                    raise SpecificationError(
+                        f"transit spec for link {canon} names non-endpoint(s) {sorted(unknown)}"
+                    )
+                for endpoint in (u, v):
+                    directions.setdefault(endpoint, TransitSpec.unbounded())
+                normalized[canon] = directions
+        self.transit = normalized
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        source: ProcessorId,
+        processors: Iterable[ProcessorId],
+        links: Iterable[Tuple[ProcessorId, ProcessorId]],
+        *,
+        drift: Optional[Mapping[ProcessorId, DriftSpec]] = None,
+        default_drift: Optional[DriftSpec] = None,
+        transit: Optional[Mapping[LinkId, TransitSpec]] = None,
+        default_transit: Optional[TransitSpec] = None,
+    ) -> "SystemSpec":
+        """Assemble a spec from a topology plus per-item or default bounds."""
+        default_drift = default_drift or DriftSpec.from_ppm(100)
+        default_transit = default_transit or TransitSpec.unbounded()
+        drift = dict(drift or {})
+        transit = dict(transit or {})
+        drift_map = {p: drift.get(p, default_drift) for p in processors}
+        transit_map: Dict[LinkId, object] = {}
+        for u, v in links:
+            lid = link_id(u, v)
+            transit_map[lid] = transit.get(lid, default_transit)
+        return cls(source=source, drift=drift_map, transit=transit_map)
+
+    # -- lookups ---------------------------------------------------------------
+
+    @property
+    def processors(self) -> Tuple[ProcessorId, ...]:
+        return tuple(sorted(self.drift))
+
+    @property
+    def links(self) -> Tuple[LinkId, ...]:
+        return tuple(sorted(self.transit))
+
+    def drift_of(self, proc: ProcessorId) -> DriftSpec:
+        try:
+            return self.drift[proc]
+        except KeyError:
+            raise SpecificationError(f"no drift spec for processor {proc!r}") from None
+
+    def transit_of(self, sender: ProcessorId, receiver: ProcessorId) -> TransitSpec:
+        """The transit spec for messages sent from ``sender`` to ``receiver``."""
+        lid = link_id(sender, receiver)
+        try:
+            return self.transit[lid][sender]
+        except KeyError:
+            raise SpecificationError(
+                f"no transit spec for link {lid} (direction {sender!r} -> {receiver!r})"
+            ) from None
+
+    def has_link(self, u: ProcessorId, v: ProcessorId) -> bool:
+        return link_id(u, v) in self.transit
+
+    def neighbors(self, proc: ProcessorId) -> Tuple[ProcessorId, ...]:
+        """All processors sharing a link with ``proc``, sorted."""
+        out = []
+        for u, v in self.transit:
+            if u == proc:
+                out.append(v)
+            elif v == proc:
+                out.append(u)
+        return tuple(sorted(out))
+
+    def max_degree(self) -> int:
+        degree: Dict[ProcessorId, int] = {p: 0 for p in self.drift}
+        for u, v in self.transit:
+            degree[u] = degree.get(u, 0) + 1
+            degree[v] = degree.get(v, 0) + 1
+        return max(degree.values(), default=0)
+
+    def diameter(self) -> int:
+        """Hop diameter of the link topology (BFS from every node)."""
+        procs = self.processors
+        adjacency: Dict[ProcessorId, list] = {p: [] for p in procs}
+        for u, v in self.transit:
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+        worst = 0
+        for start in procs:
+            dist = {start: 0}
+            frontier = [start]
+            while frontier:
+                nxt = []
+                for node in frontier:
+                    for nb in adjacency[node]:
+                        if nb not in dist:
+                            dist[nb] = dist[node] + 1
+                            nxt.append(nb)
+                frontier = nxt
+            if len(dist) != len(procs):
+                raise SpecificationError("topology is disconnected; diameter undefined")
+            worst = max(worst, max(dist.values()))
+        return worst

@@ -1,0 +1,167 @@
+"""Synchronization graphs (Definition 2.1).
+
+Given a view ``beta`` and a bounds mapping ``B``, the synchronization graph
+has the view's events as nodes, an edge ``(p, q)`` whenever
+``B(p, q) < TOP``, with weight
+
+    ``w(p, q) = B(p, q) - virt_del(p, q)``  where
+    ``virt_del(p, q) = LT(p) - LT(q)``.
+
+Under the standard specifications (drift + transit bounds), finite bounds
+exist only between events adjacent in the view graph:
+
+* consecutive events ``q`` (earlier) and ``p`` (later) at a processor with
+  drift spec ``(alpha, beta)`` and ``delta = LT(p) - LT(q)``:
+
+  - ``B(p, q) = beta * delta``  -> edge ``(p, q)`` weight ``(beta - 1) * delta``
+  - ``B(q, p) = -alpha * delta`` -> edge ``(q, p)`` weight ``(1 - alpha) * delta``
+
+  (both non-negative; for the source, both are zero, so any two source
+  points are at distance 0 from each other);
+
+* message with send ``s``, receive ``r``, transit in ``[lo, hi]``:
+
+  - ``B(r, s) = hi`` -> edge ``(r, s)`` weight ``hi - (LT(r) - LT(s))``
+    (omitted when ``hi`` is infinite)
+  - ``B(s, r) = -lo`` -> edge ``(s, r)`` weight ``(LT(r) - LT(s)) - lo``
+
+  (these may be negative - that is where the interesting information is).
+
+The Clock Synchronization Theorem (Theorem 2.1) then reads distances off
+this graph; see :mod:`repro.core.theorem`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .distances import WeightedDigraph
+from .events import Event, EventId
+from .specs import SystemSpec, TOP
+from .view import View
+
+__all__ = [
+    "drift_edge_weights",
+    "transit_edge_weights",
+    "incident_sync_edges",
+    "build_sync_graph",
+    "ExplicitBoundsMapping",
+    "sync_graph_from_bounds",
+]
+
+
+def drift_edge_weights(
+    spec: SystemSpec, earlier: Event, later: Event
+) -> Tuple[float, float]:
+    """Synchronization-graph weights between consecutive same-processor events.
+
+    Returns ``(w_later_to_earlier, w_earlier_to_later)``, i.e. the weights of
+    edges ``(later, earlier)`` and ``(earlier, later)``.
+    """
+    if earlier.proc != later.proc:
+        raise ValueError(f"{earlier.eid} and {later.eid} are on different processors")
+    drift = spec.drift_of(later.proc)
+    delta = later.lt - earlier.lt
+    if delta < 0:
+        raise ValueError(f"{later.eid} is not later than {earlier.eid}")
+    return (drift.beta - 1.0) * delta, (1.0 - drift.alpha) * delta
+
+
+def transit_edge_weights(
+    spec: SystemSpec, send: Event, receive: Event
+) -> Tuple[float, float]:
+    """Synchronization-graph weights between a send and its receive.
+
+    Returns ``(w_receive_to_send, w_send_to_receive)``; the first component
+    is ``+inf`` when the link has no finite transit upper bound.
+    """
+    transit = spec.transit_of(send.proc, receive.proc)
+    observed = receive.lt - send.lt
+    w_r_to_s = transit.upper - observed if transit.is_bounded else TOP
+    w_s_to_r = observed - transit.lower
+    return w_r_to_s, w_s_to_r
+
+
+def incident_sync_edges(
+    spec: SystemSpec, view: View, event: Event
+) -> List[Tuple[EventId, EventId, float]]:
+    """The synchronization-graph edges introduced by inserting ``event``.
+
+    Assumes the view already contains the event's per-processor predecessor
+    and, for receives, the matching send (the :class:`View` class enforces
+    both).  Infinite-weight edges are filtered out.
+    """
+    edges: List[Tuple[EventId, EventId, float]] = []
+    pred_id = event.eid.pred()
+    if pred_id is not None:
+        pred = view.event(pred_id)
+        w_back, w_fwd = drift_edge_weights(spec, pred, event)
+        edges.append((event.eid, pred_id, w_back))
+        edges.append((pred_id, event.eid, w_fwd))
+    if event.is_receive:
+        send = view.event(event.send_eid)
+        w_r_to_s, w_s_to_r = transit_edge_weights(spec, send, event)
+        if not math.isinf(w_r_to_s):
+            edges.append((event.eid, send.eid, w_r_to_s))
+        edges.append((send.eid, event.eid, w_s_to_r))
+    return edges
+
+
+def build_sync_graph(view: View, spec: SystemSpec) -> WeightedDigraph:
+    """The full synchronization graph of a view under standard specifications."""
+    graph = WeightedDigraph()
+    for event in view.events():
+        graph.add_node(event.eid)
+        for u, v, w in incident_sync_edges(spec, view, event):
+            graph.add_edge(u, v, w)
+    return graph
+
+
+class ExplicitBoundsMapping:
+    """A bounds mapping given extensionally, for theory-level experiments.
+
+    The paper's model is more general than drift + transit specs: *any*
+    function ``B`` from ordered event pairs to ``R ∪ {TOP}`` is a bounds
+    mapping.  This class lets tests exercise the Clock Synchronization
+    Theorem machinery on arbitrary constraint systems.
+    """
+
+    def __init__(self, bounds: Optional[Dict[Tuple[EventId, EventId], float]] = None):
+        self._bounds: Dict[Tuple[EventId, EventId], float] = {}
+        for (p, q), value in (bounds or {}).items():
+            self.set(p, q, value)
+
+    def set(self, p: EventId, q: EventId, upper: float) -> None:
+        """Assert ``RT(p) - RT(q) <= upper``."""
+        if math.isnan(upper):
+            raise ValueError("bound must not be NaN")
+        current = self._bounds.get((p, q), TOP)
+        self._bounds[(p, q)] = min(current, upper)
+
+    def set_range(self, p: EventId, q: EventId, lower: float, upper: float) -> None:
+        """Assert ``RT(p) - RT(q) in [lower, upper]``."""
+        self.set(p, q, upper)
+        self.set(q, p, -lower)
+
+    def bound(self, p: EventId, q: EventId) -> float:
+        """``B(p, q)``: the asserted upper bound, or ``TOP``."""
+        return self._bounds.get((p, q), TOP)
+
+    def items(self) -> Iterable[Tuple[Tuple[EventId, EventId], float]]:
+        return self._bounds.items()
+
+
+def sync_graph_from_bounds(
+    view: View, bounds: ExplicitBoundsMapping
+) -> WeightedDigraph:
+    """Definition 2.1 applied verbatim to an explicit bounds mapping."""
+    graph = WeightedDigraph()
+    for event in view.events():
+        graph.add_node(event.eid)
+    for (p, q), upper in bounds.items():
+        if math.isinf(upper):
+            continue
+        virt_del = view.event(p).lt - view.event(q).lt
+        graph.add_edge(p, q, upper - virt_del)
+    return graph

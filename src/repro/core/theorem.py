@@ -1,0 +1,245 @@
+"""The Clock Synchronization Theorem (Theorem 2.1) and its consequences.
+
+Theorem 2.1 states that for any view ``beta`` with bounds mapping ``B`` and
+any two points ``p, q``:
+
+    ``RT(p) - RT(q) in [virt_del(p,q) - d(q,p), virt_del(p,q) + d(p,q)]``
+
+where ``d`` is the distance function of the synchronization graph - and
+that both endpoints are *attained* by executions indistinguishable from the
+real one.  This module provides:
+
+* :func:`relative_bounds` - the optimal interval for ``RT(p) - RT(q)``;
+* :func:`external_bounds` - the optimal external-synchronization estimate
+  at a point (distance to/from any source point);
+* :func:`extremal_execution` - an explicit real-time assignment realising
+  either endpoint, witnessing tightness;
+* :func:`check_execution` - a validator that a real-time assignment
+  satisfies every drift/transit constraint of a spec (used to verify the
+  extremal executions really are legal, and that simulated traces satisfy
+  their own advertised specifications).
+
+The extremal construction uses shortest-path potentials.  Writing
+``RT(x) = LT(x) + f(x)``, the constraint ``RT(x) - RT(y) <= B(x, y)``
+becomes ``f(x) - f(y) <= w(x, y)`` for each synchronization-graph edge
+``(x, y)``.  For a root ``r``, the potential ``f(x) = d(x, r)`` (distance
+*to* ``r``) satisfies every such constraint wherever finite, and gives
+``f(p) - f(r) = d(p, r)`` - the upper endpoint for the pair ``(p, r)``.
+Nodes that cannot reach ``r`` are handled by augmenting the graph with a
+virtual sink reachable from everywhere via a huge-weight edge that cannot
+create new shortest paths among the original nodes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+from .distances import (
+    INF,
+    WeightedDigraph,
+    bellman_ford_from,
+    bellman_ford_to,
+)
+from .errors import EstimateUnavailableError, UnknownEventError
+from .events import EventId, ProcessorId
+from .intervals import ClockBound
+from .specs import SystemSpec
+from .syncgraph import build_sync_graph
+from .view import View
+
+__all__ = [
+    "relative_bounds",
+    "external_bounds",
+    "source_point",
+    "extremal_execution",
+    "check_execution",
+]
+
+
+def relative_bounds(
+    view: View,
+    spec: SystemSpec,
+    p: EventId,
+    q: EventId,
+    graph: Optional[WeightedDigraph] = None,
+) -> ClockBound:
+    """Theorem 2.1: the optimal interval for ``RT(p) - RT(q)``.
+
+    ``graph`` may be supplied to reuse a prebuilt synchronization graph.
+    """
+    if graph is None:
+        graph = build_sync_graph(view, spec)
+    virt_del = view.event(p).lt - view.event(q).lt
+    from_p = bellman_ford_from(graph, p)
+    to_p = bellman_ford_to(graph, p)
+    d_p_q = from_p.get(q, INF)
+    d_q_p = to_p.get(q, INF)
+    return ClockBound(virt_del - d_q_p, virt_del + d_p_q)
+
+
+def source_point(view: View, spec: SystemSpec) -> Optional[EventId]:
+    """Any point of the source processor in the view (the latest), or ``None``.
+
+    All source points are interchangeable for external synchronization:
+    consecutive source events are joined by zero-weight edges in both
+    directions (the source clock is drift-free), so the distance between
+    any two source points is 0.
+    """
+    last = view.last_event(spec.source)
+    return None if last is None else last.eid
+
+
+def external_bounds(
+    view: View,
+    spec: SystemSpec,
+    p: EventId,
+    graph: Optional[WeightedDigraph] = None,
+) -> ClockBound:
+    """The optimal external-synchronization estimate of ``RT(p)`` at point ``p``.
+
+    Implements the Sec 2.3 general optimal algorithm:
+    ``ext_L = LT(p) - d(sp, p)`` and ``ext_U = LT(p) + d(p, sp)`` for any
+    source point ``sp`` (using ``LT(sp) = RT(sp)``).  Returns the unbounded
+    interval when no source point is in the view yet.
+    """
+    sp = source_point(view, spec)
+    if sp is None:
+        return ClockBound.unbounded()
+    if graph is None:
+        graph = build_sync_graph(view, spec)
+    lt_p = view.event(p).lt
+    d_p_sp = bellman_ford_from(graph, p).get(sp, INF)
+    d_sp_p = bellman_ford_from(graph, sp).get(p, INF)
+    lower = -INF if math.isinf(d_sp_p) else lt_p - d_sp_p
+    upper = INF if math.isinf(d_p_sp) else lt_p + d_p_sp
+    return ClockBound(lower, upper)
+
+
+def extremal_execution(
+    view: View,
+    spec: SystemSpec,
+    p: EventId,
+    q: EventId,
+    endpoint: str = "upper",
+    graph: Optional[WeightedDigraph] = None,
+) -> Dict[EventId, float]:
+    """A real-time assignment attaining an endpoint of Theorem 2.1's interval.
+
+    For ``endpoint="upper"`` the returned execution has
+    ``RT(p) - RT(q) = virt_del(p, q) + d(p, q)``; for ``"lower"``,
+    ``RT(p) - RT(q) = virt_del(p, q) - d(q, p)``.  The assignment satisfies
+    every constraint of the specification (checkable with
+    :func:`check_execution`) and shares the view's local times, so it is
+    indistinguishable from the original execution.
+
+    If the view contains source points, real times are normalised so that
+    ``RT(sp) = LT(sp)`` on the source, making the result a legal execution
+    of the *external synchronization* system as well.
+
+    Raises :class:`UnknownEventError` if ``p`` or ``q`` is missing and
+    ``ValueError`` if the requested endpoint is infinite (unattainable).
+    """
+    if p not in view or q not in view:
+        raise UnknownEventError(f"{p} or {q} not in view")
+    if endpoint not in ("upper", "lower"):
+        raise ValueError(f"endpoint must be 'upper' or 'lower', got {endpoint!r}")
+    if graph is None:
+        graph = build_sync_graph(view, spec)
+    # For the lower endpoint of RT(p)-RT(q) we attain d(q, p) with roles
+    # swapped: f(q) - f(p) = d(q, p), i.e. root at p.
+    root = q if endpoint == "upper" else p
+    apex = p if endpoint == "upper" else q
+    d_apex_root = bellman_ford_from(graph, apex).get(root, INF)
+    if math.isinf(d_apex_root):
+        raise ValueError(
+            f"the {endpoint} endpoint for ({p}, {q}) is infinite; "
+            "no finite execution attains it"
+        )
+    # Augment with a virtual sink: a zero edge from the root and an edge of
+    # huge weight M from every other node, so every node can reach the sink
+    # while no shortest path between original nodes changes.
+    sink = ("__virtual_sink__",)
+    augmented = graph.copy()
+    big = 2.0 * graph.total_absolute_weight() + 1.0
+    augmented.add_edge(root, sink, 0.0)
+    for node in list(graph.nodes):
+        if node != root:
+            augmented.add_edge(node, sink, big)
+    potential = bellman_ford_to(augmented, sink)
+    rt = {
+        eid: view.event(eid).lt + potential[eid]
+        for eid in view
+    }
+    # Normalise so the source clock reads real time, if a source point exists.
+    sp = source_point(view, spec)
+    if sp is not None:
+        offset = rt[sp] - view.event(sp).lt
+        rt = {eid: value - offset for eid, value in rt.items()}
+    return rt
+
+
+def check_execution(
+    view: View,
+    spec: SystemSpec,
+    rt: Dict[EventId, float],
+    *,
+    tolerance: float = 1e-9,
+    require_source_exact: bool = True,
+) -> list:
+    """Verify a real-time assignment against every constraint of the spec.
+
+    Returns a list of human-readable violation strings (empty = valid).
+    Checked constraints:
+
+    * drift bounds between consecutive same-processor events,
+    * transit bounds for every delivered message,
+    * (optionally) ``RT = LT`` on the source processor, up to a global
+      shift: external synchronization fixes only differences, so the
+      check anchors on the first source event.
+    """
+    violations = []
+    missing = [eid for eid in view if eid not in rt]
+    if missing:
+        return [f"missing real times for {len(missing)} events, e.g. {missing[0]}"]
+    for proc in view.processors:
+        events = view.events_of(proc)
+        drift = spec.drift_of(proc)
+        for earlier, later in zip(events, events[1:]):
+            delta_lt = later.lt - earlier.lt
+            delta_rt = rt[later.eid] - rt[earlier.eid]
+            low, high = drift.elapsed_real_bounds(delta_lt)
+            if delta_rt < low - tolerance or delta_rt > high + tolerance:
+                violations.append(
+                    f"drift violation at {proc}: events {earlier.eid}->{later.eid} "
+                    f"elapsed RT {delta_rt:.6g} outside [{low:.6g}, {high:.6g}]"
+                )
+    for event in view.events():
+        if not event.is_receive:
+            continue
+        send = view.event(event.send_eid)
+        transit = spec.transit_of(send.proc, event.proc)
+        delta_rt = rt[event.eid] - rt[send.eid]
+        if delta_rt < transit.lower - tolerance:
+            violations.append(
+                f"transit violation {send.eid}->{event.eid}: {delta_rt:.6g} "
+                f"< lower bound {transit.lower:.6g}"
+            )
+        if transit.is_bounded and delta_rt > transit.upper + tolerance:
+            violations.append(
+                f"transit violation {send.eid}->{event.eid}: {delta_rt:.6g} "
+                f"> upper bound {transit.upper:.6g}"
+            )
+    if require_source_exact:
+        source_events = view.events_of(spec.source)
+        if source_events:
+            anchor = source_events[0]
+            shift = rt[anchor.eid] - anchor.lt
+            for event in source_events:
+                drift_err = abs((rt[event.eid] - event.lt) - shift)
+                if drift_err > tolerance:
+                    violations.append(
+                        f"source clock not at real-time rate at {event.eid}: "
+                        f"offset drifts by {drift_err:.6g}"
+                    )
+    return violations

@@ -1,0 +1,254 @@
+"""Execution views as Lamport graphs.
+
+A *view* is an execution with the real-time attributes projected away: a DAG
+whose nodes are events labelled with local times, with an edge ``(p, q)``
+when ``q`` receives the message sent at ``p`` or when ``q`` directly follows
+``p`` at the same processor.  The *view from a point* ``p`` is the sub-view
+induced by the events that happen-before ``p`` (including ``p`` itself).
+
+Structural invariants maintained here:
+
+* per processor, the events present form a contiguous prefix ``0..last``
+  with strictly increasing local times (a causally closed set of events
+  always induces per-processor prefixes);
+* a receive event may only be added once its send event is present;
+* events are immutable: re-adding an event with different attributes fails.
+
+The full-information reference algorithm (Sec 2.3) and the test oracles keep
+entire views; the efficient algorithm of Sec 3 deliberately does not.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from .errors import UnknownEventError, ViewError
+from .events import Event, EventId, EventKind, ProcessorId
+
+__all__ = ["View"]
+
+
+class View:
+    """A causally closed set of events, queryable as a Lamport graph."""
+
+    def __init__(self, events: Iterable[Event] = ()):
+        self._events: Dict[EventId, Event] = {}
+        #: highest sequence number present per processor (prefix property)
+        self._last_seq: Dict[ProcessorId, int] = {}
+        #: send events whose receive is not (yet) in the view
+        self._undelivered: Set[EventId] = set()
+        #: receive event id per send event id, for delivered messages
+        self._delivery: Dict[EventId, EventId] = {}
+        #: insertion order; a valid topological order of the view DAG
+        self._order: List[EventId] = []
+        for event in events:
+            self.add(event)
+
+    # -- construction ----------------------------------------------------------
+
+    def add(self, event: Event) -> None:
+        """Insert ``event``, enforcing causal closure and prefix integrity."""
+        eid = event.eid
+        existing = self._events.get(eid)
+        if existing is not None:
+            if existing != event:
+                raise ViewError(f"event {eid} re-added with conflicting attributes")
+            return
+        expected = self._last_seq.get(eid.proc, -1) + 1
+        if eid.seq != expected:
+            raise ViewError(
+                f"event {eid} breaks the per-processor prefix: expected seq {expected}"
+            )
+        pred = eid.pred()
+        if pred is not None and self._events[pred].lt >= event.lt:
+            raise ViewError(
+                f"local times must strictly increase at {eid.proc}: "
+                f"{self._events[pred].lt} then {event.lt}"
+            )
+        if event.is_receive:
+            send = self._events.get(event.send_eid)
+            if send is None:
+                raise ViewError(
+                    f"receive {eid} added before its send {event.send_eid}"
+                )
+            if not send.is_send:
+                raise ViewError(f"{event.send_eid} is not a send event")
+            if send.dest != eid.proc:
+                raise ViewError(
+                    f"receive {eid} claims message {event.send_eid} addressed to {send.dest!r}"
+                )
+            if event.send_eid in self._delivery:
+                raise ViewError(f"message {event.send_eid} delivered twice")
+            self._undelivered.discard(event.send_eid)
+            self._delivery[event.send_eid] = eid
+        self._events[eid] = event
+        self._last_seq[eid.proc] = eid.seq
+        self._order.append(eid)
+        if event.is_send:
+            self._undelivered.add(eid)
+
+    def merge(self, other: "View") -> None:
+        """Union with another view (e.g. a received report).
+
+        Events are inserted in the other view's topological order; shared
+        events must agree.
+        """
+        for eid in other._order:
+            event = other._events[eid]
+            if eid not in self._events:
+                self.add(event)
+            elif self._events[eid] != event:
+                raise ViewError(f"merge conflict at event {eid}")
+
+    def copy(self) -> "View":
+        dup = View()
+        dup._events = dict(self._events)
+        dup._last_seq = dict(self._last_seq)
+        dup._undelivered = set(self._undelivered)
+        dup._delivery = dict(self._delivery)
+        dup._order = list(self._order)
+        return dup
+
+    # -- basic queries ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __contains__(self, eid: EventId) -> bool:
+        return eid in self._events
+
+    def __iter__(self) -> Iterator[EventId]:
+        """Iterate event ids in a valid topological (insertion) order."""
+        return iter(self._order)
+
+    def event(self, eid: EventId) -> Event:
+        try:
+            return self._events[eid]
+        except KeyError:
+            raise UnknownEventError(f"event {eid} is not in the view") from None
+
+    def events(self) -> Iterator[Event]:
+        """All events in topological (insertion) order."""
+        return (self._events[eid] for eid in self._order)
+
+    @property
+    def processors(self) -> Tuple[ProcessorId, ...]:
+        return tuple(sorted(self._last_seq))
+
+    def last_event(self, proc: ProcessorId) -> Optional[Event]:
+        """The most recent event of ``proc`` in this view, if any."""
+        seq = self._last_seq.get(proc)
+        if seq is None:
+            return None
+        return self._events[EventId(proc, seq)]
+
+    def last_seq(self, proc: ProcessorId) -> int:
+        """Highest sequence number of ``proc`` present, or -1 if none."""
+        return self._last_seq.get(proc, -1)
+
+    def events_of(self, proc: ProcessorId) -> List[Event]:
+        """All events of ``proc`` in sequence order."""
+        return [
+            self._events[EventId(proc, seq)]
+            for seq in range(self._last_seq.get(proc, -1) + 1)
+        ]
+
+    def receive_of(self, send_eid: EventId) -> Optional[EventId]:
+        """The receive event of the message sent at ``send_eid``, if delivered."""
+        return self._delivery.get(send_eid)
+
+    @property
+    def undelivered_sends(self) -> Set[EventId]:
+        """Sends whose matching receive is absent from this view."""
+        return set(self._undelivered)
+
+    # -- Lamport-graph structure -------------------------------------------------
+
+    def parents(self, eid: EventId) -> List[EventId]:
+        """Immediate happens-before predecessors of ``eid`` in the view DAG."""
+        event = self.event(eid)
+        out: List[EventId] = []
+        pred = eid.pred()
+        if pred is not None:
+            out.append(pred)
+        if event.is_receive:
+            out.append(event.send_eid)
+        return out
+
+    def children(self, eid: EventId) -> List[EventId]:
+        """Immediate happens-before successors of ``eid`` in the view DAG."""
+        event = self.event(eid)
+        out: List[EventId] = []
+        succ = eid.succ()
+        if succ in self._events:
+            out.append(succ)
+        if event.is_send and eid in self._delivery:
+            out.append(self._delivery[eid])
+        return out
+
+    def happens_before(self, p: EventId, q: EventId) -> bool:
+        """Lamport's ``p -> q`` (reflexive, per the paper's 'possibly empty path')."""
+        if p not in self._events or q not in self._events:
+            raise UnknownEventError(f"{p} or {q} not in view")
+        if p == q:
+            return True
+        # Walk backwards from q; prune by per-processor sequence numbers.
+        seen: Set[EventId] = {q}
+        frontier = deque([q])
+        while frontier:
+            node = frontier.popleft()
+            for parent in self.parents(node):
+                if parent == p:
+                    return True
+                if parent in seen:
+                    continue
+                if parent.proc == p.proc and parent.seq < p.seq:
+                    continue  # everything before p at p's processor is a dead end
+                seen.add(parent)
+                frontier.append(parent)
+        return False
+
+    def view_from(self, point: EventId) -> "View":
+        """The local view from ``point``: events ``q`` with ``q -> point``.
+
+        This is the complete information an on-line algorithm may use at
+        ``point`` (Sec 2.2).
+        """
+        if point not in self._events:
+            raise UnknownEventError(f"point {point} is not in the view")
+        past: Set[EventId] = set()
+        frontier = deque([point])
+        while frontier:
+            node = frontier.popleft()
+            if node in past:
+                continue
+            past.add(node)
+            for parent in self.parents(node):
+                if parent not in past:
+                    frontier.append(parent)
+        sub = View()
+        for eid in self._order:
+            if eid in past:
+                sub.add(self._events[eid])
+        return sub
+
+    # -- liveness (Definition 3.1) ------------------------------------------------
+
+    def is_live(self, eid: EventId) -> bool:
+        """Definition 3.1: last point at its processor, or undelivered send."""
+        event = self.event(eid)
+        if self._last_seq[event.proc] == eid.seq:
+            return True
+        return eid in self._undelivered
+
+    def live_points(self) -> Set[EventId]:
+        """All live points of the view (Definition 3.1)."""
+        live = {
+            EventId(proc, seq) for proc, seq in self._last_seq.items()
+        }
+        live.update(self._undelivered)
+        return live
+
+    def __repr__(self):  # pragma: no cover - cosmetic
+        return f"View({len(self._events)} events, {len(self._last_seq)} processors)"

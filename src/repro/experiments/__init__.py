@@ -1,0 +1,33 @@
+"""Experiments: one module per DESIGN.md experiment id.
+
+Importing this package registers every experiment in
+:data:`~repro.experiments.base.REGISTRY`; run them via the CLI
+(``python -m repro.experiments.cli``) or programmatically:
+
+>>> from repro.experiments import get_experiment
+>>> result = get_experiment("e4-agdp-cost")(live_sizes=(8, 16))
+>>> result.all_passed
+True
+"""
+
+from .base import REGISTRY, ExperimentResult, experiment, get_experiment
+
+# importing the modules registers the experiments
+from . import (  # noqa: F401  (imported for registration side effects)
+    a1_gc,
+    a2_history_gc,
+    e1_optimality,
+    e2_history,
+    e3_space,
+    e4_agdp,
+    e5_live,
+    e6_ntp,
+    e7_cristian,
+    e8_baselines,
+    e9_loss,
+    e10_convergence,
+    x1_internal,
+    x2_adaptive,
+)
+
+__all__ = ["REGISTRY", "ExperimentResult", "experiment", "get_experiment"]

@@ -1,0 +1,70 @@
+"""Experiment infrastructure: results, registry, rendering.
+
+Every experiment module registers a ``run(**params) -> ExperimentResult``
+under its DESIGN.md id (e.g. ``e1-optimality``).  Results carry rows (the
+"table" the experiment regenerates), claim checks (the paper statements it
+validates), and free-form notes; the CLI and EXPERIMENTS.md are generated
+from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..analysis.claims import ClaimCheck
+from ..analysis.tables import render_table
+
+__all__ = ["ExperimentResult", "REGISTRY", "experiment", "get_experiment"]
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of one experiment run."""
+
+    experiment: str
+    description: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    checks: List[ClaimCheck] = field(default_factory=list)
+    notes: str = ""
+
+    @property
+    def all_passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    def render(self) -> str:
+        parts = [f"== {self.experiment} ==", self.description, ""]
+        if self.rows:
+            parts.append(render_table(self.rows))
+            parts.append("")
+        for check in self.checks:
+            parts.append(str(check))
+        if self.notes:
+            parts.append("")
+            parts.append(self.notes)
+        return "\n".join(parts)
+
+
+#: experiment id -> run callable
+REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {}
+
+
+def experiment(name: str):
+    """Decorator registering an experiment's run function under ``name``."""
+
+    def register(fn: Callable[..., ExperimentResult]):
+        if name in REGISTRY:
+            raise ValueError(f"experiment {name!r} registered twice")
+        REGISTRY[name] = fn
+        fn.experiment_name = name
+        return fn
+
+    return register
+
+
+def get_experiment(name: str) -> Callable[..., ExperimentResult]:
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(REGISTRY))
+        raise KeyError(f"unknown experiment {name!r}; known: {known}") from None

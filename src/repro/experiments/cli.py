@@ -1,0 +1,121 @@
+"""Command-line entry point for the experiment suite.
+
+Usage::
+
+    python -m repro.experiments.cli                  # run everything
+    python -m repro.experiments.cli e1-optimality    # one experiment
+    python -m repro.experiments.cli --list
+    python -m repro.experiments.cli --quick          # reduced parameters
+
+``--quick`` shrinks run durations for a fast smoke pass (the full
+parameters are the ones recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from . import REGISTRY, get_experiment
+
+__all__ = ["main", "QUICK_OVERRIDES"]
+
+#: reduced parameters per experiment for --quick runs
+QUICK_OVERRIDES: Dict[str, Dict[str, object]] = {
+    "e1-optimality": {"duration": 40.0},
+    "e2-report-once": {"duration": 50.0},
+    "e3-history-space": {"sizes": (4, 6, 8), "duration": 60.0},
+    "e4-agdp-cost": {"live_sizes": (8, 16, 32), "steps": 60},
+    "e5-live-points": {"bursts": (1, 2), "ring_sizes": (4, 6), "duration": 60.0},
+    "e6-ntp-pattern": {"shapes": ((2, 3), (2, 4, 6)), "duration": 120.0},
+    "e7-cristian-pattern": {"client_counts": (3, 6), "duration": 150.0},
+    "e8-width-vs-baselines": {"duration": 150.0},
+    "e9-message-loss": {"loss_probs": (0.2,), "duration": 120.0},
+    "a1-agdp-gc-ablation": {"durations": (40.0, 80.0)},
+    "a2-history-gc-ablation": {"durations": (40.0, 80.0)},
+    "x1-internal-sync": {"sizes": (4,), "duration": 60.0},
+    "e10-convergence": {"n": 5, "duration": 80.0},
+    "x2-adaptive-polling": {"n_clients": 3, "duration": 250.0},
+}
+
+
+def _to_markdown(result, elapsed: float) -> str:
+    """One experiment's result as a markdown section."""
+    from ..analysis.tables import render_markdown_table
+
+    lines = [f"## {result.experiment}", "", result.description, ""]
+    if result.rows:
+        lines.append(render_markdown_table(result.rows))
+        lines.append("")
+    for check in result.checks:
+        mark = "PASS" if check.passed else "**FAIL**"
+        detail = ", ".join(f"{k}={v}" for k, v in check.details.items())
+        lines.append(f"- {mark} — {check.name} ({detail})")
+    if result.notes:
+        lines.append("")
+        lines.append(f"*{result.notes}*")
+    lines.append("")
+    lines.append(f"(elapsed {elapsed:.1f}s)")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Run the reproduction experiments (see DESIGN.md).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids to run (default: all, in registry order)",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced parameters for a fast pass"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="base random seed (default 0)"
+    )
+    parser.add_argument(
+        "--markdown",
+        metavar="FILE",
+        help="also write the results as a markdown report to FILE",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in sorted(REGISTRY):
+            print(name)
+        return 0
+
+    names: List[str] = list(args.experiments) or sorted(REGISTRY)
+    failures = 0
+    markdown_parts: List[str] = []
+    for name in names:
+        run = get_experiment(name)
+        params: Dict[str, object] = {"seed": args.seed}
+        if args.quick:
+            params.update(QUICK_OVERRIDES.get(name, {}))
+        started = time.perf_counter()
+        result = run(**params)
+        elapsed = time.perf_counter() - started
+        print(result.render())
+        print(f"(elapsed {elapsed:.1f}s)")
+        print()
+        if args.markdown:
+            markdown_parts.append(_to_markdown(result, elapsed))
+        if not result.all_passed:
+            failures += 1
+    if args.markdown:
+        with open(args.markdown, "w") as handle:
+            handle.write("\n\n".join(markdown_parts) + "\n")
+    if failures:
+        print(f"{failures} experiment(s) had failing checks", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,103 @@
+"""E3 - history buffer space (Lemma 3.3).
+
+Claim: if at most ``K1`` events occur system-wide between two successive
+send events on a link, the history buffer satisfies
+``|H_v| = O(K1 * (D + 1))`` where ``D`` is the network diameter.  (This is
+the *link-send* reading of ``K1`` used in Lemma 3.3's proof, distinct from
+the per-processor relative system speed used by Theorem 3.6; we measure
+it as such.)
+
+We sweep line topologies (the diameter dial) and internal-event rates (the
+``K1`` dial), measure the peak ``|H_v|`` over all processors, and compare
+it to ``K1 * (D + 1)``.  The measured ratio should stay bounded by a small
+constant across the sweep - growth is linear in the product, not in the
+execution length.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..analysis.claims import ClaimCheck
+from ..analysis.complexity import collect_complexity, loglog_slope
+from ..core.csa import EfficientCSA
+from ..sim.network import topologies
+from ..sim.runner import run_workload, standard_network
+from ..sim.workloads import PeriodicGossip
+from .base import ExperimentResult, experiment
+
+__all__ = ["run"]
+
+
+@experiment("e3-history-space")
+def run(
+    sizes: Sequence[int] = (4, 6, 8, 12),
+    *,
+    internal_rates: Sequence[float] = (0.0, 4.0),
+    duration: float = 150.0,
+    seed: int = 0,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="e3-history-space",
+        description=(
+            "Lemma 3.3: peak history buffer |H_v| is O(K1 * (D + 1)), "
+            "independent of execution length."
+        ),
+    )
+    products = []
+    buffers = []
+    for n in sizes:
+        for internal in internal_rates:
+            run_seed = seed + 7 * n + int(internal)
+            names, links = topologies.line(n)
+            network = standard_network(names, links, seed=run_seed)
+            workload = PeriodicGossip(
+                period=6.0, seed=run_seed, internal_per_period=internal
+            )
+            run_result = run_workload(
+                network,
+                workload,
+                {"efficient": lambda p, s: EfficientCSA(p, s)},
+                duration=duration,
+                seed=run_seed,
+            )
+            report = collect_complexity(run_result)
+            bound = max(report.k1_link_send_speed, 1) * (report.diameter + 1)
+            ratio = report.max_history_buffer / bound
+            products.append(bound)
+            buffers.append(max(report.max_history_buffer, 1))
+            result.rows.append(
+                {
+                    "n": n,
+                    "diameter": report.diameter,
+                    "internal_rate": internal,
+                    "events": report.events_total,
+                    "K1_link": report.k1_link_send_speed,
+                    "max_|H_v|": report.max_history_buffer,
+                    "K1*(D+1)": bound,
+                    "ratio": ratio,
+                }
+            )
+            result.checks.append(
+                ClaimCheck(
+                    name=f"n={n},internal={internal}: |H| <= K1*(D+1) + n",
+                    passed=report.max_history_buffer <= bound + n,
+                    details={
+                        "max_buffer": report.max_history_buffer,
+                        "bound": bound,
+                    },
+                )
+            )
+    slope = loglog_slope(products, buffers)
+    result.checks.append(
+        ClaimCheck(
+            name="buffer grows at most linearly in K1*(D+1)",
+            passed=slope <= 1.35,
+            details={"loglog_slope": round(slope, 3)},
+        )
+    )
+    result.notes = (
+        "Expected: every ratio bounded by a small constant and a log-log "
+        "slope of about 1 (linear growth in the Lemma 3.3 product)."
+    )
+    return result

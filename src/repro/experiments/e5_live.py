@@ -1,0 +1,98 @@
+"""E5 - live points vs K2 |E| (Lemma 4.1).
+
+Claim: if at most ``K2`` messages are sent over a link in one direction
+between two consecutive sends in the other direction, the number of live
+points in any local view is ``O(K2 |E|)``.
+
+We dial ``K2`` with the asymmetric-ping workload (``burst`` sends one
+way, one reply back) and ``|E|`` with ring size, measuring the peak
+live-point count both from the omniscient trace and from every
+processor's own tracker.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..analysis.claims import ClaimCheck
+from ..analysis.complexity import collect_complexity, loglog_slope
+from ..core.csa import EfficientCSA
+from ..sim.network import topologies
+from ..sim.runner import run_workload, standard_network
+from ..sim.workloads import AsymmetricPing
+from .base import ExperimentResult, experiment
+
+__all__ = ["run"]
+
+
+@experiment("e5-live-points")
+def run(
+    bursts: Sequence[int] = (1, 2, 4),
+    ring_sizes: Sequence[int] = (4, 8),
+    *,
+    duration: float = 100.0,
+    seed: int = 0,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="e5-live-points",
+        description="Lemma 4.1: peak live points grow as O(K2 * |E|).",
+    )
+    xs = []
+    ys = []
+    for n in ring_sizes:
+        for burst in bursts:
+            run_seed = seed + 13 * n + burst
+            names, links = topologies.ring(n)
+            network = standard_network(
+                names, links, seed=run_seed, delay=(0.05, 1.2)
+            )
+            workload = AsymmetricPing(
+                burst=burst, gap=0.3, cycle_pause=3.0, seed=run_seed
+            )
+            run_result = run_workload(
+                network,
+                workload,
+                {"efficient": lambda p, s: EfficientCSA(p, s)},
+                duration=duration,
+                seed=run_seed,
+            )
+            report = collect_complexity(run_result)
+            k2 = max(report.k2_link_asymmetry, 1)
+            bound = k2 * report.n_links
+            xs.append(bound)
+            ys.append(max(report.max_live_points_csa, 1))
+            result.rows.append(
+                {
+                    "ring_n": n,
+                    "burst": burst,
+                    "|E|": report.n_links,
+                    "K2_measured": report.k2_link_asymmetry,
+                    "max_live_oracle": report.max_live_points_oracle,
+                    "max_live_csa": report.max_live_points_csa,
+                    "K2*|E|": bound,
+                    "ratio": report.max_live_points_csa / bound,
+                }
+            )
+            result.checks.append(
+                ClaimCheck(
+                    name=f"ring={n},burst={burst}: live <= 4*K2*|E| + n",
+                    passed=report.max_live_points_csa <= 4 * bound + n,
+                    details={
+                        "live": report.max_live_points_csa,
+                        "bound": bound,
+                    },
+                )
+            )
+    slope = loglog_slope(xs, ys)
+    result.checks.append(
+        ClaimCheck(
+            name="live points grow at most linearly in K2*|E|",
+            passed=slope <= 1.35,
+            details={"loglog_slope": round(slope, 3)},
+        )
+    )
+    result.notes = (
+        "Expected: the ratio live/(K2*|E|) is bounded by a small constant "
+        "across the sweep and growth is ~linear."
+    )
+    return result

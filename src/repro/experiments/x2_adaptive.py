@@ -1,0 +1,141 @@
+"""X2 - extension: certified bounds enable principled adaptive polling.
+
+NTP adapts poll intervals heuristically; with *certified* interval widths
+the control loop becomes exact: poll more when the bound is loose, back
+off when it is tight.  This experiment runs adaptive clients against
+fixed-rate clients over the same server (same link specs, same drift
+magnitudes) and compares messages spent vs accuracy achieved.
+
+Expected shape: the adaptive clients achieve a comparable width budget
+with substantially fewer messages (they stop paying for accuracy they
+already have), and never violate soundness - the controller only reads
+the certified output, it cannot break it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..analysis.claims import ClaimCheck, check_soundness
+from ..analysis.metrics import fraction_within, width_stats
+from ..core.csa import EfficientCSA
+from ..core.events import ProcessorId
+from ..core.specs import TransitSpec
+from ..sim.clock import PiecewiseDriftingClock
+from ..sim.engine import Simulation
+from ..sim.network import LinkConfig, Network
+from ..sim.runner import RunResult, run_workload
+from ..sim.workloads import NTPWorkload
+from ..sim.workloads.adaptive import AdaptivePolling
+from .base import ExperimentResult, experiment
+
+__all__ = ["run"]
+
+
+def _star_system(n_clients: int, seed: int) -> Network:
+    clocks = {}
+    links = []
+    for i in range(n_clients):
+        name = f"c{i}"
+        clocks[name] = PiecewiseDriftingClock(
+            seed=seed * 100 + i,
+            r_min=1 - 1e-4,
+            r_max=1 + 1e-4,
+            offset=float(i),
+        )
+        links.append(
+            LinkConfig("hub", name, transit=TransitSpec(0.002, 0.03))
+        )
+    return Network(source="hub", clocks=clocks, links=links)
+
+
+def _run(
+    mode: str, n_clients: int, duration: float, seed: int, width_target: float
+) -> RunResult:
+    network = _star_system(n_clients, seed)
+    servers: Dict[ProcessorId, ProcessorId] = {
+        f"c{i}": "hub" for i in range(n_clients)
+    }
+    if mode == "adaptive":
+        workload = AdaptivePolling(
+            servers=servers,
+            low_water=width_target / 3,
+            high_water=width_target,
+            min_interval=2.0,
+            max_interval=64.0,
+            start_interval=8.0,
+            seed=seed,
+        )
+    else:
+        workload = NTPWorkload(
+            parents={c: ("hub",) for c in servers}, poll_period=8.0, seed=seed
+        )
+    return run_workload(
+        network,
+        workload,
+        {"efficient": lambda p, s: EfficientCSA(p, s)},
+        duration=duration,
+        seed=seed,
+        sample_period=duration / 30,
+    )
+
+
+@experiment("x2-adaptive-polling")
+def run(
+    *,
+    n_clients: int = 4,
+    duration: float = 600.0,
+    width_target: float = 0.06,
+    seed: int = 0,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="x2-adaptive-polling",
+        description=(
+            "Extension: width-driven poll adaptation matches fixed-rate "
+            "accuracy with fewer messages."
+        ),
+    )
+    runs = {}
+    for mode in ("fixed", "adaptive"):
+        run_result = _run(mode, n_clients, duration, seed, width_target)
+        runs[mode] = run_result
+        client_samples = [
+            s
+            for s in run_result.samples_for("efficient")
+            if s.proc != "hub" and s.rt > duration * 0.2
+        ]
+        stats = width_stats(client_samples)
+        within = fraction_within(client_samples, threshold=width_target * 1.5)
+        result.rows.append(
+            {
+                "mode": mode,
+                "messages": run_result.sim.messages_sent,
+                "mean_width": stats.mean,
+                "p95_width": stats.p95,
+                "fraction_within_budget": round(within, 3),
+            }
+        )
+        result.checks.append(check_soundness(run_result, ("efficient",)))
+    fixed_msgs = runs["fixed"].sim.messages_sent
+    adaptive_msgs = runs["adaptive"].sim.messages_sent
+    result.checks.append(
+        ClaimCheck(
+            name="adaptive spends fewer messages",
+            passed=adaptive_msgs < fixed_msgs,
+            details={"adaptive": adaptive_msgs, "fixed": fixed_msgs},
+        )
+    )
+    adaptive_within = result.rows[1]["fraction_within_budget"]
+    result.checks.append(
+        ClaimCheck(
+            name="adaptive stays within 1.5x width budget >= 80% of the time",
+            passed=adaptive_within >= 0.8,
+            details={"fraction": adaptive_within},
+        )
+    )
+    result.notes = (
+        "The controller reads only the certified width, so soundness is "
+        "untouched by construction; the savings come from not polling "
+        "when the interval is already tight."
+    )
+    return result

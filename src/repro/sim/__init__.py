@@ -1,0 +1,54 @@
+"""Discrete-event simulation substrate.
+
+The paper's model is abstract (processors, links, bounds); this package
+realises it as a deterministic, seeded simulator so that every theorem can
+be checked against concrete executions:
+
+* :mod:`~repro.sim.clock` - drifting hardware-clock models that honour
+  their advertised :class:`~repro.core.specs.DriftSpec`;
+* :mod:`~repro.sim.network` - topologies, per-direction transit specs,
+  actual delay sampling, loss;
+* :mod:`~repro.sim.engine` - the event loop driving workloads, passive
+  estimators, and loss detection;
+* :mod:`~repro.sim.trace` - the omniscient execution record used by all
+  test oracles;
+* :mod:`~repro.sim.workloads` - send modules (periodic gossip, NTP
+  hierarchy, Cristian probe bursts, random traffic);
+* :mod:`~repro.sim.runner` - one-call orchestration with estimate
+  sampling.
+"""
+
+from .clock import (
+    AffineClock,
+    ClockModel,
+    PerfectClock,
+    PiecewiseDriftingClock,
+    SinusoidalDriftClock,
+)
+from .engine import Message, SimProcessor, Simulation
+from .network import LinkConfig, Network, topologies
+from .runner import EstimateSample, RunResult, run_workload, standard_network
+from .serialize import dump_run, load_run
+from .trace import ExecutionTrace, TracedEvent
+
+__all__ = [
+    "AffineClock",
+    "ClockModel",
+    "EstimateSample",
+    "ExecutionTrace",
+    "LinkConfig",
+    "Message",
+    "Network",
+    "PerfectClock",
+    "PiecewiseDriftingClock",
+    "RunResult",
+    "SimProcessor",
+    "SinusoidalDriftClock",
+    "Simulation",
+    "TracedEvent",
+    "dump_run",
+    "load_run",
+    "run_workload",
+    "standard_network",
+    "topologies",
+]

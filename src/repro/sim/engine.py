@@ -1,0 +1,274 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine advances real time through a priority queue of actions, creates
+events (sends, receives, internal points) at processors, drives every
+attached passive estimator, and records the omniscient
+:class:`~repro.sim.trace.ExecutionTrace`.
+
+Design points that matter for fidelity:
+
+* **Estimators are passive** (Sec 2.2): workloads decide all traffic; the
+  estimators only fill/read piggybacked payloads.  Several estimator kinds
+  can ride the *same* execution simultaneously, each with its own payload
+  channel - that is how the baseline-comparison experiment observes all
+  algorithms under identical conditions.
+* **Specs are honoured by construction**: actual delays are sampled inside
+  the advertised transit bounds (with a small interior margin so FIFO
+  nudges cannot push them out), and clock models stay inside their
+  advertised drift bands.  The trace-level validator double-checks every
+  run in the tests.
+* **FIFO links**: report propagation (Figure 2) requires per-direction
+  FIFO delivery; arrivals on a directed link are clamped to be strictly
+  increasing, staying within the transit spec (see DESIGN.md).
+* **Loss and detection** (Sec 3.3): each send may be dropped with the
+  link's loss probability; a dropped message triggers, after
+  ``loss_detection_delay`` real time units, the sender's
+  ``on_loss_detected`` hook - the paper's assumed detection mechanism.
+  Successful deliveries trigger ``on_delivery_confirmed`` at the sender.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.csa_base import Estimator
+from ..core.errors import SimulationError
+from ..core.events import Event, EventId, EventKind, ProcessorId
+from .clock import ClockModel
+from .network import LinkConfig, Network
+from .trace import ExecutionTrace
+
+__all__ = ["Message", "SimProcessor", "Simulation"]
+
+#: minimal spacing forced between same-processor events and FIFO arrivals
+_NUDGE = 1e-9
+
+
+@dataclass
+class Message:
+    """An in-flight application message with its piggybacked CSA payloads."""
+
+    send_event: Event
+    payloads: Dict[str, object]
+    info: object = None
+
+
+@dataclass
+class SimProcessor:
+    """Run-time state of one simulated processor."""
+
+    name: ProcessorId
+    clock: ClockModel
+    estimators: Dict[str, Estimator] = field(default_factory=dict)
+    next_seq: int = 0
+    last_event_rt: float = float("-inf")
+    last_event_lt: float = float("-inf")
+
+    def make_event(
+        self,
+        rt: float,
+        kind: EventKind,
+        *,
+        dest: Optional[ProcessorId] = None,
+        send_eid: Optional[EventId] = None,
+    ) -> Tuple[Event, float]:
+        """Create this processor's next event at (approximately) ``rt``.
+
+        Returns ``(event, actual_rt)``; ``actual_rt`` may be nudged forward
+        to keep per-processor real times (hence local times) strictly
+        increasing.
+        """
+        if rt <= self.last_event_rt:
+            rt = self.last_event_rt + _NUDGE
+        lt = self.clock.lt(rt)
+        if lt <= self.last_event_lt:
+            raise SimulationError(
+                f"clock of {self.name!r} not strictly increasing at rt={rt}"
+            )
+        event = Event(
+            eid=EventId(self.name, self.next_seq),
+            lt=lt,
+            kind=kind,
+            dest=dest,
+            send_eid=send_eid,
+        )
+        self.next_seq += 1
+        self.last_event_rt = rt
+        self.last_event_lt = lt
+        return event, rt
+
+
+class Simulation:
+    """The simulator: one network, one workload-driven execution."""
+
+    def __init__(
+        self,
+        network: Network,
+        *,
+        seed: int = 0,
+        loss_detection_delay: float = 5.0,
+        confirm_deliveries: bool = False,
+    ):
+        self.network = network
+        self.spec = network.spec
+        self.rng = random.Random(seed)
+        self.trace = ExecutionTrace()
+        self.loss_detection_delay = loss_detection_delay
+        #: whether to signal on_delivery_confirmed (needed by unreliable-mode
+        #: estimators; reliable runs skip the bookkeeping)
+        self.confirm_deliveries = confirm_deliveries
+        self.now = 0.0
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._tiebreak = itertools.count()
+        self.processors: Dict[ProcessorId, SimProcessor] = {
+            name: SimProcessor(name, network.clocks[name])
+            for name in network.processors
+        }
+        #: last scheduled arrival per directed link, for FIFO clamping
+        self._last_arrival: Dict[Tuple[ProcessorId, ProcessorId], float] = {}
+        #: workload hook invoked at each delivery: fn(sim, receive_event, info)
+        self.on_message: Optional[Callable[["Simulation", Event, object], None]] = None
+        #: workload hook invoked on each detected loss: fn(sim, send_event, info)
+        self.on_loss: Optional[Callable[["Simulation", Event, object], None]] = None
+        self.messages_sent = 0
+        self.messages_lost = 0
+
+    # -- setup -------------------------------------------------------------------
+
+    def attach_estimators(
+        self, name: str, factory: Callable[[ProcessorId, object], Estimator]
+    ) -> None:
+        """Create one estimator per processor under payload channel ``name``."""
+        for proc in self.processors.values():
+            if name in proc.estimators:
+                raise SimulationError(f"estimator channel {name!r} already attached")
+            proc.estimators[name] = factory(proc.name, self.spec)
+
+    def estimator(self, proc: ProcessorId, name: str) -> Estimator:
+        return self.processors[proc].estimators[name]
+
+    # -- scheduling ----------------------------------------------------------------
+
+    def schedule_at(self, rt: float, action: Callable[[], None]) -> None:
+        if rt < self.now:
+            raise SimulationError(f"cannot schedule in the past ({rt} < {self.now})")
+        heapq.heappush(self._queue, (rt, next(self._tiebreak), action))
+
+    def schedule_after(self, delay: float, action: Callable[[], None]) -> None:
+        self.schedule_at(self.now + delay, action)
+
+    def schedule_local(
+        self, proc: ProcessorId, lt: float, action: Callable[[], None]
+    ) -> None:
+        """Schedule an action when ``proc``'s own clock shows ``lt``."""
+        rt = self.processors[proc].clock.rt(lt)
+        self.schedule_at(rt, action)
+
+    def local_time(self, proc: ProcessorId) -> float:
+        return self.processors[proc].clock.lt(self.now)
+
+    # -- event generation --------------------------------------------------------------
+
+    def internal_event(self, proc: ProcessorId) -> Event:
+        """An internal point at ``proc`` (used to raise relative system speed)."""
+        sp = self.processors[proc]
+        event, rt = sp.make_event(self.now, EventKind.INTERNAL)
+        self.trace.record(event, rt)
+        for estimator in sp.estimators.values():
+            estimator.on_internal(event)
+        return event
+
+    def send(self, src: ProcessorId, dest: ProcessorId, info: object = None) -> Event:
+        """Send an application message now; returns the send event."""
+        link = self.network.link_between(src, dest)
+        sp = self.processors[src]
+        send_event, send_rt = sp.make_event(self.now, EventKind.SEND, dest=dest)
+        self.trace.record(send_event, send_rt)
+        payloads = {
+            name: estimator.on_send(send_event)
+            for name, estimator in sp.estimators.items()
+        }
+        message = Message(send_event=send_event, payloads=payloads, info=info)
+        self.messages_sent += 1
+        if link.loss_prob > 0 and self.rng.random() < link.loss_prob:
+            self.messages_lost += 1
+            self.schedule_after(
+                self.loss_detection_delay, lambda: self._detect_loss(message)
+            )
+            return send_event
+        arrival = self._fifo_arrival(src, dest, send_rt, link)
+        self.schedule_at(arrival, lambda: self._deliver(message, arrival))
+        return send_event
+
+    def _fifo_arrival(
+        self, src: ProcessorId, dest: ProcessorId, send_rt: float, link: LinkConfig
+    ) -> float:
+        spec = link.spec_for(src)
+        span = spec.slack if spec.is_bounded else link.unbounded_span
+        # sample with a small interior margin so FIFO nudges stay in spec
+        margin = 0.02 * span
+        delay = spec.lower + margin + self.rng.random() * max(span - 2 * margin, 0.0)
+        arrival = send_rt + delay
+        key = (src, dest)
+        floor = self._last_arrival.get(key, -1.0) + _NUDGE
+        if arrival < floor:
+            arrival = floor
+        if spec.is_bounded and arrival > send_rt + spec.upper:
+            previous = self._last_arrival.get(key, send_rt)
+            arrival = 0.5 * (previous + send_rt + spec.upper)
+            if arrival <= previous:
+                raise SimulationError(
+                    f"cannot schedule FIFO arrival on {key} within transit spec"
+                )
+        if arrival < send_rt + spec.lower:
+            raise SimulationError(
+                f"arrival violates transit lower bound on {key}"
+            )
+        self._last_arrival[key] = arrival
+        return arrival
+
+    def _deliver(self, message: Message, arrival: float) -> None:
+        send_event = message.send_event
+        dest = send_event.dest
+        dp = self.processors[dest]
+        receive_event, recv_rt = dp.make_event(
+            arrival, EventKind.RECEIVE, send_eid=send_event.eid
+        )
+        self.trace.record(receive_event, recv_rt)
+        for name, estimator in dp.estimators.items():
+            estimator.on_receive(receive_event, message.payloads.get(name))
+        if self.confirm_deliveries:
+            for estimator in self.processors[send_event.proc].estimators.values():
+                estimator.on_delivery_confirmed(send_event.eid)
+        if self.on_message is not None:
+            self.on_message(self, receive_event, message.info)
+
+    def _detect_loss(self, message: Message) -> None:
+        send_event = message.send_event
+        self.trace.record_lost(send_event.eid)
+        for estimator in self.processors[send_event.proc].estimators.values():
+            estimator.on_loss_detected(send_event.eid)
+        if self.on_loss is not None:
+            self.on_loss(self, send_event, message.info)
+
+    # -- main loop -----------------------------------------------------------------
+
+    def run_until(self, rt_limit: float, *, max_actions: Optional[int] = None) -> int:
+        """Process queued actions until ``rt_limit``; returns actions executed."""
+        executed = 0
+        while self._queue and self._queue[0][0] <= rt_limit:
+            if max_actions is not None and executed >= max_actions:
+                break
+            rt, _tie, action = heapq.heappop(self._queue)
+            self.now = rt
+            action()
+            executed += 1
+        self.now = max(self.now, rt_limit)
+        return executed
+
+    def pending_actions(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,201 @@
+"""Network topology for the simulator: processors, links, delay models.
+
+A :class:`Network` bundles
+
+* one :class:`~repro.sim.clock.ClockModel` per processor (the source gets
+  a :class:`~repro.sim.clock.PerfectClock`),
+* one :class:`LinkConfig` per link: per-direction transit specs, the
+  *actual* delay distribution (which must lie inside the spec), and an
+  independent loss probability,
+
+and derives the static :class:`~repro.core.specs.SystemSpec` that all
+estimators interpret timestamps against.
+
+Links are FIFO per direction: the Figure 2 watermark accounting (like any
+vector-clock scheme) relies on reports over one link arriving in send
+order, and the paper's reliable-communication model is read accordingly.
+The engine enforces FIFO delivery by scheduling; see
+:meth:`LinkConfig.sample_delay` and the engine's arrival clamping.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.errors import SimulationError, SpecificationError
+from ..core.events import LinkId, ProcessorId, link_id
+from ..core.specs import DriftSpec, SystemSpec, TransitSpec
+from .clock import ClockModel, PerfectClock
+
+__all__ = ["LinkConfig", "Network", "topologies"]
+
+
+@dataclass
+class LinkConfig:
+    """One bidirectional link: specs, true delay behaviour, loss.
+
+    ``transit`` is the advertised per-direction spec (a single spec applies
+    to both directions unless ``transit_back`` is given, keyed as
+    ``a -> b`` and ``b -> a`` respectively).  The *actual* delays are drawn
+    uniformly from ``[lower, lower + span]`` where ``span`` is the spec
+    slack when finite, else ``unbounded_span``; the draw always satisfies
+    the spec, which the engine asserts.
+    """
+
+    a: ProcessorId
+    b: ProcessorId
+    transit: TransitSpec = field(default_factory=TransitSpec.unbounded)
+    transit_back: Optional[TransitSpec] = None
+    loss_prob: float = 0.0
+    #: width of the actual-delay band used when the spec upper bound is inf
+    unbounded_span: float = 1.0
+
+    def __post_init__(self):
+        if self.a == self.b:
+            raise SimulationError(f"link endpoints must differ, got {self.a!r}")
+        if not (0 <= self.loss_prob < 1):
+            raise SimulationError(f"loss probability must be in [0, 1), got {self.loss_prob}")
+        if self.unbounded_span <= 0:
+            raise SimulationError("unbounded_span must be positive")
+
+    @property
+    def lid(self) -> LinkId:
+        return link_id(self.a, self.b)
+
+    def spec_for(self, sender: ProcessorId) -> TransitSpec:
+        if sender == self.a:
+            return self.transit
+        if sender == self.b:
+            return self.transit_back if self.transit_back is not None else self.transit
+        raise SimulationError(f"{sender!r} is not an endpoint of link {self.lid}")
+
+    def sample_delay(self, sender: ProcessorId, rng: random.Random) -> float:
+        spec = self.spec_for(sender)
+        span = spec.slack if spec.is_bounded else self.unbounded_span
+        return spec.lower + rng.random() * span
+
+    def to_spec_entry(self) -> Tuple[LinkId, Dict[ProcessorId, TransitSpec]]:
+        back = self.transit_back if self.transit_back is not None else self.transit
+        return self.lid, {self.a: self.transit, self.b: back}
+
+
+class Network:
+    """Topology plus true clock/delay behaviour; derives the SystemSpec."""
+
+    def __init__(
+        self,
+        source: ProcessorId,
+        clocks: Dict[ProcessorId, ClockModel],
+        links: Iterable[LinkConfig],
+    ):
+        clocks = dict(clocks)
+        clocks.setdefault(source, PerfectClock())
+        if not isinstance(clocks[source], PerfectClock):
+            raise SimulationError(
+                "the source processor's clock must be a PerfectClock "
+                "(the source defines real time)"
+            )
+        self.source = source
+        self.clocks = clocks
+        self.links: Dict[LinkId, LinkConfig] = {}
+        for link in links:
+            if link.lid in self.links:
+                raise SimulationError(f"duplicate link {link.lid}")
+            for endpoint in link.lid:
+                if endpoint not in clocks:
+                    raise SimulationError(
+                        f"link {link.lid} references unknown processor {endpoint!r}"
+                    )
+            self.links[link.lid] = link
+        transit_entries = dict(cfg.to_spec_entry() for cfg in self.links.values())
+        self.spec = SystemSpec(
+            source=source,
+            drift={p: c.advertised for p, c in clocks.items()},
+            transit=transit_entries,
+        )
+
+    @property
+    def processors(self) -> Tuple[ProcessorId, ...]:
+        return tuple(sorted(self.clocks))
+
+    def link_between(self, u: ProcessorId, v: ProcessorId) -> LinkConfig:
+        try:
+            return self.links[link_id(u, v)]
+        except KeyError:
+            raise SimulationError(f"no link between {u!r} and {v!r}") from None
+
+    def neighbors(self, proc: ProcessorId) -> Tuple[ProcessorId, ...]:
+        return self.spec.neighbors(proc)
+
+
+class topologies:
+    """Factory helpers producing ``(processor_names, link_pairs)`` shapes.
+
+    Processor 0 is conventionally the source.  These are plain structural
+    helpers; clock and link behaviour is layered on by the runner.
+    """
+
+    @staticmethod
+    def line(n: int) -> Tuple[List[ProcessorId], List[Tuple[ProcessorId, ProcessorId]]]:
+        names = [f"p{i}" for i in range(n)]
+        return names, [(names[i], names[i + 1]) for i in range(n - 1)]
+
+    @staticmethod
+    def ring(n: int) -> Tuple[List[ProcessorId], List[Tuple[ProcessorId, ProcessorId]]]:
+        names = [f"p{i}" for i in range(n)]
+        pairs = [(names[i], names[(i + 1) % n]) for i in range(n)]
+        return names, pairs
+
+    @staticmethod
+    def star(n: int) -> Tuple[List[ProcessorId], List[Tuple[ProcessorId, ProcessorId]]]:
+        """A hub (``p0``) with ``n - 1`` leaves."""
+        names = [f"p{i}" for i in range(n)]
+        return names, [(names[0], names[i]) for i in range(1, n)]
+
+    @staticmethod
+    def grid(rows: int, cols: int) -> Tuple[List[ProcessorId], List[Tuple[ProcessorId, ProcessorId]]]:
+        names = [f"p{r}_{c}" for r in range(rows) for c in range(cols)]
+
+        def name(r, c):
+            return f"p{r}_{c}"
+
+        pairs = []
+        for r in range(rows):
+            for c in range(cols):
+                if c + 1 < cols:
+                    pairs.append((name(r, c), name(r, c + 1)))
+                if r + 1 < rows:
+                    pairs.append((name(r, c), name(r + 1, c)))
+        return names, pairs
+
+    @staticmethod
+    def random_connected(
+        n: int, extra_edges: int, seed: int
+    ) -> Tuple[List[ProcessorId], List[Tuple[ProcessorId, ProcessorId]]]:
+        """A random tree plus ``extra_edges`` random chords (deterministic)."""
+        rng = random.Random(seed)
+        names = [f"p{i}" for i in range(n)]
+        pairs = []
+        for i in range(1, n):
+            parent = rng.randrange(i)
+            pairs.append((names[parent], names[i]))
+        existing = {link_id(u, v) for u, v in pairs}
+        attempts = 0
+        while extra_edges > 0 and attempts < 100 * (extra_edges + 1):
+            attempts += 1
+            u, v = rng.sample(names, 2)
+            lid = link_id(u, v)
+            if lid in existing:
+                continue
+            existing.add(lid)
+            pairs.append((u, v))
+            extra_edges -= 1
+        return names, pairs
+
+    @staticmethod
+    def tree(n: int, fanout: int) -> Tuple[List[ProcessorId], List[Tuple[ProcessorId, ProcessorId]]]:
+        names = [f"p{i}" for i in range(n)]
+        pairs = [(names[(i - 1) // fanout], names[i]) for i in range(1, n)]
+        return names, pairs

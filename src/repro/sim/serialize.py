@@ -1,0 +1,193 @@
+"""Persistence: traces, specs, and samples to/from JSON.
+
+Reproducibility plumbing: a finished run can be archived as a JSON
+document (events with real and local times, lost messages, the full
+specification) and re-hydrated later into an :class:`ExecutionTrace` and
+:class:`SystemSpec` for offline analysis — re-running the claim checkers,
+re-querying optimal bounds at historical points, or diffing two runs —
+without re-simulating.
+
+The format is versioned and intentionally flat; see :data:`FORMAT_VERSION`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List, Optional, Tuple
+
+from ..core.errors import SpecificationError
+from ..core.events import Event, EventId, EventKind
+from ..core.specs import DriftSpec, SystemSpec, TransitSpec
+from .runner import EstimateSample
+from .trace import ExecutionTrace
+
+__all__ = [
+    "FORMAT_VERSION",
+    "trace_to_dict",
+    "trace_from_dict",
+    "spec_to_dict",
+    "spec_from_dict",
+    "samples_to_dicts",
+    "dump_run",
+    "load_run",
+]
+
+FORMAT_VERSION = 1
+
+
+def _num(value: float):
+    """JSON-safe float: infinities become strings."""
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return value
+
+
+def _unnum(value) -> float:
+    if value == "inf":
+        return math.inf
+    if value == "-inf":
+        return -math.inf
+    return float(value)
+
+
+# -- traces ---------------------------------------------------------------------------
+
+
+def trace_to_dict(trace: ExecutionTrace) -> Dict:
+    events = []
+    for record in trace:
+        event = record.event
+        entry = {
+            "proc": event.proc,
+            "seq": event.seq,
+            "lt": event.lt,
+            "rt": record.rt,
+            "kind": event.kind.value,
+        }
+        if event.is_send:
+            entry["dest"] = event.dest
+        if event.is_receive:
+            entry["send"] = [event.send_eid.proc, event.send_eid.seq]
+        events.append(entry)
+    return {
+        "version": FORMAT_VERSION,
+        "events": events,
+        "lost": sorted([eid.proc, eid.seq] for eid in trace.lost_sends),
+    }
+
+
+def trace_from_dict(data: Dict) -> ExecutionTrace:
+    if data.get("version") != FORMAT_VERSION:
+        raise SpecificationError(
+            f"unsupported trace format version {data.get('version')!r}"
+        )
+    trace = ExecutionTrace()
+    for entry in data["events"]:
+        kind = EventKind(entry["kind"])
+        send_eid = None
+        if kind is EventKind.RECEIVE:
+            proc, seq = entry["send"]
+            send_eid = EventId(proc, seq)
+        event = Event(
+            eid=EventId(entry["proc"], entry["seq"]),
+            lt=entry["lt"],
+            kind=kind,
+            dest=entry.get("dest"),
+            send_eid=send_eid,
+        )
+        trace.record(event, entry["rt"])
+    for proc, seq in data.get("lost", []):
+        trace.record_lost(EventId(proc, seq))
+    return trace
+
+
+# -- specs ----------------------------------------------------------------------------
+
+
+def spec_to_dict(spec: SystemSpec) -> Dict:
+    return {
+        "version": FORMAT_VERSION,
+        "source": spec.source,
+        "drift": {
+            proc: [drift.alpha, drift.beta] for proc, drift in spec.drift.items()
+        },
+        "transit": [
+            {
+                "link": list(lid),
+                "directions": {
+                    sender: [ts.lower, _num(ts.upper)]
+                    for sender, ts in directions.items()
+                },
+            }
+            for lid, directions in spec.transit.items()
+        ],
+    }
+
+
+def spec_from_dict(data: Dict) -> SystemSpec:
+    if data.get("version") != FORMAT_VERSION:
+        raise SpecificationError(
+            f"unsupported spec format version {data.get('version')!r}"
+        )
+    drift = {
+        proc: DriftSpec(alpha, beta)
+        for proc, (alpha, beta) in data["drift"].items()
+    }
+    transit = {}
+    for entry in data["transit"]:
+        u, v = entry["link"]
+        transit[(u, v)] = {
+            sender: TransitSpec(lower, _unnum(upper))
+            for sender, (lower, upper) in entry["directions"].items()
+        }
+    return SystemSpec(source=data["source"], drift=drift, transit=transit)
+
+
+# -- samples --------------------------------------------------------------------------
+
+
+def samples_to_dicts(samples: List[EstimateSample]) -> List[Dict]:
+    return [
+        {
+            "rt": sample.rt,
+            "proc": sample.proc,
+            "channel": sample.channel,
+            "lower": _num(sample.bound.lower),
+            "upper": _num(sample.bound.upper),
+            "truth": sample.truth,
+        }
+        for sample in samples
+    ]
+
+
+# -- whole runs -----------------------------------------------------------------------
+
+
+def dump_run(result, path: str) -> None:
+    """Archive a :class:`~repro.sim.runner.RunResult` as one JSON file."""
+    document = {
+        "version": FORMAT_VERSION,
+        "spec": spec_to_dict(result.sim.spec),
+        "trace": trace_to_dict(result.trace),
+        "samples": samples_to_dicts(result.samples),
+        "messages_sent": result.sim.messages_sent,
+        "messages_lost": result.sim.messages_lost,
+    }
+    with open(path, "w") as handle:
+        json.dump(document, handle)
+
+
+def load_run(path: str) -> Tuple[SystemSpec, ExecutionTrace, List[Dict]]:
+    """Re-hydrate an archived run: (spec, trace, raw sample dicts)."""
+    with open(path) as handle:
+        document = json.load(handle)
+    if document.get("version") != FORMAT_VERSION:
+        raise SpecificationError(
+            f"unsupported run format version {document.get('version')!r}"
+        )
+    return (
+        spec_from_dict(document["spec"]),
+        trace_from_dict(document["trace"]),
+        document["samples"],
+    )

@@ -1,0 +1,174 @@
+"""Execution traces: the analyst's omniscient record of a simulation run.
+
+The trace stores what the paper's *analysis* sees but the processors do
+not: the real time of every event.  It powers the test oracles -
+
+* building the global view (and any local view from any point),
+* checking that the simulated execution satisfies its own specification
+  (:func:`repro.core.theorem.check_execution`),
+* verifying estimate soundness against true real times, and
+* recomputing liveness and optimal bounds from scratch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..core.errors import SimulationError, UnknownEventError
+from ..core.events import Event, EventId, ProcessorId
+from ..core.view import View
+
+__all__ = ["TracedEvent", "ExecutionTrace"]
+
+
+@dataclass(frozen=True)
+class TracedEvent:
+    event: Event
+    rt: float
+
+
+class ExecutionTrace:
+    """Chronological record of all events with their real occurrence times."""
+
+    def __init__(self):
+        self._records: List[TracedEvent] = []
+        self._rt: Dict[EventId, float] = {}
+        self._events: Dict[EventId, Event] = {}
+        self._lost_sends: Set[EventId] = set()
+        self._last_rt = -1.0
+
+    # -- recording ----------------------------------------------------------------
+
+    def record(self, event: Event, rt: float) -> None:
+        if event.eid in self._rt:
+            raise SimulationError(f"event {event.eid} traced twice")
+        if rt < self._last_rt:
+            raise SimulationError(
+                f"trace not chronological: {rt} after {self._last_rt}"
+            )
+        self._records.append(TracedEvent(event, rt))
+        self._rt[event.eid] = rt
+        self._events[event.eid] = event
+        self._last_rt = rt
+
+    def record_lost(self, send_eid: EventId) -> None:
+        if send_eid not in self._rt:
+            raise SimulationError(f"lost message for untraced send {send_eid}")
+        self._lost_sends.add(send_eid)
+
+    # -- access --------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TracedEvent]:
+        return iter(self._records)
+
+    def rt_of(self, eid: EventId) -> float:
+        try:
+            return self._rt[eid]
+        except KeyError:
+            raise UnknownEventError(f"event {eid} not in trace") from None
+
+    def event(self, eid: EventId) -> Event:
+        try:
+            return self._events[eid]
+        except KeyError:
+            raise UnknownEventError(f"event {eid} not in trace") from None
+
+    @property
+    def lost_sends(self) -> Set[EventId]:
+        return set(self._lost_sends)
+
+    @property
+    def real_times(self) -> Dict[EventId, float]:
+        return dict(self._rt)
+
+    def events_of(self, proc: ProcessorId) -> List[TracedEvent]:
+        return [r for r in self._records if r.event.proc == proc]
+
+    def event_count(self, proc: Optional[ProcessorId] = None) -> int:
+        if proc is None:
+            return len(self._records)
+        return sum(1 for r in self._records if r.event.proc == proc)
+
+    # -- derived structures -----------------------------------------------------------
+
+    def global_view(self) -> View:
+        """The whole execution as a view (insertion order is chronological,
+        which is a valid topological order)."""
+        view = View()
+        for record in self._records:
+            view.add(record.event)
+        return view
+
+    def local_view(self, point: EventId) -> View:
+        """The local view from ``point`` - the oracle for Lemma 3.1."""
+        return self.global_view().view_from(point)
+
+    # -- complexity accounting ----------------------------------------------------------
+
+    def relative_system_speed(self) -> int:
+        """Empirical ``K1``: max events system-wide strictly between two
+        consecutive events of the same processor.
+
+        Lemma 3.3 and Theorem 3.6 parameterise complexity by this number.
+        """
+        worst = 0
+        last_index: Dict[ProcessorId, int] = {}
+        for index, record in enumerate(self._records):
+            proc = record.event.proc
+            if proc in last_index:
+                between = index - last_index[proc] - 1
+                worst = max(worst, between)
+            last_index[proc] = index
+        return worst
+
+    def link_send_speed(self) -> int:
+        """Empirical ``K1`` in the Lemma 3.3 sense: max events system-wide
+        strictly between two successive send events on the same link
+        (either direction).
+
+        Lemma 3.3 bounds ``|H_v|`` by ``O(K1 * (D + 1))`` with this
+        parameter; Theorem 3.6 uses the per-processor variant
+        (:meth:`relative_system_speed`).
+        """
+        worst = 0
+        last_index: Dict[Tuple[ProcessorId, ProcessorId], int] = {}
+        for index, record in enumerate(self._records):
+            event = record.event
+            if not event.is_send:
+                continue
+            lid = event.link
+            if lid in last_index:
+                worst = max(worst, index - last_index[lid] - 1)
+            last_index[lid] = index
+        return worst
+
+    def link_asymmetry(self) -> int:
+        """Empirical ``K2``: max sends one way on a link between two
+        consecutive sends the other way (Lemma 4.1)."""
+        worst = 0
+        # per directed link: run length of consecutive sends in that direction
+        run: Dict[Tuple[ProcessorId, ProcessorId], int] = {}
+        for record in self._records:
+            event = record.event
+            if not event.is_send:
+                continue
+            forward = (event.proc, event.dest)
+            backward = (event.dest, event.proc)
+            run[forward] = run.get(forward, 0) + 1
+            run[backward] = 0
+            worst = max(worst, run[forward])
+        return worst
+
+    def max_live_points(self) -> int:
+        """Peak of |live points| over the growing global view (oracle for
+        Lemma 4.1), ignoring loss flags."""
+        view = View()
+        worst = 0
+        for record in self._records:
+            view.add(record.event)
+            worst = max(worst, len(view.live_points()))
+        return worst

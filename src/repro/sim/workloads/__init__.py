@@ -1,0 +1,35 @@
+"""Send modules (Sec 2.2): the traffic patterns the passive CSAs ride on.
+
+The paper separates the *send module*, which decides when messages flow,
+from the CSA, which only annotates them.  Each workload here is a send
+module:
+
+* :class:`~repro.sim.workloads.periodic.PeriodicGossip` - every processor
+  messages each neighbor periodically on its own clock; the generic
+  pattern used by most experiments.
+* :mod:`~repro.sim.workloads.ntp` - the NTP-like server hierarchy of
+  Sec 4: levelled time servers polled by RPC every ``C`` minutes.
+* :mod:`~repro.sim.workloads.cristian` - Cristian-style probabilistic
+  synchronization: clients fire bursts of round-trip probes whenever their
+  bound drifts loose.
+* :class:`~repro.sim.workloads.random_traffic.RandomTraffic` - Poisson
+  traffic on random links, for property-style fuzzing of the protocol.
+"""
+
+from .adaptive import AdaptivePolling
+from .bursty import AsymmetricPing
+from .periodic import PeriodicGossip
+from .random_traffic import RandomTraffic
+from .ntp import NTPWorkload, make_ntp_system
+from .cristian import CristianWorkload, make_cristian_system
+
+__all__ = [
+    "AdaptivePolling",
+    "AsymmetricPing",
+    "PeriodicGossip",
+    "RandomTraffic",
+    "NTPWorkload",
+    "make_ntp_system",
+    "CristianWorkload",
+    "make_cristian_system",
+]

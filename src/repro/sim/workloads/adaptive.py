@@ -1,0 +1,87 @@
+"""Adaptive polling: spend messages only when the bound needs them.
+
+NTP famously adapts its poll interval (RFC 1305's poll-adjust): stable
+peers get polled less often.  With *certified* intervals the adaptation
+becomes principled - the client knows exactly how loose its bound is:
+
+* width above ``high_water``  -> halve the poll interval (more traffic);
+* width below ``low_water``   -> double it (less traffic);
+
+bounded to ``[min_interval, max_interval]``.  Experiment X2 compares this
+against fixed-rate polling: matching accuracy for a fraction of the
+messages, the practical payoff of optimal bounds the paper's efficiency
+result makes affordable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ...core.events import Event, ProcessorId
+from ..engine import Simulation
+
+__all__ = ["AdaptivePolling"]
+
+_REQUEST = "adaptive-request"
+_RESPONSE = "adaptive-response"
+
+
+@dataclass
+class AdaptivePolling:
+    """Width-driven poll-interval adaptation for a client/server set.
+
+    ``servers`` maps each polling processor to the processor it polls
+    (the server replies immediately upon request, RPC style).
+    """
+
+    servers: Dict[ProcessorId, ProcessorId]
+    low_water: float = 0.02
+    high_water: float = 0.06
+    min_interval: float = 2.0
+    max_interval: float = 64.0
+    start_interval: float = 8.0
+    monitor_channel: str = "efficient"
+    seed: int = 0
+    #: current per-client interval (observable by experiments)
+    intervals: Dict[ProcessorId, float] = field(default_factory=dict)
+
+    def install(self, sim: Simulation) -> None:
+        rng = random.Random(self.seed)
+        previous_hook = sim.on_message
+
+        def on_message(sim_: Simulation, receive_event: Event, info: object) -> None:
+            if info == _REQUEST:
+                requester = receive_event.send_eid.proc
+                sim_.send(receive_event.proc, requester, _RESPONSE)
+            if previous_hook is not None:
+                previous_hook(sim_, receive_event, info)
+
+        sim.on_message = on_message
+        for client in sorted(self.servers):
+            self.intervals[client] = self.start_interval
+            phase = rng.uniform(0.1, 1.0) * self.start_interval
+            self._schedule_poll(sim, client, phase)
+
+    def _adapt(self, sim: Simulation, client: ProcessorId) -> None:
+        estimator = sim.estimator(client, self.monitor_channel)
+        width = estimator.estimate_now(sim.local_time(client)).width
+        interval = self.intervals[client]
+        if width > self.high_water:
+            interval = max(self.min_interval, interval / 2)
+        elif width < self.low_water:
+            interval = min(self.max_interval, interval * 2)
+        self.intervals[client] = interval
+
+    def _schedule_poll(
+        self, sim: Simulation, client: ProcessorId, delay_lt: float
+    ) -> None:
+        target_lt = sim.local_time(client) + delay_lt
+
+        def fire():
+            sim.send(client, self.servers[client], _REQUEST)
+            self._adapt(sim, client)
+            self._schedule_poll(sim, client, self.intervals[client])
+
+        sim.schedule_local(client, target_lt, fire)

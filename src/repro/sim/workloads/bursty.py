@@ -1,0 +1,72 @@
+"""Asymmetric ping: a workload with a controlled ``K2``.
+
+Lemma 4.1 bounds live points by ``O(K2 |E|)`` where ``K2`` is the maximum
+number of sends one way on a link between two consecutive sends the other
+way.  To *measure* that bound we need traffic whose ``K2`` is a dial: on
+every link, one endpoint fires a burst of exactly ``burst`` messages, then
+the other endpoint replies once, then the cycle repeats.  The empirical
+``K2`` of such a run is ``burst`` (the reply resets the run-length), and
+each link can hold up to ``burst + 1`` undelivered sends at a time.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Tuple
+
+from ...core.events import Event, ProcessorId
+from ..engine import Simulation
+
+__all__ = ["AsymmetricPing"]
+
+_REPLY_DUE = "bursty-reply-due"
+
+
+@dataclass
+class AsymmetricPing:
+    """Per link: ``burst`` sends ``a -> b``, one reply ``b -> a``, repeat."""
+
+    burst: int = 2
+    gap: float = 0.5
+    cycle_pause: float = 2.0
+    seed: int = 0
+
+    def install(self, sim: Simulation) -> None:
+        rng = random.Random(self.seed)
+        previous_hook = sim.on_message
+
+        def on_message(sim_: Simulation, receive_event: Event, info: object) -> None:
+            if info == _REPLY_DUE:
+                origin = receive_event.send_eid.proc
+                sim_.send(receive_event.proc, origin, None)
+            if previous_hook is not None:
+                previous_hook(sim_, receive_event, info)
+
+        sim.on_message = on_message
+        for u, v in sorted(sim.network.links):
+            phase = rng.uniform(0.1, 1.0) * self.cycle_pause
+            self._schedule_cycle(sim, u, v, phase)
+
+    def _schedule_cycle(
+        self, sim: Simulation, a: ProcessorId, b: ProcessorId, delay: float
+    ) -> None:
+        def start_cycle():
+            self._fire_burst(sim, a, b, self.burst)
+
+        sim.schedule_after(delay, start_cycle)
+
+    def _fire_burst(
+        self, sim: Simulation, a: ProcessorId, b: ProcessorId, remaining: int
+    ) -> None:
+        # the last message of the burst asks b to reply once
+        info = _REPLY_DUE if remaining == 1 else None
+        sim.send(a, b, info)
+        if remaining > 1:
+            sim.schedule_after(
+                self.gap, lambda: self._fire_burst(sim, a, b, remaining - 1)
+            )
+        else:
+            sim.schedule_after(
+                self.cycle_pause, lambda: self._fire_burst(sim, a, b, self.burst)
+            )

@@ -1,0 +1,184 @@
+"""Cristian-style probabilistic synchronization traffic (Sec 4).
+
+Cristian's observation [5]: link delays behave probabilistically, and a
+quick round trip - which yields a tight bound - is likely within a few
+attempts.  A client that notices its synchronization interval has grown
+too loose (clock drift widens it between contacts) fires a *burst* of
+round-trip probes until the bound is tight again or the attempt budget is
+exhausted.
+
+The paper analyses this pattern with parameters ``p0`` (probability a
+succession of trials finishes quickly within time ``T``) and ``p1`` (the
+probability a processor loses synchronization at a given time), concluding
+``K1 = O(p1 |V| T)`` and ``K2 = 2``, hence ``O(|E|^2)`` complexity with
+high probability.  Experiment E7 measures ``K1``, ``K2`` and live points
+under this workload.
+
+The workload reads the *width* of a designated estimator channel - this is
+legal: the paper's send module may use CSA output; passivity only requires
+that the CSA itself not initiate traffic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...core.events import Event, ProcessorId
+from ...core.specs import TransitSpec
+from ..clock import PiecewiseDriftingClock
+from ..engine import Simulation
+from ..network import LinkConfig, Network
+
+__all__ = ["CristianWorkload", "make_cristian_system"]
+
+_PROBE = "cristian-probe"
+_REPLY = "cristian-reply"
+
+
+@dataclass
+class CristianWorkload:
+    """Width-triggered probe bursts from each client to its server.
+
+    Parameters
+    ----------
+    servers:
+        client -> the server it probes.
+    width_threshold:
+        Fire a burst when the monitored estimate's width exceeds this.
+    check_period:
+        Local-time interval between width checks at each client.
+    burst_gap:
+        Local-time gap between consecutive probes within a burst.
+    max_burst:
+        Probe budget per burst.
+    monitor_channel:
+        Name of the estimator channel whose width is monitored.
+    """
+
+    servers: Dict[ProcessorId, ProcessorId]
+    width_threshold: float = 0.05
+    check_period: float = 5.0
+    burst_gap: float = 0.2
+    max_burst: int = 8
+    monitor_channel: str = "efficient"
+    seed: int = 0
+    #: filled during the run: bursts fired per client
+    bursts: Dict[ProcessorId, int] = field(default_factory=dict)
+
+    def install(self, sim: Simulation) -> None:
+        rng = random.Random(self.seed)
+        self._in_burst: Dict[ProcessorId, int] = {}
+        previous_hook = sim.on_message
+
+        def on_message(sim_: Simulation, receive_event: Event, info: object) -> None:
+            if info == _PROBE:
+                prober = receive_event.send_eid.proc
+                sim_.send(receive_event.proc, prober, _REPLY)
+            elif info == _REPLY:
+                self._on_reply(sim_, receive_event.proc)
+            if previous_hook is not None:
+                previous_hook(sim_, receive_event, info)
+
+        sim.on_message = on_message
+        for client in sorted(self.servers):
+            self.bursts.setdefault(client, 0)
+            self._in_burst[client] = 0
+            phase = rng.uniform(0.1, 1.0) * self.check_period
+            self._schedule_check(sim, client, phase)
+
+    # -- width monitoring -----------------------------------------------------------
+
+    def _width(self, sim: Simulation, client: ProcessorId) -> float:
+        estimator = sim.estimator(client, self.monitor_channel)
+        return estimator.estimate_now(sim.local_time(client)).width
+
+    def _schedule_check(
+        self, sim: Simulation, client: ProcessorId, delay_lt: float
+    ) -> None:
+        target_lt = sim.local_time(client) + delay_lt
+
+        def fire():
+            if self._in_burst[client] == 0 and self._width(sim, client) > self.width_threshold:
+                self.bursts[client] = self.bursts.get(client, 0) + 1
+                self._in_burst[client] = self.max_burst
+                self._probe(sim, client)
+            self._schedule_check(sim, client, self.check_period)
+
+        sim.schedule_local(client, target_lt, fire)
+
+    # -- probing ---------------------------------------------------------------------
+
+    def _probe(self, sim: Simulation, client: ProcessorId) -> None:
+        self._in_burst[client] -= 1
+        sim.send(client, self.servers[client], _PROBE)
+
+    def _on_reply(self, sim: Simulation, client: ProcessorId) -> None:
+        if self._in_burst.get(client, 0) <= 0:
+            return
+        if self._width(sim, client) <= self.width_threshold:
+            self._in_burst[client] = 0
+            return
+
+        def fire():
+            if self._in_burst.get(client, 0) > 0:
+                self._probe(sim, client)
+
+        sim.schedule_local(client, sim.local_time(client) + self.burst_gap, fire)
+
+
+def make_cristian_system(
+    n_clients: int,
+    *,
+    width_threshold: float = 0.08,
+    check_period: float = 5.0,
+    drift_ppm: float = 200.0,
+    server_accuracy: Tuple[float, float] = (0.0005, 0.002),
+    link_delay: Tuple[float, float] = (0.002, 0.05),
+    seed: int = 0,
+    monitor_channel: str = "efficient",
+) -> Tuple[Network, CristianWorkload]:
+    """A two-level probabilistic system: one time server, many clients.
+
+    The server sits next to the source (standard time) over a
+    high-accuracy link and keeps itself synchronized by polling the source
+    periodically (folded into the same workload via a permanent "client"
+    role for the server against the source).
+    """
+    rng = random.Random(seed)
+    source = "source"
+    server = "server"
+    clocks = {
+        server: PiecewiseDriftingClock(
+            seed=rng.randrange(2**31),
+            r_min=1 - 20e-6,
+            r_max=1 + 20e-6,
+            offset=rng.uniform(-1.0, 1.0),
+        )
+    }
+    links = [
+        LinkConfig(source, server, transit=TransitSpec(server_accuracy[0], server_accuracy[1]))
+    ]
+    servers: Dict[ProcessorId, ProcessorId] = {server: source}
+    for i in range(n_clients):
+        name = f"client{i}"
+        clocks[name] = PiecewiseDriftingClock(
+            seed=rng.randrange(2**31),
+            r_min=1 - drift_ppm * 1e-6,
+            r_max=1 + drift_ppm * 1e-6,
+            offset=rng.uniform(-5.0, 5.0),
+        )
+        links.append(
+            LinkConfig(server, name, transit=TransitSpec(link_delay[0], link_delay[1]))
+        )
+        servers[name] = server
+    network = Network(source=source, clocks=clocks, links=links)
+    workload = CristianWorkload(
+        servers=servers,
+        width_threshold=width_threshold,
+        check_period=check_period,
+        seed=rng.randrange(2**31),
+        monitor_channel=monitor_channel,
+    )
+    return network, workload

@@ -1,0 +1,151 @@
+"""The NTP-like time-server hierarchy of Sec 4.
+
+The paper models NTP as a levelled system: an abstract source node stands
+for standard time, level-0 servers attach to it over links whose transit
+bounds represent those servers' accuracies, and each level-``k`` server
+periodically polls one or more level-``(k-1)`` servers by RPC, with poll
+period ``C`` minutes, ``1 <= C <= 16``.
+
+Under this pattern the paper claims ``K1 <= 16 |V|`` and ``K2 <= 2``
+(each request is answered before the next request on that link), giving
+the efficient algorithm ``O(|E|^2)`` space.  Experiment E6 measures all
+three quantities on this workload.
+
+:func:`make_ntp_system` builds the levelled topology (with clocks and
+links) and the matching workload in one call.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...core.events import Event, ProcessorId
+from ...core.specs import TransitSpec
+from ..clock import PiecewiseDriftingClock
+from ..engine import Simulation
+from ..network import LinkConfig, Network
+
+__all__ = ["NTPWorkload", "make_ntp_system"]
+
+_REQUEST = "ntp-request"
+_RESPONSE = "ntp-response"
+
+
+@dataclass
+class NTPWorkload:
+    """Each server polls each of its parents every ``poll_period`` local units.
+
+    A poll is a request message; the parent answers immediately upon
+    receipt (the RPC model of the paper).  ``poll_period`` corresponds to
+    the paper's ``C`` minutes - the experiments scale it freely.
+    """
+
+    #: child -> its parents (the servers it polls)
+    parents: Dict[ProcessorId, Tuple[ProcessorId, ...]]
+    poll_period: float = 60.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def install(self, sim: Simulation) -> None:
+        rng = random.Random(self.seed)
+        previous_hook = sim.on_message
+
+        def on_message(sim_: Simulation, receive_event: Event, info: object) -> None:
+            if info == _REQUEST:
+                requester = receive_event.send_eid.proc
+                sim_.send(receive_event.proc, requester, _RESPONSE)
+            if previous_hook is not None:
+                previous_hook(sim_, receive_event, info)
+
+        sim.on_message = on_message
+        for child, parent_list in sorted(self.parents.items()):
+            for parent in parent_list:
+                phase = rng.uniform(0.1, 1.0) * self.poll_period
+                self._schedule_poll(sim, rng, child, parent, phase)
+
+    def _schedule_poll(
+        self,
+        sim: Simulation,
+        rng: random.Random,
+        child: ProcessorId,
+        parent: ProcessorId,
+        delay_lt: float,
+    ) -> None:
+        target_lt = sim.local_time(child) + delay_lt
+
+        def fire():
+            sim.send(child, parent, _REQUEST)
+            interval = self.poll_period * (1 + self.jitter * (2 * rng.random() - 1))
+            self._schedule_poll(sim, rng, child, parent, max(interval, 1e-6))
+
+        sim.schedule_local(child, target_lt, fire)
+
+
+def make_ntp_system(
+    level_sizes: Sequence[int],
+    *,
+    parents_per_server: int = 2,
+    poll_period: float = 60.0,
+    drift_ppm: float = 100.0,
+    stratum0_accuracy: Tuple[float, float] = (0.0005, 0.002),
+    link_delay: Tuple[float, float] = (0.005, 0.06),
+    seed: int = 0,
+) -> Tuple[Network, NTPWorkload]:
+    """Build a levelled NTP-like system.
+
+    ``level_sizes[k]`` is the number of level-``k`` servers (level 0 are
+    the radio-clock servers attached directly to the abstract source).
+    Every server at level ``k >= 1`` links to and polls
+    ``parents_per_server`` distinct servers of level ``k - 1`` (or all of
+    them if fewer exist).  Level-0 servers poll the source itself over
+    high-accuracy links (``stratum0_accuracy`` transit bounds).
+    """
+    if not level_sizes or any(s <= 0 for s in level_sizes):
+        raise ValueError(f"level sizes must be positive, got {level_sizes!r}")
+    rng = random.Random(seed)
+    source = "source"
+    levels: List[List[ProcessorId]] = []
+    clocks = {}
+    for k, size in enumerate(level_sizes):
+        level = [f"s{k}_{i}" for i in range(size)]
+        levels.append(level)
+        for name in level:
+            clocks[name] = PiecewiseDriftingClock(
+                seed=rng.randrange(2**31),
+                r_min=1 - drift_ppm * 1e-6,
+                r_max=1 + drift_ppm * 1e-6,
+                offset=rng.uniform(-5.0, 5.0),
+            )
+    links: List[LinkConfig] = []
+    parents: Dict[ProcessorId, Tuple[ProcessorId, ...]] = {}
+    for name in levels[0]:
+        links.append(
+            LinkConfig(
+                source,
+                name,
+                transit=TransitSpec(stratum0_accuracy[0], stratum0_accuracy[1]),
+            )
+        )
+        parents[name] = (source,)
+    for k in range(1, len(levels)):
+        for name in levels[k]:
+            pool = levels[k - 1]
+            chosen = tuple(
+                sorted(rng.sample(pool, min(parents_per_server, len(pool))))
+            )
+            parents[name] = chosen
+            for parent in chosen:
+                links.append(
+                    LinkConfig(
+                        parent,
+                        name,
+                        transit=TransitSpec(link_delay[0], link_delay[1]),
+                    )
+                )
+    network = Network(source=source, clocks=clocks, links=links)
+    workload = NTPWorkload(
+        parents=parents, poll_period=poll_period, seed=rng.randrange(2**31)
+    )
+    return network, workload

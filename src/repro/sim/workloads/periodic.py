@@ -1,0 +1,96 @@
+"""Periodic gossip: each processor messages each neighbor on its own clock.
+
+This is the bread-and-butter send module.  Each (processor, neighbor) pair
+fires independently with a per-pair phase and a jittered local-time period,
+so traffic is steady but not lock-stepped.  Optional internal events let
+experiments inflate the *relative system speed* ``K1`` (events elsewhere
+between two events at one processor) without extra messages.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ...core.events import ProcessorId
+from ..engine import Simulation
+
+__all__ = ["PeriodicGossip"]
+
+
+@dataclass
+class PeriodicGossip:
+    """Send one message per (proc, neighbor) pair every ~``period`` local units.
+
+    Parameters
+    ----------
+    period:
+        Mean local-time interval between sends on each directed pair.
+    jitter:
+        Fractional uniform jitter applied to every interval (0 = strict).
+    seed:
+        Workload-private randomness (phases and jitter draws).
+    internal_per_period:
+        If positive, each processor additionally generates this many
+        internal events per period (on average), raising ``K1``.
+    until_lt:
+        Stop scheduling once a processor's local clock passes this value
+        (``None`` = keep going for the whole run).
+    """
+
+    period: float = 10.0
+    jitter: float = 0.2
+    seed: int = 0
+    internal_per_period: float = 0.0
+    until_lt: Optional[float] = None
+
+    def install(self, sim: Simulation) -> None:
+        rng = random.Random(self.seed)
+        for proc in sim.network.processors:
+            for neighbor in sim.network.neighbors(proc):
+                phase = rng.uniform(0.05, 1.0) * self.period
+                self._schedule_send(sim, rng, proc, neighbor, phase)
+            if self.internal_per_period > 0:
+                gap = self.period / self.internal_per_period
+                self._schedule_internal(sim, rng, proc, rng.uniform(0.05, 1.0) * gap)
+
+    # -- recurring actions -----------------------------------------------------------
+
+    def _schedule_send(
+        self,
+        sim: Simulation,
+        rng: random.Random,
+        proc: ProcessorId,
+        neighbor: ProcessorId,
+        delay_lt: float,
+    ) -> None:
+        target_lt = sim.local_time(proc) + delay_lt
+        if self.until_lt is not None and target_lt > self.until_lt:
+            return
+
+        def fire():
+            sim.send(proc, neighbor)
+            interval = self.period * (1 + self.jitter * (2 * rng.random() - 1))
+            self._schedule_send(sim, rng, proc, neighbor, max(interval, 1e-6))
+
+        sim.schedule_local(proc, target_lt, fire)
+
+    def _schedule_internal(
+        self,
+        sim: Simulation,
+        rng: random.Random,
+        proc: ProcessorId,
+        delay_lt: float,
+    ) -> None:
+        target_lt = sim.local_time(proc) + delay_lt
+        if self.until_lt is not None and target_lt > self.until_lt:
+            return
+        gap = self.period / self.internal_per_period
+
+        def fire():
+            sim.internal_event(proc)
+            interval = gap * (1 + self.jitter * (2 * rng.random() - 1))
+            self._schedule_internal(sim, rng, proc, max(interval, 1e-6))
+
+        sim.schedule_local(proc, target_lt, fire)

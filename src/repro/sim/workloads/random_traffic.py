@@ -1,0 +1,52 @@
+"""Poisson traffic on random directed links - the fuzzing send module.
+
+Used by property-based and integration tests: arbitrary interleavings of
+sends across the topology stress the history protocol's watermark
+accounting and the AGDP liveness bookkeeping far harder than regular
+patterns do.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ...core.events import ProcessorId
+from ..engine import Simulation
+
+__all__ = ["RandomTraffic"]
+
+
+@dataclass
+class RandomTraffic:
+    """Fire sends at global rate ``rate`` per real-time unit, on random links.
+
+    Each firing picks a uniformly random directed link.  With
+    ``internal_prob`` an internal event at a random processor is generated
+    instead of a send.
+    """
+
+    rate: float = 1.0
+    seed: int = 0
+    internal_prob: float = 0.0
+
+    def install(self, sim: Simulation) -> None:
+        rng = random.Random(self.seed)
+        directed: List[Tuple[ProcessorId, ProcessorId]] = []
+        for u, v in sim.network.links:
+            directed.append((u, v))
+            directed.append((v, u))
+        if not directed:
+            return
+
+        def fire():
+            if self.internal_prob > 0 and rng.random() < self.internal_prob:
+                proc = rng.choice(sorted(sim.network.processors))
+                sim.internal_event(proc)
+            else:
+                src, dest = directed[rng.randrange(len(directed))]
+                sim.send(src, dest)
+            sim.schedule_after(rng.expovariate(self.rate), fire)
+
+        sim.schedule_after(rng.expovariate(self.rate), fire)

@@ -1,0 +1,55 @@
+"""Tests for the executable claim checkers."""
+
+import pytest
+
+from repro.analysis import (
+    check_execution_satisfies_spec,
+    check_optimal_equals_full,
+    check_report_once,
+    check_soundness,
+    check_tightness,
+)
+from repro.analysis.claims import ClaimCheck
+
+
+class TestClaimCheck:
+    def test_str_renders_verdict(self):
+        check = ClaimCheck("thing", True, {"k": 1})
+        assert "[PASS]" in str(check)
+        assert "k=1" in str(check)
+        assert "[FAIL]" in str(ClaimCheck("thing", False))
+
+
+class TestCheckersOnCleanRun:
+    def test_soundness_passes(self, line4_run):
+        check = check_soundness(line4_run, ("efficient", "full"))
+        assert check.passed
+        assert check.details["violations"] == 0
+
+    def test_execution_satisfies_spec(self, line4_run):
+        assert check_execution_satisfies_spec(line4_run).passed
+
+    def test_optimal_equals_full(self, line4_run):
+        check = check_optimal_equals_full(line4_run)
+        assert check.passed, check.details
+
+    def test_tightness(self, line4_run):
+        check = check_tightness(line4_run)
+        assert check.passed, check.details
+        assert check.details["endpoints_checked"] >= 2
+
+    def test_report_once(self, line4_run):
+        check = check_report_once(line4_run)
+        assert check.passed
+        assert check.details["max_reports_per_event_direction"] == 1
+
+    def test_report_once_requires_tracking(self, ring5_random_run):
+        check = check_report_once(ring5_random_run)
+        assert not check.passed
+        assert "tracking disabled" in check.details["reason"]
+
+    def test_optimal_equals_full_wrong_types(self, line4_run):
+        with pytest.raises(TypeError):
+            check_optimal_equals_full(
+                line4_run, efficient_channel="full", full_channel="efficient"
+            )

@@ -1,0 +1,52 @@
+"""Tests for complexity accounting and the log-log slope helper."""
+
+import pytest
+
+from repro.analysis import collect_complexity, loglog_slope
+
+
+class TestCollectComplexity:
+    def test_report_fields(self, line4_run):
+        report = collect_complexity(line4_run)
+        assert report.n_processors == 4
+        assert report.n_links == 3
+        assert report.diameter == 3
+        assert report.events_total == len(line4_run.trace)
+        assert report.max_live_points_csa >= 4
+        assert report.max_agdp_nodes >= report.max_live_points_csa - 1
+        assert report.k1_relative_speed >= 1
+        assert report.k1_link_send_speed >= 1
+        assert report.k2_link_asymmetry >= 1
+
+    def test_paper_bounds_hold(self, line4_run):
+        report = collect_complexity(line4_run)
+        verdicts = report.bounds_hold()
+        assert all(verdicts.values()), verdicts
+
+    def test_wrong_channel_type(self, line4_run):
+        with pytest.raises(TypeError):
+            collect_complexity(line4_run, channel="full")
+
+
+class TestLogLogSlope:
+    def test_linear_data(self):
+        xs = [1, 2, 4, 8]
+        ys = [3, 6, 12, 24]
+        assert loglog_slope(xs, ys) == pytest.approx(1.0)
+
+    def test_quadratic_data(self):
+        xs = [1, 2, 4, 8]
+        ys = [x * x for x in xs]
+        assert loglog_slope(xs, ys) == pytest.approx(2.0)
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            loglog_slope([1], [1])
+
+    def test_requires_positive(self):
+        with pytest.raises(ValueError):
+            loglog_slope([1, 0], [1, 2])
+
+    def test_requires_varying_x(self):
+        with pytest.raises(ValueError):
+            loglog_slope([2, 2], [1, 2])

@@ -1,0 +1,134 @@
+"""Tests for estimate-quality metrics."""
+
+import math
+
+import pytest
+
+from repro.analysis import dominance_check, soundness_summary, width_stats
+from repro.core import ClockBound
+from repro.sim import EstimateSample
+
+
+def sample(rt, proc, channel, lower, upper, truth=None):
+    return EstimateSample(
+        rt=rt,
+        proc=proc,
+        channel=channel,
+        bound=ClockBound(lower, upper),
+        truth=rt if truth is None else truth,
+    )
+
+
+class TestWidthStats:
+    def test_empty(self):
+        stats = width_stats([])
+        assert stats.count == 0
+        assert math.isinf(stats.mean)
+
+    def test_unbounded_excluded(self):
+        stats = width_stats(
+            [
+                sample(1.0, "a", "x", 0.0, 2.0),
+                sample(2.0, "a", "x", -math.inf, math.inf),
+            ]
+        )
+        assert stats.count == 2
+        assert stats.bounded == 1
+        assert stats.mean == pytest.approx(2.0)
+
+    def test_distribution(self):
+        widths = [1.0, 2.0, 3.0, 4.0, 100.0]
+        samples = [sample(i, "a", "x", 0.0, w) for i, w in enumerate(widths)]
+        stats = width_stats(samples)
+        assert stats.mean == pytest.approx(22.0)
+        assert stats.median == pytest.approx(3.0)
+        assert stats.max == pytest.approx(100.0)
+        assert stats.p95 == pytest.approx(100.0)
+
+
+class TestSoundnessSummary:
+    def test_counts_by_channel(self):
+        samples = [
+            sample(5.0, "a", "x", 4.0, 6.0),          # sound
+            sample(5.0, "a", "x", 6.0, 7.0),          # unsound
+            sample(5.0, "a", "y", 4.9, 5.1),          # sound
+        ]
+        summary = soundness_summary(samples)
+        assert summary["x"] == (2, 1)
+        assert summary["y"] == (1, 0)
+
+
+class TestDominance:
+    def test_counts_strictly_tighter(self):
+        samples = [
+            sample(1.0, "a", "opt", 0.0, 2.0),
+            sample(1.0, "a", "other", 0.5, 1.5),  # tighter: a win
+            sample(2.0, "a", "opt", 0.0, 1.0),
+            sample(2.0, "a", "other", 0.0, 1.0),  # equal: not a win
+            sample(3.0, "a", "opt", 0.0, 1.0),
+            sample(3.0, "a", "other", -math.inf, math.inf),  # unbounded ignored
+        ]
+        wins = dominance_check(samples, "opt", ["other"])
+        assert wins == {"other": 1}
+
+    def test_missing_optimal_skipped(self):
+        samples = [sample(1.0, "a", "other", 0.0, 1.0)]
+        assert dominance_check(samples, "opt", ["other"]) == {"other": 0}
+
+
+class TestConvergence:
+    def test_convergence_time(self):
+        from repro.analysis import convergence_time
+
+        samples = [
+            sample(10.0, "a", "x", 0.0, 5.0),
+            sample(20.0, "a", "x", 0.0, 0.5),
+            sample(30.0, "a", "x", 0.0, 0.1),
+        ]
+        assert convergence_time(samples, threshold=1.0) == 20.0
+        assert convergence_time(samples, threshold=0.01) is None
+
+    def test_fraction_within(self):
+        from repro.analysis import fraction_within
+
+        samples = [
+            sample(1.0, "a", "x", 0.0, 0.5),
+            sample(2.0, "a", "x", 0.0, 2.0),
+            sample(3.0, "a", "x", 0.0, 0.2),
+            sample(4.0, "a", "x", -math.inf, math.inf),
+        ]
+        assert fraction_within(samples, threshold=1.0) == pytest.approx(0.5)
+        assert fraction_within([], threshold=1.0) == 0.0
+
+
+class TestMidpointError:
+    def test_stats(self):
+        from repro.analysis import midpoint_error_stats
+
+        samples = [
+            sample(10.0, "a", "x", 9.0, 11.0),    # midpoint 10, error 0
+            sample(20.0, "a", "x", 21.0, 23.0),   # midpoint 22, error 2
+            sample(30.0, "a", "x", -math.inf, math.inf),  # skipped
+        ]
+        stats = midpoint_error_stats(samples)
+        assert stats.count == 2
+        assert stats.mean_abs == pytest.approx(1.0)
+        assert stats.max_abs == pytest.approx(2.0)
+        assert stats.rms == pytest.approx(math.sqrt(2.0))
+
+    def test_empty(self):
+        from repro.analysis import midpoint_error_stats
+
+        stats = midpoint_error_stats([])
+        assert stats.count == 0
+        assert math.isinf(stats.mean_abs)
+
+    def test_optimal_midpoint_competitive_on_run(self, line4_run):
+        """On a real run, the optimal midpoint's error is far below the
+        interval width (the certified bound is not wasteful)."""
+        from repro.analysis import midpoint_error_stats, width_stats
+
+        samples = line4_run.samples_for("efficient", proc="p3")
+        errors = midpoint_error_stats(samples)
+        widths = width_stats(samples)
+        assert errors.mean_abs <= widths.mean / 2 + 1e-12

@@ -1,0 +1,73 @@
+"""Tests for the ASCII plotting helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis import ascii_plot, histogram, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_series_rises(self):
+        out = sparkline([0.0, 1.0, 2.0, 3.0], width=4)
+        assert len(out) == 4
+        assert out[0] == " " and out[-1] == "@"
+
+    def test_bucketing_respects_width(self):
+        out = sparkline(list(range(1000)), width=50)
+        assert len(out) == 50
+
+    def test_infinite_values_render_top_block(self):
+        out = sparkline([1.0, math.inf, 1.0], width=3)
+        assert out[1] == "@"
+
+    def test_all_zero(self):
+        out = sparkline([0.0, 0.0], width=2)
+        assert out == "  "
+
+
+class TestAsciiPlot:
+    def test_empty(self):
+        assert "no finite points" in ascii_plot([])
+
+    def test_dimensions(self):
+        out = ascii_plot([(0, 0), (1, 1)], width=20, height=5)
+        lines = out.splitlines()
+        assert len(lines) == 5 + 3  # canvas + y header + axis + x footer
+        assert all(len(line) <= 22 for line in lines)
+
+    def test_corners_marked(self):
+        out = ascii_plot([(0, 0), (10, 10)], width=10, height=4, marker="o")
+        lines = out.splitlines()
+        assert lines[1].endswith("o")  # top-right: max x, max y
+        assert lines[4].startswith("|o")  # bottom-left
+
+    def test_axis_ranges_labelled(self):
+        out = ascii_plot([(2, 5), (4, 9)], x_label="L", y_label="cost")
+        assert "L: [2, 4]" in out
+        assert "cost: [5, 9]" in out
+
+    def test_nonfinite_dropped(self):
+        out = ascii_plot([(0, 0), (1, math.inf), (2, 2)])
+        assert "[0, 2]" in out
+
+
+class TestHistogram:
+    def test_empty(self):
+        assert "no finite values" in histogram([])
+
+    def test_counts_sum(self):
+        values = [1.0] * 5 + [2.0] * 3
+        out = histogram(values, bins=2)
+        assert " 5" in out and " 3" in out
+
+    def test_bin_count(self):
+        out = histogram(list(range(100)), bins=7)
+        assert len(out.splitlines()) == 7
+
+    def test_single_value(self):
+        out = histogram([3.0, 3.0], bins=4)
+        assert "2" in out

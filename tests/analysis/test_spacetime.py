@@ -1,0 +1,60 @@
+"""Tests for the text space-time diagram renderer."""
+
+import pytest
+
+from repro.analysis import spacetime_diagram
+from repro.sim.trace import ExecutionTrace
+
+from ..conftest import make_event, recv, send
+
+
+def small_trace():
+    trace = ExecutionTrace()
+    s1 = send("a", 0, 1.0, dest="b")
+    trace.record(s1, 0.5)
+    trace.record(recv("b", 0, 4.1, s1), 0.8)
+    s2 = send("b", 1, 4.5, dest="a")
+    trace.record(s2, 1.2)
+    trace.record(make_event("a", 1, 2.0), 1.5)
+    return trace, s2
+
+
+class TestSpacetimeDiagram:
+    def test_empty(self):
+        assert "empty" in spacetime_diagram(ExecutionTrace())
+
+    def test_columns_and_cells(self):
+        trace, _s2 = small_trace()
+        out = spacetime_diagram(trace)
+        lines = out.splitlines()
+        assert lines[0].startswith("rt")
+        assert "a" in lines[0] and "b" in lines[0]
+        assert "s#0 >b" in out
+        assert "r#0 <a#0" in out
+        assert "i#1" in out
+
+    def test_lost_marker(self):
+        trace, s2 = small_trace()
+        trace.record_lost(s2.eid)
+        out = spacetime_diagram(trace, column_width=24)
+        assert "LOST" in out
+
+    def test_window_and_ellipses(self):
+        trace, _ = small_trace()
+        out = spacetime_diagram(trace, start=1, limit=2)
+        assert "(1 earlier events)" in out
+        assert "(1 later events)" in out
+
+    def test_show_lt(self):
+        trace, _ = small_trace()
+        out = spacetime_diagram(trace, show_lt=True, column_width=26)
+        assert "@1.000" in out
+
+    def test_proc_filter(self):
+        trace, _ = small_trace()
+        out = spacetime_diagram(trace, procs=["a"])
+        assert "r#0" not in out  # b's receive filtered out
+
+    def test_on_real_run(self, line4_run):
+        out = spacetime_diagram(line4_run.trace, limit=30)
+        assert len(out.splitlines()) >= 30

@@ -1,0 +1,65 @@
+"""Tests for the table renderer."""
+
+import math
+
+from repro.analysis import format_value, render_markdown_table, render_table
+
+
+class TestFormatValue:
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_floats(self):
+        assert format_value(0.0) == "0"
+        assert format_value(1.5) == "1.5"
+        assert format_value(math.inf) == "inf"
+        assert format_value(-math.inf) == "-inf"
+        assert format_value(float("nan")) == "nan"
+        assert "e" in format_value(1234567.0)
+        assert "e" in format_value(0.00001)
+
+    def test_strings_and_ints(self):
+        assert format_value("abc") == "abc"
+        assert format_value(42) == "42"
+
+
+class TestRenderTable:
+    def test_empty(self):
+        assert "(no rows)" in render_table([])
+        assert "title" in render_table([], title="title")
+
+    def test_alignment(self):
+        rows = [{"a": 1, "b": "xx"}, {"a": 222, "b": "y"}]
+        out = render_table(rows)
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert all(len(line) <= len(lines[0]) + 10 for line in lines)
+        assert "222" in out
+
+    def test_column_order_inferred(self):
+        rows = [{"z": 1, "a": 2}]
+        out = render_table(rows)
+        assert out.splitlines()[0].index("z") < out.splitlines()[0].index("a")
+
+    def test_explicit_columns_and_missing_cells(self):
+        rows = [{"a": 1}, {"b": 2}]
+        out = render_table(rows, columns=["a", "b"])
+        assert "a" in out and "b" in out
+
+    def test_title(self):
+        out = render_table([{"a": 1}], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+
+class TestRenderMarkdown:
+    def test_structure(self):
+        rows = [{"a": 1, "b": 2}]
+        out = render_markdown_table(rows)
+        lines = out.splitlines()
+        assert lines[0] == "| a | b |"
+        assert set(lines[1]) <= {"|", "-"}
+        assert lines[2] == "| 1 | 2 |"
+
+    def test_empty(self):
+        assert render_markdown_table([]) == "(no rows)"

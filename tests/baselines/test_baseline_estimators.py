@@ -1,0 +1,214 @@
+"""Behavioural tests for the three baseline estimators.
+
+All baselines run as extra channels on shared executions; the tests check
+(1) soundness where promised, (2) the expected quality ordering against
+the optimal algorithm, and (3) estimator-specific mechanics.
+"""
+
+import math
+
+import pytest
+
+from repro.baselines import CristianCSA, DriftFreeFudgeCSA, NTPFilterCSA
+from repro.core import ClockBound, EfficientCSA
+from repro.sim import run_workload, standard_network, topologies
+from repro.sim.workloads import PeriodicGossip
+
+CHANNELS = {
+    "efficient": lambda p, s: EfficientCSA(p, s),
+    "driftfree-fudge": lambda p, s: DriftFreeFudgeCSA(p, s, window=30.0),
+    "cristian": lambda p, s: CristianCSA(p, s),
+    "ntp": lambda p, s: NTPFilterCSA(p, s),
+}
+
+
+@pytest.fixture(scope="module")
+def shared_run():
+    names, links = topologies.line(4)
+    network = standard_network(names, links, seed=33, drift_ppm=100, delay=(0.005, 0.04))
+    return run_workload(
+        network,
+        PeriodicGossip(period=5.0, seed=33),
+        CHANNELS,
+        duration=200.0,
+        seed=33,
+        sample_period=10.0,
+    )
+
+
+class TestSoundness:
+    @pytest.mark.parametrize("channel", ["driftfree-fudge", "cristian"])
+    def test_sound_baselines_never_violate(self, shared_run, channel):
+        bad = [
+            s
+            for s in shared_run.samples_for(channel)
+            if not s.sound
+        ]
+        assert bad == []
+
+    def test_everyone_eventually_bounded(self, shared_run):
+        for channel in CHANNELS:
+            late = [
+                s
+                for s in shared_run.samples_for(channel)
+                if s.rt > 100.0 and s.proc != "p0"
+            ]
+            bounded = [s for s in late if s.bound.is_bounded]
+            assert len(bounded) > 0.8 * len(late), channel
+
+
+class TestQualityOrdering:
+    def test_optimal_tightest_everywhere(self, shared_run):
+        by_key = {}
+        for sample in shared_run.samples:
+            by_key.setdefault((sample.rt, sample.proc), {})[sample.channel] = sample
+        for grouped in by_key.values():
+            efficient = grouped.get("efficient")
+            if efficient is None or not efficient.bound.is_bounded:
+                continue
+            for channel in ("driftfree-fudge", "cristian"):
+                other = grouped.get(channel)
+                if other is not None and other.bound.is_bounded:
+                    assert efficient.width <= other.width + 1e-9
+
+    def test_cristian_degrades_with_hops(self, shared_run):
+        def mean(proc):
+            widths = [
+                s.width
+                for s in shared_run.samples_for("cristian", proc=proc)
+                if s.bound.is_bounded
+            ]
+            return sum(widths) / len(widths)
+
+        assert mean("p1") < mean("p2") < mean("p3")
+
+
+class TestDriftFreeFudge:
+    def test_fudge_scales_with_window(self):
+        names, links = topologies.line(2)
+        network = standard_network(names, links, seed=1)
+        narrow = DriftFreeFudgeCSA("p1", network.spec, window=10.0)
+        wide = DriftFreeFudgeCSA("p1", network.spec, window=100.0)
+        assert wide.fudge == pytest.approx(10 * narrow.fudge)
+
+    def test_custom_fudge_scale(self):
+        names, links = topologies.line(2)
+        network = standard_network(names, links, seed=1)
+        csa = DriftFreeFudgeCSA("p1", network.spec, window=10.0, fudge_scale=0.5)
+        assert csa.fudge == pytest.approx(5.0)
+
+    def test_estimate_cached_per_event(self, shared_run):
+        csa = shared_run.sim.estimator("p2", "driftfree-fudge")
+        first = csa.estimate()
+        second = csa.estimate()
+        assert first == second
+
+    def test_unbounded_before_any_event(self):
+        names, links = topologies.line(2)
+        network = standard_network(names, links, seed=1)
+        csa = DriftFreeFudgeCSA("p1", network.spec)
+        assert not csa.estimate().is_bounded
+
+
+class TestCristianEstimator:
+    def test_unbounded_without_round_trip(self):
+        names, links = topologies.line(2)
+        network = standard_network(names, links, seed=1)
+        csa = CristianCSA("p1", network.spec)
+        assert not csa.estimate().is_bounded
+
+    def test_sample_counters(self, shared_run):
+        csa = shared_run.sim.estimator("p1", "cristian")
+        assert csa.samples_taken > 0
+
+    def test_width_grows_between_contacts(self, shared_run):
+        csa = shared_run.sim.estimator("p1", "cristian")
+        lt = csa.last_local_event.lt
+        now = csa.estimate_now(lt)
+        later = csa.estimate_now(lt + 100.0)
+        assert later.width > now.width
+
+
+class TestNTPFilter:
+    def test_point_estimate_close_to_truth(self, shared_run):
+        trace = shared_run.trace
+        sim = shared_run.sim
+        csa = sim.estimator("p1", "ntp")
+        lt_now = sim.local_time("p1")
+        point = csa.point_estimate(lt_now)
+        assert point is not None
+        assert abs(point - sim.now) < 0.05
+
+    def test_no_samples_no_estimate(self):
+        names, links = topologies.line(2)
+        network = standard_network(names, links, seed=1)
+        csa = NTPFilterCSA("p1", network.spec)
+        assert csa.point_estimate(0.0) is None
+        assert not csa.estimate_now(0.0).is_bounded
+
+    def test_source_is_its_own_reference(self):
+        names, links = topologies.line(2)
+        network = standard_network(names, links, seed=1)
+        csa = NTPFilterCSA("p0", network.spec)
+        assert csa.point_estimate(5.0) == pytest.approx(5.0)
+        bound = csa.estimate_now(5.0)
+        assert bound.lower == bound.upper == pytest.approx(5.0)
+
+    def test_dispersion_grows_with_age(self, shared_run):
+        csa = shared_run.sim.estimator("p2", "ntp")
+        lt = shared_run.sim.local_time("p2")
+        now = csa.estimate_now(lt)
+        later = csa.estimate_now(lt + 1000.0)
+        assert later.width > now.width
+
+
+class TestWindowedCSA:
+    @pytest.fixture(scope="class")
+    def windowed_run(self):
+        from repro.baselines import WindowedCSA
+
+        names, links = topologies.line(4)
+        network = standard_network(
+            names, links, seed=44, drift_ppm=100, delay=(0.005, 0.04)
+        )
+        return run_workload(
+            network,
+            PeriodicGossip(period=5.0, seed=44),
+            {
+                "efficient": lambda p, s: EfficientCSA(p, s),
+                "windowed": lambda p, s: WindowedCSA(p, s, window=25.0),
+                "driftfree-fudge": lambda p, s: DriftFreeFudgeCSA(p, s, window=25.0),
+            },
+            duration=200.0,
+            seed=44,
+            sample_period=10.0,
+        )
+
+    def test_sound(self, windowed_run):
+        assert [
+            s for s in windowed_run.samples_for("windowed") if not s.sound
+        ] == []
+
+    def test_between_optimal_and_fudge(self, windowed_run):
+        """Windowed sits between: never tighter than optimal, and (being
+        honest about drift on the same window) at least as tight as the
+        fudge recipe on average."""
+        by_key = {}
+        for s in windowed_run.samples:
+            by_key.setdefault((s.rt, s.proc), {})[s.channel] = s
+        beat_optimal = 0
+        total = 0
+        widths = {"windowed": 0.0, "driftfree-fudge": 0.0}
+        for grouped in by_key.values():
+            if len(grouped) < 3:
+                continue
+            if not all(g.bound.is_bounded for g in grouped.values()):
+                continue
+            total += 1
+            if grouped["windowed"].width < grouped["efficient"].width - 1e-9:
+                beat_optimal += 1
+            for ch in widths:
+                widths[ch] += grouped[ch].width
+        assert total > 20
+        assert beat_optimal == 0
+        assert widths["windowed"] <= widths["driftfree-fudge"] + 1e-9

@@ -1,0 +1,68 @@
+"""Tests for the round-trip bookkeeping shared by NTP/Cristian baselines."""
+
+import pytest
+
+from repro.baselines.common import RoundTripMixin, RoundTripPayload
+from repro.core import ClockBound
+
+from ..conftest import recv, send
+
+
+class Host(RoundTripMixin):
+    def __init__(self):
+        self._rt_init()
+
+
+class TestRoundTripMixin:
+    def test_first_packet_has_no_echo(self):
+        host = Host()
+        s = send("a", 0, 10.0, dest="b")
+        payload = host._rt_build_payload(s, None)
+        assert payload.org is None and payload.rec is None
+        assert payload.xmt == 10.0
+
+    def test_round_trip_completes(self):
+        a, b = Host(), Host()
+        # a -> b
+        s1 = send("a", 0, 10.0, dest="b")
+        p1 = a._rt_build_payload(s1, None)
+        r1 = recv("b", 0, 20.0, s1)
+        assert b._rt_ingest(r1, p1) is None  # no echo yet
+        # b -> a closes the loop
+        s2 = send("b", 1, 21.0, dest="a")
+        p2 = b._rt_build_payload(s2, ClockBound(0.0, 1.0))
+        r2 = recv("a", 1, 11.5, s2)
+        sample = a._rt_ingest(r2, p2)
+        assert sample is not None
+        assert sample.t1 == 10.0
+        assert sample.t2 == 20.0
+        assert sample.t3 == 21.0
+        assert sample.t4 == 11.5
+        assert sample.peer == "b"
+        assert sample.peer_bound == ClockBound(0.0, 1.0)
+
+    def test_sample_arithmetic(self):
+        a, b = Host(), Host()
+        s1 = send("a", 0, 10.0, dest="b")
+        p1 = a._rt_build_payload(s1, None)
+        b._rt_ingest(recv("b", 0, 20.0, s1), p1)
+        s2 = send("b", 1, 21.0, dest="a")
+        p2 = b._rt_build_payload(s2, None)
+        sample = a._rt_ingest(recv("a", 1, 11.5, s2), p2)
+        assert sample.round_trip == pytest.approx((11.5 - 10.0) - (21.0 - 20.0))
+        assert sample.total_local_elapsed == pytest.approx(1.5)
+        # theta = ((t2-t1)+(t3-t4))/2 = ((10)+(9.5))/2
+        assert sample.offset == pytest.approx(9.75)
+
+    def test_stale_echo_ignored(self):
+        a, b = Host(), Host()
+        s1 = send("a", 0, 10.0, dest="b")
+        p1 = a._rt_build_payload(s1, None)
+        b._rt_ingest(recv("b", 0, 20.0, s1), p1)
+        # a probes again before b replies: the old echo is stale
+        s2 = send("a", 1, 12.0, dest="b")
+        a._rt_build_payload(s2, None)
+        s3 = send("b", 1, 21.0, dest="a")
+        p3 = b._rt_build_payload(s3, None)  # echoes t1=10.0
+        sample = a._rt_ingest(recv("a", 2, 13.0, s3), p3)
+        assert sample is None  # 10.0 != latest xmt 12.0

@@ -1,0 +1,105 @@
+"""Shared fixtures and builders for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    DriftSpec,
+    EfficientCSA,
+    Event,
+    EventId,
+    EventKind,
+    FullInformationCSA,
+    SystemSpec,
+    TransitSpec,
+    View,
+)
+from repro.sim import run_workload, standard_network, topologies
+from repro.sim.workloads import PeriodicGossip, RandomTraffic
+
+
+def make_event(proc, seq, lt, kind=EventKind.INTERNAL, dest=None, send_eid=None):
+    """Terse event constructor for hand-built views."""
+    return Event(eid=EventId(proc, seq), lt=lt, kind=kind, dest=dest, send_eid=send_eid)
+
+
+def send(proc, seq, lt, dest):
+    return make_event(proc, seq, lt, EventKind.SEND, dest=dest)
+
+
+def recv(proc, seq, lt, send_event):
+    return make_event(proc, seq, lt, EventKind.RECEIVE, send_eid=send_event.eid)
+
+
+def two_proc_spec(
+    *,
+    drift_ppm: float = 100.0,
+    transit=(0.0, 1.0),
+    source: str = "src",
+    other: str = "a",
+) -> SystemSpec:
+    return SystemSpec.build(
+        source=source,
+        processors=[source, other],
+        links=[(source, other)],
+        default_drift=DriftSpec.from_ppm(drift_ppm),
+        default_transit=TransitSpec(transit[0], transit[1]),
+    )
+
+
+def ping_pong_view(spec: SystemSpec | None = None):
+    """A canonical tiny view: src sends to a, a replies, src receives.
+
+    Returns ``(view, spec)``; local times are chosen consistently with a
+    drift-free interpretation (a's clock offset +3, delays 0.5).
+    """
+    spec = spec or two_proc_spec()
+    view = View()
+    s1 = send("src", 0, 10.0, dest="a")
+    view.add(s1)
+    r1 = recv("a", 0, 13.5, s1)  # a's clock ~ +3, transit 0.5
+    view.add(r1)
+    s2 = send("a", 1, 14.0, dest="src")
+    view.add(s2)
+    r2 = recv("src", 1, 11.5, s2)  # transit 0.5 again
+    view.add(r2)
+    return view, spec
+
+
+@pytest.fixture
+def line4_run():
+    """A small deterministic gossip run on a 4-line with both CSAs attached."""
+    names, links = topologies.line(4)
+    network = standard_network(names, links, seed=42, drift_ppm=200)
+    return run_workload(
+        network,
+        PeriodicGossip(period=5.0, seed=42),
+        {
+            "efficient": lambda p, s: EfficientCSA(p, s, track_reports=True),
+            "full": lambda p, s: FullInformationCSA(p, s),
+        },
+        duration=60.0,
+        seed=42,
+        sample_period=6.0,
+    )
+
+
+@pytest.fixture
+def ring5_random_run():
+    """Random traffic on a 5-ring; stresses interleavings."""
+    names, links = topologies.ring(5)
+    network = standard_network(names, links, seed=7, drift_ppm=500)
+    return run_workload(
+        network,
+        RandomTraffic(rate=3.0, seed=7, internal_prob=0.15),
+        {
+            "efficient": lambda p, s: EfficientCSA(p, s),
+            "full": lambda p, s: FullInformationCSA(p, s),
+        },
+        duration=45.0,
+        seed=7,
+        sample_period=5.0,
+    )

@@ -1,0 +1,125 @@
+"""The numpy AGDP backend is observationally identical to the dict one."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import AGDP, EfficientCSA, InconsistentSpecificationError, NumpyAGDP
+from repro.sim import run_workload, standard_network, topologies
+from repro.sim.workloads import RandomTraffic
+
+from .test_agdp import agdp_scripts
+
+
+class TestBasicParity:
+    def test_small_script(self):
+        for cls in (AGDP, NumpyAGDP):
+            agdp = cls(source="s")
+            agdp.step("a", [("s", "a", 1.0), ("a", "s", 1.0)])
+            agdp.step("b", [("a", "b", 2.0), ("b", "a", 2.0)], kills=["a"])
+            assert agdp.distance("s", "b") == pytest.approx(3.0)
+            assert agdp.live_nodes == {"s", "b"}
+
+    def test_errors_match(self):
+        agdp = NumpyAGDP(source="s")
+        with pytest.raises(ValueError):
+            agdp.add_node("s")
+        with pytest.raises(KeyError):
+            agdp.kill("ghost")
+        with pytest.raises(ValueError):
+            agdp.kill("s")
+        agdp.add_node("a")
+        with pytest.raises(ValueError):
+            agdp.insert_edge("s", "a", math.nan)
+        agdp.insert_edge("s", "a", 1.0)
+        with pytest.raises(InconsistentSpecificationError):
+            agdp.insert_edge("a", "s", -2.0)
+        with pytest.raises(InconsistentSpecificationError):
+            agdp.insert_edge("s", "s", -1.0)
+
+    def test_capacity_growth(self):
+        agdp = NumpyAGDP(source="s")
+        previous = "s"
+        for i in range(100):  # far beyond the initial capacity of 16
+            node = f"n{i}"
+            agdp.step(node, [(previous, node, 1.0)])
+            previous = node
+        assert agdp.distance("s", "n99") == pytest.approx(100.0)
+        assert len(agdp) == 101
+
+    def test_slot_reuse_after_kill(self):
+        agdp = NumpyAGDP(source="s")
+        agdp.step("a", [("s", "a", 1.0)])
+        agdp.kill("a")
+        agdp.step("b", [("s", "b", 7.0)])
+        # b may reuse a's slot; no stale distances may leak
+        assert agdp.distance("s", "b") == pytest.approx(7.0)
+        assert math.isinf(agdp.distance("b", "s"))
+
+    def test_distances_from_to(self):
+        agdp = NumpyAGDP(source="s")
+        agdp.step("a", [("s", "a", 2.0), ("a", "s", 3.0)])
+        assert agdp.distances_from("s") == {"s": 0.0, "a": 2.0}
+        assert agdp.distances_to("s") == {"s": 0.0, "a": 3.0}
+
+    def test_gc_disabled_retains_dead(self):
+        agdp = NumpyAGDP(source="s", gc_enabled=False)
+        agdp.step("a", [("s", "a", 1.0)])
+        agdp.step("b", [("a", "b", 1.0)], kills=["a"])
+        assert "a" in agdp
+        assert agdp.live_nodes == {"s", "b"}
+        assert agdp.distance("s", "a") == pytest.approx(1.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(agdp_scripts())
+def test_numpy_matches_dict_backend(steps):
+    dict_agdp = AGDP(source="s")
+    np_agdp = NumpyAGDP(source="s")
+    live = {"s"}
+    for node, edges, kills in steps:
+        dict_agdp.step(node, edges, kills)
+        np_agdp.step(node, edges, kills)
+        live.add(node)
+        live -= set(kills)
+        for x in live:
+            for y in live:
+                a = dict_agdp.distance(x, y)
+                b = np_agdp.distance(x, y)
+                if math.isinf(a):
+                    assert math.isinf(b)
+                else:
+                    assert b == pytest.approx(a, abs=1e-9)
+
+
+class TestBackendInCSA:
+    def test_estimates_identical_across_backends(self):
+        names, links = topologies.ring(5)
+        network = standard_network(names, links, seed=21, drift_ppm=300)
+        result = run_workload(
+            network,
+            RandomTraffic(rate=3.0, seed=21),
+            {
+                "dict": lambda p, s: EfficientCSA(p, s, agdp_backend="dict"),
+                "numpy": lambda p, s: EfficientCSA(p, s, agdp_backend="numpy"),
+            },
+            duration=40.0,
+            seed=21,
+            sample_period=5.0,
+        )
+        assert result.soundness_violations() == []
+        for proc in names:
+            a = result.sim.estimator(proc, "dict").estimate()
+            b = result.sim.estimator(proc, "numpy").estimate()
+            if not (a.is_bounded and b.is_bounded):
+                assert a.lower == b.lower and a.upper == b.upper
+                continue
+            assert b.lower == pytest.approx(a.lower, abs=1e-9)
+            assert b.upper == pytest.approx(a.upper, abs=1e-9)
+
+    def test_unknown_backend_rejected(self):
+        names, links = topologies.line(2)
+        network = standard_network(names, links, seed=1)
+        with pytest.raises(ValueError):
+            EfficientCSA("p1", network.spec, agdp_backend="fortran")

@@ -1,0 +1,220 @@
+"""Tests for the efficient CSA (Sec 3) and the full-information reference.
+
+The keystone assertions: on identical executions the two algorithms emit
+*identical* intervals (at every shared point), both are sound, and the
+efficient one's state stays bounded.
+"""
+
+import math
+
+import pytest
+
+from repro.core import (
+    ClockBound,
+    EfficientCSA,
+    EventId,
+    FullInformationCSA,
+    ProtocolError,
+    View,
+)
+from repro.sim import run_workload, standard_network, topologies
+from repro.sim.workloads import PeriodicGossip, RandomTraffic
+
+from ..conftest import make_event, recv, send, two_proc_spec
+
+
+class TestHandDrivenScript:
+    """Drive two CSAs by hand through a round trip and check the numbers."""
+
+    def setup_method(self):
+        self.spec = two_proc_spec(transit=(0.2, 1.0))
+        self.src = EfficientCSA("src", self.spec)
+        self.a = EfficientCSA("a", self.spec)
+
+    def test_round_trip_bounds(self):
+        s1 = send("src", 0, 10.0, dest="a")
+        payload1 = self.src.on_send(s1)
+        r1 = recv("a", 0, 13.5, s1)
+        self.a.on_receive(r1, payload1)
+        # after one hop: source time at r1 in [10+0.2, 10+1.0]
+        bound = self.a.estimate()
+        assert bound.lower == pytest.approx(10.2)
+        assert bound.upper == pytest.approx(11.0)
+
+        s2 = send("a", 1, 14.0, dest="src")
+        payload2 = self.a.on_send(s2)
+        r2 = recv("src", 1, 11.5, s2)
+        self.src.on_receive(r2, payload2)
+        # the source knows real time exactly
+        src_bound = self.src.estimate()
+        assert src_bound.lower == pytest.approx(11.5)
+        assert src_bound.upper == pytest.approx(11.5)
+
+    def test_estimate_before_any_info_unbounded(self):
+        assert not self.a.estimate().is_bounded
+
+    def test_on_send_with_receive_event_rejected(self):
+        s1 = send("src", 0, 10.0, dest="a")
+        self.src.on_send(s1)
+        r1 = recv("a", 0, 13.5, s1)
+        with pytest.raises(ProtocolError):
+            self.a.on_send(r1)
+
+    def test_on_receive_with_wrong_payload_type(self):
+        s1 = send("src", 0, 10.0, dest="a")
+        self.src.on_send(s1)
+        r1 = recv("a", 0, 13.5, s1)
+        with pytest.raises(TypeError):
+            self.a.on_receive(r1, "not a payload")
+
+    def test_estimate_now_advances_with_drift(self):
+        s1 = send("src", 0, 10.0, dest="a")
+        payload1 = self.src.on_send(s1)
+        r1 = recv("a", 0, 13.5, s1)
+        self.a.on_receive(r1, payload1)
+        base = self.a.estimate()
+        later = self.a.estimate_now(13.5 + 100.0)
+        drift = self.spec.drift_of("a")
+        assert later.lower == pytest.approx(base.lower + drift.alpha * 100)
+        assert later.upper == pytest.approx(base.upper + drift.beta * 100)
+
+    def test_estimate_now_backwards_rejected(self):
+        s1 = send("src", 0, 10.0, dest="a")
+        self.src.on_send(s1)
+        with pytest.raises(ValueError):
+            self.src.estimate_now(9.0)
+
+    def test_internal_event_processed(self):
+        self.a.on_internal(make_event("a", 0, 1.0))
+        assert self.a.live.live_count() == 1
+
+
+class TestEquivalenceWithFullInformation:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_every_processor_final_estimate_matches(self, seed):
+        names, links = topologies.random_connected(6, 2, seed)
+        network = standard_network(names, links, seed=seed, drift_ppm=300)
+        result = run_workload(
+            network,
+            RandomTraffic(rate=3.0, seed=seed, internal_prob=0.1),
+            {
+                "efficient": lambda p, s: EfficientCSA(p, s),
+                "full": lambda p, s: FullInformationCSA(p, s),
+            },
+            duration=40.0,
+            seed=seed,
+        )
+        for proc in names:
+            e = result.sim.estimator(proc, "efficient").estimate()
+            f = result.sim.estimator(proc, "full").estimate()
+            if not e.is_bounded or not f.is_bounded:
+                assert e.lower == f.lower and e.upper == f.upper
+                continue
+            assert e.lower == pytest.approx(f.lower, abs=1e-7)
+            assert e.upper == pytest.approx(f.upper, abs=1e-7)
+
+    def test_estimates_match_at_every_sample(self, line4_run):
+        """Sampled mid-run, the two algorithms never disagree."""
+        by_key = {}
+        for sample in line4_run.samples:
+            by_key.setdefault((sample.rt, sample.proc), {})[sample.channel] = sample
+        compared = 0
+        for grouped in by_key.values():
+            if "efficient" not in grouped or "full" not in grouped:
+                continue
+            e, f = grouped["efficient"].bound, grouped["full"].bound
+            if e.is_bounded and f.is_bounded:
+                assert e.lower == pytest.approx(f.lower, abs=1e-7)
+                assert e.upper == pytest.approx(f.upper, abs=1e-7)
+                compared += 1
+        assert compared > 10
+
+    def test_estimate_of_peers(self, line4_run):
+        """estimate_of bounds every peer's last known point soundly."""
+        trace = line4_run.trace
+        estimator = line4_run.sim.estimator("p3", "efficient")
+        for proc in line4_run.sim.network.processors:
+            last = estimator.live.last_event(proc)
+            if last is None:
+                continue
+            bound = estimator.estimate_of(proc)
+            truth = trace.rt_of(last[0])
+            assert bound.contains(truth, tolerance=1e-6)
+
+
+class TestSoundness:
+    def test_all_samples_sound(self, ring5_random_run):
+        assert ring5_random_run.soundness_violations() == []
+
+    def test_source_always_exact(self, line4_run):
+        for sample in line4_run.samples_for("efficient", proc="p0"):
+            assert sample.width == pytest.approx(0.0, abs=1e-9)
+
+
+class TestBoundedState:
+    def test_agdp_stays_small(self, line4_run):
+        for proc in line4_run.sim.network.processors:
+            stats = line4_run.sim.estimator(proc, "efficient").stats()
+            # 4-line gossip: a handful of live points, never the whole trace
+            assert stats.max_agdp_nodes < 30
+            assert stats.max_live_points < 25
+            assert stats.events_observed > 50
+
+    def test_full_information_view_grows(self, line4_run):
+        full = line4_run.sim.estimator("p3", "full")
+        efficient = line4_run.sim.estimator("p3", "efficient")
+        assert full.max_view_events > 4 * efficient.stats().max_agdp_nodes
+
+    def test_stats_space_proxy(self, line4_run):
+        stats = line4_run.sim.estimator("p2", "efficient").stats()
+        assert stats.space_proxy() == (
+            stats.max_agdp_nodes**2 + stats.max_history_buffer
+        )
+
+
+class TestLossHandling:
+    def make_lossy_run(self, detection_delay):
+        names, links = topologies.ring(4)
+        network = standard_network(names, links, seed=5, loss_prob=0.3)
+        return run_workload(
+            network,
+            PeriodicGossip(period=4.0, seed=5),
+            {"efficient": lambda p, s: EfficientCSA(p, s, reliable=False)},
+            duration=60.0,
+            seed=5,
+            sample_period=10.0,
+            loss_detection_delay=detection_delay,
+        )
+
+    def test_sound_under_loss(self):
+        result = self.make_lossy_run(2.0)
+        assert result.sim.messages_lost > 0
+        assert result.soundness_violations() == []
+
+    def test_detection_prunes_live_points(self):
+        with_detection = self.make_lossy_run(2.0)
+        without = self.make_lossy_run(math.inf)
+        live_with = max(
+            with_detection.sim.estimator(p, "efficient").live.max_live
+            for p in with_detection.sim.network.processors
+        )
+        live_without = max(
+            without.sim.estimator(p, "efficient").live.max_live
+            for p in without.sim.network.processors
+        )
+        assert live_with < live_without
+
+    def test_loss_flag_direct(self):
+        """Flag a send by hand; its AGDP node must disappear everywhere it
+        was known and dead."""
+        spec = two_proc_spec()
+        src = EfficientCSA("src", spec, reliable=False)
+        s1 = send("src", 0, 10.0, dest="a")
+        src.on_send(s1)
+        s2 = send("src", 1, 11.0, dest="a")
+        src.on_send(s2)
+        assert s1.eid in src.agdp
+        src.on_loss_detected(s1.eid)
+        assert s1.eid not in src.agdp
+        # and the flag is queued for dissemination
+        assert s1.eid in src.history.loss_flags

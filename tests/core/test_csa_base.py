@@ -1,0 +1,82 @@
+"""Tests for the shared Estimator base class mechanics."""
+
+import math
+
+import pytest
+
+from repro.core import ClockBound, Estimator
+
+from ..conftest import make_event, two_proc_spec
+
+
+class Stub(Estimator):
+    """Minimal estimator: fixed interval, tracks local events."""
+
+    name = "stub"
+
+    def __init__(self, proc, spec, bound=None):
+        super().__init__(proc, spec)
+        self._bound = bound or ClockBound.unbounded()
+
+    def on_send(self, event):
+        self._track_local(event)
+        return None
+
+    def on_receive(self, event, payload):
+        self._track_local(event)
+
+    def estimate(self):
+        return self._bound
+
+
+class TestTracking:
+    def test_last_local_event(self):
+        stub = Stub("a", two_proc_spec())
+        assert stub.last_local_event is None
+        event = make_event("a", 0, 1.0)
+        stub.on_internal(event)
+        assert stub.last_local_event == event
+
+    def test_foreign_event_rejected(self):
+        stub = Stub("a", two_proc_spec())
+        with pytest.raises(ValueError):
+            stub.on_internal(make_event("src", 0, 1.0))
+
+    def test_time_going_backwards_rejected(self):
+        stub = Stub("a", two_proc_spec())
+        stub.on_internal(make_event("a", 0, 5.0))
+        with pytest.raises(ValueError):
+            stub.on_internal(make_event("a", 1, 5.0))
+
+
+class TestEstimateNow:
+    def test_without_events_passthrough(self):
+        stub = Stub("a", two_proc_spec(), ClockBound(1.0, 2.0))
+        assert stub.estimate_now(100.0) == ClockBound(1.0, 2.0)
+
+    def test_advances_by_drift(self):
+        spec = two_proc_spec(drift_ppm=1000)
+        stub = Stub("a", spec, ClockBound(10.0, 11.0))
+        stub.on_internal(make_event("a", 0, 50.0))
+        advanced = stub.estimate_now(150.0)
+        drift = spec.drift_of("a")
+        assert advanced.lower == pytest.approx(10.0 + drift.alpha * 100)
+        assert advanced.upper == pytest.approx(11.0 + drift.beta * 100)
+
+    def test_unbounded_stays_unbounded(self):
+        stub = Stub("a", two_proc_spec())
+        stub.on_internal(make_event("a", 0, 1.0))
+        assert not stub.estimate_now(100.0).is_bounded
+
+    def test_backwards_query_rejected(self):
+        stub = Stub("a", two_proc_spec(), ClockBound(0.0, 1.0))
+        stub.on_internal(make_event("a", 0, 10.0))
+        with pytest.raises(ValueError):
+            stub.estimate_now(9.0)
+
+    def test_default_hooks_are_noops(self):
+        from repro.core import EventId
+
+        stub = Stub("a", two_proc_spec())
+        stub.on_delivery_confirmed(EventId("a", 0))
+        stub.on_loss_detected(EventId("a", 0))

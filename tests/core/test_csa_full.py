@@ -1,0 +1,79 @@
+"""Tests for the Sec 2.3 full-information reference algorithm."""
+
+import pytest
+
+from repro.core import ClockBound, EventId, FullInformationCSA, View
+
+from ..conftest import make_event, recv, send, two_proc_spec
+
+
+class TestFullInformationCSA:
+    def setup_method(self):
+        self.spec = two_proc_spec(transit=(0.2, 1.0))
+        self.src = FullInformationCSA("src", self.spec)
+        self.a = FullInformationCSA("a", self.spec)
+
+    def run_round_trip(self):
+        s1 = send("src", 0, 10.0, dest="a")
+        payload1 = self.src.on_send(s1)
+        r1 = recv("a", 0, 13.5, s1)
+        self.a.on_receive(r1, payload1)
+        s2 = send("a", 1, 14.0, dest="src")
+        payload2 = self.a.on_send(s2)
+        r2 = recv("src", 1, 11.5, s2)
+        self.src.on_receive(r2, payload2)
+
+    def test_payload_is_whole_view(self):
+        s1 = send("src", 0, 10.0, dest="a")
+        payload = self.src.on_send(s1)
+        assert isinstance(payload, View)
+        assert s1.eid in payload
+
+    def test_views_merge(self):
+        self.run_round_trip()
+        assert len(self.src.view) == 4
+        assert len(self.a.view) == 3  # a never saw src's receive
+
+    def test_estimates(self):
+        self.run_round_trip()
+        # a's last point is its reply send at LT 14.0 (0.5 local after the
+        # receive at 13.5).  With 100 ppm drift the extra leg costs
+        # (1 - alpha) * 0.5 = (beta - 1) * 0.5 = 5e-5 per direction:
+        #   lower: 14.0 - (3.3 + 5e-5)   (forward transit slack 3.5 - 0.2)
+        #   upper: 14.0 - (2.5 - 5e-5)   (reply leg: 1.0 - 3.5 = -2.5)
+        bound = self.a.estimate()
+        assert bound.lower == pytest.approx(14.0 - 3.3 - 5e-5)
+        assert bound.upper == pytest.approx(14.0 - 2.5 + 5e-5)
+        assert self.src.estimate() == ClockBound.exact(11.5)
+
+    def test_estimate_unbounded_without_source(self):
+        assert not self.a.estimate().is_bounded
+        self.a.on_internal(make_event("a", 0, 1.0))
+        assert not self.a.estimate().is_bounded
+
+    def test_estimate_at_past_point(self):
+        self.run_round_trip()
+        past = self.src.estimate_at(EventId("src", 0))
+        assert past == ClockBound.exact(10.0)
+
+    def test_bad_payload_type(self):
+        s1 = send("src", 0, 10.0, dest="a")
+        self.src.on_send(s1)
+        r1 = recv("a", 0, 13.5, s1)
+        with pytest.raises(TypeError):
+            self.a.on_receive(r1, {"not": "a view"})
+
+    def test_events_shipped_accounting(self):
+        self.run_round_trip()
+        assert self.src.events_shipped == 1  # first send: only itself
+        assert self.a.events_shipped == 3  # view had grown
+
+    def test_max_view_events_tracks_peak(self):
+        self.run_round_trip()
+        assert self.src.max_view_events == 4
+
+    def test_loss_hook_is_noop(self):
+        s1 = send("src", 0, 10.0, dest="a")
+        self.src.on_send(s1)
+        self.src.on_loss_detected(s1.eid)
+        assert s1.eid in self.src.view

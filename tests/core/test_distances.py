@@ -1,0 +1,208 @@
+"""Tests for the shortest-path engine, with networkx as oracle."""
+
+import math
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    InconsistentSpecificationError,
+    WeightedDigraph,
+    bellman_ford_from,
+    bellman_ford_to,
+    floyd_warshall,
+)
+
+
+def simple_graph():
+    g = WeightedDigraph()
+    g.add_edge("a", "b", 1.0)
+    g.add_edge("b", "c", -0.5)
+    g.add_edge("a", "c", 2.0)
+    g.add_edge("c", "a", 0.25)
+    return g
+
+
+class TestWeightedDigraph:
+    def test_parallel_edges_keep_min(self):
+        g = WeightedDigraph()
+        g.add_edge("a", "b", 2.0)
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("a", "b", 3.0)
+        assert g.weight("a", "b") == 1.0
+        assert g.edge_count() == 1
+
+    def test_infinite_weight_dropped_but_nodes_added(self):
+        g = WeightedDigraph()
+        g.add_edge("a", "b", math.inf)
+        assert "a" in g and "b" in g
+        assert g.edge_count() == 0
+
+    def test_nan_rejected(self):
+        g = WeightedDigraph()
+        with pytest.raises(ValueError):
+            g.add_edge("a", "b", math.nan)
+
+    def test_missing_edge_is_inf(self):
+        assert WeightedDigraph().weight("x", "y") == math.inf
+
+    def test_remove_node(self):
+        g = simple_graph()
+        g.remove_node("b")
+        assert "b" not in g
+        assert g.weight("a", "b") == math.inf
+        assert g.weight("a", "c") == 2.0
+
+    def test_reversed(self):
+        g = simple_graph()
+        r = g.reversed()
+        assert r.weight("b", "a") == 1.0
+        assert r.weight("a", "c") == 0.25
+
+    def test_copy_independent(self):
+        g = simple_graph()
+        c = g.copy()
+        c.add_edge("x", "y", 1.0)
+        assert "x" not in g
+
+    def test_total_absolute_weight(self):
+        assert simple_graph().total_absolute_weight() == pytest.approx(3.75)
+
+    def test_successors_predecessors(self):
+        g = simple_graph()
+        assert g.successors("a") == {"b": 1.0, "c": 2.0}
+        assert g.predecessors("c") == {"b": -0.5, "a": 2.0}
+
+
+class TestBellmanFord:
+    def test_simple_distances(self):
+        g = simple_graph()
+        dist = bellman_ford_from(g, "a")
+        assert dist["a"] == 0.0
+        assert dist["b"] == 1.0
+        assert dist["c"] == 0.5  # a->b->c beats a->c
+
+    def test_distances_to(self):
+        g = simple_graph()
+        dist = bellman_ford_to(g, "a")
+        assert dist["c"] == 0.25
+        assert dist["b"] == pytest.approx(-0.25)  # b->c->a
+
+    def test_unreachable_absent(self):
+        g = WeightedDigraph()
+        g.add_edge("a", "b", 1.0)
+        g.add_node("z")
+        dist = bellman_ford_from(g, "a")
+        assert "z" not in dist
+
+    def test_unknown_source_raises(self):
+        with pytest.raises(KeyError):
+            bellman_ford_from(WeightedDigraph(), "ghost")
+
+    def test_negative_cycle_detected(self):
+        g = WeightedDigraph()
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("b", "c", -2.0)
+        g.add_edge("c", "a", 0.5)
+        with pytest.raises(InconsistentSpecificationError):
+            bellman_ford_from(g, "a")
+
+    def test_zero_cycle_ok(self):
+        g = WeightedDigraph()
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("b", "a", -1.0)
+        dist = bellman_ford_from(g, "a")
+        assert dist["b"] == 1.0
+
+    def test_self_negative_loop(self):
+        g = WeightedDigraph()
+        g.add_edge("a", "a", -1.0)
+        with pytest.raises(InconsistentSpecificationError):
+            bellman_ford_from(g, "a")
+
+
+class TestFloydWarshall:
+    def test_matches_bellman_ford(self):
+        g = simple_graph()
+        apsp = floyd_warshall(g)
+        for node in g.nodes:
+            sssp = bellman_ford_from(g, node)
+            for other in g.nodes:
+                expected = sssp.get(other, math.inf)
+                assert apsp[node][other] == pytest.approx(expected)
+
+    def test_negative_cycle_detected(self):
+        g = WeightedDigraph()
+        g.add_edge("a", "b", -1.0)
+        g.add_edge("b", "a", 0.5)
+        with pytest.raises(InconsistentSpecificationError):
+            floyd_warshall(g)
+
+
+# ---- randomized oracle comparison against networkx -------------------------------
+
+def random_safe_digraph(draw):
+    """Random digraph with node potentials -> no negative cycles."""
+    n = draw(st.integers(min_value=2, max_value=8))
+    potentials = [
+        draw(st.floats(min_value=-10, max_value=10, allow_nan=False))
+        for _ in range(n)
+    ]
+    edges = []
+    n_edges = draw(st.integers(min_value=1, max_value=n * (n - 1)))
+    for _ in range(n_edges):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u == v:
+            continue
+        # strictly positive slack: exact-zero cycles round to ~-1e-16 in
+        # floats, which oracles flag as negative cycles
+        slack = draw(st.floats(min_value=1e-6, max_value=5, allow_nan=False))
+        edges.append((u, v, potentials[v] - potentials[u] + slack))
+    return n, edges
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_bellman_ford_matches_networkx(data):
+    n, edges = random_safe_digraph(data.draw)
+    ours = WeightedDigraph()
+    theirs = nx.DiGraph()
+    for i in range(n):
+        ours.add_node(i)
+        theirs.add_node(i)
+    for u, v, w in edges:
+        ours.add_edge(u, v, w)
+        if theirs.has_edge(u, v):
+            theirs[u][v]["weight"] = min(theirs[u][v]["weight"], w)
+        else:
+            theirs.add_edge(u, v, weight=w)
+    dist_ours = bellman_ford_from(ours, 0)
+    dist_nx = nx.single_source_bellman_ford_path_length(theirs, 0)
+    assert set(dist_ours) == set(dist_nx)
+    for node, value in dist_nx.items():
+        assert dist_ours[node] == pytest.approx(value, abs=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_floyd_warshall_matches_networkx(data):
+    n, edges = random_safe_digraph(data.draw)
+    ours = WeightedDigraph()
+    theirs = nx.DiGraph()
+    for i in range(n):
+        ours.add_node(i)
+        theirs.add_node(i)
+    for u, v, w in edges:
+        ours.add_edge(u, v, w)
+        if theirs.has_edge(u, v):
+            theirs[u][v]["weight"] = min(theirs[u][v]["weight"], w)
+        else:
+            theirs.add_edge(u, v, weight=w)
+    apsp_ours = floyd_warshall(ours)
+    apsp_nx = dict(nx.all_pairs_bellman_ford_path_length(theirs))
+    for u in range(n):
+        for v, value in apsp_nx.get(u, {}).items():
+            assert apsp_ours[u][v] == pytest.approx(value, abs=1e-9)

@@ -1,0 +1,145 @@
+"""Tests for the general-model synchronizer (arbitrary bounds mappings)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    GeneralSynchronizer,
+    InconsistentSpecificationError,
+    SpecificationError,
+    UnknownEventError,
+)
+
+
+class TestDeclaration:
+    def test_points_sequence_per_timeline(self):
+        sync = GeneralSynchronizer()
+        p0 = sync.add_point("a", 1.0)
+        p1 = sync.add_point("a", 2.0)
+        assert p0.seq == 0 and p1.seq == 1
+        assert len(sync) == 2
+
+    def test_local_times_must_increase(self):
+        sync = GeneralSynchronizer()
+        sync.add_point("a", 5.0)
+        from repro.core import ViewError
+
+        with pytest.raises(ViewError):
+            sync.add_point("a", 5.0)
+
+    def test_undeclared_point_rejected(self):
+        from repro.core import EventId
+
+        sync = GeneralSynchronizer()
+        p = sync.add_point("a", 1.0)
+        with pytest.raises(UnknownEventError):
+            sync.assert_upper(p, EventId("ghost", 0), 1.0)
+
+    def test_empty_range_rejected(self):
+        sync = GeneralSynchronizer()
+        p = sync.add_point("a", 1.0)
+        q = sync.add_point("b", 1.0)
+        with pytest.raises(SpecificationError):
+            sync.assert_range(p, q, 5.0, 2.0)
+
+
+class TestSourceSemantics:
+    def test_source_chain_is_rigid(self):
+        sync = GeneralSynchronizer(source="s")
+        s0 = sync.add_point("s", 10.0)
+        s1 = sync.add_point("s", 14.0)
+        bound = sync.relative_bounds(s1, s0)
+        assert bound.lower == bound.upper == pytest.approx(4.0)
+
+    def test_external_unbounded_without_source(self):
+        sync = GeneralSynchronizer(source="s")
+        p = sync.add_point("a", 1.0)
+        assert not sync.external_bounds(p).is_bounded
+
+    def test_docstring_example(self):
+        sync = GeneralSynchronizer(source="clockhouse")
+        t0 = sync.add_point("clockhouse", lt=100.0)
+        a0 = sync.add_point("sensor", lt=7.0)
+        sync.assert_range(a0, t0, 2.0, 5.0)
+        bound = sync.external_bounds(a0)
+        assert bound.lower == pytest.approx(102.0)
+        assert bound.upper == pytest.approx(105.0)
+
+
+class TestConstraintPropagation:
+    def test_chained_ranges_add(self):
+        sync = GeneralSynchronizer()
+        a = sync.add_point("a", 0.0)
+        b = sync.add_point("b", 0.0)
+        c = sync.add_point("c", 0.0)
+        sync.assert_range(b, a, 1.0, 2.0)
+        sync.assert_range(c, b, 10.0, 20.0)
+        bound = sync.relative_bounds(c, a)
+        assert bound.lower == pytest.approx(11.0)
+        assert bound.upper == pytest.approx(22.0)
+
+    def test_redundant_constraint_tightens(self):
+        sync = GeneralSynchronizer()
+        a = sync.add_point("a", 0.0)
+        b = sync.add_point("b", 0.0)
+        sync.assert_range(b, a, 0.0, 10.0)
+        sync.assert_range(b, a, 3.0, 20.0)  # intersect: [3, 10]
+        bound = sync.relative_bounds(b, a)
+        assert bound.lower == pytest.approx(3.0)
+        assert bound.upper == pytest.approx(10.0)
+
+    def test_triangle_inference(self):
+        """A bound to a common reference constrains the pair indirectly."""
+        sync = GeneralSynchronizer()
+        ref = sync.add_point("ref", 0.0)
+        x = sync.add_point("x", 0.0)
+        y = sync.add_point("y", 0.0)
+        sync.assert_range(x, ref, 0.0, 1.0)
+        sync.assert_range(y, ref, 0.5, 0.6)
+        bound = sync.relative_bounds(x, y)
+        assert bound.lower == pytest.approx(-0.6)
+        assert bound.upper == pytest.approx(0.5)
+
+    def test_assert_drift_matches_standard_model(self):
+        sync = GeneralSynchronizer(source="s")
+        s0 = sync.add_point("s", 0.0)
+        a0 = sync.add_point("a", 100.0)
+        a1 = sync.add_point("a", 200.0)
+        sync.assert_range(a0, s0, 0.0, 0.0)  # calibrated at that instant
+        sync.assert_drift("a", alpha=0.99, beta=1.01)
+        bound = sync.relative_bounds(a1, a0)
+        assert bound.lower == pytest.approx(99.0)
+        assert bound.upper == pytest.approx(101.0)
+
+    def test_bad_drift_band(self):
+        sync = GeneralSynchronizer()
+        with pytest.raises(SpecificationError):
+            sync.assert_drift("a", alpha=0.0, beta=1.0)
+
+
+class TestConsistency:
+    def test_consistent_system(self):
+        sync = GeneralSynchronizer()
+        a = sync.add_point("a", 0.0)
+        b = sync.add_point("b", 0.0)
+        sync.assert_range(b, a, 1.0, 2.0)
+        assert sync.consistent()
+
+    def test_contradiction_detected(self):
+        sync = GeneralSynchronizer()
+        a = sync.add_point("a", 0.0)
+        b = sync.add_point("b", 0.0)
+        sync.assert_range(b, a, 1.0, 2.0)
+        sync.assert_range(a, b, 1.0, 2.0)  # both strictly after each other
+        assert not sync.consistent()
+        with pytest.raises(InconsistentSpecificationError):
+            sync.relative_bounds(a, b)
+
+    def test_unrelated_points_unbounded(self):
+        sync = GeneralSynchronizer()
+        a = sync.add_point("a", 0.0)
+        b = sync.add_point("b", 0.0)
+        bound = sync.relative_bounds(a, b)
+        assert bound.lower == -math.inf
+        assert bound.upper == math.inf

@@ -1,0 +1,89 @@
+"""GeneralSynchronizer vs the scipy LP oracle on random constraint systems.
+
+The general model's promise: for *any* set of asserted range constraints,
+the returned intervals are the exact feasibility bounds.  We generate
+random feasible difference-constraint systems (hidden potentials plus
+slack), feed them to :class:`GeneralSynchronizer`, and check every pair's
+interval against ``scipy.optimize.linprog``.
+"""
+
+import math
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linprog
+
+from repro.core import GeneralSynchronizer
+
+
+def lp_max_difference(n, constraints, p, q):
+    """max RT(p) - RT(q) subject to RT range constraints (integer-indexed
+    variables); None if unbounded."""
+    rows, rhs = [], []
+    for (a, b), (lower, upper) in constraints.items():
+        row = [0.0] * n
+        row[a] = 1.0
+        row[b] = -1.0
+        rows.append(list(row))
+        rhs.append(upper)
+        rows.append([-v for v in row])
+        rhs.append(-lower)
+    c = [0.0] * n
+    c[p] = -1.0
+    c[q] = 1.0
+    result = linprog(
+        c,
+        A_ub=np.array(rows),
+        b_ub=np.array(rhs),
+        bounds=[(None, None)] * n,
+        method="highs",
+    )
+    if result.status == 3:
+        return None
+    assert result.status == 0, result.message
+    return -result.fun
+
+
+@st.composite
+def constraint_systems(draw):
+    n = draw(st.integers(min_value=2, max_value=6))
+    rng = random.Random(draw(st.integers(min_value=0, max_value=99_999)))
+    potentials = [rng.uniform(-20, 20) for _ in range(n)]
+    n_constraints = draw(st.integers(min_value=1, max_value=2 * n))
+    constraints = {}
+    for _ in range(n_constraints):
+        a, b = rng.sample(range(n), 2)
+        true_diff = potentials[a] - potentials[b]
+        slack_lo = rng.uniform(0.001, 3.0)
+        slack_hi = rng.uniform(0.001, 3.0)
+        key = (a, b)
+        window = (true_diff - slack_lo, true_diff + slack_hi)
+        if key in constraints:
+            old = constraints[key]
+            window = (max(old[0], window[0]), min(old[1], window[1]))
+        constraints[key] = window
+    return n, constraints
+
+
+@settings(max_examples=40, deadline=None)
+@given(constraint_systems())
+def test_general_synchronizer_matches_lp(system):
+    n, constraints = system
+    sync = GeneralSynchronizer(source="unused-source")
+    points = [sync.add_point(f"t{i}", lt=0.0) for i in range(n)]
+    for (a, b), (lower, upper) in constraints.items():
+        sync.assert_range(points[a], points[b], lower, upper)
+    assert sync.consistent()  # built around feasible potentials
+    for a in range(n):
+        for b in range(n):
+            if a == b:
+                continue
+            bound = sync.relative_bounds(points[a], points[b])
+            lp_upper = lp_max_difference(n, constraints, a, b)
+            if lp_upper is None:
+                assert math.isinf(bound.upper)
+            else:
+                assert bound.upper == pytest.approx(lp_upper, abs=1e-6)

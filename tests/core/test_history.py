@@ -1,0 +1,268 @@
+"""Tests for the Figure 2 history propagation protocol (Lemmas 3.1-3.3)."""
+
+import pytest
+
+from repro.core import (
+    EventId,
+    HistoryModule,
+    HistoryPayload,
+    ProtocolError,
+)
+
+from ..conftest import make_event, recv, send
+
+
+def wire(*modules):
+    """Index modules by processor for terse two/three-party scripts."""
+    return {m.proc: m for m in modules}
+
+
+class TestLocalRecording:
+    def test_record_local_wrong_processor(self):
+        module = HistoryModule("a", ["b"])
+        with pytest.raises(ProtocolError):
+            module.record_local(make_event("b", 0, 1.0))
+
+    def test_out_of_order_rejected(self):
+        module = HistoryModule("a", ["b"])
+        with pytest.raises(ProtocolError):
+            module.record_local(make_event("a", 1, 1.0))
+
+    def test_known_seq_advances(self):
+        module = HistoryModule("a", ["b"])
+        module.record_local(make_event("a", 0, 1.0))
+        module.record_local(make_event("a", 1, 2.0))
+        assert module.known_seq("a") == 1
+        assert module.knows(EventId("a", 0))
+        assert not module.knows(EventId("a", 2))
+
+    def test_self_neighbor_rejected(self):
+        with pytest.raises(ProtocolError):
+            HistoryModule("a", ["a", "b"])
+
+    def test_event_buffered_while_neighbor_lacks_it(self):
+        module = HistoryModule("a", ["b"])
+        module.record_local(make_event("a", 0, 1.0))
+        assert module.buffer_size() == 1
+
+    def test_no_neighbors_nothing_buffered(self):
+        module = HistoryModule("a", [])
+        module.record_local(make_event("a", 0, 1.0))
+        assert module.buffer_size() == 0
+
+
+class TestSendReceive:
+    def test_payload_carries_send_event(self):
+        a = HistoryModule("a", ["b"])
+        s = send("a", 0, 1.0, dest="b")
+        a.record_local(s)
+        payload, _token = a.prepare_payload("b")
+        assert s in payload.records
+
+    def test_payload_order_is_learn_order(self):
+        a = HistoryModule("a", ["b"])
+        events = [make_event("a", i, float(i + 1)) for i in range(3)]
+        for event in events:
+            a.record_local(event)
+        s = send("a", 3, 5.0, dest="b")
+        a.record_local(s)
+        payload, _token = a.prepare_payload("b")
+        assert list(payload.records) == events + [s]
+
+    def test_ingest_returns_only_new_events(self):
+        a = HistoryModule("a", ["b"])
+        b = HistoryModule("b", ["a"])
+        s = send("a", 0, 1.0, dest="b")
+        a.record_local(s)
+        payload, _token = a.prepare_payload("b")
+        new_events, flags = b.ingest_payload("a", payload)
+        assert new_events == [s]
+        assert flags == []
+        # replaying the same payload yields nothing new
+        new_again, _ = b.ingest_payload("a", payload)
+        assert new_again == []
+        assert b.stats.duplicate_records_received == 1
+
+    def test_gap_in_payload_rejected(self):
+        b = HistoryModule("b", ["a"])
+        orphan = make_event("a", 5, 9.9)
+        with pytest.raises(ProtocolError):
+            b.ingest_payload("a", HistoryPayload(records=(orphan,)))
+
+    def test_unknown_neighbor_rejected(self):
+        a = HistoryModule("a", ["b"])
+        with pytest.raises(ProtocolError):
+            a.prepare_payload("zzz")
+        with pytest.raises(ProtocolError):
+            a.ingest_payload("zzz", HistoryPayload(records=()))
+
+    def test_watermarks_advance_on_send_and_receive(self):
+        a = HistoryModule("a", ["b"])
+        b = HistoryModule("b", ["a"])
+        s = send("a", 0, 1.0, dest="b")
+        a.record_local(s)
+        payload, _ = a.prepare_payload("b")
+        assert a.watermark("b", "a") == 0
+        b.ingest_payload("a", payload)
+        assert b.watermark("a", "a") == 0
+
+    def test_report_once_over_three_party_relay(self):
+        """a's events reach c via b; b must not re-report to a."""
+        a = HistoryModule("a", ["b"], track_reports=True)
+        b = HistoryModule("b", ["a", "c"], track_reports=True)
+        c = HistoryModule("c", ["b"], track_reports=True)
+        s1 = send("a", 0, 1.0, dest="b")
+        a.record_local(s1)
+        pay1, _ = a.prepare_payload("b")
+        b.ingest_payload("a", pay1)
+        r1 = recv("b", 0, 2.0, s1)
+        b.record_local(r1)
+        s2 = send("b", 1, 3.0, dest="c")
+        b.record_local(s2)
+        pay2, _ = b.prepare_payload("c")
+        c.ingest_payload("b", pay2)
+        # a's event s1 was forwarded to c exactly once
+        assert b.stats.reports[(s1.eid, "c")] == 1
+        assert (s1.eid, "a") not in b.stats.reports
+        assert all(count == 1 for count in b.stats.reports.values())
+
+    def test_gc_drops_fully_disseminated_events(self):
+        a = HistoryModule("a", ["b"])
+        s = send("a", 0, 1.0, dest="b")
+        a.record_local(s)
+        assert a.buffer_size() == 1
+        a.prepare_payload("b")
+        assert a.buffer_size() == 0  # only neighbor now covered
+
+    def test_gc_keeps_events_other_neighbors_lack(self):
+        a = HistoryModule("a", ["b", "c"])
+        s = send("a", 0, 1.0, dest="b")
+        a.record_local(s)
+        a.prepare_payload("b")
+        assert a.buffer_size() == 1  # c still lacks it
+
+    def test_gc_disabled_buffer_grows(self):
+        a = HistoryModule("a", ["b"], gc_enabled=False)
+        s = send("a", 0, 1.0, dest="b")
+        a.record_local(s)
+        a.prepare_payload("b")
+        assert a.buffer_size() == 1
+
+
+class TestUnreliableMode:
+    def script(self):
+        a = HistoryModule("a", ["b"], reliable=False)
+        b = HistoryModule("b", ["a"], reliable=False)
+        s = send("a", 0, 1.0, dest="b")
+        a.record_local(s)
+        return a, b, s
+
+    def test_no_advance_until_confirm(self):
+        a, b, s = self.script()
+        payload, token = a.prepare_payload("b")
+        assert a.watermark("b", "a") == -1
+        a.confirm_delivery(token)
+        assert a.watermark("b", "a") == 0
+
+    def test_abort_keeps_events_for_retransmission(self):
+        a, b, s = self.script()
+        payload, token = a.prepare_payload("b")
+        a.abort_delivery(token)
+        assert a.buffer_size() == 1
+        # the next payload re-reports the same event
+        s2 = send("a", 1, 2.0, dest="b")
+        a.record_local(s2)
+        payload2, token2 = a.prepare_payload("b")
+        assert s in payload2.records and s2 in payload2.records
+
+    def test_lost_then_delivered_payload_never_gaps(self):
+        a, b, s = self.script()
+        payload1, token1 = a.prepare_payload("b")
+        a.abort_delivery(token1)  # payload1 lost
+        s2 = send("a", 1, 2.0, dest="b")
+        a.record_local(s2)
+        payload2, token2 = a.prepare_payload("b")
+        # payload2 arrives: contains the full contiguous range
+        new_events, _ = b.ingest_payload("a", payload2)
+        assert [e.eid for e in new_events] == [s.eid, s2.eid]
+        a.confirm_delivery(token2)
+        assert a.watermark("b", "a") == 1
+
+    def test_token_settled_twice_rejected(self):
+        a, b, s = self.script()
+        _payload, token = a.prepare_payload("b")
+        a.confirm_delivery(token)
+        with pytest.raises(ProtocolError):
+            a.confirm_delivery(token)
+        with pytest.raises(ProtocolError):
+            a.abort_delivery(token)
+
+    def test_reliable_token_autosettled(self):
+        a = HistoryModule("a", ["b"])  # reliable
+        s = send("a", 0, 1.0, dest="b")
+        a.record_local(s)
+        _payload, token = a.prepare_payload("b")
+        with pytest.raises(ProtocolError):
+            a.confirm_delivery(token)
+
+
+class TestLossFlags:
+    def test_flags_disseminate_once_per_neighbor(self):
+        a = HistoryModule("a", ["b"])
+        flag = EventId("a", 0)
+        s = send("a", 0, 1.0, dest="b")
+        a.record_local(s)
+        assert a.record_loss(flag)
+        assert not a.record_loss(flag)  # idempotent
+        s2 = send("a", 1, 2.0, dest="b")
+        a.record_local(s2)
+        payload, _ = a.prepare_payload("b")
+        assert payload.loss_flags == (flag,)
+        s3 = send("a", 2, 3.0, dest="b")
+        a.record_local(s3)
+        payload2, _ = a.prepare_payload("b")
+        assert payload2.loss_flags == ()
+
+    def test_receiver_learns_and_does_not_echo_flags(self):
+        a = HistoryModule("a", ["b"])
+        b = HistoryModule("b", ["a"])
+        flag = EventId("a", 0)
+        s = send("a", 0, 1.0, dest="b")
+        a.record_local(s)
+        a.record_loss(flag)
+        s2 = send("a", 1, 2.0, dest="b")
+        a.record_local(s2)
+        payload, _ = a.prepare_payload("b")
+        _, new_flags = b.ingest_payload("a", payload)
+        assert new_flags == [flag]
+        assert flag in b.loss_flags
+        # b never ships the flag back to a
+        r = recv("b", 0, 3.0, s2)
+        b.record_local(r)
+        s3 = send("b", 1, 4.0, dest="a")
+        b.record_local(s3)
+        back, _ = b.prepare_payload("a")
+        assert back.loss_flags == ()
+
+
+class TestLemma31OnTraces:
+    def test_view_completeness(self, line4_run):
+        """Lemma 3.1: what each CSA knows at its last point is exactly the
+        local view from that point (oracle: the omniscient trace)."""
+        trace = line4_run.trace
+        global_view = trace.global_view()
+        for proc in line4_run.sim.network.processors:
+            estimator = line4_run.sim.estimator(proc, "efficient")
+            last = estimator.last_local_event
+            if last is None:
+                continue
+            expected = global_view.view_from(last.eid)
+            for other in line4_run.sim.network.processors:
+                assert estimator.history.known_seq(other) == expected.last_seq(other)
+
+    def test_payload_sizes_recorded(self, line4_run):
+        for proc in line4_run.sim.network.processors:
+            stats = line4_run.sim.estimator(proc, "efficient").history.stats
+            if stats.payloads_sent:
+                assert stats.max_payload >= 1
+                assert stats.records_sent >= stats.payloads_sent  # send event itself

@@ -1,0 +1,125 @@
+"""Unit and property tests for ClockBound interval arithmetic."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import ClockBound, DriftSpec, SpecificationError
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+def bounds_strategy():
+    return st.tuples(finite, finite).map(
+        lambda pair: ClockBound(min(pair), max(pair))
+    )
+
+
+class TestConstruction:
+    def test_valid(self):
+        bound = ClockBound(1.0, 2.0)
+        assert bound.width == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SpecificationError):
+            ClockBound(2.0, 1.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(SpecificationError):
+            ClockBound(math.nan, 1.0)
+
+    def test_unbounded(self):
+        bound = ClockBound.unbounded()
+        assert not bound.is_bounded
+        assert math.isinf(bound.width)
+        assert bound.contains(1e300)
+
+    def test_exact(self):
+        bound = ClockBound.exact(5.0)
+        assert bound.width == 0.0
+        assert bound.contains(5.0)
+        assert not bound.contains(5.1)
+
+    def test_midpoint(self):
+        assert ClockBound(1.0, 3.0).midpoint == pytest.approx(2.0)
+
+    def test_midpoint_unbounded_raises(self):
+        with pytest.raises(SpecificationError):
+            ClockBound.unbounded().midpoint
+
+
+class TestOperations:
+    def test_contains_tolerance(self):
+        bound = ClockBound(0.0, 1.0)
+        assert not bound.contains(1.0000001)
+        assert bound.contains(1.0000001, tolerance=1e-6)
+
+    def test_intersect(self):
+        a = ClockBound(0.0, 2.0)
+        b = ClockBound(1.0, 3.0)
+        assert a.intersect(b) == ClockBound(1.0, 2.0)
+
+    def test_intersect_disjoint_raises(self):
+        with pytest.raises(SpecificationError):
+            ClockBound(0.0, 1.0).intersect(ClockBound(2.0, 3.0))
+
+    def test_shift(self):
+        assert ClockBound(1.0, 2.0).shift(0.5) == ClockBound(1.5, 2.5)
+
+    def test_widen(self):
+        assert ClockBound(1.0, 2.0).widen(0.5, 0.25) == ClockBound(0.5, 2.25)
+
+    def test_widen_negative_rejected(self):
+        with pytest.raises(SpecificationError):
+            ClockBound(1.0, 2.0).widen(-0.1, 0.0)
+
+    def test_advance_drift_free(self):
+        drift = DriftSpec.perfect()
+        assert ClockBound(1.0, 2.0).advance(3.0, drift) == ClockBound(4.0, 5.0)
+
+    def test_advance_with_drift_widens(self):
+        drift = DriftSpec.from_ppm(1000)
+        advanced = ClockBound(0.0, 0.0).advance(1000.0, drift)
+        assert advanced.lower == pytest.approx(999.0)
+        assert advanced.upper == pytest.approx(1001.0)
+
+    def test_advance_unbounded_stays_unbounded(self):
+        advanced = ClockBound.unbounded().advance(10.0, DriftSpec.perfect())
+        assert not advanced.is_bounded
+
+
+class TestProperties:
+    @given(bounds_strategy(), bounds_strategy())
+    def test_intersection_inside_both(self, a, b):
+        if max(a.lower, b.lower) > min(a.upper, b.upper):
+            with pytest.raises(SpecificationError):
+                a.intersect(b)
+            return
+        c = a.intersect(b)
+        assert c.lower >= a.lower and c.lower >= b.lower
+        assert c.upper <= a.upper and c.upper <= b.upper
+
+    @given(bounds_strategy(), finite)
+    def test_shift_preserves_width(self, bound, delta):
+        assert bound.shift(delta).width == pytest.approx(bound.width, abs=1e-6)
+
+    @given(
+        bounds_strategy(),
+        st.floats(min_value=0, max_value=1e5),
+        st.floats(min_value=0, max_value=1000),
+    )
+    def test_advance_soundness(self, bound, elapsed, ppm):
+        """If truth in bound and real elapsed is within drift bounds, truth
+        stays in the advanced bound."""
+        drift = DriftSpec.from_ppm(ppm)
+        truth = bound.midpoint
+        advanced = bound.advance(elapsed, drift)
+        low_elapsed, high_elapsed = drift.elapsed_real_bounds(elapsed)
+        for real_elapsed in (low_elapsed, high_elapsed, (low_elapsed + high_elapsed) / 2):
+            assert advanced.contains(truth + real_elapsed, tolerance=1e-6)
+
+    @given(bounds_strategy())
+    def test_contains_midpoint(self, bound):
+        assert bound.contains(bound.midpoint, tolerance=1e-9)

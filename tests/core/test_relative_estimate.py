@@ -1,0 +1,87 @@
+"""Tests for the internal-synchronization-style relative_estimate API."""
+
+import pytest
+
+from repro.core import EfficientCSA, relative_bounds
+from repro.sim import run_workload, standard_network, topologies
+from repro.sim.workloads import PeriodicGossip
+
+from ..conftest import recv, send, two_proc_spec
+
+
+class TestHandDriven:
+    def test_unbounded_before_contact(self):
+        spec = two_proc_spec()
+        csa = EfficientCSA("a", spec)
+        assert not csa.relative_estimate("a", "src").is_bounded
+
+    def test_one_hop_relative(self):
+        spec = two_proc_spec(transit=(0.2, 1.0))
+        src = EfficientCSA("src", spec)
+        a = EfficientCSA("a", spec)
+        s1 = send("src", 0, 10.0, dest="a")
+        payload = src.on_send(s1)
+        a.on_receive(recv("a", 0, 13.5, s1), payload)
+        bound = a.relative_estimate("a", "src")
+        # RT(a#0) - RT(src#0) = transit in [0.2, 1.0]
+        assert bound.lower == pytest.approx(0.2)
+        assert bound.upper == pytest.approx(1.0)
+        # antisymmetric
+        back = a.relative_estimate("src", "a")
+        assert back.lower == pytest.approx(-1.0)
+        assert back.upper == pytest.approx(-0.2)
+
+    def test_self_relative_is_zero(self):
+        spec = two_proc_spec()
+        src = EfficientCSA("src", spec)
+        s1 = send("src", 0, 10.0, dest="a")
+        src.on_send(s1)
+        bound = src.relative_estimate("src", "src")
+        assert bound.lower == bound.upper == 0.0
+
+
+class TestAgainstTheoremOracle:
+    def test_matches_relative_bounds_on_run(self, line4_run):
+        """relative_estimate == Theorem 2.1 on the oracle local view, and
+        contains the true RT difference."""
+        trace = line4_run.trace
+        spec = line4_run.sim.spec
+        global_view = trace.global_view()
+        estimator = line4_run.sim.estimator("p2", "efficient")
+        last_local = estimator.last_local_event.eid
+        local_view = global_view.view_from(last_local)
+        procs = line4_run.sim.network.processors
+        for proc_a in procs:
+            for proc_b in procs:
+                last_a = estimator.live.last_event(proc_a)
+                last_b = estimator.live.last_event(proc_b)
+                if last_a is None or last_b is None:
+                    continue
+                ours = estimator.relative_estimate(proc_a, proc_b)
+                oracle = relative_bounds(local_view, spec, last_a[0], last_b[0])
+                if oracle.is_bounded:
+                    assert ours.lower == pytest.approx(oracle.lower, abs=1e-7)
+                    assert ours.upper == pytest.approx(oracle.upper, abs=1e-7)
+                truth = trace.rt_of(last_a[0]) - trace.rt_of(last_b[0])
+                assert ours.contains(truth, tolerance=1e-6)
+
+    def test_relative_sync_without_source_traffic(self):
+        """Internal synchronization: no source processor in the loop at
+        all, yet relative bounds between peers are finite."""
+        names, links = topologies.line(3)
+        # the source p0 exists but never talks: only p1 <-> p2 gossip
+        network = standard_network(names, links, seed=4)
+        result = run_workload(
+            network,
+            PeriodicGossip(period=5.0, seed=4, until_lt=1e9),
+            {"efficient": lambda p, s: EfficientCSA(p, s)},
+            duration=30.0,
+            seed=4,
+        )
+        estimator = result.sim.estimator("p2", "efficient")
+        bound = estimator.relative_estimate("p2", "p1")
+        assert bound.is_bounded
+        truth = result.trace.rt_of(
+            estimator.live.last_event("p2")[0]
+        ) - result.trace.rt_of(estimator.live.last_event("p1")[0])
+        assert bound.contains(truth, tolerance=1e-6)

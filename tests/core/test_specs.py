@@ -1,0 +1,178 @@
+"""Unit and property tests for real-time specifications."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    DriftSpec,
+    SpecificationError,
+    SystemSpec,
+    TOP,
+    TransitSpec,
+    link_id,
+)
+
+
+class TestDriftSpec:
+    def test_paper_example_100ppm(self):
+        """The paper's Sec 2 example: 100 ppm, 10^6 local units."""
+        spec = DriftSpec.from_ppm(100)
+        low, high = spec.elapsed_real_bounds(1e6)
+        assert low == pytest.approx(999900.0)
+        assert high == pytest.approx(1000100.0)
+
+    def test_50ppm_workstation(self):
+        spec = DriftSpec.from_ppm(50)
+        assert spec.alpha == pytest.approx(0.99995)
+        assert spec.beta == pytest.approx(1.00005)
+
+    def test_perfect(self):
+        spec = DriftSpec.perfect()
+        assert spec.is_drift_free
+        assert spec.elapsed_real_bounds(5.0) == (5.0, 5.0)
+        assert spec.max_deviation == 0.0
+
+    def test_from_rate_bounds(self):
+        spec = DriftSpec.from_rate_bounds(0.5, 2.0)
+        assert spec.alpha == pytest.approx(0.5)
+        assert spec.beta == pytest.approx(2.0)
+
+    def test_invalid_alpha_beta(self):
+        with pytest.raises(SpecificationError):
+            DriftSpec(0.0, 1.0)
+        with pytest.raises(SpecificationError):
+            DriftSpec(1.2, 1.1)
+        with pytest.raises(SpecificationError):
+            DriftSpec(1.0, math.inf)
+
+    def test_negative_ppm_rejected(self):
+        with pytest.raises(SpecificationError):
+            DriftSpec.from_ppm(-1)
+
+    def test_huge_ppm_rejected(self):
+        with pytest.raises(SpecificationError):
+            DriftSpec.from_ppm(1_000_001)
+
+    def test_negative_elapsed_rejected(self):
+        with pytest.raises(SpecificationError):
+            DriftSpec.perfect().elapsed_real_bounds(-1.0)
+
+    @given(st.floats(min_value=0, max_value=1e5), st.floats(min_value=0, max_value=1e6))
+    def test_bounds_ordered(self, ppm, delta):
+        spec = DriftSpec.from_ppm(min(ppm, 999_999))
+        low, high = spec.elapsed_real_bounds(delta)
+        assert low <= delta <= high
+
+    @given(
+        st.floats(min_value=0.1, max_value=10),
+        st.floats(min_value=0.1, max_value=10),
+    )
+    def test_rate_bounds_roundtrip(self, a, b):
+        r_min, r_max = min(a, b), max(a, b)
+        spec = DriftSpec.from_rate_bounds(r_min, r_max)
+        # a clock at either extreme rate must satisfy the spec
+        for rate in (r_min, r_max):
+            elapsed_rt = 7.3
+            elapsed_lt = rate * elapsed_rt
+            low, high = spec.elapsed_real_bounds(elapsed_lt)
+            assert low <= elapsed_rt * (1 + 1e-12) and elapsed_rt <= high * (1 + 1e-12)
+
+
+class TestTransitSpec:
+    def test_unbounded(self):
+        spec = TransitSpec.unbounded()
+        assert spec.lower == 0.0
+        assert math.isinf(spec.upper)
+        assert not spec.is_bounded
+
+    def test_exactly(self):
+        spec = TransitSpec.exactly(0.3)
+        assert spec.lower == spec.upper == 0.3
+        assert spec.slack == 0.0
+
+    def test_invalid_bounds(self):
+        with pytest.raises(SpecificationError):
+            TransitSpec(-1.0, 2.0)
+        with pytest.raises(SpecificationError):
+            TransitSpec(3.0, 2.0)
+        with pytest.raises(SpecificationError):
+            TransitSpec(math.inf, math.inf)
+
+    def test_slack(self):
+        assert TransitSpec(0.1, 0.5).slack == pytest.approx(0.4)
+
+
+class TestSystemSpec:
+    def make(self):
+        return SystemSpec.build(
+            source="s",
+            processors=["s", "a", "b", "c"],
+            links=[("s", "a"), ("a", "b"), ("b", "c")],
+            default_drift=DriftSpec.from_ppm(100),
+            default_transit=TransitSpec(0.1, 0.5),
+        )
+
+    def test_source_drift_forced_perfect(self):
+        spec = self.make()
+        assert spec.drift_of("s").is_drift_free
+
+    def test_drift_lookup(self):
+        spec = self.make()
+        assert spec.drift_of("a") == DriftSpec.from_ppm(100)
+        with pytest.raises(SpecificationError):
+            spec.drift_of("zzz")
+
+    def test_transit_lookup_both_directions(self):
+        spec = self.make()
+        assert spec.transit_of("a", "b") == TransitSpec(0.1, 0.5)
+        assert spec.transit_of("b", "a") == TransitSpec(0.1, 0.5)
+        with pytest.raises(SpecificationError):
+            spec.transit_of("a", "c")
+
+    def test_asymmetric_transit(self):
+        spec = SystemSpec(
+            source="s",
+            drift={"s": DriftSpec.perfect(), "a": DriftSpec.from_ppm(10)},
+            transit={("s", "a"): {"s": TransitSpec(0.1, 0.2), "a": TransitSpec(0.3, 0.4)}},
+        )
+        assert spec.transit_of("s", "a") == TransitSpec(0.1, 0.2)
+        assert spec.transit_of("a", "s") == TransitSpec(0.3, 0.4)
+
+    def test_asymmetric_transit_bad_endpoint(self):
+        with pytest.raises(SpecificationError):
+            SystemSpec(
+                source="s",
+                drift={"s": DriftSpec.perfect()},
+                transit={("s", "a"): {"zzz": TransitSpec(0.1, 0.2)}},
+            )
+
+    def test_neighbors(self):
+        spec = self.make()
+        assert spec.neighbors("a") == ("b", "s")
+        assert spec.neighbors("c") == ("b",)
+
+    def test_has_link(self):
+        spec = self.make()
+        assert spec.has_link("a", "s")
+        assert not spec.has_link("s", "c")
+
+    def test_diameter_line(self):
+        assert self.make().diameter() == 3
+
+    def test_diameter_disconnected_raises(self):
+        spec = SystemSpec.build(
+            source="s",
+            processors=["s", "a", "b"],
+            links=[("s", "a")],
+        )
+        with pytest.raises(SpecificationError):
+            spec.diameter()
+
+    def test_max_degree(self):
+        assert self.make().max_degree() == 2
+
+    def test_processors_sorted(self):
+        assert self.make().processors == ("a", "b", "c", "s")

@@ -1,0 +1,142 @@
+"""Tests for synchronization-graph construction (Definition 2.1)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    DriftSpec,
+    EventId,
+    ExplicitBoundsMapping,
+    SystemSpec,
+    TransitSpec,
+    View,
+    build_sync_graph,
+    drift_edge_weights,
+    incident_sync_edges,
+    sync_graph_from_bounds,
+    transit_edge_weights,
+)
+
+from ..conftest import make_event, ping_pong_view, recv, send, two_proc_spec
+
+
+class TestDriftEdges:
+    def test_weights_formula(self):
+        spec = two_proc_spec(drift_ppm=100)
+        earlier = make_event("a", 0, 10.0)
+        later = make_event("a", 1, 20.0)
+        w_back, w_fwd = drift_edge_weights(spec, earlier, later)
+        # delta = 10; (beta-1)*10 = 1e-3, (1-alpha)*10 = 1e-3
+        assert w_back == pytest.approx(1e-3)
+        assert w_fwd == pytest.approx(1e-3)
+
+    def test_source_zero_weights(self):
+        spec = two_proc_spec()
+        earlier = make_event("src", 0, 1.0)
+        later = make_event("src", 1, 9.0)
+        assert drift_edge_weights(spec, earlier, later) == (0.0, 0.0)
+
+    def test_cross_processor_rejected(self):
+        spec = two_proc_spec()
+        with pytest.raises(ValueError):
+            drift_edge_weights(spec, make_event("a", 0, 1.0), make_event("src", 0, 2.0))
+
+    def test_wrong_order_rejected(self):
+        spec = two_proc_spec()
+        with pytest.raises(ValueError):
+            drift_edge_weights(spec, make_event("a", 1, 5.0), make_event("a", 0, 1.0))
+
+
+class TestTransitEdges:
+    def test_weights_formula(self):
+        spec = two_proc_spec(transit=(0.2, 1.0))
+        s = send("src", 0, 10.0, dest="a")
+        r = recv("a", 0, 10.6, s)
+        w_r_to_s, w_s_to_r = transit_edge_weights(spec, s, r)
+        observed = 0.6
+        assert w_r_to_s == pytest.approx(1.0 - observed)
+        assert w_s_to_r == pytest.approx(observed - 0.2)
+
+    def test_unbounded_upper_gives_inf(self):
+        spec = two_proc_spec(transit=(0.0, math.inf))
+        s = send("src", 0, 10.0, dest="a")
+        r = recv("a", 0, 12.0, s)
+        w_r_to_s, w_s_to_r = transit_edge_weights(spec, s, r)
+        assert math.isinf(w_r_to_s)
+        assert w_s_to_r == pytest.approx(2.0)
+
+
+class TestBuildGraph:
+    def test_ping_pong_structure(self):
+        view, spec = ping_pong_view()
+        graph = build_sync_graph(view, spec)
+        assert len(graph) == 4
+        # drift edges both ways at both processors + 2 transit pairs
+        assert graph.edge_count() == 8
+
+    def test_incident_edges_filter_infinite(self):
+        spec = two_proc_spec(transit=(0.1, math.inf))
+        view = View()
+        s = send("src", 0, 10.0, dest="a")
+        view.add(s)
+        r = recv("a", 0, 12.0, s)
+        view.add(r)
+        edges = incident_sync_edges(spec, view, r)
+        # only the finite send->receive edge, no pred at a
+        assert len(edges) == 1
+        (u, v, w), = edges
+        assert (u, v) == (s.eid, r.eid)
+        assert w == pytest.approx(1.9)
+
+    def test_graph_has_no_negative_cycles_for_consistent_view(self, line4_run):
+        from repro.core import floyd_warshall
+
+        view = line4_run.trace.global_view()
+        graph = build_sync_graph(view, line4_run.sim.spec)
+        apsp = floyd_warshall(graph)  # raises on negative cycle
+        for node in graph.nodes:
+            assert apsp[node][node] >= -1e-9
+
+
+class TestExplicitBounds:
+    def test_set_range_and_bound(self):
+        p, q = EventId("x", 0), EventId("y", 0)
+        bounds = ExplicitBoundsMapping()
+        bounds.set_range(p, q, -1.0, 2.0)
+        assert bounds.bound(p, q) == 2.0
+        assert bounds.bound(q, p) == 1.0
+        assert math.isinf(bounds.bound(p, EventId("z", 0)))
+
+    def test_tightest_bound_kept(self):
+        p, q = EventId("x", 0), EventId("y", 0)
+        bounds = ExplicitBoundsMapping()
+        bounds.set(p, q, 5.0)
+        bounds.set(p, q, 3.0)
+        bounds.set(p, q, 10.0)
+        assert bounds.bound(p, q) == 3.0
+
+    def test_nan_rejected(self):
+        bounds = ExplicitBoundsMapping()
+        with pytest.raises(ValueError):
+            bounds.set(EventId("x", 0), EventId("y", 0), math.nan)
+
+    def test_graph_from_bounds_weights(self):
+        view = View()
+        view.add(make_event("x", 0, 10.0))
+        view.add(make_event("y", 0, 4.0))
+        p, q = EventId("x", 0), EventId("y", 0)
+        bounds = ExplicitBoundsMapping({(p, q): 8.0})
+        graph = sync_graph_from_bounds(view, bounds)
+        # w(p,q) = B(p,q) - (LT(p)-LT(q)) = 8 - 6 = 2
+        assert graph.weight(p, q) == pytest.approx(2.0)
+        assert graph.weight(q, p) == math.inf
+
+    def test_top_bounds_ignored(self):
+        view = View()
+        view.add(make_event("x", 0, 1.0))
+        view.add(make_event("y", 0, 2.0))
+        bounds = ExplicitBoundsMapping()
+        bounds.set(EventId("x", 0), EventId("y", 0), math.inf)
+        graph = sync_graph_from_bounds(view, bounds)
+        assert graph.edge_count() == 0

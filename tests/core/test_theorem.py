@@ -1,0 +1,196 @@
+"""Tests for the Clock Synchronization Theorem machinery (Theorem 2.1)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    ClockBound,
+    EventId,
+    check_execution,
+    external_bounds,
+    extremal_execution,
+    relative_bounds,
+    source_point,
+    build_sync_graph,
+)
+
+from ..conftest import make_event, ping_pong_view, recv, send, two_proc_spec
+
+
+class TestRelativeBounds:
+    def test_ping_pong_bounds_by_hand(self):
+        """Work the Theorem 2.1 interval out explicitly for the round trip.
+
+        src sends at LT 10, a receives at 13.5, a replies at 14.0, src
+        receives at 11.5; transit in [0, 1]; drift 100 ppm.
+        """
+        view, spec = ping_pong_view()
+        p = EventId("a", 0)  # a's receive
+        q = EventId("src", 0)  # src's send
+        bound = relative_bounds(view, spec, p, q)
+        # RT(p) - RT(q) is the forward transit: within [0, 1]
+        assert bound.lower >= -1e-9
+        assert bound.upper <= 1.0 + 1e-9
+        # the reply leg constrains it further: round trip local ~1.5 at src
+        # forward transit <= RTT - back transit >= ... at least sanity:
+        assert bound.lower <= bound.upper
+
+    def test_source_points_distance_zero(self):
+        """Consecutive source events are rigid: exact local difference."""
+        view, spec = ping_pong_view()
+        p, q = EventId("src", 1), EventId("src", 0)
+        bound = relative_bounds(view, spec, p, q)
+        assert bound.lower == pytest.approx(1.5)
+        assert bound.upper == pytest.approx(1.5)
+
+    def test_symmetry(self):
+        view, spec = ping_pong_view()
+        p, q = EventId("a", 0), EventId("src", 0)
+        fwd = relative_bounds(view, spec, p, q)
+        back = relative_bounds(view, spec, q, p)
+        assert fwd.lower == pytest.approx(-back.upper)
+        assert fwd.upper == pytest.approx(-back.lower)
+
+    def test_unconnected_pair_unbounded(self):
+        from repro.core import View
+
+        view = View()
+        view.add(make_event("src", 0, 1.0))
+        view.add(make_event("a", 0, 1.0))
+        spec = two_proc_spec()
+        bound = relative_bounds(view, spec, EventId("a", 0), EventId("src", 0))
+        assert not bound.is_bounded
+
+
+class TestExternalBounds:
+    def test_no_source_point_unbounded(self):
+        from repro.core import View
+
+        view = View([make_event("a", 0, 1.0)])
+        spec = two_proc_spec()
+        assert not external_bounds(view, spec, EventId("a", 0)).is_bounded
+
+    def test_source_estimates_itself_exactly(self):
+        view, spec = ping_pong_view()
+        bound = external_bounds(view, spec, EventId("src", 1))
+        assert bound.lower == pytest.approx(11.5)
+        assert bound.upper == pytest.approx(11.5)
+
+    def test_estimate_contains_consistent_truth(self):
+        """Any real-time assignment satisfying the spec must fall inside."""
+        view, spec = ping_pong_view()
+        p = EventId("a", 1)
+        bound = external_bounds(view, spec, p)
+        # a consistent assignment: src at real time, transits 0.5, a drift-free
+        rt = {
+            EventId("src", 0): 10.0,
+            EventId("a", 0): 10.5,
+            EventId("a", 1): 11.0,
+            EventId("src", 1): 11.5,
+        }
+        assert not check_execution(view, spec, rt)
+        assert bound.contains(rt[p], tolerance=1e-9)
+
+    def test_source_point_picks_latest(self):
+        view, spec = ping_pong_view()
+        assert source_point(view, spec) == EventId("src", 1)
+
+
+class TestExtremalExecutions:
+    @pytest.mark.parametrize("endpoint", ["upper", "lower"])
+    def test_ping_pong_attains_endpoints(self, endpoint):
+        view, spec = ping_pong_view()
+        p = EventId("a", 1)
+        sp = source_point(view, spec)
+        bound = external_bounds(view, spec, p)
+        rt = extremal_execution(view, spec, p, sp, endpoint)
+        assert not check_execution(view, spec, rt, tolerance=1e-9)
+        target = bound.upper if endpoint == "upper" else bound.lower
+        assert rt[p] == pytest.approx(target)
+
+    def test_normalised_to_source(self):
+        view, spec = ping_pong_view()
+        p = EventId("a", 0)
+        rt = extremal_execution(view, spec, p, source_point(view, spec), "upper")
+        for eid in (EventId("src", 0), EventId("src", 1)):
+            assert rt[eid] == pytest.approx(view.event(eid).lt)
+
+    def test_bad_endpoint_name(self):
+        view, spec = ping_pong_view()
+        with pytest.raises(ValueError):
+            extremal_execution(
+                view, spec, EventId("a", 0), EventId("src", 0), "sideways"
+            )
+
+    def test_infinite_endpoint_rejected(self):
+        from repro.core import View
+
+        view = View()
+        view.add(make_event("src", 0, 1.0))
+        view.add(make_event("a", 0, 1.0))
+        spec = two_proc_spec()
+        with pytest.raises(ValueError):
+            extremal_execution(view, spec, EventId("a", 0), EventId("src", 0), "upper")
+
+    def test_extremal_on_simulated_trace(self, line4_run):
+        """Endpoints attained and legal on a real multi-hop trace."""
+        trace = line4_run.trace
+        spec = line4_run.sim.spec
+        view = trace.global_view()
+        graph = build_sync_graph(view, spec)
+        sp = source_point(view, spec)
+        for proc in ("p1", "p3"):
+            p = view.last_event(proc).eid
+            bound = external_bounds(view, spec, p, graph)
+            for endpoint, target in (("upper", bound.upper), ("lower", bound.lower)):
+                rt = extremal_execution(view, spec, p, sp, endpoint, graph=graph)
+                assert not check_execution(view, spec, rt, tolerance=1e-7)
+                assert rt[p] == pytest.approx(target, abs=1e-7)
+
+
+class TestCheckExecution:
+    def test_true_trace_passes(self, line4_run):
+        view = line4_run.trace.global_view()
+        errors = check_execution(
+            view, line4_run.sim.spec, line4_run.trace.real_times, tolerance=1e-6
+        )
+        assert errors == []
+
+    def test_detects_drift_violation(self):
+        view, spec = ping_pong_view()
+        rt = {
+            EventId("src", 0): 10.0,
+            EventId("a", 0): 10.5,
+            EventId("a", 1): 30.0,  # 19.5 real seconds for 0.5 local: impossible
+            EventId("src", 1): 30.5,
+        }
+        errors = check_execution(view, spec, rt)
+        assert any("drift violation" in e for e in errors)
+
+    def test_detects_transit_violation(self):
+        view, spec = ping_pong_view()
+        rt = {
+            EventId("src", 0): 10.0,
+            EventId("a", 0): 9.5,  # received before sent
+            EventId("a", 1): 10.0,
+            EventId("src", 1): 10.5,
+        }
+        errors = check_execution(view, spec, rt)
+        assert any("transit violation" in e for e in errors)
+
+    def test_detects_source_drift(self):
+        view, spec = ping_pong_view()
+        rt = {
+            EventId("src", 0): 10.0,
+            EventId("a", 0): 10.5,
+            EventId("a", 1): 11.0,
+            EventId("src", 1): 12.5,  # source advanced 2.5 for 1.5 local
+        }
+        errors = check_execution(view, spec, rt)
+        assert any("source clock" in e for e in errors)
+
+    def test_missing_rt_reported(self):
+        view, spec = ping_pong_view()
+        errors = check_execution(view, spec, {})
+        assert errors and "missing real times" in errors[0]

@@ -1,0 +1,200 @@
+"""Unit and property tests for execution views (Lamport graphs)."""
+
+import pytest
+
+from repro.core import EventId, EventKind, View, ViewError, UnknownEventError
+
+from ..conftest import make_event, ping_pong_view, recv, send
+
+
+class TestAdd:
+    def test_prefix_enforced(self):
+        view = View()
+        with pytest.raises(ViewError):
+            view.add(make_event("p", 1, 1.0))
+
+    def test_strictly_increasing_lt(self):
+        view = View([make_event("p", 0, 1.0)])
+        with pytest.raises(ViewError):
+            view.add(make_event("p", 1, 1.0))
+
+    def test_receive_before_send_rejected(self):
+        view = View()
+        s = send("p", 0, 1.0, dest="q")
+        with pytest.raises(ViewError):
+            view.add(recv("q", 0, 2.0, s))
+
+    def test_receive_wrong_dest_rejected(self):
+        view = View()
+        s = send("p", 0, 1.0, dest="q")
+        view.add(s)
+        with pytest.raises(ViewError):
+            view.add(recv("r", 0, 2.0, s))
+
+    def test_double_delivery_rejected(self):
+        view = View()
+        s = send("p", 0, 1.0, dest="q")
+        view.add(s)
+        view.add(recv("q", 0, 2.0, s))
+        with pytest.raises(ViewError):
+            view.add(recv("q", 1, 3.0, s))
+
+    def test_receive_of_non_send_rejected(self):
+        view = View([make_event("p", 0, 1.0)])
+        bad = make_event("q", 0, 2.0, EventKind.RECEIVE, send_eid=EventId("p", 0))
+        with pytest.raises(ViewError):
+            view.add(bad)
+
+    def test_idempotent_re_add(self):
+        event = make_event("p", 0, 1.0)
+        view = View([event])
+        view.add(event)  # no error
+        assert len(view) == 1
+
+    def test_conflicting_re_add_rejected(self):
+        view = View([make_event("p", 0, 1.0)])
+        with pytest.raises(ViewError):
+            view.add(make_event("p", 0, 99.0))
+
+
+class TestQueries:
+    def test_last_event(self):
+        view, _spec = ping_pong_view()
+        assert view.last_event("src").eid == EventId("src", 1)
+        assert view.last_event("a").eid == EventId("a", 1)
+        assert view.last_event("nobody") is None
+
+    def test_last_seq(self):
+        view, _spec = ping_pong_view()
+        assert view.last_seq("src") == 1
+        assert view.last_seq("nobody") == -1
+
+    def test_events_of_in_order(self):
+        view, _spec = ping_pong_view()
+        events = view.events_of("src")
+        assert [e.seq for e in events] == [0, 1]
+
+    def test_receive_of(self):
+        view, _spec = ping_pong_view()
+        assert view.receive_of(EventId("src", 0)) == EventId("a", 0)
+        assert view.receive_of(EventId("a", 1)) == EventId("src", 1)
+
+    def test_undelivered_sends_empty_after_pingpong(self):
+        view, _spec = ping_pong_view()
+        assert view.undelivered_sends == set()
+
+    def test_event_unknown_raises(self):
+        view = View()
+        with pytest.raises(UnknownEventError):
+            view.event(EventId("p", 0))
+
+    def test_iteration_is_topological(self):
+        view, _spec = ping_pong_view()
+        order = {eid: i for i, eid in enumerate(view)}
+        for eid in view:
+            for parent in view.parents(eid):
+                assert order[parent] < order[eid]
+
+
+class TestGraphStructure:
+    def test_parents(self):
+        view, _spec = ping_pong_view()
+        r1 = EventId("a", 0)
+        assert set(view.parents(r1)) == {EventId("src", 0)}
+        s2 = EventId("a", 1)
+        assert set(view.parents(s2)) == {EventId("a", 0)}
+
+    def test_children(self):
+        view, _spec = ping_pong_view()
+        s1 = EventId("src", 0)
+        assert set(view.children(s1)) == {EventId("src", 1), EventId("a", 0)}
+
+    def test_happens_before_reflexive(self):
+        view, _spec = ping_pong_view()
+        p = EventId("src", 0)
+        assert view.happens_before(p, p)
+
+    def test_happens_before_chain(self):
+        view, _spec = ping_pong_view()
+        assert view.happens_before(EventId("src", 0), EventId("src", 1))
+        assert view.happens_before(EventId("src", 0), EventId("a", 1))
+        assert not view.happens_before(EventId("src", 1), EventId("src", 0))
+
+    def test_happens_before_concurrent(self):
+        view = View()
+        view.add(make_event("p", 0, 1.0))
+        view.add(make_event("q", 0, 1.0))
+        assert not view.happens_before(EventId("p", 0), EventId("q", 0))
+        assert not view.happens_before(EventId("q", 0), EventId("p", 0))
+
+    def test_view_from_full_chain(self):
+        view, _spec = ping_pong_view()
+        sub = view.view_from(EventId("src", 1))
+        assert len(sub) == len(view)  # everything happened before the reply
+
+    def test_view_from_partial(self):
+        view, _spec = ping_pong_view()
+        sub = view.view_from(EventId("a", 0))
+        assert EventId("src", 0) in sub
+        assert EventId("a", 0) in sub
+        assert EventId("src", 1) not in sub
+        assert EventId("a", 1) not in sub
+
+    def test_view_from_is_causally_closed(self, ring5_random_run):
+        gv = ring5_random_run.trace.global_view()
+        point = gv.last_event("p2").eid
+        sub = gv.view_from(point)
+        for eid in sub:
+            for parent in sub.parents(eid):
+                assert parent in sub
+
+
+class TestLiveness:
+    def test_last_points_live(self):
+        view, _spec = ping_pong_view()
+        assert view.is_live(EventId("src", 1))
+        assert view.is_live(EventId("a", 1))
+
+    def test_delivered_interior_send_dead(self):
+        view, _spec = ping_pong_view()
+        assert not view.is_live(EventId("src", 0))
+
+    def test_undelivered_send_live(self):
+        view = View()
+        s = send("p", 0, 1.0, dest="q")
+        view.add(s)
+        view.add(make_event("p", 1, 2.0))
+        assert view.is_live(s.eid)  # undelivered, even though not last
+
+    def test_live_points_matches_definition(self, ring5_random_run):
+        """Definition 3.1 cross-check on a real trace, at every prefix."""
+        trace = ring5_random_run.trace
+        view = View()
+        for record in list(trace)[:120]:
+            view.add(record.event)
+            live = view.live_points()
+            for eid in view:
+                expected = (
+                    view.last_seq(eid.proc) == eid.seq
+                    or eid in view.undelivered_sends
+                )
+                assert (eid in live) == expected
+
+    def test_merge_conflicting_rejected(self):
+        a = View([make_event("p", 0, 1.0)])
+        b = View([make_event("p", 0, 2.0)])
+        with pytest.raises(ViewError):
+            a.merge(b)
+
+    def test_merge_extends(self):
+        view, _spec = ping_pong_view()
+        other = view.copy()
+        other.add(make_event("a", 2, 20.0))
+        view.merge(other)
+        assert EventId("a", 2) in view
+
+    def test_copy_is_independent(self):
+        view, _spec = ping_pong_view()
+        dup = view.copy()
+        dup.add(make_event("a", 2, 20.0))
+        assert EventId("a", 2) not in view

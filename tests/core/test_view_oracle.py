@@ -1,0 +1,52 @@
+"""View structure validated against networkx as an independent oracle."""
+
+import networkx as nx
+import pytest
+
+from repro.core import EventId
+
+
+def view_as_nx(view):
+    graph = nx.DiGraph()
+    for eid in view:
+        graph.add_node(eid)
+        for parent in view.parents(eid):
+            graph.add_edge(parent, eid)
+    return graph
+
+
+class TestAgainstNetworkx:
+    def test_happens_before_equals_reachability(self, ring5_random_run):
+        view = ring5_random_run.trace.global_view()
+        graph = view_as_nx(view)
+        # spot-check a grid of pairs: last 3 events of each processor
+        probes = []
+        for proc in view.processors:
+            last = view.last_seq(proc)
+            probes += [
+                EventId(proc, seq) for seq in range(max(0, last - 2), last + 1)
+            ]
+        for p in probes:
+            for q in probes:
+                ours = view.happens_before(p, q)
+                theirs = p == q or nx.has_path(graph, p, q)
+                assert ours == theirs, (p, q)
+
+    def test_view_is_a_dag(self, ring5_random_run):
+        view = ring5_random_run.trace.global_view()
+        assert nx.is_directed_acyclic_graph(view_as_nx(view))
+
+    def test_view_from_equals_ancestor_closure(self, ring5_random_run):
+        view = ring5_random_run.trace.global_view()
+        graph = view_as_nx(view)
+        point = view.last_event("p3").eid
+        expected = set(nx.ancestors(graph, point)) | {point}
+        sub = view.view_from(point)
+        assert {eid for eid in sub} == expected
+
+    def test_topological_iteration_order(self, line4_run):
+        view = line4_run.trace.global_view()
+        graph = view_as_nx(view)
+        order = {eid: i for i, eid in enumerate(view)}
+        for u, v in graph.edges:
+            assert order[u] < order[v]

@@ -1,0 +1,94 @@
+"""Each experiment runs (at reduced scale) with every claim check passing.
+
+These are the executable versions of EXPERIMENTS.md: a reproduction claim
+that stops passing is a regression.
+"""
+
+import pytest
+
+from repro.experiments import REGISTRY, get_experiment
+from repro.experiments.cli import QUICK_OVERRIDES, main
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        expected = {
+            "e1-optimality",
+            "e2-report-once",
+            "e3-history-space",
+            "e4-agdp-cost",
+            "e5-live-points",
+            "e6-ntp-pattern",
+            "e7-cristian-pattern",
+            "e8-width-vs-baselines",
+            "e9-message-loss",
+            "a1-agdp-gc-ablation",
+            "a2-history-gc-ablation",
+            "x1-internal-sync",
+            "e10-convergence",
+            "x2-adaptive-polling",
+        }
+        assert set(REGISTRY) == expected
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            get_experiment("e99-imaginary")
+
+    def test_quick_overrides_cover_registry(self):
+        assert set(QUICK_OVERRIDES) == set(REGISTRY)
+
+
+@pytest.mark.parametrize("name", sorted(REGISTRY))
+def test_experiment_passes_quick(name):
+    run = get_experiment(name)
+    result = run(seed=0, **QUICK_OVERRIDES[name])
+    assert result.rows, f"{name} produced no rows"
+    assert result.checks, f"{name} produced no checks"
+    failing = [c for c in result.checks if not c.passed]
+    assert not failing, f"{name}: {[str(c) for c in failing]}"
+    rendered = result.render()
+    assert name in rendered and "PASS" in rendered
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "e1-optimality" in out
+
+    def test_run_single_quick(self, capsys):
+        assert main(["--quick", "e4-agdp-cost"]) == 0
+        out = capsys.readouterr().out
+        assert "e4-agdp-cost" in out
+        assert "FAIL" not in out
+
+    def test_markdown_output(self, capsys, tmp_path):
+        target = tmp_path / "report.md"
+        assert main(["--quick", "--markdown", str(target), "e4-agdp-cost"]) == 0
+        text = target.read_text()
+        assert text.startswith("## e4-agdp-cost")
+        assert "| L |" in text
+        assert "- PASS" in text
+
+    def test_unknown_experiment_name_errors(self):
+        with pytest.raises(KeyError):
+            main(["no-such-experiment"])
+
+    def test_failing_check_sets_exit_code(self, capsys, monkeypatch):
+        from repro.experiments import base
+        from repro.experiments.base import ExperimentResult
+        from repro.analysis.claims import ClaimCheck
+
+        def doomed(**_kwargs):
+            return ExperimentResult(
+                experiment="doomed",
+                description="always fails",
+                rows=[{"x": 1}],
+                checks=[ClaimCheck("never", False)],
+            )
+
+        monkeypatch.setitem(base.REGISTRY, "doomed", doomed)
+        assert main(["doomed"]) == 1
+        out = capsys.readouterr()
+        assert "FAIL" in out.out
+        assert "failing checks" in out.err

@@ -1,0 +1,144 @@
+"""End-to-end invariants over randomized simulations.
+
+These tests re-derive every paper property from the omniscient trace on
+randomly generated systems (topology, drift, delays, traffic all vary with
+the seed), tying all subsystems together:
+
+1. the simulated execution satisfies its own specification;
+2. the efficient CSA's interval at every processor equals the theorem's
+   optimal bounds computed from scratch on the oracle local view;
+3. every sampled interval contains true time;
+4. extremal executions attain the endpoints;
+5. the protocol state stays within the paper's complexity envelopes.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import collect_complexity
+from repro.core import (
+    EfficientCSA,
+    FullInformationCSA,
+    check_execution,
+    external_bounds,
+)
+from repro.sim import run_workload, standard_network, topologies
+from repro.sim.workloads import PeriodicGossip, RandomTraffic
+
+SEEDS = [0, 1, 2, 3, 4]
+
+
+def random_system(seed):
+    """A varied small system derived deterministically from the seed."""
+    n = 4 + (seed % 4)
+    extra = seed % 3
+    names, links = topologies.random_connected(n, extra, seed)
+    drift_ppm = [50, 100, 300, 1000][seed % 4]
+    delay = [(0.005, 0.05), (0.01, 0.2), (0.05, 0.6)][seed % 3]
+    network = standard_network(
+        names, links, seed=seed, drift_ppm=drift_ppm, delay=delay
+    )
+    if seed % 2:
+        workload = PeriodicGossip(period=4.0 + seed, seed=seed, internal_per_period=1.0)
+    else:
+        workload = RandomTraffic(rate=2.0 + seed / 5, seed=seed, internal_prob=0.1)
+    return network, workload
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def random_run(request):
+    seed = request.param
+    network, workload = random_system(seed)
+    return run_workload(
+        network,
+        workload,
+        {
+            "efficient": lambda p, s: EfficientCSA(p, s),
+            "full": lambda p, s: FullInformationCSA(p, s),
+        },
+        duration=50.0,
+        seed=seed,
+        sample_period=5.0,
+    )
+
+
+class TestExecutionValidity:
+    def test_spec_satisfied(self, random_run):
+        view = random_run.trace.global_view()
+        errors = check_execution(
+            view, random_run.sim.spec, random_run.trace.real_times, tolerance=1e-6
+        )
+        assert errors == []
+
+    def test_all_samples_sound(self, random_run):
+        assert random_run.soundness_violations() == []
+
+
+class TestOptimalityEverywhere:
+    def test_efficient_equals_oracle_at_every_final_point(self, random_run):
+        """The efficient CSA's final answer equals Theorem 2.1 computed
+        from scratch on the oracle's local view."""
+        trace = random_run.trace
+        spec = random_run.sim.spec
+        global_view = trace.global_view()
+        for proc in random_run.sim.network.processors:
+            estimator = random_run.sim.estimator(proc, "efficient")
+            last = estimator.last_local_event
+            if last is None:
+                continue
+            local_view = global_view.view_from(last.eid)
+            oracle = external_bounds(local_view, spec, last.eid)
+            ours = estimator.estimate()
+            if not oracle.is_bounded:
+                assert ours.lower == oracle.lower and ours.upper == oracle.upper
+                continue
+            assert ours.lower == pytest.approx(oracle.lower, abs=1e-7)
+            assert ours.upper == pytest.approx(oracle.upper, abs=1e-7)
+
+    def test_efficient_equals_full_information(self, random_run):
+        for proc in random_run.sim.network.processors:
+            e = random_run.sim.estimator(proc, "efficient").estimate()
+            f = random_run.sim.estimator(proc, "full").estimate()
+            if not (e.is_bounded and f.is_bounded):
+                assert e.lower == f.lower and e.upper == f.upper
+                continue
+            assert e.lower == pytest.approx(f.lower, abs=1e-7)
+            assert e.upper == pytest.approx(f.upper, abs=1e-7)
+
+
+class TestComplexityEnvelope:
+    def test_paper_bounds(self, random_run):
+        report = collect_complexity(random_run)
+        verdicts = report.bounds_hold()
+        assert all(verdicts.values()), (verdicts, report)
+
+    def test_agdp_much_smaller_than_execution(self, random_run):
+        report = collect_complexity(random_run)
+        assert report.max_agdp_nodes < report.events_total / 2
+
+
+class TestHistoryInvariants:
+    def test_knowledge_matches_local_view(self, random_run):
+        trace = random_run.trace
+        global_view = trace.global_view()
+        for proc in random_run.sim.network.processors:
+            estimator = random_run.sim.estimator(proc, "efficient")
+            last = estimator.last_local_event
+            if last is None:
+                continue
+            expected = global_view.view_from(last.eid)
+            for other in random_run.sim.network.processors:
+                assert estimator.history.known_seq(other) == expected.last_seq(other)
+
+    def test_live_tracker_matches_oracle(self, random_run):
+        trace = random_run.trace
+        global_view = trace.global_view()
+        for proc in random_run.sim.network.processors:
+            estimator = random_run.sim.estimator(proc, "efficient")
+            last = estimator.last_local_event
+            if last is None:
+                continue
+            local_view = global_view.view_from(last.eid)
+            assert estimator.live.live_points() == local_view.live_points()
+            assert estimator.agdp.live_nodes == local_view.live_points()

@@ -1,0 +1,220 @@
+"""Tests for hardware clock models: invertibility and spec containment."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SimulationError
+from repro.sim import AffineClock, PerfectClock, PiecewiseDriftingClock
+
+
+class TestPerfectClock:
+    def test_identity(self):
+        clock = PerfectClock()
+        assert clock.lt(12.5) == 12.5
+        assert clock.rt(12.5) == 12.5
+        assert clock.advertised.is_drift_free
+
+
+class TestAffineClock:
+    def test_mapping(self):
+        clock = AffineClock(offset=5.0, rate=2.0)
+        assert clock.lt(3.0) == pytest.approx(11.0)
+        assert clock.rt(11.0) == pytest.approx(3.0)
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(SimulationError):
+            AffineClock(rate=0.0)
+
+    def test_advertised_contains_true_rate(self):
+        clock = AffineClock(rate=1.00004, advertised_ppm=50)
+        low, high = clock.advertised.elapsed_real_bounds(1.0)
+        true_elapsed_rt = 1.0 / 1.00004
+        assert low <= true_elapsed_rt <= high
+
+    def test_rate_outside_advertised_rejected(self):
+        with pytest.raises(SimulationError):
+            AffineClock(rate=1.001, advertised_ppm=50)
+
+    @given(st.floats(min_value=0, max_value=1e6))
+    def test_roundtrip(self, rt):
+        clock = AffineClock(offset=-3.0, rate=0.99)
+        assert clock.rt(clock.lt(rt)) == pytest.approx(rt, abs=1e-6)
+
+
+class TestPiecewiseDriftingClock:
+    def make(self, seed=0, **kwargs):
+        kwargs.setdefault("r_min", 1 - 2e-4)
+        kwargs.setdefault("r_max", 1 + 2e-4)
+        kwargs.setdefault("mean_segment", 10.0)
+        return PiecewiseDriftingClock(seed, **kwargs)
+
+    def test_deterministic(self):
+        a, b = self.make(seed=7), self.make(seed=7)
+        for rt in (0.0, 5.0, 123.4, 999.9):
+            assert a.lt(rt) == b.lt(rt)
+
+    def test_different_seeds_differ(self):
+        a, b = self.make(seed=1), self.make(seed=2)
+        assert a.lt(500.0) != b.lt(500.0)
+
+    def test_strictly_increasing(self):
+        clock = self.make(seed=3)
+        previous = clock.lt(0.0)
+        for i in range(1, 300):
+            current = clock.lt(i * 1.7)
+            assert current > previous
+            previous = current
+
+    def test_negative_rt_rejected(self):
+        with pytest.raises(SimulationError):
+            self.make().lt(-1.0)
+
+    def test_lt_before_start_rejected(self):
+        clock = self.make(offset=10.0)
+        with pytest.raises(SimulationError):
+            clock.rt(9.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(SimulationError):
+            PiecewiseDriftingClock(0, r_min=0.0, r_max=1.0)
+        with pytest.raises(SimulationError):
+            PiecewiseDriftingClock(0, mean_segment=0.0)
+        with pytest.raises(SimulationError):
+            PiecewiseDriftingClock(0, smoothness=1.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=1000),
+        st.floats(min_value=0, max_value=2000),
+    )
+    def test_roundtrip_property(self, seed, rt):
+        clock = self.make(seed=seed)
+        assert clock.rt(clock.lt(rt)) == pytest.approx(rt, abs=1e-6)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=500),
+        st.floats(min_value=0, max_value=1000),
+        st.floats(min_value=0.01, max_value=500),
+    )
+    def test_advertised_spec_containment(self, seed, rt0, span):
+        """Over any real interval, elapsed local time stays within the
+        advertised rate band - the property the optimality proofs need."""
+        clock = self.make(seed=seed)
+        rt1 = rt0 + span
+        delta_lt = clock.lt(rt1) - clock.lt(rt0)
+        low, high = clock.advertised.elapsed_real_bounds(delta_lt)
+        assert low <= span * (1 + 1e-9) + 1e-9
+        assert span <= high * (1 + 1e-9) + 1e-9
+
+    def test_offset_applies(self):
+        clock = self.make(seed=4, offset=42.0)
+        assert clock.lt(0.0) == pytest.approx(42.0)
+
+    def test_segments_extend_lazily(self):
+        clock = self.make(seed=5)
+        initial = clock.segment_count()
+        clock.lt(10_000.0)
+        assert clock.segment_count() > initial
+
+    def test_rate_band_accessor(self):
+        clock = self.make(seed=6)
+        r_min, r_max = clock.rate_band
+        assert r_min < 1 < r_max
+
+
+class TestSinusoidalDriftClock:
+    def make(self, **kwargs):
+        from repro.sim import SinusoidalDriftClock
+
+        kwargs.setdefault("amplitude", 1e-4)
+        kwargs.setdefault("period", 100.0)
+        return SinusoidalDriftClock(**kwargs)
+
+    def test_validation(self):
+        from repro.core import SimulationError
+        from repro.sim import SinusoidalDriftClock
+
+        with pytest.raises(SimulationError):
+            SinusoidalDriftClock(amplitude=2.0, center=1.0)
+        with pytest.raises(SimulationError):
+            SinusoidalDriftClock(period=0.0)
+
+    def test_offset_at_zero(self):
+        clock = self.make(offset=42.0)
+        assert clock.lt(0.0) == pytest.approx(42.0)
+
+    def test_strictly_increasing(self):
+        clock = self.make()
+        previous = clock.lt(0.0)
+        for i in range(1, 400):
+            value = clock.lt(i * 0.7)
+            assert value > previous
+            previous = value
+
+    def test_negative_rt_rejected(self):
+        from repro.core import SimulationError
+
+        with pytest.raises(SimulationError):
+            self.make().lt(-1.0)
+
+    def test_lt_before_start_rejected(self):
+        from repro.core import SimulationError
+
+        clock = self.make(offset=5.0)
+        with pytest.raises(SimulationError):
+            clock.rt(4.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.floats(min_value=0, max_value=5000),
+        st.floats(min_value=1e-6, max_value=5e-4),
+        st.floats(min_value=10, max_value=2000),
+        st.floats(min_value=0, max_value=6.28),
+    )
+    def test_roundtrip_property(self, rt, amplitude, period, phase):
+        clock = self.make(amplitude=amplitude, period=period, phase=phase)
+        assert clock.rt(clock.lt(rt)) == pytest.approx(rt, abs=1e-6)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.floats(min_value=0, max_value=2000),
+        st.floats(min_value=0.01, max_value=500),
+    )
+    def test_advertised_spec_containment(self, rt0, span):
+        clock = self.make(amplitude=3e-4, period=333.0, phase=1.0)
+        rt1 = rt0 + span
+        delta_lt = clock.lt(rt1) - clock.lt(rt0)
+        low, high = clock.advertised.elapsed_real_bounds(delta_lt)
+        assert low <= span * (1 + 1e-9) + 1e-9
+        assert span <= high * (1 + 1e-9) + 1e-9
+
+    def test_usable_in_simulation(self):
+        """A full run on sinusoidal clocks stays sound."""
+        from repro.core import EfficientCSA
+        from repro.sim import LinkConfig, Network, SinusoidalDriftClock, run_workload
+        from repro.core import TransitSpec
+        from repro.sim.workloads import PeriodicGossip
+
+        clocks = {
+            "a": SinusoidalDriftClock(amplitude=2e-4, period=60.0, phase=0.5, offset=3.0),
+            "b": SinusoidalDriftClock(amplitude=1e-4, period=90.0, phase=2.0, offset=-2.0),
+        }
+        network = Network(
+            source="s",
+            clocks=clocks,
+            links=[
+                LinkConfig("s", "a", transit=TransitSpec(0.01, 0.05)),
+                LinkConfig("a", "b", transit=TransitSpec(0.01, 0.05)),
+            ],
+        )
+        result = run_workload(
+            network,
+            PeriodicGossip(period=4.0, seed=1),
+            {"efficient": lambda p, s: EfficientCSA(p, s)},
+            duration=120.0,
+            seed=1,
+            sample_period=10.0,
+        )
+        assert result.soundness_violations() == []

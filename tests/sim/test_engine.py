@@ -1,0 +1,176 @@
+"""Tests for the discrete-event engine: scheduling, FIFO, loss, hooks."""
+
+import math
+
+import pytest
+
+from repro.core import EfficientCSA, EventId, SimulationError, TransitSpec
+from repro.sim import LinkConfig, Network, PiecewiseDriftingClock, Simulation
+
+
+def tiny_network(loss_prob=0.0, transit=(0.05, 0.2)):
+    clocks = {"a": PiecewiseDriftingClock(1, offset=3.0)}
+    links = [
+        LinkConfig("s", "a", transit=TransitSpec(*transit), loss_prob=loss_prob)
+    ]
+    return Network(source="s", clocks=clocks, links=links)
+
+
+class TestScheduling:
+    def test_actions_run_in_time_order(self):
+        sim = Simulation(tiny_network())
+        order = []
+        sim.schedule_at(2.0, lambda: order.append("b"))
+        sim.schedule_at(1.0, lambda: order.append("a"))
+        sim.schedule_at(3.0, lambda: order.append("c"))
+        sim.run_until(10.0)
+        assert order == ["a", "b", "c"]
+
+    def test_ties_broken_by_insertion(self):
+        sim = Simulation(tiny_network())
+        order = []
+        sim.schedule_at(1.0, lambda: order.append("first"))
+        sim.schedule_at(1.0, lambda: order.append("second"))
+        sim.run_until(10.0)
+        assert order == ["first", "second"]
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulation(tiny_network())
+        sim.schedule_at(5.0, lambda: None)
+        sim.run_until(5.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_run_until_stops_at_limit(self):
+        sim = Simulation(tiny_network())
+        fired = []
+        sim.schedule_at(5.0, lambda: fired.append(1))
+        sim.schedule_at(15.0, lambda: fired.append(2))
+        executed = sim.run_until(10.0)
+        assert executed == 1
+        assert fired == [1]
+        assert sim.now == 10.0
+        assert sim.pending_actions() == 1
+
+    def test_schedule_local_converts_clock(self):
+        sim = Simulation(tiny_network())
+        hits = []
+        # a's clock starts at +3; local time 4.0 is about rt 1.0
+        sim.schedule_local("a", 4.0, lambda: hits.append(sim.now))
+        sim.run_until(10.0)
+        assert len(hits) == 1
+        assert hits[0] == pytest.approx(1.0, abs=0.01)
+
+    def test_max_actions(self):
+        sim = Simulation(tiny_network())
+        for i in range(10):
+            sim.schedule_at(float(i + 1), lambda: None)
+        assert sim.run_until(100.0, max_actions=3) == 3
+
+
+class TestEvents:
+    def test_internal_event_recorded(self):
+        sim = Simulation(tiny_network())
+        event = sim.internal_event("a")
+        assert event.eid == EventId("a", 0)
+        assert len(sim.trace) == 1
+
+    def test_event_lts_strictly_increase(self):
+        sim = Simulation(tiny_network())
+        first = sim.internal_event("a")
+        second = sim.internal_event("a")  # same sim.now: engine nudges
+        assert second.lt > first.lt
+        assert second.eid.seq == 1
+
+    def test_send_and_delivery(self):
+        sim = Simulation(tiny_network())
+        sim.attach_estimators("efficient", lambda p, s: EfficientCSA(p, s))
+        sim.schedule_at(1.0, lambda: sim.send("s", "a"))
+        sim.run_until(10.0)
+        assert len(sim.trace) == 2
+        receive = [r for r in sim.trace if r.event.is_receive][0]
+        send = [r for r in sim.trace if r.event.is_send][0]
+        delay = receive.rt - send.rt
+        assert 0.05 <= delay <= 0.2
+
+    def test_send_without_link_rejected(self):
+        sim = Simulation(tiny_network())
+        with pytest.raises(SimulationError):
+            sim.send("s", "ghost")
+
+    def test_duplicate_estimator_channel_rejected(self):
+        sim = Simulation(tiny_network())
+        sim.attach_estimators("x", lambda p, s: EfficientCSA(p, s))
+        with pytest.raises(SimulationError):
+            sim.attach_estimators("x", lambda p, s: EfficientCSA(p, s))
+
+
+class TestFIFO:
+    def test_per_direction_fifo(self):
+        """Many rapid sends on one link always arrive in order."""
+        sim = Simulation(tiny_network(transit=(0.05, 5.0)), seed=3)
+        for i in range(40):
+            sim.schedule_at(0.1 * (i + 1), lambda: sim.send("s", "a"))
+        sim.run_until(100.0)
+        receives = [r for r in sim.trace if r.event.is_receive]
+        assert len(receives) == 40
+        send_seqs = [r.event.send_eid.seq for r in receives]
+        assert send_seqs == sorted(send_seqs)
+
+    def test_fifo_delays_stay_in_spec(self):
+        sim = Simulation(tiny_network(transit=(0.05, 5.0)), seed=3)
+        for i in range(40):
+            sim.schedule_at(0.1 * (i + 1), lambda: sim.send("s", "a"))
+        sim.run_until(100.0)
+        send_rt = {r.event.eid: r.rt for r in sim.trace if r.event.is_send}
+        for record in sim.trace:
+            if not record.event.is_receive:
+                continue
+            delay = record.rt - send_rt[record.event.send_eid]
+            assert 0.05 - 1e-9 <= delay <= 5.0 + 1e-6
+
+
+class TestLoss:
+    def test_losses_occur_and_are_detected(self):
+        sim = Simulation(tiny_network(loss_prob=0.5), seed=1, loss_detection_delay=1.0)
+        detected = []
+        sim.on_loss = lambda _sim, send_event, _info: detected.append(send_event.eid)
+        for i in range(40):
+            sim.schedule_at(0.5 * (i + 1), lambda: sim.send("s", "a"))
+        sim.run_until(100.0)
+        assert sim.messages_lost > 5
+        assert len(detected) == sim.messages_lost
+        assert sim.trace.lost_sends == set(detected)
+
+    def test_no_receive_for_lost_messages(self):
+        sim = Simulation(tiny_network(loss_prob=0.5), seed=1)
+        for i in range(40):
+            sim.schedule_at(0.5 * (i + 1), lambda: sim.send("s", "a"))
+        sim.run_until(100.0)
+        receives = sum(1 for r in sim.trace if r.event.is_receive)
+        assert receives == sim.messages_sent - sim.messages_lost
+
+    def test_delivery_confirmations(self):
+        sim = Simulation(
+            tiny_network(loss_prob=0.3), seed=2, confirm_deliveries=True
+        )
+        sim.attach_estimators(
+            "efficient", lambda p, s: EfficientCSA(p, s, reliable=False)
+        )
+        for i in range(30):
+            sim.schedule_at(0.5 * (i + 1), lambda: sim.send("s", "a"))
+        sim.run_until(100.0)
+        source_csa = sim.estimator("s", "efficient")
+        # every token settled: confirmed on delivery or aborted on detection
+        assert sim.messages_lost > 0
+        assert source_csa.history.pending_tokens() == 0
+
+
+class TestWorkloadHooks:
+    def test_on_message_hook(self):
+        sim = Simulation(tiny_network(), seed=0)
+        seen = []
+        sim.on_message = lambda _sim, event, info: seen.append((event.proc, info))
+        sim.schedule_at(1.0, lambda: sim.send("s", "a", info="hello"))
+        sim.run_until(10.0)
+        assert seen == [("a", "hello")]

@@ -1,0 +1,131 @@
+"""Edge-case engine behaviour: exact delays, asymmetric links, grids."""
+
+import pytest
+
+from repro.core import EfficientCSA, TransitSpec
+from repro.sim import (
+    AffineClock,
+    LinkConfig,
+    Network,
+    PiecewiseDriftingClock,
+    Simulation,
+    run_workload,
+    standard_network,
+    topologies,
+)
+from repro.sim.workloads import PeriodicGossip
+
+
+class TestExactDelayLinks:
+    def test_exact_delay_gives_exact_offsets(self):
+        """With a known-exact transit time, one message pins the remote
+        clock perfectly (width collapses to ~0)."""
+        clocks = {"a": AffineClock(offset=7.5, rate=1.0)}
+        network = Network(
+            source="s",
+            clocks=clocks,
+            links=[LinkConfig("s", "a", transit=TransitSpec.exactly(0.25))],
+        )
+        sim = Simulation(network, seed=0)
+        sim.attach_estimators("efficient", lambda p, s: EfficientCSA(p, s))
+        sim.schedule_at(1.0, lambda: sim.send("s", "a"))
+        sim.run_until(10.0)
+        bound = sim.estimator("a", "efficient").estimate()
+        assert bound.width == pytest.approx(0.0, abs=1e-9)
+        # and it is the truth
+        receive = [r for r in sim.trace if r.event.is_receive][0]
+        assert bound.contains(receive.rt, tolerance=1e-9)
+
+
+class TestAsymmetricLinks:
+    def test_direction_specific_bounds_used(self):
+        """A link fast one way, slow the other: the estimate quality
+        differs by direction exactly as the specs say."""
+        clocks = {"a": PiecewiseDriftingClock(3, offset=2.0)}
+        network = Network(
+            source="s",
+            clocks=clocks,
+            links=[
+                LinkConfig(
+                    "s",
+                    "a",
+                    transit=TransitSpec(0.01, 0.02),      # s -> a: tight
+                    transit_back=TransitSpec(0.01, 2.0),  # a -> s: sloppy
+                )
+            ],
+        )
+        sim = Simulation(network, seed=1)
+        sim.attach_estimators("efficient", lambda p, s: EfficientCSA(p, s))
+        sim.schedule_at(1.0, lambda: sim.send("s", "a"))
+        sim.run_until(10.0)
+        bound = sim.estimator("a", "efficient").estimate()
+        # one tight-direction message: width ~ forward slack 0.01
+        assert bound.width <= 0.011
+
+    def test_delays_sampled_per_direction(self):
+        clocks = {"a": PiecewiseDriftingClock(3)}
+        network = Network(
+            source="s",
+            clocks=clocks,
+            links=[
+                LinkConfig(
+                    "s",
+                    "a",
+                    transit=TransitSpec(0.0, 0.1),
+                    transit_back=TransitSpec(1.0, 1.1),
+                )
+            ],
+        )
+        sim = Simulation(network, seed=2)
+        for i in range(10):
+            sim.schedule_at(float(i + 1) * 3, lambda: sim.send("s", "a"))
+            sim.schedule_at(float(i + 1) * 3 + 1.5, lambda: sim.send("a", "s"))
+        sim.run_until(100.0)
+        send_rt = {r.event.eid: r.rt for r in sim.trace if r.event.is_send}
+        for record in sim.trace:
+            if not record.event.is_receive:
+                continue
+            delay = record.rt - send_rt[record.event.send_eid]
+            if record.event.proc == "a":
+                assert delay <= 0.1 + 1e-9
+            else:
+                assert 1.0 - 1e-9 <= delay <= 1.1 + 1e-9
+
+
+class TestGridRun:
+    def test_grid_gossip_end_to_end(self):
+        names, links = topologies.grid(3, 3)
+        network = standard_network(names, links, seed=8, drift_ppm=150)
+        result = run_workload(
+            network,
+            PeriodicGossip(period=6.0, seed=8),
+            {"efficient": lambda p, s: EfficientCSA(p, s)},
+            duration=60.0,
+            seed=8,
+            sample_period=10.0,
+        )
+        assert result.soundness_violations() == []
+        corner = result.sim.estimator("p2_2", "efficient")
+        assert corner.estimate().is_bounded
+
+
+class TestSourcePlacement:
+    def test_source_in_middle_of_line(self):
+        """Asymmetric information flow when the source is interior."""
+        names, links = topologies.line(5)
+        network = standard_network(names, links, source="p2", seed=9)
+        result = run_workload(
+            network,
+            PeriodicGossip(period=5.0, seed=9),
+            {"efficient": lambda p, s: EfficientCSA(p, s)},
+            duration=80.0,
+            seed=9,
+            sample_period=20.0,
+        )
+        assert result.soundness_violations() == []
+        # one-hop neighbors converge tighter than two-hop ends
+        def final_width(proc):
+            return result.sim.estimator(proc, "efficient").estimate().width
+
+        assert final_width("p1") < final_width("p0")
+        assert final_width("p3") < final_width("p4")

@@ -1,0 +1,155 @@
+"""Tests for topology and network configuration."""
+
+import math
+import random
+
+import pytest
+
+from repro.core import SimulationError, TransitSpec, link_id
+from repro.sim import LinkConfig, Network, PerfectClock, PiecewiseDriftingClock, topologies
+
+
+class TestLinkConfig:
+    def test_canonical_id(self):
+        link = LinkConfig("b", "a")
+        assert link.lid == ("a", "b")
+
+    def test_self_link_rejected(self):
+        with pytest.raises(SimulationError):
+            LinkConfig("a", "a")
+
+    def test_loss_prob_validated(self):
+        with pytest.raises(SimulationError):
+            LinkConfig("a", "b", loss_prob=1.0)
+        with pytest.raises(SimulationError):
+            LinkConfig("a", "b", loss_prob=-0.1)
+
+    def test_spec_for_directions(self):
+        link = LinkConfig(
+            "a",
+            "b",
+            transit=TransitSpec(0.1, 0.2),
+            transit_back=TransitSpec(0.3, 0.4),
+        )
+        assert link.spec_for("a") == TransitSpec(0.1, 0.2)
+        assert link.spec_for("b") == TransitSpec(0.3, 0.4)
+        with pytest.raises(SimulationError):
+            link.spec_for("c")
+
+    def test_symmetric_by_default(self):
+        link = LinkConfig("a", "b", transit=TransitSpec(0.1, 0.2))
+        assert link.spec_for("a") == link.spec_for("b")
+
+    def test_sample_delay_within_spec(self):
+        link = LinkConfig("a", "b", transit=TransitSpec(0.1, 0.5))
+        rng = random.Random(0)
+        for _ in range(200):
+            delay = link.sample_delay("a", rng)
+            assert 0.1 <= delay <= 0.5
+
+    def test_sample_delay_unbounded_uses_span(self):
+        link = LinkConfig("a", "b", transit=TransitSpec(0.1, math.inf), unbounded_span=2.0)
+        rng = random.Random(0)
+        for _ in range(100):
+            delay = link.sample_delay("a", rng)
+            assert 0.1 <= delay <= 2.1
+
+
+class TestNetwork:
+    def make(self):
+        clocks = {"a": PiecewiseDriftingClock(1), "b": PiecewiseDriftingClock(2)}
+        links = [LinkConfig("s", "a"), LinkConfig("a", "b")]
+        return Network(source="s", clocks=clocks, links=links)
+
+    def test_source_gets_perfect_clock(self):
+        network = self.make()
+        assert isinstance(network.clocks["s"], PerfectClock)
+        assert network.spec.drift_of("s").is_drift_free
+
+    def test_nonperfect_source_clock_rejected(self):
+        with pytest.raises(SimulationError):
+            Network(
+                source="s",
+                clocks={"s": PiecewiseDriftingClock(0)},
+                links=[],
+            )
+
+    def test_duplicate_link_rejected(self):
+        with pytest.raises(SimulationError):
+            Network(
+                source="s",
+                clocks={"a": PiecewiseDriftingClock(1)},
+                links=[LinkConfig("s", "a"), LinkConfig("a", "s")],
+            )
+
+    def test_unknown_endpoint_rejected(self):
+        with pytest.raises(SimulationError):
+            Network(source="s", clocks={}, links=[LinkConfig("s", "ghost")])
+
+    def test_spec_derived(self):
+        network = self.make()
+        assert network.spec.has_link("s", "a")
+        assert network.spec.drift_of("a") == network.clocks["a"].advertised
+
+    def test_link_between(self):
+        network = self.make()
+        assert network.link_between("b", "a").lid == ("a", "b")
+        with pytest.raises(SimulationError):
+            network.link_between("s", "b")
+
+    def test_neighbors(self):
+        network = self.make()
+        assert network.neighbors("a") == ("b", "s")
+
+
+class TestTopologies:
+    def test_line(self):
+        names, links = topologies.line(4)
+        assert len(names) == 4
+        assert len(links) == 3
+
+    def test_ring(self):
+        names, links = topologies.ring(5)
+        assert len(links) == 5
+
+    def test_star(self):
+        names, links = topologies.star(6)
+        assert len(links) == 5
+        assert all(u == "p0" for u, _v in links)
+
+    def test_grid(self):
+        names, links = topologies.grid(3, 4)
+        assert len(names) == 12
+        assert len(links) == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_tree(self):
+        names, links = topologies.tree(7, fanout=2)
+        assert len(links) == 6
+        # node i's parent is (i-1)//2
+        assert ("p0", "p1") in links and ("p1", "p3") in links
+
+    def test_random_connected_is_connected(self):
+        names, links = topologies.random_connected(12, 5, seed=3)
+        adjacency = {n: set() for n in names}
+        for u, v in links:
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+        seen = {names[0]}
+        frontier = [names[0]]
+        while frontier:
+            node = frontier.pop()
+            for nb in adjacency[node]:
+                if nb not in seen:
+                    seen.add(nb)
+                    frontier.append(nb)
+        assert seen == set(names)
+
+    def test_random_connected_deterministic(self):
+        assert topologies.random_connected(8, 3, seed=9) == topologies.random_connected(
+            8, 3, seed=9
+        )
+
+    def test_random_connected_no_duplicate_links(self):
+        _names, links = topologies.random_connected(10, 8, seed=1)
+        canon = [link_id(u, v) for u, v in links]
+        assert len(canon) == len(set(canon))

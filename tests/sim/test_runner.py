@@ -1,0 +1,114 @@
+"""Tests for the run orchestration layer."""
+
+import math
+
+import pytest
+
+from repro.core import EfficientCSA
+from repro.sim import (
+    EstimateSample,
+    run_workload,
+    standard_network,
+    topologies,
+)
+from repro.sim.runner import RunResult
+from repro.sim.workloads import PeriodicGossip
+
+
+class TestStandardNetwork:
+    def test_default_source_is_first(self):
+        names, links = topologies.line(3)
+        network = standard_network(names, links, seed=0)
+        assert network.source == "p0"
+
+    def test_explicit_source(self):
+        names, links = topologies.line(3)
+        network = standard_network(names, links, source="p1", seed=0)
+        assert network.source == "p1"
+        assert network.spec.drift_of("p1").is_drift_free
+
+    def test_drift_ppm_applied(self):
+        names, links = topologies.line(3)
+        network = standard_network(names, links, seed=0, drift_ppm=500)
+        drift = network.spec.drift_of("p2")
+        assert drift.beta == pytest.approx(1 / (1 - 500e-6))
+
+    def test_loss_prob_applied(self):
+        names, links = topologies.line(3)
+        network = standard_network(names, links, seed=0, loss_prob=0.2)
+        assert all(l.loss_prob == 0.2 for l in network.links.values())
+
+
+class TestRunWorkload:
+    def make_run(self, **kwargs):
+        names, links = topologies.line(3)
+        network = standard_network(names, links, seed=11)
+        return run_workload(
+            network,
+            PeriodicGossip(period=5.0, seed=11),
+            {"efficient": lambda p, s: EfficientCSA(p, s)},
+            duration=40.0,
+            seed=11,
+            **kwargs,
+        )
+
+    def test_no_sampling_by_default(self):
+        result = self.make_run()
+        assert result.samples == []
+
+    def test_sampling_cadence(self):
+        result = self.make_run(sample_period=10.0)
+        rts = sorted({s.rt for s in result.samples})
+        assert rts == pytest.approx([10.0, 20.0, 30.0, 40.0])
+        # every processor sampled at every tick
+        assert len(result.samples) == 4 * 3
+
+    def test_sample_truth_is_real_time(self):
+        result = self.make_run(sample_period=10.0)
+        for sample in result.samples:
+            assert sample.truth == sample.rt
+
+    def test_samples_for_filters(self):
+        result = self.make_run(sample_period=10.0)
+        only_p1 = result.samples_for("efficient", proc="p1")
+        assert {s.proc for s in only_p1} == {"p1"}
+        assert result.samples_for("nope") == []
+
+    def test_mean_width(self):
+        result = self.make_run(sample_period=10.0)
+        width = result.mean_width("efficient")
+        assert 0 <= width < 1.0
+
+    def test_mean_width_empty_channel_inf(self):
+        result = self.make_run()
+        assert math.isinf(result.mean_width("efficient"))
+
+    def test_auto_confirm_for_lossy_networks(self):
+        names, links = topologies.line(3)
+        network = standard_network(names, links, seed=11, loss_prob=0.2)
+        result = run_workload(
+            network,
+            PeriodicGossip(period=5.0, seed=11),
+            {"efficient": lambda p, s: EfficientCSA(p, s, reliable=False)},
+            duration=30.0,
+            seed=11,
+        )
+        assert result.sim.confirm_deliveries
+
+    def test_reliable_network_no_confirms(self):
+        result = self.make_run()
+        assert not result.sim.confirm_deliveries
+
+
+class TestEstimateSample:
+    def test_soundness_predicate(self):
+        from repro.core import ClockBound
+
+        good = EstimateSample(
+            rt=5.0, proc="a", channel="x", bound=ClockBound(4.0, 6.0), truth=5.0
+        )
+        bad = EstimateSample(
+            rt=5.0, proc="a", channel="x", bound=ClockBound(6.0, 7.0), truth=5.0
+        )
+        assert good.sound and not bad.sound
+        assert good.width == pytest.approx(2.0)

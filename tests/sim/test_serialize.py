@@ -1,0 +1,106 @@
+"""Round-trip tests for the JSON persistence layer."""
+
+import json
+import math
+
+import pytest
+
+from repro.core import SpecificationError, check_execution, external_bounds
+from repro.sim.serialize import (
+    dump_run,
+    load_run,
+    samples_to_dicts,
+    spec_from_dict,
+    spec_to_dict,
+    trace_from_dict,
+    trace_to_dict,
+)
+
+
+class TestTraceRoundTrip:
+    def test_events_preserved(self, line4_run):
+        data = trace_to_dict(line4_run.trace)
+        restored = trace_from_dict(data)
+        assert len(restored) == len(line4_run.trace)
+        for original, copy in zip(line4_run.trace, restored):
+            assert original.event == copy.event
+            assert original.rt == copy.rt
+
+    def test_lost_sends_preserved(self):
+        from repro.core import EfficientCSA
+        from repro.sim import run_workload, standard_network, topologies
+        from repro.sim.workloads import PeriodicGossip
+
+        names, links = topologies.ring(4)
+        network = standard_network(names, links, seed=5, loss_prob=0.3)
+        result = run_workload(
+            network,
+            PeriodicGossip(period=4.0, seed=5),
+            {"efficient": lambda p, s: EfficientCSA(p, s, reliable=False)},
+            duration=40.0,
+            seed=5,
+            loss_detection_delay=2.0,
+        )
+        restored = trace_from_dict(trace_to_dict(result.trace))
+        assert restored.lost_sends == result.trace.lost_sends
+
+    def test_json_serialisable(self, line4_run):
+        text = json.dumps(trace_to_dict(line4_run.trace))
+        assert json.loads(text)["version"] == 1
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(SpecificationError):
+            trace_from_dict({"version": 99, "events": []})
+
+
+class TestSpecRoundTrip:
+    def test_roundtrip(self, line4_run):
+        spec = line4_run.sim.spec
+        restored = spec_from_dict(spec_to_dict(spec))
+        assert restored.source == spec.source
+        assert restored.processors == spec.processors
+        for proc in spec.processors:
+            assert restored.drift_of(proc) == spec.drift_of(proc)
+        for u, v in spec.links:
+            assert restored.transit_of(u, v) == spec.transit_of(u, v)
+            assert restored.transit_of(v, u) == spec.transit_of(v, u)
+
+    def test_infinite_upper_bound_survives_json(self):
+        from repro.core import SystemSpec, TransitSpec
+
+        spec = SystemSpec.build(
+            source="s",
+            processors=["s", "a"],
+            links=[("s", "a")],
+            default_transit=TransitSpec(0.5, math.inf),
+        )
+        text = json.dumps(spec_to_dict(spec))
+        restored = spec_from_dict(json.loads(text))
+        assert math.isinf(restored.transit_of("s", "a").upper)
+        assert restored.transit_of("s", "a").lower == 0.5
+
+
+class TestWholeRun:
+    def test_dump_and_reanalyse(self, line4_run, tmp_path):
+        """An archived run supports full offline re-analysis."""
+        path = tmp_path / "run.json"
+        dump_run(line4_run, str(path))
+        spec, trace, samples = load_run(str(path))
+        # the archived execution still satisfies its archived spec
+        view = trace.global_view()
+        assert check_execution(view, spec, trace.real_times, tolerance=1e-6) == []
+        # optimal bounds recomputed offline match the live ones
+        for proc in view.processors:
+            point = view.last_event(proc).eid
+            bound = external_bounds(view, spec, point)
+            live = line4_run.sim.estimator(proc, "efficient").estimate()
+            if bound.is_bounded:
+                assert live.lower == pytest.approx(bound.lower, abs=1e-7)
+                assert live.upper == pytest.approx(bound.upper, abs=1e-7)
+        assert len(samples) == len(line4_run.samples)
+
+    def test_samples_format(self, line4_run):
+        rows = samples_to_dicts(line4_run.samples)
+        assert rows
+        first = rows[0]
+        assert set(first) == {"rt", "proc", "channel", "lower", "upper", "truth"}

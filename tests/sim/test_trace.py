@@ -1,0 +1,121 @@
+"""Tests for execution traces and the empirical complexity oracles."""
+
+import pytest
+
+from repro.core import EventId, SimulationError, UnknownEventError
+from repro.sim.trace import ExecutionTrace
+
+from ..conftest import make_event, recv, send
+
+
+def build_trace(script):
+    """script: list of (event, rt)."""
+    trace = ExecutionTrace()
+    for event, rt in script:
+        trace.record(event, rt)
+    return trace
+
+
+class TestRecording:
+    def test_chronological_enforced(self):
+        trace = ExecutionTrace()
+        trace.record(make_event("a", 0, 1.0), 1.0)
+        with pytest.raises(SimulationError):
+            trace.record(make_event("b", 0, 1.0), 0.5)
+
+    def test_double_record_rejected(self):
+        trace = ExecutionTrace()
+        event = make_event("a", 0, 1.0)
+        trace.record(event, 1.0)
+        with pytest.raises(SimulationError):
+            trace.record(event, 2.0)
+
+    def test_rt_lookup(self):
+        trace = ExecutionTrace()
+        trace.record(make_event("a", 0, 1.0), 1.25)
+        assert trace.rt_of(EventId("a", 0)) == 1.25
+        with pytest.raises(UnknownEventError):
+            trace.rt_of(EventId("a", 1))
+
+    def test_lost_requires_traced_send(self):
+        trace = ExecutionTrace()
+        with pytest.raises(SimulationError):
+            trace.record_lost(EventId("a", 0))
+
+    def test_events_of_and_counts(self):
+        trace = build_trace(
+            [
+                (make_event("a", 0, 1.0), 1.0),
+                (make_event("b", 0, 1.0), 2.0),
+                (make_event("a", 1, 2.0), 3.0),
+            ]
+        )
+        assert trace.event_count() == 3
+        assert trace.event_count("a") == 2
+        assert [r.event.seq for r in trace.events_of("a")] == [0, 1]
+
+
+class TestGlobalView:
+    def test_global_view_roundtrip(self, line4_run):
+        view = line4_run.trace.global_view()
+        assert len(view) == len(line4_run.trace)
+        # local view from any point is a subset
+        point = view.last_event("p2").eid
+        local = line4_run.trace.local_view(point)
+        assert len(local) <= len(view)
+        assert point in local
+
+
+class TestComplexityOracles:
+    def test_relative_system_speed(self):
+        # a, b, b, b, a: 3 events between a's two events
+        trace = build_trace(
+            [
+                (make_event("a", 0, 1.0), 1.0),
+                (make_event("b", 0, 1.0), 2.0),
+                (make_event("b", 1, 2.0), 3.0),
+                (make_event("b", 2, 3.0), 4.0),
+                (make_event("a", 1, 2.0), 5.0),
+            ]
+        )
+        assert trace.relative_system_speed() == 3
+
+    def test_link_asymmetry_counts_runs(self):
+        s1 = send("a", 0, 1.0, dest="b")
+        s2 = send("a", 1, 2.0, dest="b")
+        s3 = send("a", 2, 3.0, dest="b")
+        back = send("b", 0, 4.0, dest="a")
+        s4 = send("a", 3, 5.0, dest="b")
+        trace = build_trace(
+            [(s1, 1.0), (s2, 2.0), (s3, 3.0), (back, 4.0), (s4, 5.0)]
+        )
+        assert trace.link_asymmetry() == 3
+
+    def test_link_send_speed(self):
+        # two sends on link (a,b) with 2 other events between them
+        s1 = send("a", 0, 1.0, dest="b")
+        s2 = send("a", 1, 4.0, dest="b")
+        trace = build_trace(
+            [
+                (s1, 1.0),
+                (make_event("c", 0, 1.0), 2.0),
+                (make_event("c", 1, 2.0), 3.0),
+                (s2, 4.0),
+            ]
+        )
+        assert trace.link_send_speed() == 2
+
+    def test_max_live_points(self):
+        s1 = send("a", 0, 1.0, dest="b")
+        s2 = send("a", 1, 2.0, dest="b")
+        r1 = recv("b", 0, 3.0, s1)
+        r2 = recv("b", 1, 4.0, s2)
+        trace = build_trace([(s1, 1.0), (s2, 2.0), (r1, 3.0), (r2, 4.0)])
+        # after s2: a#0 and a#1 live (undelivered) -> 2; b adds later
+        assert trace.max_live_points() >= 2
+
+    def test_oracles_match_run(self, line4_run):
+        trace = line4_run.trace
+        assert trace.relative_system_speed() >= 1
+        assert trace.link_asymmetry() >= 1
+        assert trace.max_live_points() >= 4

@@ -1,0 +1,254 @@
+"""Tests for the send-module workloads: each produces its promised pattern."""
+
+import pytest
+
+from repro.core import EfficientCSA
+from repro.sim import run_workload, standard_network, topologies
+from repro.sim.workloads import (
+    AsymmetricPing,
+    CristianWorkload,
+    NTPWorkload,
+    PeriodicGossip,
+    RandomTraffic,
+    make_cristian_system,
+    make_ntp_system,
+)
+
+
+def run_quick(network, workload, duration=60.0, seed=0, **kwargs):
+    return run_workload(
+        network,
+        workload,
+        {"efficient": lambda p, s: EfficientCSA(p, s)},
+        duration=duration,
+        seed=seed,
+        **kwargs,
+    )
+
+
+class TestPeriodicGossip:
+    def test_all_pairs_fire(self):
+        names, links = topologies.ring(4)
+        network = standard_network(names, links, seed=0)
+        result = run_quick(network, PeriodicGossip(period=5.0, seed=0))
+        senders = {
+            (r.event.proc, r.event.dest)
+            for r in result.trace
+            if r.event.is_send
+        }
+        expected = set()
+        for u, v in links:
+            expected.add((u, v))
+            expected.add((v, u))
+        assert senders == expected
+
+    def test_rate_matches_period(self):
+        names, links = topologies.line(2)
+        network = standard_network(names, links, seed=0)
+        result = run_quick(network, PeriodicGossip(period=10.0, jitter=0.0, seed=0))
+        sends = sum(1 for r in result.trace if r.event.is_send)
+        # 2 directed pairs x ~6 periods in 60s
+        assert 8 <= sends <= 16
+
+    def test_until_lt_stops_traffic(self):
+        names, links = topologies.line(2)
+        network = standard_network(names, links, seed=0, clock_offset_spread=0.0)
+        workload = PeriodicGossip(period=5.0, seed=0, until_lt=20.0)
+        result = run_quick(network, workload, duration=100.0)
+        late_sends = [
+            r for r in result.trace if r.event.is_send and r.rt > 40.0
+        ]
+        assert late_sends == []
+
+    def test_internal_events_generated(self):
+        names, links = topologies.line(2)
+        network = standard_network(names, links, seed=0)
+        workload = PeriodicGossip(period=5.0, seed=0, internal_per_period=3.0)
+        result = run_quick(network, workload)
+        internals = sum(
+            1
+            for r in result.trace
+            if not r.event.is_send and not r.event.is_receive
+        )
+        assert internals > 20
+
+
+class TestRandomTraffic:
+    def test_poisson_rate(self):
+        names, links = topologies.ring(4)
+        network = standard_network(names, links, seed=1)
+        result = run_quick(network, RandomTraffic(rate=2.0, seed=1), duration=50.0)
+        sends = sum(1 for r in result.trace if r.event.is_send)
+        assert 60 <= sends <= 140  # ~100 expected
+
+    def test_internal_prob(self):
+        names, links = topologies.ring(4)
+        network = standard_network(names, links, seed=1)
+        result = run_quick(
+            network, RandomTraffic(rate=2.0, seed=1, internal_prob=0.5), duration=50.0
+        )
+        internals = sum(
+            1
+            for r in result.trace
+            if not r.event.is_send and not r.event.is_receive
+        )
+        assert internals > 10
+
+    def test_deterministic(self):
+        names, links = topologies.ring(4)
+        a = run_quick(
+            standard_network(names, links, seed=1),
+            RandomTraffic(rate=2.0, seed=1),
+            duration=30.0,
+            seed=9,
+        )
+        b = run_quick(
+            standard_network(names, links, seed=1),
+            RandomTraffic(rate=2.0, seed=1),
+            duration=30.0,
+            seed=9,
+        )
+        assert len(a.trace) == len(b.trace)
+        for ra, rb in zip(a.trace, b.trace):
+            assert ra.event.eid == rb.event.eid and ra.rt == rb.rt
+
+
+class TestAsymmetricPing:
+    @pytest.mark.parametrize("burst", [1, 2, 4])
+    def test_k2_equals_burst(self, burst):
+        names, links = topologies.line(2)
+        network = standard_network(names, links, seed=2, delay=(0.01, 0.05))
+        result = run_quick(
+            network,
+            AsymmetricPing(burst=burst, gap=0.2, cycle_pause=2.0, seed=2),
+            duration=80.0,
+        )
+        assert result.trace.link_asymmetry() == burst
+
+    def test_replies_flow(self):
+        names, links = topologies.line(2)
+        network = standard_network(names, links, seed=2)
+        result = run_quick(network, AsymmetricPing(burst=2, seed=2), duration=60.0)
+        backward = [
+            r
+            for r in result.trace
+            if r.event.is_send and r.event.proc == "p1"
+        ]
+        assert backward  # p1 replies to p0's bursts
+
+
+class TestNTPSystem:
+    def test_structure(self):
+        network, workload = make_ntp_system((2, 3), seed=0)
+        assert network.source == "source"
+        assert len(network.processors) == 6  # source + 2 + 3
+        # level-0 servers poll the source
+        assert workload.parents["s0_0"] == ("source",)
+        for child in ("s1_0", "s1_1", "s1_2"):
+            assert all(p.startswith("s0_") for p in workload.parents[child])
+
+    def test_rpc_pattern(self):
+        network, workload = make_ntp_system((2, 3), poll_period=10.0, seed=0)
+        result = run_quick(network, workload, duration=120.0)
+        # every request gets a response: sends roughly 2x requests
+        assert result.trace.link_asymmetry() <= 2
+        receives = sum(1 for r in result.trace if r.event.is_receive)
+        assert receives > 20
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            make_ntp_system(())
+        with pytest.raises(ValueError):
+            make_ntp_system((0, 2))
+
+
+class TestCristianSystem:
+    def test_bursts_triggered_by_drift(self):
+        network, workload = make_cristian_system(
+            3, width_threshold=0.02, seed=3, monitor_channel="efficient"
+        )
+        result = run_quick(network, workload, duration=200.0)
+        assert sum(workload.bursts.values()) > 0
+        assert result.trace.link_asymmetry() <= 2
+
+    def test_tight_threshold_causes_more_bursts(self):
+        counts = {}
+        for threshold in (0.02, 0.5):
+            network, workload = make_cristian_system(
+                3, width_threshold=threshold, seed=3, monitor_channel="efficient"
+            )
+            run_quick(network, workload, duration=200.0)
+            counts[threshold] = sum(workload.bursts.values())
+        assert counts[0.02] > counts[0.5]
+
+    def test_estimates_stay_below_threshold_mostly(self):
+        network, workload = make_cristian_system(
+            4, width_threshold=0.05, seed=4, monitor_channel="efficient"
+        )
+        result = run_quick(
+            network, workload, duration=300.0, sample_period=10.0
+        )
+        client_samples = [
+            s
+            for s in result.samples_for("efficient")
+            if s.proc.startswith("client") and s.bound.is_bounded
+        ]
+        assert client_samples
+        tight = sum(1 for s in client_samples if s.width <= 0.15)
+        assert tight / len(client_samples) > 0.8
+
+
+class TestAdaptivePolling:
+    def make_run(self, **kwargs):
+        from repro.core import TransitSpec
+        from repro.sim import LinkConfig, Network, PiecewiseDriftingClock
+        from repro.sim.workloads import AdaptivePolling
+
+        clocks = {
+            "c0": PiecewiseDriftingClock(5, offset=1.0),
+            "c1": PiecewiseDriftingClock(6, offset=-1.0),
+        }
+        network = Network(
+            source="hub",
+            clocks=clocks,
+            links=[
+                LinkConfig("hub", "c0", transit=TransitSpec(0.002, 0.03)),
+                LinkConfig("hub", "c1", transit=TransitSpec(0.002, 0.03)),
+            ],
+        )
+        workload = AdaptivePolling(
+            servers={"c0": "hub", "c1": "hub"}, seed=3, **kwargs
+        )
+        return (
+            run_workload(
+                network,
+                workload,
+                {"efficient": lambda p, s: EfficientCSA(p, s)},
+                duration=300.0,
+                seed=3,
+                sample_period=20.0,
+            ),
+            workload,
+        )
+
+    def test_interval_backs_off_when_tight(self):
+        result, workload = self.make_run(low_water=0.5, high_water=2.0)
+        # bounds are far tighter than half a second: intervals must max out
+        assert all(
+            interval == workload.max_interval
+            for interval in workload.intervals.values()
+        )
+
+    def test_interval_shrinks_when_loose(self):
+        result, workload = self.make_run(
+            low_water=1e-6, high_water=1e-5, start_interval=64.0
+        )
+        # an impossible budget: intervals ride the floor
+        assert all(
+            interval == workload.min_interval
+            for interval in workload.intervals.values()
+        )
+
+    def test_sound_under_adaptation(self):
+        result, _workload = self.make_run()
+        assert result.soundness_violations() == []

@@ -1,0 +1,60 @@
+"""Documentation and example scripts actually work.
+
+* the package docstring's doctest runs and passes;
+* every example script under examples/ executes cleanly (the quickstart
+  at full size, the heavier ones are exercised through their importable
+  main() with the module's own defaults only when fast).
+"""
+
+import doctest
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+import repro
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def test_package_doctest():
+    results = doctest.testmod(repro, verbose=False)
+    assert results.failed == 0
+    assert results.attempted >= 1
+
+
+def test_estimate_strict():
+    from repro.core import EfficientCSA, EstimateUnavailableError
+    from tests.conftest import two_proc_spec
+
+    csa = EfficientCSA("a", two_proc_spec())
+    with pytest.raises(EstimateUnavailableError):
+        csa.estimate_strict()
+
+
+@pytest.mark.parametrize("script", ["quickstart.py", "lossy_links.py", "calibration.py", "offline_analysis.py", "why_this_wide.py"])
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+def test_all_examples_present():
+    found = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "ntp_hierarchy.py",
+        "cristian_probes.py",
+        "drift_comparison.py",
+        "lossy_links.py",
+        "fleet_monitor.py",
+        "calibration.py",
+        "offline_analysis.py",
+        "why_this_wide.py",
+    } <= found
