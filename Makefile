@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments experiments-quick examples clean
+.PHONY: install test bench experiments experiments-quick chaos examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -18,6 +18,9 @@ experiments:
 
 experiments-quick:
 	$(PYTHON) -m repro.experiments.cli --quick
+
+chaos:
+	$(PYTHON) -m repro.experiments.cli chaos-soak --quick
 
 examples:
 	for script in examples/*.py; do \

@@ -15,14 +15,16 @@ The public surface re-exports the classes a downstream user needs:
 
 from .agdp import AGDP, AGDPStats
 from .agdp_numpy import NumpyAGDP
-from .csa import CSAStats, EfficientCSA
+from .csa import CSAStats, EfficientCSA, QuarantineDiagnostic
 from .csa_base import Estimator
 from .csa_full import FullInformationCSA
 from .distances import (
     WeightedDigraph,
     bellman_ford_from,
     bellman_ford_to,
+    find_negative_cycle,
     floyd_warshall,
+    prune_negative_cycles,
 )
 from .errors import (
     EstimateUnavailableError,
@@ -82,6 +84,7 @@ __all__ = [
     "NumpyAGDP",
     "ProcessorId",
     "ProtocolError",
+    "QuarantineDiagnostic",
     "ReproError",
     "SimulationError",
     "SpecificationError",
@@ -102,7 +105,9 @@ __all__ = [
     "explain_external_bounds",
     "external_bounds",
     "extremal_execution",
+    "find_negative_cycle",
     "floyd_warshall",
+    "prune_negative_cycles",
     "incident_sync_edges",
     "link_id",
     "relative_bounds",

@@ -158,7 +158,8 @@ class AGDP:
         if back + weight < -1e-9:
             raise InconsistentSpecificationError(
                 f"inserting ({x!r} -> {y!r}, {weight}) closes a negative cycle "
-                f"(d({y!r}, {x!r}) = {back})"
+                f"(d({y!r}, {x!r}) = {back})",
+                edge=(x, y, weight),
             )
         if weight >= self._dist[x][y]:
             return  # no path improves

@@ -131,7 +131,8 @@ class NumpyAGDP:
         if back + weight < -1e-9:
             raise InconsistentSpecificationError(
                 f"inserting ({x!r} -> {y!r}, {weight}) closes a negative cycle "
-                f"(d({y!r}, {x!r}) = {back})"
+                f"(d({y!r}, {x!r}) = {back})",
+                edge=(x, y, weight),
             )
         if weight >= self._matrix[xi, yi]:
             return

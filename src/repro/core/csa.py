@@ -27,24 +27,54 @@ asserts the equality event-for-event against
 Message loss (Sec 3.3) is supported end-to-end: a detection signal flags
 the lost send, un-lives it, propagates the flag through history payloads,
 and each processor garbage-collects the point from its AGDP.
+
+**Degraded mode** (``degraded_mode=True``): by Theorem 2.1 a negative
+cycle can only appear when the execution violates its own specification
+(out-of-spec drift or delay) - the AGDP refuses the closing edge with
+:class:`~repro.core.errors.InconsistentSpecificationError` *before*
+mutating its matrix.  In degraded mode the estimator catches that per
+edge, quarantines the constraint, records a structured
+:class:`QuarantineDiagnostic`, and keeps answering queries from the
+remaining (still mutually consistent) constraints.  Dropping constraints
+is sound: distances only grow, so bounds only widen; it merely forfeits
+optimality for the affected pairs.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from .agdp import AGDP
 from .csa_base import Estimator
-from .errors import ProtocolError
+from .errors import InconsistentSpecificationError, ProtocolError
 from .events import Event, EventId, ProcessorId
 from .history import HistoryModule, HistoryPayload
 from .intervals import ClockBound
 from .live import LiveTracker
 from .specs import SystemSpec, TOP
 
-__all__ = ["EfficientCSA", "CSAStats"]
+__all__ = ["EfficientCSA", "CSAStats", "QuarantineDiagnostic"]
+
+
+@dataclass(frozen=True)
+class QuarantineDiagnostic:
+    """Structured record of one quarantined synchronization constraint.
+
+    Produced only in degraded mode, when inserting the edge would have
+    closed a negative cycle (i.e. the observed timestamps contradict the
+    advertised specification, Theorem 2.1).
+    """
+
+    #: the event whose AGDP step produced the offending edge
+    event: EventId
+    #: the rejected edge ``(x, y, weight)`` of the synchronization graph
+    edge: Tuple[EventId, EventId, float]
+    #: which constraint family the edge encodes: "drift" or "transit"
+    kind: str
+    #: the detector's message (names the closing pair and distance)
+    reason: str
 
 
 @dataclass
@@ -80,6 +110,7 @@ class EfficientCSA(Estimator):
         agdp_backend: str = "dict",
         history_gc: bool = True,
         track_reports: bool = False,
+        degraded_mode: bool = False,
     ):
         super().__init__(proc, spec)
         self.history = HistoryModule(
@@ -101,10 +132,19 @@ class EfficientCSA(Estimator):
                 f"unknown AGDP backend {agdp_backend!r} (use 'dict' or 'numpy')"
             )
         self.reliable = reliable
+        #: quarantine instead of raising on InconsistentSpecificationError
+        self.degraded_mode = degraded_mode
+        #: structured diagnostics of quarantined constraints (degraded mode)
+        self.diagnostics: List[QuarantineDiagnostic] = []
         #: latest known event of the source processor (the AGDP query anchor)
         self._source_rep: Optional[EventId] = None
         #: pending history delivery tokens per local send (unreliable mode)
         self._pending_tokens: Dict[EventId, int] = {}
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any constraint has been quarantined so far."""
+        return bool(self.diagnostics)
 
     # -- event hooks -------------------------------------------------------------
 
@@ -164,7 +204,7 @@ class EfficientCSA(Estimator):
         interleaves local events correctly.
         """
         eid = event.eid
-        edges = []
+        edges: List[Tuple[EventId, EventId, float, str]] = []
         pred = self.live.last_event(event.proc)
         if pred is not None:
             pred_id, pred_lt = pred
@@ -174,21 +214,43 @@ class EfficientCSA(Estimator):
                 )
             drift = self.spec.drift_of(event.proc)
             delta = event.lt - pred_lt
-            edges.append((eid, pred_id, (drift.beta - 1.0) * delta))
-            edges.append((pred_id, eid, (1.0 - drift.alpha) * delta))
+            edges.append((eid, pred_id, (drift.beta - 1.0) * delta, "drift"))
+            edges.append((pred_id, eid, (1.0 - drift.alpha) * delta, "drift"))
         if event.is_receive:
             send_lt = self.live.send_lt(event.send_eid)
             if send_lt is not None and event.send_eid in self.agdp:
                 transit = self.spec.transit_of(event.send_eid.proc, event.proc)
                 observed = event.lt - send_lt
                 if transit.is_bounded:
-                    edges.append((eid, event.send_eid, transit.upper - observed))
-                edges.append((event.send_eid, eid, observed - transit.lower))
+                    edges.append(
+                        (eid, event.send_eid, transit.upper - observed, "transit")
+                    )
+                edges.append(
+                    (event.send_eid, eid, observed - transit.lower, "transit")
+                )
             # else: the send was flagged lost and collected before this late
             # delivery; its constraints are gone, which is sound (fewer
             # constraints only widen bounds).
         kills = [k for k in self.live.observe(event) if k in self.agdp]
-        self.agdp.step(eid, edges, kills)
+        if not self.degraded_mode:
+            self.agdp.step(eid, [(x, y, w) for x, y, w, _k in edges], kills)
+        else:
+            # per-edge insertion so one inconsistent constraint can be
+            # quarantined without losing the rest; insert_edge raises
+            # *before* mutating, so the matrix stays exact over the
+            # accepted constraints
+            self.agdp.add_node(eid)
+            for x, y, w, kind in edges:
+                try:
+                    self.agdp.insert_edge(x, y, w)
+                except InconsistentSpecificationError as exc:
+                    self.diagnostics.append(
+                        QuarantineDiagnostic(
+                            event=eid, edge=(x, y, w), kind=kind, reason=str(exc)
+                        )
+                    )
+            for victim in kills:
+                self.agdp.kill(victim)
         if event.proc == self.spec.source:
             self._source_rep = eid
 

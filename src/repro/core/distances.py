@@ -24,7 +24,9 @@ __all__ = [
     "WeightedDigraph",
     "bellman_ford_from",
     "bellman_ford_to",
+    "find_negative_cycle",
     "floyd_warshall",
+    "prune_negative_cycles",
 ]
 
 INF = math.inf
@@ -63,6 +65,12 @@ class WeightedDigraph:
         if weight < current:
             self._succ[u][v] = weight
             self._pred[v][u] = weight
+
+    def remove_edge(self, u: NodeKey, v: NodeKey) -> None:
+        """Remove edge ``u -> v``; a no-op when the edge is absent."""
+        if v in self._succ.get(u, {}):
+            del self._succ[u][v]
+            del self._pred[v][u]
 
     def remove_node(self, node: NodeKey) -> None:
         for v in list(self._succ.get(node, ())):
@@ -122,6 +130,31 @@ class WeightedDigraph:
         return f"WeightedDigraph({len(self)} nodes, {self.edge_count()} edges)"
 
 
+def _extract_cycle(
+    adjacency: Dict[NodeKey, Dict[NodeKey, float]],
+    pred: Dict[NodeKey, NodeKey],
+    start: NodeKey,
+) -> List[Tuple[NodeKey, NodeKey, float]]:
+    """Walk predecessor pointers back from ``start`` until a node repeats,
+    then read off the cycle as ``(u, v, weight)`` edges."""
+    # over-relaxed nodes may hang off the cycle; walk far enough to enter it
+    node = start
+    for _ in range(len(adjacency) + 1):
+        node = pred[node]
+    anchor = node
+    nodes = [anchor]
+    node = pred[anchor]
+    while node != anchor:
+        nodes.append(node)
+        node = pred[node]
+    nodes.reverse()  # pred-order walk yields the cycle backwards
+    cycle = []
+    for i, u in enumerate(nodes):
+        v = nodes[(i + 1) % len(nodes)]
+        cycle.append((u, v, adjacency[u].get(v, INF)))
+    return cycle
+
+
 def _bellman_ford(
     adjacency: Dict[NodeKey, Dict[NodeKey, float]],
     source: NodeKey,
@@ -134,6 +167,8 @@ def _bellman_ford(
     queue: List[NodeKey] = [source]
     #: number of relaxations per node; > |V| means a negative cycle
     passes: Dict[NodeKey, int] = {}
+    #: relaxation parent pointers, for negative-cycle extraction
+    pred: Dict[NodeKey, NodeKey] = {}
     limit = len(adjacency) + 1
     head = 0
     while head < len(queue):
@@ -149,11 +184,13 @@ def _bellman_ford(
             candidate = du + w
             if candidate < dist.get(v, INF) - 1e-18:
                 dist[v] = candidate
+                pred[v] = u
                 passes[v] = passes.get(v, 0) + 1
                 if passes[v] > limit:
                     raise InconsistentSpecificationError(
                         "negative cycle reachable from "
-                        f"{source!r}: the view violates its real-time specification"
+                        f"{source!r}: the view violates its real-time specification",
+                        cycle=_extract_cycle(adjacency, pred, v),
                     )
                 if v not in in_queue:
                     in_queue.add(v)
@@ -174,6 +211,69 @@ def bellman_ford_from(graph: WeightedDigraph, source: NodeKey) -> Dict[NodeKey, 
 def bellman_ford_to(graph: WeightedDigraph, target: NodeKey) -> Dict[NodeKey, float]:
     """Distances from every node to ``target`` (Bellman-Ford on the reverse)."""
     return _bellman_ford(graph._pred, target)
+
+
+def find_negative_cycle(
+    graph: WeightedDigraph,
+) -> Optional[List[Tuple[NodeKey, NodeKey, float]]]:
+    """A negative cycle of ``graph`` as ``(u, v, weight)`` edges, or ``None``.
+
+    Runs Bellman-Ford from a virtual super-source connected to every node
+    with weight 0, so cycles anywhere in the graph are found, not just ones
+    reachable from a particular node.
+    """
+    adjacency = graph._succ
+    if not adjacency:
+        return None
+    dist: Dict[NodeKey, float] = {node: 0.0 for node in adjacency}
+    pred: Dict[NodeKey, NodeKey] = {}
+    passes: Dict[NodeKey, int] = {}
+    in_queue = set(adjacency)
+    queue: List[NodeKey] = list(adjacency)
+    limit = len(adjacency) + 1
+    head = 0
+    while head < len(queue):
+        u = queue[head]
+        head += 1
+        in_queue.discard(u)
+        if head > 1024 and head * 2 > len(queue):
+            queue = queue[head:]
+            head = 0
+        du = dist[u]
+        for v, w in adjacency[u].items():
+            candidate = du + w
+            if candidate < dist[v] - 1e-18:
+                dist[v] = candidate
+                pred[v] = u
+                passes[v] = passes.get(v, 0) + 1
+                if passes[v] > limit:
+                    return _extract_cycle(adjacency, pred, v)
+                if v not in in_queue:
+                    in_queue.add(v)
+                    queue.append(v)
+    return None
+
+
+def prune_negative_cycles(
+    graph: WeightedDigraph,
+) -> List[Tuple[NodeKey, NodeKey, float]]:
+    """Remove edges in place until ``graph`` has no negative cycle.
+
+    Per cycle found, the most negative edge is removed - in a
+    synchronization graph that is the constraint most at odds with the
+    rest of the evidence (e.g. the upper-bound edge of an out-of-spec late
+    message).  Dropping constraints is always *sound*: distances can only
+    grow, so derived clock bounds only widen.  Returns the removed edges,
+    in removal order - the degraded-mode quarantine record.
+    """
+    removed: List[Tuple[NodeKey, NodeKey, float]] = []
+    while True:
+        cycle = find_negative_cycle(graph)
+        if cycle is None:
+            return removed
+        u, v, w = min(cycle, key=lambda edge: edge[2])
+        graph.remove_edge(u, v)
+        removed.append((u, v, w))
 
 
 def floyd_warshall(graph: WeightedDigraph) -> Dict[NodeKey, Dict[NodeKey, float]]:

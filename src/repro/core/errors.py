@@ -27,7 +27,19 @@ class InconsistentSpecificationError(ReproError):
     can never happen (Theorem 2.1); seeing it means either the specification
     is wrong (e.g. the advertised drift bound is tighter than the hardware's
     actual drift) or the view was corrupted.
+
+    When available, the offending evidence is attached: ``edge`` is the
+    ``(x, y, weight)`` whose insertion would close a negative cycle, and
+    ``cycle`` is a list of ``(u, v, weight)`` edges forming a negative
+    cycle.  Either may be ``None`` when the detector cannot name it.
+    Degraded-mode consumers (see :class:`~repro.core.csa.EfficientCSA`)
+    use these to quarantine evidence instead of dying.
     """
+
+    def __init__(self, message: str = "", *, edge=None, cycle=None):
+        super().__init__(message)
+        self.edge = edge
+        self.cycle = cycle
 
 
 class ViewError(ReproError):

@@ -233,6 +233,31 @@ class View:
                 sub.add(self._events[eid])
         return sub
 
+    def without_events(self, eids: Iterable[EventId]) -> "View":
+        """A copy of this view with ``eids`` *and their causal futures* removed.
+
+        Dropping an event forces dropping everything that happens-after it
+        (later events at the same processor, receives of its sends, and so
+        on transitively), keeping the result a valid causally closed view.
+        This is the view-level quarantine primitive: evidence implicated in
+        a specification violation can be excised wholesale, and any estimate
+        computed from the remainder is sound (fewer constraints only widen
+        bounds).  Unknown ids are ignored.
+        """
+        doomed: Set[EventId] = set()
+        frontier = deque(eid for eid in eids if eid in self._events)
+        while frontier:
+            node = frontier.popleft()
+            if node in doomed:
+                continue
+            doomed.add(node)
+            frontier.extend(self.children(node))
+        sub = View()
+        for eid in self._order:
+            if eid not in doomed:
+                sub.add(self._events[eid])
+        return sub
+
     # -- liveness (Definition 3.1) ------------------------------------------------
 
     def is_live(self, eid: EventId) -> bool:

@@ -16,6 +16,7 @@ from .base import REGISTRY, ExperimentResult, experiment, get_experiment
 from . import (  # noqa: F401  (imported for registration side effects)
     a1_gc,
     a2_history_gc,
+    chaos,
     e1_optimality,
     e2_history,
     e3_space,

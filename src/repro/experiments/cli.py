@@ -33,6 +33,7 @@ QUICK_OVERRIDES: Dict[str, Dict[str, object]] = {
     "e7-cristian-pattern": {"client_counts": (3, 6), "duration": 150.0},
     "e8-width-vs-baselines": {"duration": 150.0},
     "e9-message-loss": {"loss_probs": (0.2,), "duration": 120.0},
+    "chaos-soak": {"shapes": ("ring",), "duration": 40.0},
     "a1-agdp-gc-ablation": {"durations": (40.0, 80.0)},
     "a2-history-gc-ablation": {"durations": (40.0, 80.0)},
     "x1-internal-sync": {"sizes": (4,), "duration": 60.0},

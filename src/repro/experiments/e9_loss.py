@@ -76,18 +76,45 @@ def run(
                 live_with[loss] = report.max_live_points_csa
             else:
                 live_without[loss] = report.max_live_points_csa
+            # per-directed-link accounting: name the worst-hit link
+            worst_key, worst = max(
+                run_result.sim.link_stats.items(),
+                key=lambda item: item[1].lost,
+                default=(None, None),
+            )
+            lossiest = (
+                f"{worst_key[0]}->{worst_key[1]}:{worst.lost}/{worst.sent}"
+                if worst_key is not None
+                else "-"
+            )
             result.rows.append(
                 {
                     "loss_prob": loss,
                     "detection": detection,
                     "messages": run_result.sim.messages_sent,
                     "lost": lost,
+                    "lossiest_link": lossiest,
                     "max_live": report.max_live_points_csa,
                     "max_agdp_nodes": report.max_agdp_nodes,
                     "max_history_buffer": report.max_history_buffer,
                 }
             )
             result.checks.append(check_soundness(run_result, ("efficient",)))
+            # the live per-link counters and the omniscient trace must agree
+            summary = run_result.trace.link_summary()
+            result.checks.append(
+                ClaimCheck(
+                    name=f"loss={loss} detection={detection}: link counters match trace",
+                    passed=all(
+                        summary.get(key, {"sent": 0, "lost": 0})["sent"]
+                        == counters.sent
+                        and summary.get(key, {"sent": 0, "lost": 0})["lost"]
+                        == counters.lost
+                        for key, counters in run_result.sim.link_stats.items()
+                    ),
+                    details={"links": len(run_result.sim.link_stats)},
+                )
+            )
     for loss in loss_probs:
         result.checks.append(
             ClaimCheck(

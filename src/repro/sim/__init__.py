@@ -10,6 +10,9 @@ be checked against concrete executions:
   actual delay sampling, loss;
 * :mod:`~repro.sim.engine` - the event loop driving workloads, passive
   estimators, and loss detection;
+* :mod:`~repro.sim.faults` - declarative, seeded fault injection (crashes,
+  partitions, burst loss, duplication, out-of-spec excursions) and the
+  retransmission policy;
 * :mod:`~repro.sim.trace` - the omniscient execution record used by all
   test oracles;
 * :mod:`~repro.sim.workloads` - send modules (periodic gossip, NTP
@@ -21,11 +24,22 @@ be checked against concrete executions:
 from .clock import (
     AffineClock,
     ClockModel,
+    ExcursionClock,
     PerfectClock,
     PiecewiseDriftingClock,
     SinusoidalDriftClock,
 )
-from .engine import Message, SimProcessor, Simulation
+from .engine import LinkCounters, Message, SimProcessor, Simulation
+from .faults import (
+    BurstLoss,
+    CrashWindow,
+    DelayExcursion,
+    DriftExcursion,
+    Duplication,
+    FaultPlan,
+    PartitionWindow,
+    RetransmitPolicy,
+)
 from .network import LinkConfig, Network, topologies
 from .runner import EstimateSample, RunResult, run_workload, standard_network
 from .serialize import dump_run, load_run
@@ -33,14 +47,24 @@ from .trace import ExecutionTrace, TracedEvent
 
 __all__ = [
     "AffineClock",
+    "BurstLoss",
     "ClockModel",
+    "CrashWindow",
+    "DelayExcursion",
+    "DriftExcursion",
+    "Duplication",
     "EstimateSample",
+    "ExcursionClock",
     "ExecutionTrace",
+    "FaultPlan",
     "LinkConfig",
+    "LinkCounters",
     "Message",
     "Network",
+    "PartitionWindow",
     "PerfectClock",
     "PiecewiseDriftingClock",
+    "RetransmitPolicy",
     "RunResult",
     "SimProcessor",
     "SinusoidalDriftClock",

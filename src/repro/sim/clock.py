@@ -38,6 +38,7 @@ __all__ = [
     "AffineClock",
     "PiecewiseDriftingClock",
     "SinusoidalDriftClock",
+    "ExcursionClock",
 ]
 
 
@@ -259,6 +260,92 @@ class SinusoidalDriftClock(ClockModel):
         # bracket: rate is within [center - amplitude, center + amplitude]
         low = (lt - self.offset) / (self.center + self.amplitude)
         high = (lt - self.offset) / (self.center - self.amplitude) + 1e-12
+        for _ in range(200):
+            mid = 0.5 * (low + high)
+            if self.lt(mid) < lt:
+                low = mid
+            else:
+                high = mid
+            if high - low <= 1e-12 * max(1.0, high):
+                break
+        return 0.5 * (low + high)
+
+
+class ExcursionClock(ClockModel):
+    """A clock that *violates* its advertised spec during excursion windows.
+
+    Wraps a base clock and adds ``rate_offset`` to its rate over each real
+    time window ``[start, end)``:
+
+        ``LT(t) = base.LT(t) + sum_w offset_w * |[0, t] ∩ [start_w, end_w)|``
+
+    The advertised spec is the *base clock's* spec, unchanged - the whole
+    point is a clock that silently leaves its datasheet band, the
+    out-of-spec fault :class:`~repro.sim.faults.DriftExcursion` injects.
+    Such executions break the preconditions of Theorem 2.1; estimators see
+    timestamps their specification cannot explain, which is what the
+    degraded-mode quarantine of :class:`~repro.core.csa.EfficientCSA`
+    exists to absorb.
+
+    The mapping stays strictly increasing (required by the model): the
+    summed active offsets may never push the rate to zero, which is
+    validated against the base clock's advertised minimum rate.
+    """
+
+    def __init__(self, base: ClockModel, windows):
+        self.base = base
+        cleaned = []
+        for start, end, offset in windows:
+            if not (0 <= start < end):
+                raise SimulationError(f"bad excursion window [{start}, {end})")
+            if offset == 0:
+                raise SimulationError("excursion rate offset must be non-zero")
+            cleaned.append((float(start), float(end), float(offset)))
+        self._windows = tuple(cleaned)
+        # minimum instantaneous base rate allowed by the advertised band
+        min_rate = 1.0 / base.advertised.beta
+        boundaries = sorted({w[0] for w in self._windows} | {w[1] for w in self._windows})
+        for point in boundaries:
+            active = sum(o for s, e, o in self._windows if s <= point < e)
+            if min_rate + active <= 0:
+                raise SimulationError(
+                    f"excursion offsets sum to {active} at rt={point}, which would "
+                    f"stop or reverse a clock with minimum rate {min_rate}"
+                )
+
+    @property
+    def advertised(self) -> DriftSpec:
+        return self.base.advertised
+
+    @property
+    def windows(self):
+        return self._windows
+
+    def _extra(self, rt: float) -> float:
+        total = 0.0
+        for start, end, offset in self._windows:
+            overlap = min(rt, end) - start
+            if overlap > 0:
+                total += offset * overlap
+        return total
+
+    def lt(self, rt: float) -> float:
+        if rt < 0:
+            raise SimulationError(f"real time must be >= 0, got {rt}")
+        return self.base.lt(rt) + self._extra(rt)
+
+    def rt(self, lt: float) -> float:
+        start_lt = self.lt(0.0)
+        if lt < start_lt:
+            raise SimulationError(f"local time {lt} precedes clock start {start_lt}")
+        # exponential search for an upper bracket, then bisection (the
+        # mapping is strictly increasing but only piecewise smooth)
+        high = 1.0
+        while self.lt(high) < lt:
+            high *= 2.0
+            if high > 1e18:  # pragma: no cover - defensive
+                raise SimulationError(f"cannot bracket local time {lt}")
+        low = 0.0
         for _ in range(200):
             mid = 0.5 * (low + high)
             if self.lt(mid) < lt:

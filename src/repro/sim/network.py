@@ -174,7 +174,19 @@ class topologies:
     def random_connected(
         n: int, extra_edges: int, seed: int
     ) -> Tuple[List[ProcessorId], List[Tuple[ProcessorId, ProcessorId]]]:
-        """A random tree plus ``extra_edges`` random chords (deterministic)."""
+        """A random tree plus ``extra_edges`` random chords (deterministic).
+
+        Raises :class:`~repro.core.errors.SimulationError` when the
+        requested chords cannot all be placed - either because the complete
+        graph has no room or because rejection sampling hit its attempt cap
+        - rather than silently returning a sparser topology than asked for.
+        """
+        max_chords = n * (n - 1) // 2 - (n - 1)
+        if extra_edges > max_chords:
+            raise SimulationError(
+                f"random_connected(n={n}) can host at most {max_chords} chords, "
+                f"requested {extra_edges}"
+            )
         rng = random.Random(seed)
         names = [f"p{i}" for i in range(n)]
         pairs = []
@@ -182,8 +194,9 @@ class topologies:
             parent = rng.randrange(i)
             pairs.append((names[parent], names[i]))
         existing = {link_id(u, v) for u, v in pairs}
+        remaining = extra_edges
         attempts = 0
-        while extra_edges > 0 and attempts < 100 * (extra_edges + 1):
+        while remaining > 0 and attempts < 100 * (extra_edges + 1):
             attempts += 1
             u, v = rng.sample(names, 2)
             lid = link_id(u, v)
@@ -191,7 +204,13 @@ class topologies:
                 continue
             existing.add(lid)
             pairs.append((u, v))
-            extra_edges -= 1
+            remaining -= 1
+        if remaining > 0:
+            raise SimulationError(
+                f"random_connected(n={n}, extra_edges={extra_edges}, seed={seed}) "
+                f"placed only {extra_edges - remaining} chords after {attempts} "
+                f"attempts; use a larger n or fewer chords"
+            )
         return names, pairs
 
     @staticmethod

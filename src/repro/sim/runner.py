@@ -21,6 +21,7 @@ from ..core.intervals import ClockBound
 from ..core.specs import TransitSpec
 from .clock import ClockModel, PiecewiseDriftingClock
 from .engine import Simulation
+from .faults import FaultPlan, RetransmitPolicy
 from .network import LinkConfig, Network
 from .trace import ExecutionTrace
 
@@ -131,13 +132,17 @@ def run_workload(
     sample_channels: Optional[Sequence[str]] = None,
     loss_detection_delay: float = 5.0,
     confirm_deliveries: Optional[bool] = None,
+    faults: Optional[FaultPlan] = None,
+    retransmit: Optional[RetransmitPolicy] = None,
 ) -> RunResult:
     """Build a simulation, run it, and collect estimate samples.
 
     ``estimators`` maps channel names to factories ``(proc, spec) ->
     Estimator``.  If any link is lossy and ``confirm_deliveries`` is not
     explicitly set, delivery confirmations are enabled automatically (the
-    unreliable-mode protocol needs them).
+    unreliable-mode protocol needs them).  ``faults`` attaches a
+    :class:`~repro.sim.faults.FaultPlan`; ``retransmit`` replaces the loss
+    oracle with a :class:`~repro.sim.faults.RetransmitPolicy`.
     """
     lossy = any(link.loss_prob > 0 for link in network.links.values())
     if confirm_deliveries is None:
@@ -147,6 +152,8 @@ def run_workload(
         seed=seed,
         loss_detection_delay=loss_detection_delay,
         confirm_deliveries=confirm_deliveries,
+        faults=faults,
+        retransmit=retransmit,
     )
     for name, factory in estimators.items():
         sim.attach_estimators(name, factory)

@@ -93,6 +93,28 @@ class ExecutionTrace:
             return len(self._records)
         return sum(1 for r in self._records if r.event.proc == proc)
 
+    def link_summary(self) -> Dict[Tuple[ProcessorId, ProcessorId], Dict[str, int]]:
+        """Per-directed-link ``{sent, lost, delivered}`` counts from the record.
+
+        Derived purely from traced events and loss marks, so it cross-checks
+        the engine's live :attr:`~repro.sim.engine.Simulation.link_stats`
+        (which additionally counts discarded duplicates - those never become
+        events, hence are invisible here).
+        """
+        summary: Dict[Tuple[ProcessorId, ProcessorId], Dict[str, int]] = {}
+        for record in self._records:
+            event = record.event
+            if not event.is_send:
+                continue
+            key = (event.proc, event.dest)
+            stats = summary.setdefault(key, {"sent": 0, "lost": 0, "delivered": 0})
+            stats["sent"] += 1
+            if event.eid in self._lost_sends:
+                stats["lost"] += 1
+        for stats in summary.values():
+            stats["delivered"] = stats["sent"] - stats["lost"]
+        return summary
+
     # -- derived structures -----------------------------------------------------------
 
     def global_view(self) -> View:

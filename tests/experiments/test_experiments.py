@@ -27,6 +27,7 @@ class TestRegistry:
             "x1-internal-sync",
             "e10-convergence",
             "x2-adaptive-polling",
+            "chaos-soak",
         }
         assert set(REGISTRY) == expected
 

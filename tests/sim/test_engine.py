@@ -174,3 +174,131 @@ class TestWorkloadHooks:
         sim.schedule_at(1.0, lambda: sim.send("s", "a", info="hello"))
         sim.run_until(10.0)
         assert seen == [("a", "hello")]
+
+
+class RecordingCSA(EfficientCSA):
+    """EfficientCSA that logs every hook invocation into a shared list."""
+
+    def __init__(self, proc, spec, log):
+        super().__init__(proc, spec, reliable=False)
+        self.log = log
+
+    def on_send(self, event):
+        self.log.append(("send", self.proc, event.eid))
+        return super().on_send(event)
+
+    def on_receive(self, event, payload):
+        self.log.append(("receive", self.proc, event.send_eid))
+        super().on_receive(event, payload)
+
+    def on_delivery_confirmed(self, send_eid):
+        self.log.append(("confirm", self.proc, send_eid))
+        super().on_delivery_confirmed(send_eid)
+
+    def on_loss_detected(self, send_eid):
+        self.log.append(("loss", self.proc, send_eid))
+        super().on_loss_detected(send_eid)
+
+
+class TestConfirmDeliveries:
+    def test_confirmation_ordering(self):
+        """Delivery path: receive at dest, then confirm at sender, then hook."""
+        log = []
+        sim = Simulation(tiny_network(), seed=0, confirm_deliveries=True)
+        sim.attach_estimators("rec", lambda p, s: RecordingCSA(p, s, log))
+        sim.on_message = lambda _sim, event, _info: log.append(
+            ("hook", event.proc, event.send_eid)
+        )
+        sim.schedule_at(1.0, lambda: sim.send("s", "a"))
+        sim.run_until(10.0)
+        send_eid = EventId("s", 0)
+        assert [entry[0] for entry in log] == ["send", "receive", "confirm", "hook"]
+        assert log[1] == ("receive", "a", send_eid)
+        assert log[2] == ("confirm", "s", send_eid)
+
+    def test_no_confirmations_when_disabled(self):
+        log = []
+        sim = Simulation(tiny_network(), seed=0, confirm_deliveries=False)
+        sim.attach_estimators("rec", lambda p, s: RecordingCSA(p, s, log))
+        sim.schedule_at(1.0, lambda: sim.send("s", "a"))
+        sim.run_until(10.0)
+        assert not [entry for entry in log if entry[0] == "confirm"]
+
+    def test_confirmation_settles_pending_token(self):
+        log = []
+        sim = Simulation(tiny_network(), seed=0, confirm_deliveries=True)
+        sim.attach_estimators("rec", lambda p, s: RecordingCSA(p, s, log))
+        sim.schedule_at(1.0, lambda: sim.send("s", "a"))
+        source = sim.estimator("s", "rec")
+        sim.run_until(0.999)
+        assert source.history.pending_tokens() == 0
+        sim.run_until(1.001)  # send happened, delivery still in flight
+        assert source.history.pending_tokens() == 1
+        sim.run_until(10.0)
+        assert source.history.pending_tokens() == 0
+
+
+class TestLossHookOrdering:
+    def test_estimator_signal_precedes_workload_hook(self):
+        """on_loss_detected fires at the sender's estimators before sim.on_loss."""
+        log = []
+        sim = Simulation(
+            tiny_network(loss_prob=0.5), seed=1, loss_detection_delay=1.0
+        )
+        sim.attach_estimators("rec", lambda p, s: RecordingCSA(p, s, log))
+        sim.on_loss = lambda _sim, send_event, _info: log.append(
+            ("hook-loss", send_event.proc, send_event.eid)
+        )
+        for i in range(40):
+            sim.schedule_at(0.5 * (i + 1), lambda: sim.send("s", "a"))
+        sim.run_until(100.0)
+        assert sim.messages_lost > 5
+        loss_entries = [e for e in log if e[0] in ("loss", "hook-loss")]
+        assert loss_entries, "expected loss signals"
+        # signals come in (estimator, workload) pairs for the same send
+        for estimator_entry, hook_entry in zip(
+            loss_entries[0::2], loss_entries[1::2]
+        ):
+            assert estimator_entry[0] == "loss"
+            assert hook_entry[0] == "hook-loss"
+            assert estimator_entry[2] == hook_entry[2]
+
+    def test_loss_signalled_at_sender_only(self):
+        log = []
+        sim = Simulation(
+            tiny_network(loss_prob=0.5), seed=1, loss_detection_delay=1.0
+        )
+        sim.attach_estimators("rec", lambda p, s: RecordingCSA(p, s, log))
+        for i in range(40):
+            sim.schedule_at(0.5 * (i + 1), lambda: sim.send("s", "a"))
+        sim.run_until(100.0)
+        assert all(entry[1] == "s" for entry in log if entry[0] == "loss")
+
+
+class TestLossAccounting:
+    def test_drop_recorded_at_quiesce_inside_detection_window(self):
+        """A drop within loss_detection_delay of the run end is still traced."""
+        sim = Simulation(
+            tiny_network(loss_prob=0.5), seed=1, loss_detection_delay=5.0
+        )
+        for i in range(40):
+            sim.schedule_at(0.5 * (i + 1), lambda: sim.send("s", "a"))
+        sim.run_until(20.2)  # inside the detection window of the last sends
+        assert sim.messages_lost > 0
+        # trace and counter agree at every instant, not only after detection
+        assert len(sim.trace.lost_sends) == sim.messages_lost
+
+    def test_per_link_counters_match_globals(self):
+        sim = Simulation(tiny_network(loss_prob=0.4), seed=5)
+        for i in range(30):
+            sim.schedule_at(0.5 * (i + 1), lambda: sim.send("s", "a"))
+        sim.run_until(100.0)
+        counters = sim.link_stats[("s", "a")]
+        assert counters.sent == sim.messages_sent == 30
+        assert counters.lost == sim.messages_lost
+        assert counters.delivered == sum(
+            1 for r in sim.trace if r.event.is_receive
+        )
+        summary = sim.trace.link_summary()
+        assert summary[("s", "a")]["sent"] == counters.sent
+        assert summary[("s", "a")]["lost"] == counters.lost
