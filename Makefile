@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments experiments-quick chaos examples clean
+.PHONY: install test bench experiments experiments-quick chaos chaos-byz examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -21,6 +21,11 @@ experiments-quick:
 
 chaos:
 	$(PYTHON) -m repro.experiments.cli chaos-soak --quick
+
+# fixed-seed Byzantine chaos: one ring soak plus the adversarial run
+# (payload tampering, suspicion, eviction) - deterministic smoke check
+chaos-byz:
+	$(PYTHON) -m repro.experiments.chaos --shapes ring --duration 60 --seed 0 --liars 1
 
 examples:
 	for script in examples/*.py; do \

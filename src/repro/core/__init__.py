@@ -16,7 +16,13 @@ The public surface re-exports the classes a downstream user needs:
 from .agdp import AGDP, AGDPStats
 from .agdp_numpy import NumpyAGDP
 from .csa import CSAStats, EfficientCSA, QuarantineDiagnostic
-from .csa_base import Estimator
+from .csa_base import (
+    DEFAULT_BLAME_WEIGHTS,
+    Estimator,
+    EvictionEvent,
+    SuspicionPolicy,
+    SuspicionTracker,
+)
 from .csa_full import FullInformationCSA
 from .distances import (
     WeightedDigraph,
@@ -34,6 +40,7 @@ from .errors import (
     SimulationError,
     SpecificationError,
     UnknownEventError,
+    ViewConflictError,
     ViewError,
 )
 from .explain import Witness, WitnessStep, explain_external_bounds
@@ -51,6 +58,12 @@ from .syncgraph import (
     sync_graph_from_bounds,
     transit_edge_weights,
 )
+from .validate import (
+    FAILURE_KINDS,
+    ValidationFailure,
+    ValidationReport,
+    validate_payload,
+)
 from .theorem import (
     check_execution,
     external_bounds,
@@ -65,6 +78,7 @@ __all__ = [
     "AGDPStats",
     "CSAStats",
     "ClockBound",
+    "DEFAULT_BLAME_WEIGHTS",
     "DriftSpec",
     "EfficientCSA",
     "Estimator",
@@ -72,7 +86,9 @@ __all__ = [
     "Event",
     "EventId",
     "EventKind",
+    "EvictionEvent",
     "ExplicitBoundsMapping",
+    "FAILURE_KINDS",
     "FullInformationCSA",
     "GeneralSynchronizer",
     "HistoryModule",
@@ -88,11 +104,16 @@ __all__ = [
     "ReproError",
     "SimulationError",
     "SpecificationError",
+    "SuspicionPolicy",
+    "SuspicionTracker",
     "SystemSpec",
     "TOP",
     "TransitSpec",
     "UnknownEventError",
+    "ValidationFailure",
+    "ValidationReport",
     "View",
+    "ViewConflictError",
     "ViewError",
     "Witness",
     "WitnessStep",
@@ -114,4 +135,5 @@ __all__ = [
     "source_point",
     "sync_graph_from_bounds",
     "transit_edge_weights",
+    "validate_payload",
 ]

@@ -38,6 +38,26 @@ edge, quarantines the constraint, records a structured
 remaining (still mutually consistent) constraints.  Dropping constraints
 is sound: distances only grow, so bounds only widen; it merely forfeits
 optimality for the affected pairs.
+
+**Hardened mode** (``suspicion=SuspicionPolicy(...)``; implies degraded
+mode): the Byzantine-input pipeline of docs/FAULTS.md.  Incoming history
+payloads are screened by :mod:`repro.core.validate` before any state
+changes; validation failures and quarantined edges feed a per-processor
+:class:`~repro.core.csa_base.SuspicionTracker`; past the policy threshold
+the accused processor is *evicted* - every constraint derived from its
+claims leaves the synchronization graph.  The AGDP cannot un-insert
+edges, so eviction rebuilds the live tracker and solver by replaying the
+estimator's event log with the evicted processor's events excluded (the
+log is why hardened mode keeps O(events) extra memory).  Replay-rebuild
+is used instead of the view-level
+:meth:`~repro.core.view.View.without_events` because that primitive also
+excises the *causal future* of the dropped events - correct for views,
+but here nearly every honest event sits causally after a long-connected
+liar's early events; the graph layer can keep honest drift chains and
+simply skip edges whose other endpoint is gone, which Theorem 2.1
+licenses (dropping constraints only widens bounds).  After a blame-free
+clean window the processor is rehabilitated: only events *past* the
+frontier known at rehabilitation re-enter the graph.
 """
 
 from __future__ import annotations
@@ -47,13 +67,14 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from .agdp import AGDP
-from .csa_base import Estimator
+from .csa_base import Estimator, SuspicionPolicy, SuspicionTracker
 from .errors import InconsistentSpecificationError, ProtocolError
 from .events import Event, EventId, ProcessorId
 from .history import HistoryModule, HistoryPayload
 from .intervals import ClockBound
 from .live import LiveTracker
 from .specs import SystemSpec, TOP
+from .validate import ValidationFailure, validate_payload
 
 __all__ = ["EfficientCSA", "CSAStats", "QuarantineDiagnostic"]
 
@@ -95,6 +116,22 @@ class CSAStats:
         return self.max_agdp_nodes * self.max_agdp_nodes + self.max_history_buffer
 
 
+class _LogKnowledge:
+    """Adapter exposing a hardened estimator's knowledge to the validator."""
+
+    def __init__(self, csa: "EfficientCSA"):
+        self._csa = csa
+
+    def known_seq(self, proc: ProcessorId) -> int:
+        return self._csa.history.known_seq(proc)
+
+    def lookup(self, eid: EventId) -> Optional[Event]:
+        return self._csa._log_index.get(eid)
+
+    def rejected_seq(self, proc: ProcessorId) -> int:
+        return self._csa._rejected_hwm.get(proc, -1)
+
+
 class EfficientCSA(Estimator):
     """The optimal, efficient external synchronization algorithm of Sec 3."""
 
@@ -111,6 +148,7 @@ class EfficientCSA(Estimator):
         history_gc: bool = True,
         track_reports: bool = False,
         degraded_mode: bool = False,
+        suspicion: Optional[SuspicionPolicy] = None,
     ):
         super().__init__(proc, spec)
         self.history = HistoryModule(
@@ -121,30 +159,56 @@ class EfficientCSA(Estimator):
             gc_enabled=history_gc,
         )
         self.live = LiveTracker()
-        if agdp_backend == "dict":
-            self.agdp = AGDP(gc_enabled=agdp_gc)
-        elif agdp_backend == "numpy":
-            from .agdp_numpy import NumpyAGDP
-
-            self.agdp = NumpyAGDP(gc_enabled=agdp_gc)
-        else:
-            raise ValueError(
-                f"unknown AGDP backend {agdp_backend!r} (use 'dict' or 'numpy')"
-            )
+        self._agdp_backend = agdp_backend
+        self._agdp_gc = agdp_gc
+        self.agdp = self._make_agdp()
         self.reliable = reliable
-        #: quarantine instead of raising on InconsistentSpecificationError
-        self.degraded_mode = degraded_mode
+        #: quarantine instead of raising on InconsistentSpecificationError;
+        #: hardened mode needs the per-edge path, so suspicion implies it
+        self.degraded_mode = degraded_mode or suspicion is not None
         #: structured diagnostics of quarantined constraints (degraded mode)
         self.diagnostics: List[QuarantineDiagnostic] = []
         #: latest known event of the source processor (the AGDP query anchor)
         self._source_rep: Optional[EventId] = None
         #: pending history delivery tokens per local send (unreliable mode)
         self._pending_tokens: Dict[EventId, int] = {}
+        #: per-processor blame ledger (hardened mode only)
+        self.suspicion: Optional[SuspicionTracker] = (
+            SuspicionTracker(suspicion, protect=(proc, spec.source))
+            if suspicion is not None
+            else None
+        )
+        #: structured outcomes of payload screening (hardened mode only)
+        self.validation_failures: List[ValidationFailure] = []
+        #: highest record seq ever rejected per origin - lets the validator
+        #: recognize self-inflicted gaps (see ReceiverKnowledge.rejected_seq)
+        self._rejected_hwm: Dict[ProcessorId, int] = {}
+        #: every event ever fed to the graph layer, in arrival order; the
+        #: replay source for eviction rebuilds (hardened mode only)
+        self._event_log: List[Event] = []
+        self._log_index: Dict[EventId, Event] = {}
+        self._replaying = False
+
+    def _make_agdp(self):
+        if self._agdp_backend == "dict":
+            return AGDP(gc_enabled=self._agdp_gc)
+        if self._agdp_backend == "numpy":
+            from .agdp_numpy import NumpyAGDP
+
+            return NumpyAGDP(gc_enabled=self._agdp_gc)
+        raise ValueError(
+            f"unknown AGDP backend {self._agdp_backend!r} (use 'dict' or 'numpy')"
+        )
 
     @property
     def degraded(self) -> bool:
         """Whether any constraint has been quarantined so far."""
         return bool(self.diagnostics)
+
+    @property
+    def eviction_events(self):
+        """Suspicion state transitions so far (empty outside hardened mode)."""
+        return tuple(self.suspicion.events) if self.suspicion is not None else ()
 
     # -- event hooks -------------------------------------------------------------
 
@@ -153,10 +217,11 @@ class EfficientCSA(Estimator):
             raise ProtocolError(f"on_send called with {event.kind} event {event.eid}")
         self._track_local(event)
         self.history.record_local(event)
-        self._agdp_insert(event)
+        self._ingest(event)
         payload, token = self.history.prepare_payload(event.dest)
         if not self.reliable:
             self._pending_tokens[event.eid] = token
+        self._maybe_rehabilitate()
         return payload
 
     def on_receive(self, event: Event, payload: HistoryPayload) -> None:
@@ -168,18 +233,22 @@ class EfficientCSA(Estimator):
             )
         self._track_local(event)
         sender = event.send_eid.proc
+        if self.suspicion is not None:
+            payload = self._screen_payload(sender, payload, event)
         new_events, new_flags = self.history.ingest_payload(sender, payload)
         for reported in new_events:
-            self._agdp_insert(reported)
+            self._ingest(reported)
         self.history.record_local(event)
-        self._agdp_insert(event)
+        self._ingest(event)
         for flag in new_flags:
             self._apply_loss_flag(flag)
+        self._maybe_rehabilitate()
 
     def on_internal(self, event: Event) -> None:
         self._track_local(event)
         self.history.record_local(event)
-        self._agdp_insert(event)
+        self._ingest(event)
+        self._maybe_rehabilitate()
 
     def on_delivery_confirmed(self, send_eid: EventId) -> None:
         token = self._pending_tokens.pop(send_eid, None)
@@ -196,42 +265,87 @@ class EfficientCSA(Estimator):
 
     # -- core insertion ------------------------------------------------------------
 
+    def _ingest(self, event: Event) -> None:
+        """Log (hardened mode) and insert one event into the graph layer."""
+        if self.suspicion is not None and not self._replaying:
+            self._event_log.append(event)
+            self._log_index[event.eid] = event
+        self._agdp_insert(event)
+
     def _agdp_insert(self, event: Event) -> None:
         """One AGDP step: insert ``event`` with its incident edges, then kill.
 
         Events must arrive in a topological order of the view; the history
         protocol guarantees this for reported events and the caller
         interleaves local events correctly.
+
+        In hardened mode events of evicted (or excised-range) processors
+        still pass through the live tracker - continuity of the tracked
+        view must survive an eviction - but contribute no node and no
+        edges to the AGDP.
         """
         eid = event.eid
+        hardened = self.suspicion is not None
+        excluded = hardened and self.suspicion.is_excluded(eid)
+        blames: List[Tuple[ProcessorId, str, str]] = []
         edges: List[Tuple[EventId, EventId, float, str]] = []
-        pred = self.live.last_event(event.proc)
-        if pred is not None:
-            pred_id, pred_lt = pred
-            if pred_id != eid.pred():
-                raise ProtocolError(
-                    f"{self.proc!r} inserting {eid} after {pred_id} (gap)"
-                )
-            drift = self.spec.drift_of(event.proc)
-            delta = event.lt - pred_lt
-            edges.append((eid, pred_id, (drift.beta - 1.0) * delta, "drift"))
-            edges.append((pred_id, eid, (1.0 - drift.alpha) * delta, "drift"))
-        if event.is_receive:
-            send_lt = self.live.send_lt(event.send_eid)
-            if send_lt is not None and event.send_eid in self.agdp:
-                transit = self.spec.transit_of(event.send_eid.proc, event.proc)
-                observed = event.lt - send_lt
-                if transit.is_bounded:
-                    edges.append(
-                        (eid, event.send_eid, transit.upper - observed, "transit")
+        if not excluded:
+            pred = self.live.last_event(event.proc)
+            if pred is not None:
+                pred_id, pred_lt = pred
+                if pred_id != eid.pred():
+                    raise ProtocolError(
+                        f"{self.proc!r} inserting {eid} after {pred_id} (gap)"
                     )
-                edges.append(
-                    (event.send_eid, eid, observed - transit.lower, "transit")
+                drift = self.spec.drift_of(event.proc)
+                delta = event.lt - pred_lt
+                edges.append((eid, pred_id, (drift.beta - 1.0) * delta, "drift"))
+                edges.append((pred_id, eid, (1.0 - drift.alpha) * delta, "drift"))
+            if event.is_receive:
+                send_lt = self.live.send_lt(event.send_eid)
+                if send_lt is not None and event.send_eid in self.agdp:
+                    transit = self.spec.transit_of(event.send_eid.proc, event.proc)
+                    observed = event.lt - send_lt
+                    if transit.is_bounded:
+                        edges.append(
+                            (eid, event.send_eid, transit.upper - observed, "transit")
+                        )
+                    edges.append(
+                        (event.send_eid, eid, observed - transit.lower, "transit")
+                    )
+                # else: the send was flagged lost and collected before this
+                # late delivery (or its claimant is evicted); its constraints
+                # are gone, which is sound (fewer constraints only widen
+                # bounds).
+        if (
+            hardened
+            and event.is_receive
+            and self.live.send_lt(event.send_eid) is None
+            and self.live.knows(event.send_eid)
+            and event.send_eid not in self.live.lost_flags
+        ):
+            # the send id resolves to something the tracker does not hold as
+            # an undelivered send - for honest input a double delivery, but a
+            # fabricated event squatting on a real send's id produces exactly
+            # this shape at every honest receiver of the real message
+            blames.append(
+                (
+                    event.send_eid.proc,
+                    "phantom-send",
+                    f"receive {eid} references {event.send_eid}, which is "
+                    "known but not an undelivered send",
                 )
-            # else: the send was flagged lost and collected before this late
-            # delivery; its constraints are gone, which is sound (fewer
-            # constraints only widen bounds).
-        kills = [k for k in self.live.observe(event) if k in self.agdp]
+            )
+        kills = [
+            k
+            for k in self.live.observe(event, lenient=hardened)
+            if k in self.agdp
+        ]
+        if excluded:
+            for victim in kills:
+                self.agdp.kill(victim)
+            self._finish_insert(event, blames)
+            return
         if not self.degraded_mode:
             self.agdp.step(eid, [(x, y, w) for x, y, w, _k in edges], kills)
         else:
@@ -241,18 +355,125 @@ class EfficientCSA(Estimator):
             # accepted constraints
             self.agdp.add_node(eid)
             for x, y, w, kind in edges:
+                if x not in self.agdp or y not in self.agdp:
+                    continue  # the other endpoint belongs to an evicted claim
                 try:
                     self.agdp.insert_edge(x, y, w)
                 except InconsistentSpecificationError as exc:
-                    self.diagnostics.append(
-                        QuarantineDiagnostic(
-                            event=eid, edge=(x, y, w), kind=kind, reason=str(exc)
+                    if not self._replaying:
+                        self.diagnostics.append(
+                            QuarantineDiagnostic(
+                                event=eid, edge=(x, y, w), kind=kind, reason=str(exc)
+                            )
                         )
-                    )
+                    if hardened:
+                        for accused in sorted(
+                            {x.proc, y.proc} - set(self.suspicion.protected)
+                        ):
+                            blames.append(
+                                (
+                                    accused,
+                                    "quarantine",
+                                    f"constraint ({x}, {y}, {w:.4g}) closed a "
+                                    "negative cycle",
+                                )
+                            )
             for victim in kills:
                 self.agdp.kill(victim)
         if event.proc == self.spec.source:
             self._source_rep = eid
+        self._finish_insert(event, blames)
+
+    def _finish_insert(
+        self, event: Event, blames: List[Tuple[ProcessorId, str, str]]
+    ) -> None:
+        """Apply blame collected during an insertion, after it completed.
+
+        Deferred because an eviction rebuilds ``self.agdp``/``self.live``
+        in place; doing that mid-insertion would leave the step half
+        applied to the old structures.
+        """
+        if not blames or self.suspicion is None or self._replaying:
+            return
+        evicted = False
+        for proc, kind, detail in blames:
+            evicted |= self.suspicion.blame(proc, kind, event.lt, detail)
+        if evicted:
+            self._rebuild()
+
+    # -- hardened mode: screening, eviction, rehabilitation -------------------------
+
+    def _screen_payload(
+        self, sender: ProcessorId, payload: HistoryPayload, event: Event
+    ) -> HistoryPayload:
+        """Validate an incoming payload; blame the accused; return it sanitized."""
+        if not isinstance(payload, HistoryPayload):  # pragma: no cover - guarded above
+            raise TypeError("hardened CSA screens HistoryPayloads only")
+        report = validate_payload(
+            sender,
+            payload,
+            knowledge=_LogKnowledge(self),
+            spec=self.spec,
+            receiver=self.proc,
+            receive_event=event,
+            trusted=self.suspicion.protected,
+            suspected=self.suspicion.suspected(),
+        )
+        self.validation_failures.extend(report.failures)
+        for record in report.rejected:
+            if isinstance(record, Event):
+                seq = record.eid.seq
+                if seq > self._rejected_hwm.get(record.proc, -1):
+                    self._rejected_hwm[record.proc] = seq
+        evicted = False
+        for failure in report.failures:
+            for accused in failure.accused:
+                evicted |= self.suspicion.blame(
+                    accused, failure.kind, event.lt, failure.detail
+                )
+        if evicted:
+            self._rebuild()
+        return report.sanitized
+
+    def _rebuild(self) -> None:
+        """Re-derive tracker and solver from the event log, minus the evicted.
+
+        The AGDP cannot remove a node's constraints once inserted, so
+        eviction replays history: a fresh live tracker and solver consume
+        the full event log with the evicted processors' events excluded.
+        Sound by Theorem 2.1 - the surviving constraints are a subset of
+        genuine ones - and exact over what remains.  Quarantine decisions
+        taken during replay are not re-recorded (the diagnostics list
+        stays cumulative) and produce no fresh blame.
+        """
+        self._replaying = True
+        try:
+            self.live = LiveTracker()
+            self.agdp = self._make_agdp()
+            self._source_rep = None
+            for event in self._event_log:
+                self._agdp_insert(event)
+            for flag in self.history.loss_flags:
+                self._apply_loss_flag(flag)
+        finally:
+            self._replaying = False
+
+    def _maybe_rehabilitate(self) -> None:
+        """Give evicted processors their way back after a clean window.
+
+        No rebuild is needed: rehabilitation freezes the excised range at
+        the current knowledge frontier (those claims stay out forever) and
+        only future events re-enter the graph through normal insertion.
+        """
+        if self.suspicion is None or self._last_local is None:
+            return
+        if not self.suspicion.evicted_procs:
+            return
+        now = self._last_local.lt
+        for proc in self.suspicion.due_for_rehabilitation(now):
+            self.suspicion.rehabilitate(
+                proc, now, frontier=self.history.known_seq(proc)
+            )
 
     def _apply_loss_flag(self, send_eid: EventId) -> None:
         for victim in self.live.flag_lost(send_eid):
@@ -286,6 +507,10 @@ class EfficientCSA(Estimator):
         if last is None:
             return ClockBound.unbounded()
         eid, lt = last
+        if eid not in self.agdp:
+            # the processor's latest claim is excluded (evicted/excised);
+            # nothing trustworthy anchors its current clock
+            return ClockBound.unbounded()
         d_p_sp = self.agdp.distance(eid, self._source_rep)
         d_sp_p = self.agdp.distance(self._source_rep, eid)
         lower = -math.inf if math.isinf(d_sp_p) else lt - d_sp_p
@@ -316,6 +541,8 @@ class EfficientCSA(Estimator):
             return ClockBound.unbounded()
         eid_a, lt_a = last_a
         eid_b, lt_b = last_b
+        if eid_a not in self.agdp or eid_b not in self.agdp:
+            return ClockBound.unbounded()
         virt_del = lt_a - lt_b
         d_ab = self.agdp.distance(eid_a, eid_b)
         d_ba = self.agdp.distance(eid_b, eid_a)

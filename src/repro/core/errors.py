@@ -55,6 +55,31 @@ class UnknownEventError(ViewError):
     """An operation referenced an event that is not part of the view."""
 
 
+class ViewConflictError(ViewError):
+    """Two copies of the same event disagree on their attributes.
+
+    Raised when a view is asked to hold both copies (re-add or merge).
+    Under benign faults this indicates memory corruption; under
+    adversarial input it is the signature of *equivocation* - the
+    originating processor told different stories to different peers.
+    The conflicting copies and the originating processor are attached so
+    Byzantine-hardened consumers can attribute blame instead of merely
+    failing (see :mod:`repro.core.validate`).
+    """
+
+    def __init__(self, message: str = "", *, ours=None, theirs=None):
+        super().__init__(message)
+        #: the copy already held by the view
+        self.ours = ours
+        #: the conflicting incoming copy
+        self.theirs = theirs
+
+    @property
+    def origin(self):
+        """The processor whose event history is self-contradictory."""
+        return self.ours.proc if self.ours is not None else None
+
+
 class ProtocolError(ReproError):
     """The history-propagation protocol received malformed input.
 

@@ -93,13 +93,22 @@ class LiveTracker:
 
     # -- mutation ----------------------------------------------------------------
 
-    def observe(self, event: Event) -> List[EventId]:
+    def observe(self, event: Event, *, lenient: bool = False) -> List[EventId]:
         """Record ``event`` (the next event of its processor) and return kills.
 
         The returned list contains the event ids that were live before this
         insertion and are dead after it.  The caller must feed events in a
         topological order of the view (per-processor sequence numbers must
         be contiguous); violations raise :class:`ProtocolError`.
+
+        With ``lenient=True`` a receive whose send is known as something
+        other than an undelivered send is tolerated instead of raising.
+        Under honest input that shape is a double delivery (a protocol
+        bug), but a Byzantine peer can manufacture it for a perfectly
+        honest message by squatting a fabricated event on the real send's
+        id; the hardened estimator must keep tracking through it.  The
+        check happens *before* any mutation, so the tracker cannot offer
+        try/except recovery - continuity would already be spent.
         """
         eid = event.eid
         expected = self.last_seq(eid.proc) + 1
@@ -121,9 +130,10 @@ class LiveTracker:
                 if self.last_seq(send_eid.proc) != send_eid.seq:
                     dead.append(send_eid)
             elif send_eid not in self._lost and self.knows(send_eid):
-                raise ProtocolError(
-                    f"message {send_eid} delivered twice (receive {eid})"
-                )
+                if not lenient:
+                    raise ProtocolError(
+                        f"message {send_eid} delivered twice (receive {eid})"
+                    )
         self._last[eid.proc] = _LastEvent(eid.seq, event.lt, event.is_send)
         if event.is_send:
             self._undelivered[eid] = event.lt

@@ -23,7 +23,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
-from .errors import UnknownEventError, ViewError
+from .errors import UnknownEventError, ViewConflictError, ViewError
 from .events import Event, EventId, EventKind, ProcessorId
 
 __all__ = ["View"]
@@ -53,7 +53,13 @@ class View:
         existing = self._events.get(eid)
         if existing is not None:
             if existing != event:
-                raise ViewError(f"event {eid} re-added with conflicting attributes")
+                raise ViewConflictError(
+                    f"event {eid} re-added with conflicting attributes: "
+                    f"held {existing}, offered {event} "
+                    f"(originating processor {eid.proc!r})",
+                    ours=existing,
+                    theirs=event,
+                )
             return
         expected = self._last_seq.get(eid.proc, -1) + 1
         if eid.seq != expected:
@@ -92,14 +98,24 @@ class View:
         """Union with another view (e.g. a received report).
 
         Events are inserted in the other view's topological order; shared
-        events must agree.
+        events must agree.  A disagreement raises
+        :class:`~repro.core.errors.ViewConflictError` carrying both copies
+        and naming the originating processor - two views holding divergent
+        copies of one event means that processor equivocated somewhere
+        upstream (or state was corrupted), and the caller needs to know
+        *who*, not just which event id.
         """
         for eid in other._order:
             event = other._events[eid]
             if eid not in self._events:
                 self.add(event)
             elif self._events[eid] != event:
-                raise ViewError(f"merge conflict at event {eid}")
+                raise ViewConflictError(
+                    f"merge conflict at event {eid}: ours {self._events[eid]}, "
+                    f"theirs {event} (originating processor {eid.proc!r})",
+                    ours=self._events[eid],
+                    theirs=event,
+                )
 
     def copy(self) -> "View":
         dup = View()

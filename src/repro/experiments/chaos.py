@@ -26,8 +26,15 @@ records structured :class:`~repro.core.csa.QuarantineDiagnostic` entries
 and keeps serving queries instead of propagating
 :class:`~repro.core.errors.InconsistentSpecificationError`.
 
+A *Byzantine* run (``--liars``) puts lying processors - skewed and
+equivocating timestamps, fabricated events - against suspicion-hardened
+estimators (see ``docs/FAULTS.md``) and asserts that every honest
+neighbor evicts its liar, that honest mis-evictions rehabilitate, that
+honest estimates stay sound, and that the honest-only synchronization
+graph stays consistent (the lies lived in payloads, not in the timing).
+
 Run as ``repro-chaos`` (console script), via the experiment registry id
-``chaos-soak``, or through ``make chaos``.
+``chaos-soak``, or through ``make chaos`` / ``make chaos-byz``.
 """
 
 from __future__ import annotations
@@ -37,7 +44,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.claims import ClaimCheck, check_soundness
 from ..core.csa import EfficientCSA
-from ..sim.faults import DelayExcursion, FaultPlan, RetransmitPolicy
+from ..core.csa_base import SuspicionPolicy
+from ..core.distances import find_negative_cycle
+from ..core.syncgraph import build_sync_graph
+from ..sim.faults import (
+    ByzantineProcessor,
+    DelayExcursion,
+    FaultPlan,
+    RetransmitPolicy,
+)
 from ..sim.network import topologies
 from ..sim.runner import RunResult, run_workload, standard_network
 from ..sim.workloads import PeriodicGossip
@@ -178,6 +193,112 @@ def _out_of_spec_run(n: int, duration: float, seed: int) -> Tuple[RunResult, int
     return result, quarantined
 
 
+def _byzantine_run(
+    n: int, duration: float, seed: int, liars: int
+) -> Tuple[RunResult, Tuple[str, ...]]:
+    """A ring with ``liars`` Byzantine processors against hardened estimators."""
+    names, links = topologies.ring(n)
+    network = standard_network(names, links, seed=seed)
+    candidates = [p for p in names if p != network.source]
+    step = max(len(candidates) // max(liars, 1), 1)
+    chosen = tuple(candidates[::step][:liars])
+    plan = FaultPlan(
+        seed=seed,
+        injections=tuple(
+            ByzantineProcessor(
+                proc,
+                modes=("lie_timestamps", "equivocate", "fabricate"),
+                start=duration * 0.05,
+                magnitude=0.8,
+            )
+            for proc in chosen
+        ),
+    )
+    policy = SuspicionPolicy(threshold=3.0, clean_window=duration / 4)
+    result = run_workload(
+        network,
+        PeriodicGossip(period=2.0, seed=seed),
+        {"hardened": lambda p, s: EfficientCSA(p, s, suspicion=policy)},
+        duration=duration,
+        seed=seed,
+        sample_period=duration / 10,
+        faults=plan,
+    )
+    return result, chosen
+
+
+def _byzantine_checks(
+    result: RunResult, liars: Tuple[str, ...]
+) -> List[ClaimCheck]:
+    sim = result.sim
+    honest = [p for p in sim.network.processors if p not in liars]
+
+    # every honest *neighbor* of a liar must have evicted it by quiesce
+    # (a consistent liar is indistinguishable at distance - only the
+    # processors that share round-trips with it hold decisive evidence)
+    missing = []
+    for liar in liars:
+        for peer in sim.spec.neighbors(liar):
+            if peer in liars:
+                continue
+            tracker = sim.estimator(peer, "hardened").suspicion
+            if not tracker.is_evicted(liar):
+                missing.append((peer, liar))
+    evicted_map = {
+        proc: sorted(v) for proc, v in result.evicted_by("hardened").items() if v
+    }
+    checks = [
+        ClaimCheck(
+            name="byzantine: every honest neighbor evicts its liar",
+            passed=not missing,
+            details={"missing": missing, "evictions": evicted_map},
+        )
+    ]
+
+    # only liars stay evicted: honest mis-evictions (a liar can drag an
+    # honest relay into a negative cycle) must have been rehabilitated
+    stuck = {
+        proc: sorted(set(v) - set(liars))
+        for proc, v in result.evicted_by("hardened").items()
+        if set(v) - set(liars)
+    }
+    checks.append(
+        ClaimCheck(
+            name="byzantine: no honest processor stays evicted",
+            passed=not stuck,
+            details={"stuck": stuck},
+        )
+    )
+
+    # honest estimates must be sound at every sample despite the lies
+    honest_bad = [
+        s for s in result.samples if s.proc in honest and not s.sound
+    ]
+    checks.append(
+        ClaimCheck(
+            name="byzantine: honest estimates stay sound",
+            passed=not honest_bad,
+            details={"violations": len(honest_bad)},
+        )
+    )
+
+    # ground truth: the honest-only synchronization graph (the real
+    # execution minus the liars' events) is consistent - the lies lived
+    # only in payloads, never in the actual timing
+    view = result.trace.global_view()
+    liar_eids = [e.eid for liar in liars for e in view.events_of(liar)]
+    honest_view = view.without_events(liar_eids)
+    cycle = find_negative_cycle(build_sync_graph(honest_view, sim.spec))
+    checks.append(
+        ClaimCheck(
+            name="byzantine: honest-only sync graph has no negative cycle",
+            passed=cycle is None,
+            details={"cycle": [] if cycle is None else [str(e) for e in cycle]},
+        )
+    )
+    return checks
+
+
 def _register(fn):
     # Under ``python -m repro.experiments.chaos`` runpy executes this file a
     # second time as ``__main__`` after the package import already registered
@@ -195,6 +316,7 @@ def run(
     duration: float = 120.0,
     seed: int = 0,
     loss_prob: float = 0.05,
+    liars: int = 1,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment="chaos-soak",
@@ -267,10 +389,41 @@ def run(
             },
         )
     )
+    if liars > 0:
+        byz, chosen = _byzantine_run(n, duration * 1.5, seed + 4099, liars)
+        injected = byz.sim.faults.injected
+        evictions = sum(
+            sum(1 for e in events if e.action == "evicted")
+            for events in byz.eviction_events("hardened").values()
+        )
+        rehabilitations = sum(
+            sum(1 for e in events if e.action == "rehabilitated")
+            for events in byz.eviction_events("hardened").values()
+        )
+        result.rows.append(
+            {
+                "shape": f"ring(byzantine x{len(chosen)})",
+                "faults": len(chosen),
+                "sent": byz.sim.messages_sent,
+                "lost": byz.sim.messages_lost,
+                "dup": 0,
+                "retrans": 0,
+                "suppressed": 0,
+                "partition_drops": 0,
+                "burst_drops": 0,
+                "crash_drops": 0,
+                "tampered": injected["tampered_payloads"],
+                "fabricated": injected["fabricated_records"],
+                "evictions": evictions,
+                "rehabs": rehabilitations,
+            }
+        )
+        result.checks.extend(_byzantine_checks(byz, chosen))
     result.notes = (
         "Randomized schedules never include out-of-spec injections, so "
         "soundness is assertable throughout; the dedicated excursion run "
-        "exercises the degraded-mode quarantine instead."
+        "exercises the degraded-mode quarantine, and the Byzantine run "
+        "exercises payload validation, suspicion, and eviction."
     )
     return result
 
@@ -296,6 +449,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--loss-prob", type=float, default=0.05, help="baseline i.i.d. loss"
     )
+    parser.add_argument(
+        "--liars",
+        type=int,
+        default=1,
+        help="Byzantine processors in the adversarial run (0 disables it)",
+    )
     args = parser.parse_args(argv)
     result = run(
         tuple(args.shapes),
@@ -303,6 +462,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         duration=args.duration,
         seed=args.seed,
         loss_prob=args.loss_prob,
+        liars=args.liars,
     )
     print(result.render())
     return 0 if result.all_passed else 1

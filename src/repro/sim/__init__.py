@@ -32,6 +32,7 @@ from .clock import (
 from .engine import LinkCounters, Message, SimProcessor, Simulation
 from .faults import (
     BurstLoss,
+    ByzantineProcessor,
     CrashWindow,
     DelayExcursion,
     DriftExcursion,
@@ -48,6 +49,7 @@ from .trace import ExecutionTrace, TracedEvent
 __all__ = [
     "AffineClock",
     "BurstLoss",
+    "ByzantineProcessor",
     "ClockModel",
     "CrashWindow",
     "DelayExcursion",

@@ -281,6 +281,11 @@ class Simulation:
             name: estimator.on_send(send_event)
             for name, estimator in sp.estimators.items()
         }
+        # Byzantine tampering rewrites payload *contents* only - the event
+        # trace and all baseline RNG draws are untouched, so a run with a
+        # liar is timing-identical to the honest run.
+        if self.faults is not None:
+            payloads = self.faults.tamper_payloads(src, dest, self.now, payloads)
         message = Message(
             send_event=send_event, payloads=payloads, info=info, attempt=_attempt
         )

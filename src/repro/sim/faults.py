@@ -32,6 +32,21 @@ those into an execution from a declarative :class:`FaultPlan`:
 * :class:`DriftExcursion` - a clock's rate leaves its advertised
   :class:`~repro.core.specs.DriftSpec` band during a window (realised by
   :class:`~repro.sim.clock.ExcursionClock`).  Also out-of-spec.
+* :class:`ByzantineProcessor` - the processor *lies*.  Unlike every fault
+  above, nothing about the execution's timing changes: the processor's
+  clock, sends and receives are all genuine, but the **history payloads**
+  it ships are tampered with on the way out - claimed timestamps skewed
+  (``lie_timestamps``), skewed differently per neighbor (``equivocate``),
+  records silently dropped (``truncate``), or events invented out of thin
+  air (``fabricate``).  Because only payload *contents* change, a
+  Byzantine run's event trace is bit-identical to the corresponding
+  fault-free run; only estimator states diverge - which is exactly what
+  makes the injection a sharp test of the hardened estimator
+  (:mod:`repro.core.validate`, ``EfficientCSA(suspicion=...)``).
+  A Byzantine processor lies about its *own* history; it cannot forge
+  other processors' records wholesale (no signatures exist in this model,
+  but the validator treats third-party records it relays as evidence
+  *against the relay* only in shapes an honest relay could never produce).
 
 **RNG isolation.**  A :class:`FaultPlan` carries its own seed; all fault
 decisions (burst-loss transitions, duplication draws, echo delays) come
@@ -50,13 +65,15 @@ message with a fresh payload, with exponential backoff up to a retry cap.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.errors import SimulationError
-from ..core.events import ProcessorId, link_id
+from ..core.events import Event, EventId, EventKind, ProcessorId, link_id
+from ..core.history import HistoryPayload
 
 __all__ = [
     "CrashWindow",
@@ -65,6 +82,8 @@ __all__ = [
     "Duplication",
     "DelayExcursion",
     "DriftExcursion",
+    "ByzantineProcessor",
+    "BYZANTINE_MODES",
     "FaultPlan",
     "ActiveFaults",
     "RetransmitPolicy",
@@ -187,8 +206,78 @@ class DriftExcursion:
             raise SimulationError("rate_offset must be non-zero for an excursion")
 
 
+#: the tampering modes a Byzantine processor may combine
+BYZANTINE_MODES = frozenset(
+    {"lie_timestamps", "equivocate", "truncate", "fabricate"}
+)
+
+
+@dataclass(frozen=True)
+class ByzantineProcessor:
+    """Processor ``proc`` tampers with outgoing history payloads.
+
+    ``modes`` is a non-empty subset of :data:`BYZANTINE_MODES`:
+
+    * ``lie_timestamps`` - claimed local times of own records are skewed by
+      a growing *rate* error: ``claimed = lt + magnitude * (lt - anchor)``
+      where ``anchor`` is the local time of the first tampered record.  A
+      rate skew is chosen deliberately: a *constant* offset lie provably
+      cancels around every cycle of the sync graph (each cycle enters and
+      leaves the liar equally often), so it is both undetectable and
+      harmless for external synchronization.  Only inconsistent lies can
+      poison bounds - and those are exactly what negative-cycle detection
+      catches.
+    * ``equivocate`` - as ``lie_timestamps``, but with a different skew
+      factor per destination, so neighbors receive mutually inconsistent
+      copies of the same events (detected when relayed copies meet).
+    * ``truncate`` - each shipped record is silently dropped with
+      probability ``rate`` (receivers see sequence gaps no honest sender
+      could produce).
+    * ``fabricate`` - with probability ``rate`` per payload, invented
+      internal events are appended after the liar's last genuine record,
+      squatting on sequence numbers its real future events will also use.
+
+    The same lie for the same event id (and destination, under
+    equivocation) is repeated on re-reports, so the liar stays
+    *self-consistent* - the hardest case for a validator.  The source is
+    never allowed to be Byzantine: its clock defines real time.
+    """
+
+    proc: ProcessorId
+    modes: Tuple[str, ...] = ("lie_timestamps",)
+    start: float = 0.0
+    end: float = math.inf
+    #: rate-skew magnitude of timestamp lies (claimed extra seconds per
+    #: genuine local second since the anchor)
+    magnitude: float = 0.5
+    #: per-record truncation probability / per-payload fabrication probability
+    rate: float = 0.25
+
+    def __post_init__(self):
+        object.__setattr__(self, "modes", tuple(self.modes))
+        if not (0 <= self.start < self.end):
+            raise SimulationError(f"bad byzantine window [{self.start}, {self.end})")
+        if not self.modes:
+            raise SimulationError("ByzantineProcessor needs at least one mode")
+        unknown = set(self.modes) - BYZANTINE_MODES
+        if unknown:
+            raise SimulationError(
+                f"unknown byzantine mode(s) {sorted(unknown)}; "
+                f"choose from {sorted(BYZANTINE_MODES)}"
+            )
+        if self.magnitude <= 0:
+            raise SimulationError(
+                f"byzantine magnitude must be positive, got {self.magnitude}"
+            )
+        if not (0 <= self.rate <= 1):
+            raise SimulationError(f"byzantine rate must be in [0, 1], got {self.rate}")
+
+
 #: injection kinds that violate the advertised specification
 _OUT_OF_SPEC = (DelayExcursion, DriftExcursion)
+
+#: injection kinds that are adversarial (lying), not merely out-of-spec
+_ADVERSARIAL = (ByzantineProcessor,)
 
 
 @dataclass(frozen=True)
@@ -248,6 +337,7 @@ class FaultPlan:
             Duplication,
             DelayExcursion,
             DriftExcursion,
+            ByzantineProcessor,
         )
         for injection in self.injections:
             if not isinstance(injection, known):
@@ -271,6 +361,16 @@ class FaultPlan:
         return [
             (i.start, i.end) for i in self.injections if isinstance(i, _OUT_OF_SPEC)
         ]
+
+    def has_adversarial(self) -> bool:
+        """Whether any injection makes a processor lie (Byzantine)."""
+        return any(isinstance(i, _ADVERSARIAL) for i in self.injections)
+
+    def byzantine_procs(self) -> Tuple[ProcessorId, ...]:
+        """The processors with a Byzantine injection, sorted, deduplicated."""
+        return tuple(
+            sorted({i.proc for i in self.injections if isinstance(i, ByzantineProcessor)})
+        )
 
     def bind(self, network) -> "ActiveFaults":
         """Validate the plan against ``network`` and create runtime state."""
@@ -358,6 +458,12 @@ class ActiveFaults:
         self._duplications: Dict[Tuple[ProcessorId, ProcessorId], Duplication] = {}
         self._delay_excursions: Dict[Tuple[ProcessorId, ProcessorId], List[DelayExcursion]] = {}
         self._drift_excursions: Dict[ProcessorId, List[DriftExcursion]] = {}
+        #: per-processor Byzantine injection (at most one per processor)
+        self._byzantine: Dict[ProcessorId, ByzantineProcessor] = {}
+        #: cached claimed local time per (event id, destination-or-None)
+        self._lie_lt: Dict[Tuple[EventId, Optional[ProcessorId]], float] = {}
+        #: local time of the first tampered record per liar (lie anchor)
+        self._lie_anchor: Dict[ProcessorId, float] = {}
 
         def check_proc(proc):
             if proc not in procs:
@@ -403,6 +509,18 @@ class ActiveFaults:
                         "defines real time"
                     )
                 self._drift_excursions.setdefault(injection.proc, []).append(injection)
+            elif isinstance(injection, ByzantineProcessor):
+                check_proc(injection.proc)
+                if injection.proc == network.source:
+                    raise SimulationError(
+                        "cannot make the source Byzantine: its clock defines "
+                        "real time and every estimator must trust it"
+                    )
+                if injection.proc in self._byzantine:
+                    raise SimulationError(
+                        f"duplicate Byzantine injection for processor {injection.proc!r}"
+                    )
+                self._byzantine[injection.proc] = injection
         #: counters of injected faults, by kind, for reporting
         self.injected: Dict[str, int] = {
             "crash_suppressed_sends": 0,
@@ -412,6 +530,11 @@ class ActiveFaults:
             "burst_drops": 0,
             "duplicates": 0,
             "delay_excursions": 0,
+            "tampered_payloads": 0,
+            "lied_timestamps": 0,
+            "equivocations": 0,
+            "truncated_records": 0,
+            "fabricated_records": 0,
         }
 
     # -- queries the engine makes --------------------------------------------------
@@ -501,6 +624,102 @@ class ActiveFaults:
             base,
             [(e.start, e.end, e.rate_offset) for e in excursions],
         )
+
+    # -- Byzantine payload tampering -----------------------------------------------
+
+    def tamper_payloads(
+        self,
+        src: ProcessorId,
+        dest: ProcessorId,
+        rt: float,
+        payloads: Dict[str, object],
+    ) -> Dict[str, object]:
+        """Apply ``src``'s Byzantine modes to its outgoing payloads, if any.
+
+        When ``src`` has no active Byzantine injection the input mapping is
+        returned unchanged and **no randomness is consumed**, so plans
+        without adversarial injections keep executions bit-identical.  Only
+        :class:`~repro.core.history.HistoryPayload` values are tampered;
+        other payload types (e.g. the full-information estimator's
+        ``View``) pass through untouched - the full-information reference
+        has no hardening and exists to define ground truth, not to survive
+        liars.
+        """
+        byz = self._byzantine.get(src)
+        if byz is None or not (byz.start <= rt < byz.end):
+            return payloads
+        out = {}
+        changed = False
+        for name, payload in payloads.items():
+            tampered = self._tamper_one(byz, dest, payload)
+            changed = changed or tampered is not payload
+            out[name] = tampered
+        if changed:
+            self.injected["tampered_payloads"] += 1
+        return out
+
+    def _tamper_one(self, byz: ByzantineProcessor, dest: ProcessorId, payload):
+        if not isinstance(payload, HistoryPayload):
+            return payload
+        records: List[Event] = []
+        mutated = False
+        for record in payload.records:
+            if "truncate" in byz.modes and self.rng.random() < byz.rate:
+                self.injected["truncated_records"] += 1
+                mutated = True
+                continue
+            if record.eid.proc == byz.proc:
+                claimed = self._claimed_lt(byz, dest, record)
+                if claimed != record.lt:
+                    record = dataclasses.replace(record, lt=claimed)
+                    mutated = True
+            records.append(record)
+        if "fabricate" in byz.modes and self.rng.random() < byz.rate:
+            own = [r for r in records if r.eid.proc == byz.proc]
+            if own:
+                last = max(own, key=lambda r: r.eid.seq)
+                lt = max(r.lt for r in own)
+                for i in range(1 + (self.rng.random() < 0.5)):
+                    lt += self.rng.uniform(0.05, 0.5)
+                    records.append(
+                        Event(EventId(byz.proc, last.eid.seq + 1 + i), lt, EventKind.INTERNAL)
+                    )
+                    self.injected["fabricated_records"] += 1
+                    mutated = True
+        if not mutated:
+            return payload
+        return HistoryPayload(records=tuple(records), loss_flags=payload.loss_flags)
+
+    def _claimed_lt(self, byz: ByzantineProcessor, dest: ProcessorId, record: Event) -> float:
+        """The (cached) lie told about ``record``'s local time to ``dest``.
+
+        Caching per event id - and per destination under equivocation -
+        keeps the liar self-consistent across re-reports and
+        retransmissions, which is the hardest case for the validator.
+        """
+        lying = "lie_timestamps" in byz.modes or "equivocate" in byz.modes
+        if not lying:
+            return record.lt
+        key = (record.eid, dest if "equivocate" in byz.modes else None)
+        cached = self._lie_lt.get(key)
+        if cached is not None:
+            return cached
+        anchor = self._lie_anchor.setdefault(byz.proc, record.lt)
+        factor = 1.0
+        if "equivocate" in byz.modes:
+            # deterministic per (liar, dest) so the factor does not depend
+            # on message interleaving; Random() rejects tuple seeds, so key
+            # the stream by string
+            factor = random.Random(
+                f"{self.plan.seed}:{byz.proc}:{dest}"
+            ).uniform(0.5, 1.5)
+        claimed = record.lt + byz.magnitude * factor * max(record.lt - anchor, 0.0)
+        self._lie_lt[key] = claimed
+        if claimed != record.lt:
+            self.injected["lied_timestamps"] += 1
+            if "equivocate" in byz.modes:
+                self.injected["equivocations"] += 1
+        return claimed
 
     def note_crash_suppressed_send(self) -> None:
         self.injected["crash_suppressed_sends"] += 1

@@ -82,6 +82,56 @@ class RunResult:
             return float("inf")
         return sum(widths) / len(widths)
 
+    # -- robustness reporting (quarantine / suspicion / validation) ----------------
+
+    def _each_estimator(self, channel: Optional[str]):
+        for proc, sp in self.sim.processors.items():
+            for name, estimator in sp.estimators.items():
+                if channel is None or name == channel:
+                    yield proc, name, estimator
+
+    def quarantine_diagnostics(self, channel: Optional[str] = None) -> Dict[
+        Tuple[ProcessorId, str], list
+    ]:
+        """Per ``(observer, channel)``: quarantined-edge diagnostics, if any."""
+        out: Dict[Tuple[ProcessorId, str], list] = {}
+        for proc, name, estimator in self._each_estimator(channel):
+            diagnostics = list(getattr(estimator, "diagnostics", ()) or ())
+            if diagnostics:
+                out[(proc, name)] = diagnostics
+        return out
+
+    def eviction_events(self, channel: Optional[str] = None) -> Dict[
+        Tuple[ProcessorId, str], list
+    ]:
+        """Per ``(observer, channel)``: suspicion eviction/rehabilitation events."""
+        out: Dict[Tuple[ProcessorId, str], list] = {}
+        for proc, name, estimator in self._each_estimator(channel):
+            events = list(getattr(estimator, "eviction_events", ()) or ())
+            if events:
+                out[(proc, name)] = events
+        return out
+
+    def validation_failures(self, channel: Optional[str] = None) -> Dict[
+        Tuple[ProcessorId, str], list
+    ]:
+        """Per ``(observer, channel)``: payload validation failures recorded."""
+        out: Dict[Tuple[ProcessorId, str], list] = {}
+        for proc, name, estimator in self._each_estimator(channel):
+            failures = list(getattr(estimator, "validation_failures", ()) or ())
+            if failures:
+                out[(proc, name)] = failures
+        return out
+
+    def evicted_by(self, channel: str) -> Dict[ProcessorId, frozenset]:
+        """Per observer on ``channel``: the set of processors it has evicted."""
+        out: Dict[ProcessorId, frozenset] = {}
+        for proc, _name, estimator in self._each_estimator(channel):
+            suspicion = getattr(estimator, "suspicion", None)
+            if suspicion is not None:
+                out[proc] = suspicion.evicted_procs
+        return out
+
 
 def standard_network(
     names: Sequence[ProcessorId],

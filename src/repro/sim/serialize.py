@@ -8,6 +8,12 @@ re-querying optimal bounds at historical points, or diffing two runs —
 without re-simulating.
 
 The format is versioned and intentionally flat; see :data:`FORMAT_VERSION`.
+Version history:
+
+* **1** - events, lost sends, spec, samples, aggregate message counters.
+* **2** - adds per-directed-link ``links`` counters
+  (sent/lost/duplicated per ``src -> dest``).  Version-1 documents still
+  load; their per-link counters are simply absent (empty mapping).
 """
 
 from __future__ import annotations
@@ -24,16 +30,30 @@ from .trace import ExecutionTrace
 
 __all__ = [
     "FORMAT_VERSION",
+    "SUPPORTED_VERSIONS",
     "trace_to_dict",
     "trace_from_dict",
     "spec_to_dict",
     "spec_from_dict",
     "samples_to_dicts",
+    "link_stats_to_dicts",
+    "link_stats_from_dicts",
     "dump_run",
     "load_run",
+    "load_run_document",
 ]
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: versions :func:`load_run` and the ``*_from_dict`` helpers accept
+SUPPORTED_VERSIONS = (1, 2)
+
+
+def _check_version(data: Dict, what: str) -> int:
+    version = data.get("version")
+    if version not in SUPPORTED_VERSIONS:
+        raise SpecificationError(f"unsupported {what} format version {version!r}")
+    return version
 
 
 def _num(value: float):
@@ -78,10 +98,7 @@ def trace_to_dict(trace: ExecutionTrace) -> Dict:
 
 
 def trace_from_dict(data: Dict) -> ExecutionTrace:
-    if data.get("version") != FORMAT_VERSION:
-        raise SpecificationError(
-            f"unsupported trace format version {data.get('version')!r}"
-        )
+    _check_version(data, "trace")
     trace = ExecutionTrace()
     for entry in data["events"]:
         kind = EventKind(entry["kind"])
@@ -126,10 +143,7 @@ def spec_to_dict(spec: SystemSpec) -> Dict:
 
 
 def spec_from_dict(data: Dict) -> SystemSpec:
-    if data.get("version") != FORMAT_VERSION:
-        raise SpecificationError(
-            f"unsupported spec format version {data.get('version')!r}"
-        )
+    _check_version(data, "spec")
     drift = {
         proc: DriftSpec(alpha, beta)
         for proc, (alpha, beta) in data["drift"].items()
@@ -161,6 +175,35 @@ def samples_to_dicts(samples: List[EstimateSample]) -> List[Dict]:
     ]
 
 
+# -- per-link counters (format v2) ----------------------------------------------------
+
+
+def link_stats_to_dicts(link_stats: Dict) -> List[Dict]:
+    """Flatten ``(src, dest) -> LinkCounters`` into sorted JSON rows."""
+    return [
+        {
+            "src": src,
+            "dest": dest,
+            "sent": counters.sent,
+            "lost": counters.lost,
+            "duplicated": counters.duplicated,
+        }
+        for (src, dest), counters in sorted(link_stats.items())
+    ]
+
+
+def link_stats_from_dicts(rows: List[Dict]) -> Dict[Tuple[str, str], Dict[str, int]]:
+    """The v2 ``links`` rows as ``(src, dest) -> {sent, lost, duplicated}``."""
+    return {
+        (row["src"], row["dest"]): {
+            "sent": int(row["sent"]),
+            "lost": int(row["lost"]),
+            "duplicated": int(row.get("duplicated", 0)),
+        }
+        for row in rows
+    }
+
+
 # -- whole runs -----------------------------------------------------------------------
 
 
@@ -173,21 +216,35 @@ def dump_run(result, path: str) -> None:
         "samples": samples_to_dicts(result.samples),
         "messages_sent": result.sim.messages_sent,
         "messages_lost": result.sim.messages_lost,
+        "links": link_stats_to_dicts(result.sim.link_stats),
     }
     with open(path, "w") as handle:
         json.dump(document, handle)
 
 
 def load_run(path: str) -> Tuple[SystemSpec, ExecutionTrace, List[Dict]]:
-    """Re-hydrate an archived run: (spec, trace, raw sample dicts)."""
+    """Re-hydrate an archived run: (spec, trace, raw sample dicts).
+
+    Kept as a 3-tuple for backward compatibility; use
+    :func:`load_run_document` for the per-link counters a v2 archive adds.
+    """
+    spec, trace, samples, _links = load_run_document(path)
+    return spec, trace, samples
+
+
+def load_run_document(
+    path: str,
+) -> Tuple[SystemSpec, ExecutionTrace, List[Dict], Dict[Tuple[str, str], Dict[str, int]]]:
+    """Re-hydrate an archived run including v2 per-link counters.
+
+    Version-1 archives load fine; their ``links`` mapping is empty.
+    """
     with open(path) as handle:
         document = json.load(handle)
-    if document.get("version") != FORMAT_VERSION:
-        raise SpecificationError(
-            f"unsupported run format version {document.get('version')!r}"
-        )
+    _check_version(document, "run")
     return (
         spec_from_dict(document["spec"]),
         trace_from_dict(document["trace"]),
         document["samples"],
+        link_stats_from_dicts(document.get("links", [])),
     )

@@ -1,0 +1,146 @@
+"""Unit tests for per-processor suspicion scoring, eviction, rehabilitation."""
+
+import pytest
+
+from repro.core import (
+    DEFAULT_BLAME_WEIGHTS,
+    FAILURE_KINDS,
+    EventId,
+    SuspicionPolicy,
+    SuspicionTracker,
+)
+
+
+def tracker(**kwargs):
+    protect = kwargs.pop("protect", ("me", "src"))
+    return SuspicionTracker(SuspicionPolicy(**kwargs), protect=protect)
+
+
+class TestBlameWeights:
+    def test_every_failure_kind_has_an_explicit_default_weight(self):
+        weighted = {kind for kind, _w in DEFAULT_BLAME_WEIGHTS}
+        assert set(FAILURE_KINDS) <= weighted
+
+    def test_unambiguous_kinds_evict_instantly_at_default_threshold(self):
+        policy = SuspicionPolicy()
+        for kind in ("implausible", "equivocation", "non-monotone", "forged-self"):
+            assert policy.weight(kind) >= policy.threshold
+
+    def test_relay_producible_kinds_never_score(self):
+        # an honest relay can ship these shapes, so they are ledger-only
+        policy = SuspicionPolicy()
+        for kind in ("dangling-send", "bad-send-ref", "double-delivery", "bad-flag"):
+            assert policy.weight(kind) == 0.0
+
+    def test_explicit_weights_override_defaults(self):
+        policy = SuspicionPolicy(blame_weights=(("gap", 10.0),))
+        assert policy.weight("gap") == 10.0
+        assert policy.weight("equivocation") == 3.0  # default still applies
+
+    def test_unknown_kind_falls_back_to_one(self):
+        assert SuspicionPolicy().weight("brand-new-kind") == 1.0
+
+
+class TestScoring:
+    def test_accumulates_to_threshold_then_evicts(self):
+        t = tracker(threshold=3.0)
+        assert not t.blame("p", "gap", 1.0)  # weight 1.0
+        assert not t.blame("p", "quarantine", 2.0)  # weight 1.0
+        assert not t.is_evicted("p")
+        assert t.blame("p", "gap", 3.0)  # crosses 3.0
+        assert t.is_evicted("p")
+        assert t.evicted_procs == {"p"}
+
+    def test_zero_weight_kinds_do_not_score(self):
+        t = tracker(threshold=1.0)
+        for _ in range(10):
+            assert not t.blame("p", "dangling-send", 1.0)
+        assert t.scores.get("p", 0.0) == 0.0
+        assert not t.suspected()
+
+    def test_instant_eviction_on_unambiguous_evidence(self):
+        t = tracker(threshold=3.0)
+        assert t.blame("p", "equivocation", 1.0)
+        assert t.is_evicted("p")
+
+    def test_protected_processors_never_blamed(self):
+        t = tracker(threshold=0.5)
+        assert not t.blame("me", "equivocation", 1.0)
+        assert not t.blame("src", "implausible", 1.0)
+        assert not t.suspected() and not t.evicted_procs
+
+    def test_suspected_includes_scored_but_not_evicted(self):
+        t = tracker(threshold=5.0)
+        t.blame("p", "gap", 1.0)
+        assert t.suspected() == {"p"}
+        assert not t.is_evicted("p")
+
+    def test_blame_counts_record_multiplicity(self):
+        t = tracker(threshold=100.0)
+        t.blame("p", "gap", 1.0)
+        t.blame("p", "gap", 2.0)
+        t.blame("p", "conflict", 3.0)
+        assert t.blame_counts[("p", "gap")] == 2
+        assert t.blame_counts[("p", "conflict")] == 1
+
+    def test_eviction_fires_once(self):
+        t = tracker(threshold=1.0)
+        assert t.blame("p", "gap", 1.0)
+        assert not t.blame("p", "gap", 2.0)  # already evicted: no new event
+        assert len([e for e in t.events if e.action == "evicted"]) == 1
+
+
+class TestExclusion:
+    def test_evicted_processors_events_excluded(self):
+        t = tracker(threshold=1.0)
+        t.blame("p", "gap", 1.0)
+        assert t.is_excluded(EventId("p", 0))
+        assert t.is_excluded(EventId("p", 999))
+        assert not t.is_excluded(EventId("q", 0))
+
+
+class TestRehabilitation:
+    def test_due_after_clean_window(self):
+        t = tracker(threshold=1.0, clean_window=10.0)
+        t.blame("p", "gap", 5.0)
+        assert t.due_for_rehabilitation(14.9) == []
+        assert t.due_for_rehabilitation(15.0) == ["p"]
+
+    def test_new_blame_resets_the_clean_window(self):
+        t = tracker(threshold=1.0, clean_window=10.0)
+        t.blame("p", "gap", 5.0)
+        t.blame("p", "gap", 12.0)  # still lying while evicted
+        assert t.due_for_rehabilitation(15.0) == []
+        assert t.due_for_rehabilitation(22.0) == ["p"]
+
+    def test_rehabilitation_is_forward_only(self):
+        t = tracker(threshold=1.0, clean_window=10.0)
+        t.blame("p", "gap", 5.0)
+        t.rehabilitate("p", 15.0, frontier=7)
+        assert not t.is_evicted("p")
+        assert t.scores["p"] == 0.0
+        # pre-eviction claims stay excised forever; fresh events re-enter
+        assert t.is_excluded(EventId("p", 7))
+        assert not t.is_excluded(EventId("p", 8))
+
+    def test_excised_watermark_never_moves_backwards(self):
+        t = tracker(threshold=1.0, clean_window=1.0)
+        t.blame("p", "gap", 1.0)
+        t.rehabilitate("p", 5.0, frontier=10)
+        t.blame("p", "gap", 6.0)
+        t.rehabilitate("p", 10.0, frontier=4)  # smaller frontier offered
+        assert t.is_excluded(EventId("p", 10))
+
+    def test_rehabilitating_non_evicted_raises(self):
+        t = tracker()
+        with pytest.raises(ValueError):
+            t.rehabilitate("p", 1.0, frontier=0)
+
+    def test_event_log_records_both_transitions(self):
+        t = tracker(threshold=1.0, clean_window=1.0)
+        t.blame("p", "equivocation", 1.0, detail="caught red-handed")
+        t.rehabilitate("p", 5.0, frontier=3)
+        actions = [(e.proc, e.action) for e in t.events]
+        assert actions == [("p", "evicted"), ("p", "rehabilitated")]
+        assert t.events[0].detail == "caught red-handed"
+        assert "seq 3" in t.events[1].detail

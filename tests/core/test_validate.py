@@ -1,0 +1,351 @@
+"""Unit tests for history-payload validation (Byzantine-input screening)."""
+
+import pytest
+
+from repro.core import (
+    FAILURE_KINDS,
+    EventId,
+    EventKind,
+    HistoryPayload,
+    SystemSpec,
+    TransitSpec,
+    validate_payload,
+)
+from repro.core.validate import ValidationFailure
+
+from ..conftest import make_event, recv, send
+
+#: ring s - a - b - c - s; receiver is ``a`` unless a test says otherwise
+SPEC = SystemSpec.build(
+    source="s",
+    processors=["s", "a", "b", "c"],
+    links=[("s", "a"), ("a", "b"), ("b", "c"), ("c", "s")],
+    default_transit=TransitSpec(0.1, 1.0),
+)
+
+
+class StubKnowledge:
+    """Receiver knowledge backed by a plain dict, with a rejection ledger."""
+
+    def __init__(self, events=(), rejected=None):
+        self._events = {e.eid: e for e in events}
+        self._rejected = dict(rejected or {})
+
+    def known_seq(self, proc):
+        return max(
+            (eid.seq for eid in self._events if eid.proc == proc), default=-1
+        )
+
+    def lookup(self, eid):
+        return self._events.get(eid)
+
+    def rejected_seq(self, proc):
+        return self._rejected.get(proc, -1)
+
+
+class LegacyKnowledge:
+    """A knowledge implementation predating the ``rejected_seq`` hook."""
+
+    def __init__(self, events=()):
+        self._events = {e.eid: e for e in events}
+
+    def known_seq(self, proc):
+        return max(
+            (eid.seq for eid in self._events if eid.proc == proc), default=-1
+        )
+
+    def lookup(self, eid):
+        return self._events.get(eid)
+
+
+def screen(payload, *, sender="b", knowledge=None, receiver="a", **kwargs):
+    return validate_payload(
+        sender,
+        payload,
+        knowledge=knowledge or StubKnowledge(),
+        spec=SPEC,
+        receiver=receiver,
+        **kwargs,
+    )
+
+
+def kinds(report):
+    return [failure.kind for failure in report.failures]
+
+
+class TestHonestPayloads:
+    def test_empty_payload_is_clean(self):
+        payload = HistoryPayload(records=())
+        report = screen(payload)
+        assert report.ok
+        assert report.sanitized == payload
+        assert report.accepted == () and report.rejected == ()
+
+    def test_single_event_history(self):
+        record = make_event("b", 0, 1.0)
+        report = screen(HistoryPayload(records=(record,)))
+        assert report.ok
+        assert report.accepted == (record,)
+        assert report.sanitized.records == (record,)
+
+    def test_honest_chain_passes_unchanged(self):
+        payload = HistoryPayload(
+            records=(make_event("b", 0, 1.0), make_event("b", 1, 2.0)),
+            loss_flags=(EventId("b", 0),),
+        )
+        report = screen(payload)
+        assert report.ok
+        assert report.sanitized == payload
+
+    def test_matching_duplicate_is_kept_for_watermarks(self):
+        record = make_event("b", 0, 1.0)
+        report = screen(
+            HistoryPayload(records=(record,)),
+            knowledge=StubKnowledge(events=(record,)),
+        )
+        assert report.ok
+        assert report.accepted == (record,)
+
+
+class TestGaps:
+    def test_fresh_gap_blames_the_shipper(self):
+        # `b` ships a record of `c` whose predecessors we never saw
+        report = screen(HistoryPayload(records=(make_event("c", 2, 5.0),)))
+        assert kinds(report) == ["gap"]
+        assert report.failures[0].accused == ("b",)
+        assert report.rejected and not report.accepted
+
+    def test_gap_in_suspected_stream_blames_the_origin(self):
+        report = screen(
+            HistoryPayload(records=(make_event("c", 2, 5.0),)),
+            suspected=("c",),
+        )
+        assert kinds(report) == ["gap"]
+        assert report.failures[0].accused == ("c",)
+
+    def test_self_inflicted_gap_blames_nobody(self):
+        # we rejected c#0..c#1 earlier; honest senders now legitimately
+        # skip that range forever - nobody gets blamed for it
+        knowledge = StubKnowledge(rejected={"c": 1})
+        report = screen(
+            HistoryPayload(records=(make_event("c", 2, 5.0),)),
+            knowledge=knowledge,
+        )
+        assert kinds(report) == ["gap"]
+        assert report.failures[0].accused == ()
+        assert report.rejected  # still unusable: its past is unknown
+
+    def test_self_inflicted_gap_keeps_blaming_a_suspected_origin(self):
+        knowledge = StubKnowledge(rejected={"c": 1})
+        report = screen(
+            HistoryPayload(records=(make_event("c", 2, 5.0),)),
+            knowledge=knowledge,
+            suspected=("c",),
+        )
+        assert report.failures[0].accused == ("c",)
+
+    def test_knowledge_without_rejection_ledger_still_works(self):
+        report = screen(
+            HistoryPayload(records=(make_event("c", 2, 5.0),)),
+            knowledge=LegacyKnowledge(),
+        )
+        assert kinds(report) == ["gap"]
+        assert report.failures[0].accused == ("b",)
+
+
+class TestEquivocation:
+    def test_divergent_copy_accuses_the_origin(self):
+        held = make_event("c", 0, 1.0)
+        offered = make_event("c", 0, 5.0)
+        report = screen(
+            HistoryPayload(records=(offered,)),
+            knowledge=StubKnowledge(events=(held,)),
+        )
+        assert kinds(report) == ["equivocation"]
+        assert report.failures[0].accused == ("c",)
+        assert offered in report.rejected
+
+    def test_overlapping_but_divergent_history(self):
+        # the receiver learned c#0..c#1 from one neighbor; another ships an
+        # overlapping stream that agrees on c#0 but diverges from c#1 on
+        held = (make_event("c", 0, 1.0), make_event("c", 1, 2.0))
+        divergent = (
+            make_event("c", 0, 1.0),  # agrees
+            make_event("c", 1, 2.7),  # diverges: equivocation
+            make_event("c", 2, 3.5),  # past the fork: silently dropped
+        )
+        report = screen(
+            HistoryPayload(records=divergent),
+            knowledge=StubKnowledge(events=held),
+        )
+        assert kinds(report) == ["equivocation"]
+        assert report.failures[0].accused == ("c",)
+        assert report.accepted == (divergent[0],)
+        assert set(report.rejected) == {divergent[1], divergent[2]}
+
+    def test_contradictory_copies_in_one_payload_blame_the_sender(self):
+        report = screen(
+            HistoryPayload(
+                records=(make_event("c", 0, 1.0), make_event("c", 0, 2.0))
+            )
+        )
+        assert kinds(report) == ["conflict"]
+        assert report.failures[0].accused == ("b",)
+        assert len(report.accepted) == 1
+
+
+class TestPerRecordScreens:
+    def test_non_monotone_clock_accuses_the_origin(self):
+        report = screen(
+            HistoryPayload(
+                records=(make_event("c", 0, 2.0), make_event("c", 1, 1.5))
+            )
+        )
+        assert kinds(report) == ["non-monotone"]
+        assert report.failures[0].accused == ("c",)
+
+    def test_forged_self_event_accuses_the_sender(self):
+        report = screen(HistoryPayload(records=(make_event("a", 0, 1.0),)))
+        assert kinds(report) == ["forged-self"]
+        assert report.failures[0].accused == ("b",)
+        assert not report.accepted
+
+    def test_malformed_non_event_record(self):
+        report = screen(HistoryPayload(records=("garbage",)))
+        assert kinds(report) == ["malformed"]
+        assert report.failures[0].accused == ("b",)
+
+    def test_unknown_processor_is_malformed(self):
+        report = screen(HistoryPayload(records=(make_event("z", 0, 1.0),)))
+        assert kinds(report) == ["malformed"]
+
+    def test_send_over_nonexistent_link_is_malformed(self):
+        # b - s is not a link of the ring
+        report = screen(HistoryPayload(records=(send("b", 0, 1.0, dest="s"),)))
+        assert kinds(report) == ["malformed"]
+        assert report.failures[0].accused == ("b",)
+
+    def test_ignored_origin_dropped_silently(self):
+        report = screen(
+            HistoryPayload(records=(make_event("c", 0, 1.0),)),
+            ignored=("c",),
+        )
+        assert report.ok  # no failure: the stream is frozen, not news
+        assert report.rejected and not report.accepted
+
+
+class TestReceiveClosure:
+    def test_dangling_send_is_kept_but_ledgered(self):
+        receive = recv("c", 0, 2.0, send("b", 5, 1.0, dest="c"))
+        report = screen(HistoryPayload(records=(receive,)))
+        assert kinds(report) == ["dangling-send"]
+        assert report.failures[0].accused == ("b",)
+        assert receive in report.accepted  # graph guards cope with it
+
+    def test_bad_send_ref_accuses_the_referenced_origin(self):
+        squatter = make_event("b", 0, 1.0)  # an internal where a send should be
+        receive = make_event(
+            "c", 0, 2.0, EventKind.RECEIVE, send_eid=squatter.eid
+        )
+        report = screen(
+            HistoryPayload(records=(receive,)),
+            knowledge=StubKnowledge(events=(squatter,)),
+        )
+        assert kinds(report) == ["bad-send-ref"]
+        assert report.failures[0].accused == ("b",)
+        assert receive in report.accepted
+
+    def test_double_delivery_ledgered_and_kept(self):
+        message = send("b", 0, 1.0, dest="c")
+        first = recv("c", 0, 2.0, message)
+        echo = recv("c", 1, 2.5, message)
+        report = screen(HistoryPayload(records=(message, first, echo)))
+        assert kinds(report) == ["double-delivery"]
+        assert report.failures[0].accused == ("b",)
+        assert set(report.accepted) == {message, first, echo}
+
+
+class TestPlausibility:
+    def _round_trip(self, reply_lt):
+        """a sends to b; b replies claiming ``reply_lt`` on its clock.
+
+        The receiver ``a`` holds its own send (trusted anchor) and
+        generates the arrival event locally at lt 11.0, so a's clock
+        brackets the whole round trip at ~1.0 local units.
+        """
+        query = send("a", 0, 10.0, dest="b")
+        b_recv = recv("b", 0, 10.2, query)
+        b_reply = send("b", 1, reply_lt, dest="a")
+        arrival = recv("a", 1, 11.0, b_reply)
+        report = screen(
+            HistoryPayload(records=(b_recv, b_reply)),
+            knowledge=StubKnowledge(events=(query,)),
+            receive_event=arrival,
+        )
+        return report, (b_recv, b_reply)
+
+    def test_impossible_round_trip_timing_rejected(self):
+        # b claims 7.8 local units elapsed inside a round trip that a's
+        # own (trusted) clock brackets at ~1.0: no in-spec execution fits
+        report, claimed = self._round_trip(reply_lt=18.0)
+        assert kinds(report) == ["implausible"]
+        assert report.failures[0].accused == ("b",)
+        assert set(report.rejected) == set(claimed)
+        assert not report.accepted
+
+    def test_feasible_round_trip_timing_accepted(self):
+        report, claimed = self._round_trip(reply_lt=10.5)
+        assert report.ok
+        assert report.accepted == claimed
+
+    def test_shared_cycle_ledgered_without_rejection(self):
+        # the same impossible round trip, but claimed entirely by third
+        # parties b and c: the cycle proves one of them lied without
+        # saying which, so both are ledgered lightly and every record is
+        # kept - rejecting would freeze the honest party's stream here
+        # forever (senders never re-ship confirmed ranges)
+        b_query = send("b", 0, 10.0, dest="c")
+        c_recv = recv("c", 0, 10.2, b_query)
+        c_reply = send("c", 1, 18.0, dest="b")
+        b_arrival = recv("b", 1, 11.0, c_reply)
+        records = (b_query, c_recv, c_reply, b_arrival)
+        report = screen(HistoryPayload(records=records))
+        assert kinds(report) == ["implausible-shared"]
+        assert report.failures[0].accused == ("b", "c")
+        assert report.accepted == records
+        assert not report.rejected
+
+
+class TestFlags:
+    def test_bad_flags_dropped_good_flags_kept(self):
+        payload = HistoryPayload(
+            records=(),
+            loss_flags=("junk", EventId("z", 0), EventId("c", 3)),
+        )
+        report = screen(payload)
+        # one ledger entry per (kind, accused) per payload, however many
+        # bad flags rode along
+        assert kinds(report) == ["bad-flag"]
+        assert report.accepted_flags == (EventId("c", 3),)
+        assert set(report.rejected_flags) == {"junk", EventId("z", 0)}
+
+
+class TestFailureObjects:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ValidationFailure("made-up-kind", ("b",), "nope")
+
+    def test_all_kinds_constructible(self):
+        for kind in FAILURE_KINDS:
+            failure = ValidationFailure(kind, ("b",), "detail")
+            assert failure.kind == kind
+
+    def test_blame_deduplicated_within_a_payload(self):
+        # many records with the same anomaly produce ONE failure: blame is
+        # proportional to payloads, not records
+        report = screen(
+            HistoryPayload(
+                records=(make_event("c", 5, 5.0), make_event("c", 7, 7.0))
+            )
+        )
+        assert kinds(report) == ["gap"]

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.core import EventId, EventKind, View, ViewError, UnknownEventError
+from repro.core import (
+    EventId,
+    EventKind,
+    View,
+    ViewConflictError,
+    ViewError,
+    UnknownEventError,
+)
 
 from ..conftest import make_event, ping_pong_view, recv, send
 
@@ -198,3 +205,53 @@ class TestLiveness:
         dup = view.copy()
         dup.add(make_event("a", 2, 20.0))
         assert EventId("a", 2) not in view
+
+
+class TestConflictDiagnostics:
+    """ViewConflictError carries both copies and names the equivocator."""
+
+    def test_merge_conflict_attaches_both_copies(self):
+        ours = make_event("p", 0, 1.0)
+        theirs = make_event("p", 0, 2.0)
+        a = View([ours])
+        b = View([theirs])
+        with pytest.raises(ViewConflictError) as info:
+            a.merge(b)
+        error = info.value
+        assert error.ours == ours
+        assert error.theirs == theirs
+        assert error.origin == "p"
+        # the message shows both payloads and the originating processor
+        assert str(ours) in str(error) and str(theirs) in str(error)
+        assert "'p'" in str(error)
+
+    def test_conflicting_re_add_attaches_both_copies(self):
+        held = make_event("p", 0, 1.0)
+        view = View([held])
+        offered = make_event("p", 0, 99.0)
+        with pytest.raises(ViewConflictError) as info:
+            view.add(offered)
+        assert info.value.ours == held
+        assert info.value.theirs == offered
+        assert info.value.origin == "p"
+
+    def test_merge_readmits_rehabilitated_events(self):
+        # an evicted processor's events were excised (with their causal
+        # futures); after rehabilitation a peer's view re-ships the full
+        # stream and the merge must re-admit it cleanly
+        full, _spec = ping_pong_view()
+        honest = full.without_events([EventId("a", 0)])
+        assert "a" not in honest.processors
+        honest.merge(full)  # rehabilitation: the excised prefix returns
+        assert set(full) == set(honest)
+
+    def test_merge_of_divergent_rehabilitated_stream_still_conflicts(self):
+        # rehabilitation forgives scores, not contradictions: if the
+        # re-shipped stream diverges from what we once held, merge refuses
+        full, _spec = ping_pong_view()
+        trimmed = full.without_events([EventId("a", 1)])
+        divergent = trimmed.copy()
+        divergent.add(make_event("a", 1, 999.0))
+        with pytest.raises(ViewConflictError) as info:
+            full.merge(divergent)
+        assert info.value.origin == "a"

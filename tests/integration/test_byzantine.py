@@ -1,0 +1,265 @@
+"""Byzantine-input integration tests: the acceptance gate for PR 2.
+
+A fixed-seed ring carries ``f >= 1`` Byzantine liars that tamper with the
+history payloads they ship (timestamp lies, equivocation, fabrication,
+truncation) while the event *trace* stays bit-identical to the honest
+run - lying happens in message contents only, never in timing.  The
+hardened estimators must then:
+
+* keep every honest processor's estimate sound (the honest-only portion
+  of the execution is in-spec, so Theorem 2.1 still applies to it);
+* evict the liar at every honest *neighbor* - a consistent liar is
+  provably indistinguishable at distance, so neighbors sharing
+  round-trips with it are where the decisive evidence lives;
+* leave no honest processor evicted at quiesce (transient collateral
+  evictions must rehabilitate once the gap-healing paths catch up);
+* keep the honest-only synchronization graph free of negative cycles.
+"""
+
+import pytest
+
+from repro.core import (
+    EfficientCSA,
+    FAILURE_KINDS,
+    SimulationError,
+    SuspicionPolicy,
+    build_sync_graph,
+    find_negative_cycle,
+)
+from repro.sim.faults import BYZANTINE_MODES, ByzantineProcessor, FaultPlan
+from repro.sim.runner import run_workload, standard_network
+from repro.sim.workloads import PeriodicGossip
+
+NAMES = ("s", "a", "b", "c", "d", "e")
+LIAR = "c"
+DURATION = 200.0
+
+
+def _ring_links(names):
+    return [(names[i], names[(i + 1) % len(names)]) for i in range(len(names))]
+
+
+def _execute(faults, duration=DURATION):
+    network = standard_network(list(NAMES), _ring_links(NAMES), seed=5)
+    policy = SuspicionPolicy(threshold=3.0, clean_window=40.0)
+    return run_workload(
+        network,
+        PeriodicGossip(period=2.0, seed=3),
+        {"hardened": lambda p, s: EfficientCSA(p, s, suspicion=policy)},
+        duration=duration,
+        seed=5,
+        sample_period=10.0,
+        faults=faults,
+    )
+
+
+def _liar_plan(modes=("lie_timestamps", "equivocate", "fabricate"), **kwargs):
+    kwargs.setdefault("start", 5.0)
+    kwargs.setdefault("magnitude", 0.8)
+    return FaultPlan(
+        seed=5, injections=(ByzantineProcessor(LIAR, modes=modes, **kwargs),)
+    )
+
+
+def _trace_fingerprint(trace):
+    return [
+        (record.event.eid, record.event.kind, record.event.lt, record.rt)
+        for record in trace
+    ]
+
+
+@pytest.fixture(scope="module")
+def honest_run():
+    return _execute(None)
+
+
+@pytest.fixture(scope="module")
+def byzantine_run():
+    return _execute(_liar_plan())
+
+
+# -- the lie is in the payloads, not the physics -----------------------------------
+
+
+def test_lying_leaves_the_trace_bit_identical(honest_run, byzantine_run):
+    """Tampering rewrites message contents only: timing is untouched."""
+    assert _trace_fingerprint(byzantine_run.trace) == _trace_fingerprint(
+        honest_run.trace
+    )
+    assert byzantine_run.trace.lost_sends == honest_run.trace.lost_sends
+    assert byzantine_run.sim.messages_sent == honest_run.sim.messages_sent
+
+
+def test_dormant_byzantine_window_is_a_noop(honest_run):
+    """An armed liar whose window never opens changes nothing at all."""
+    result = _execute(_liar_plan(start=10 * DURATION, end=20 * DURATION))
+    assert _trace_fingerprint(result.trace) == _trace_fingerprint(honest_run.trace)
+    assert result.sim.faults.injected["tampered_payloads"] == 0
+    assert not result.eviction_events("hardened")
+    assert [(s.rt, s.proc, s.bound) for s in result.samples] == [
+        (s.rt, s.proc, s.bound) for s in honest_run.samples
+    ]
+
+
+def test_tampering_actually_fired(byzantine_run):
+    injected = byzantine_run.sim.faults.injected
+    assert injected["tampered_payloads"] > 0
+    assert injected["lied_timestamps"] > 0
+    assert injected["equivocations"] > 0
+    assert injected["fabricated_records"] > 0
+
+
+# -- detection and containment -----------------------------------------------------
+
+
+def test_every_honest_neighbor_evicts_the_liar(byzantine_run):
+    sim = byzantine_run.sim
+    neighbors = sim.spec.neighbors(LIAR)
+    assert neighbors  # the ring gives the liar two honest neighbors
+    for peer in neighbors:
+        tracker = sim.estimator(peer, "hardened").suspicion
+        assert tracker.is_evicted(LIAR), f"{peer} did not evict {LIAR}"
+
+
+def test_no_honest_processor_stays_evicted(byzantine_run):
+    for proc, evicted in byzantine_run.evicted_by("hardened").items():
+        if proc == LIAR:
+            continue  # the liar's own verdicts carry no guarantee
+        assert evicted <= {LIAR}, f"{proc} still evicts honest {evicted - {LIAR}}"
+
+
+def test_honest_estimates_stay_sound(byzantine_run):
+    unsound = [
+        s for s in byzantine_run.samples if s.proc != LIAR and not s.sound
+    ]
+    assert unsound == []
+
+
+def test_honest_only_sync_graph_has_no_negative_cycle(byzantine_run):
+    sim = byzantine_run.sim
+    view = sim.trace.global_view()
+    honest_view = view.without_events(e.eid for e in view.events_of(LIAR))
+    assert find_negative_cycle(build_sync_graph(honest_view, sim.spec)) is None
+
+
+def test_diagnostics_surface_in_run_result(byzantine_run):
+    failures = byzantine_run.validation_failures("hardened")
+    neighbor_failures = [
+        f
+        for (proc, _channel), entries in failures.items()
+        for f in entries
+        if proc in byzantine_run.sim.spec.neighbors(LIAR)
+    ]
+    assert neighbor_failures, "neighbors should have ledgered anomalies"
+    for failure in neighbor_failures:
+        assert failure.kind in FAILURE_KINDS
+        assert failure.detail
+    events = byzantine_run.eviction_events("hardened")
+    evictions = [
+        e
+        for (proc, _channel), entries in events.items()
+        if proc != LIAR
+        for e in entries
+        if e.action == "evicted"
+    ]
+    assert any(e.proc == LIAR for e in evictions)
+
+
+def test_truncation_is_detected():
+    """A liar that only drops records from relayed payloads still burns."""
+    result = _execute(_liar_plan(modes=("truncate",), rate=0.5))
+    injected = result.sim.faults.injected
+    assert injected["truncated_records"] > 0
+    assert injected["lied_timestamps"] == 0
+    # truncation shows up as sequence gaps charged to the shipper
+    scores = [
+        result.sim.estimator(peer, "hardened").suspicion.scores.get(LIAR, 0.0)
+        for peer in result.sim.spec.neighbors(LIAR)
+    ]
+    assert any(score > 0 for score in scores)
+    for proc, evicted in result.evicted_by("hardened").items():
+        if proc != LIAR:
+            assert evicted <= {LIAR}
+    assert not [s for s in result.samples if s.proc != LIAR and not s.sound]
+
+
+def test_two_adjacent_liars_are_contained():
+    """f=2: adjacent liars keep the honest remainder of the ring connected."""
+    liars = ("c", "d")
+    plan = FaultPlan(
+        seed=5,
+        injections=tuple(
+            ByzantineProcessor(
+                proc,
+                modes=("lie_timestamps", "equivocate", "fabricate"),
+                start=5.0,
+                magnitude=0.8,
+            )
+            for proc in liars
+        ),
+    )
+    result = _execute(plan)
+    sim = result.sim
+    # every honest neighbor of each liar evicts it
+    for liar in liars:
+        for peer in sim.spec.neighbors(liar):
+            if peer in liars:
+                continue
+            assert sim.estimator(peer, "hardened").suspicion.is_evicted(liar)
+    # no honest processor ends up evicted anywhere honest
+    for proc, evicted in result.evicted_by("hardened").items():
+        if proc not in liars:
+            assert evicted <= set(liars)
+    # honest estimates remain sound throughout
+    assert not [s for s in result.samples if s.proc not in liars and not s.sound]
+    # and the honest-only synchronization graph stays consistent
+    view = sim.trace.global_view()
+    honest_view = view.without_events(
+        e.eid for liar in liars for e in view.events_of(liar)
+    )
+    assert find_negative_cycle(build_sync_graph(honest_view, sim.spec)) is None
+
+
+# -- configuration validation ------------------------------------------------------
+
+
+def test_source_cannot_be_byzantine():
+    network = standard_network(list(NAMES), _ring_links(NAMES), seed=5)
+    plan = FaultPlan(seed=1, injections=(ByzantineProcessor("s"),))
+    with pytest.raises(SimulationError):
+        plan.bind(network)
+
+
+def test_duplicate_byzantine_binding_rejected():
+    network = standard_network(list(NAMES), _ring_links(NAMES), seed=5)
+    plan = FaultPlan(
+        seed=1,
+        injections=(ByzantineProcessor("c"), ByzantineProcessor("c", start=50.0)),
+    )
+    with pytest.raises(SimulationError):
+        plan.bind(network)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"modes": ("steal_clock",)},
+        {"modes": ()},
+        {"start": 10.0, "end": 5.0},
+        {"magnitude": 0.0},
+        {"rate": 1.5},
+    ],
+)
+def test_bad_byzantine_configs_rejected(kwargs):
+    with pytest.raises(SimulationError):
+        ByzantineProcessor("c", **kwargs)
+
+
+def test_plan_reports_adversarial_content():
+    plan = _liar_plan()
+    assert plan.has_adversarial()
+    assert plan.byzantine_procs() == (LIAR,)
+    assert not FaultPlan(seed=1).has_adversarial()
+    assert set(("lie_timestamps", "equivocate", "truncate", "fabricate")) == set(
+        BYZANTINE_MODES
+    )

@@ -7,8 +7,12 @@ import pytest
 
 from repro.core import SpecificationError, check_execution, external_bounds
 from repro.sim.serialize import (
+    FORMAT_VERSION,
     dump_run,
+    link_stats_from_dicts,
+    link_stats_to_dicts,
     load_run,
+    load_run_document,
     samples_to_dicts,
     spec_from_dict,
     spec_to_dict,
@@ -46,11 +50,18 @@ class TestTraceRoundTrip:
 
     def test_json_serialisable(self, line4_run):
         text = json.dumps(trace_to_dict(line4_run.trace))
-        assert json.loads(text)["version"] == 1
+        assert json.loads(text)["version"] == FORMAT_VERSION
 
     def test_wrong_version_rejected(self):
         with pytest.raises(SpecificationError):
             trace_from_dict({"version": 99, "events": []})
+
+    def test_v1_trace_still_loads(self, line4_run):
+        """A version-1 archive (no per-link counters) remains loadable."""
+        data = trace_to_dict(line4_run.trace)
+        data["version"] = 1
+        restored = trace_from_dict(data)
+        assert len(restored) == len(line4_run.trace)
 
 
 class TestSpecRoundTrip:
@@ -104,3 +115,44 @@ class TestWholeRun:
         assert rows
         first = rows[0]
         assert set(first) == {"rt", "proc", "channel", "lower", "upper", "truth"}
+
+
+class TestLinkCounters:
+    def test_roundtrip(self, line4_run, tmp_path):
+        """v2 archives carry per-directed-link sent/lost/duplicated counters."""
+        path = tmp_path / "run.json"
+        dump_run(line4_run, str(path))
+        _spec, _trace, _samples, links = load_run_document(str(path))
+        assert links  # the run sent traffic on every configured link
+        for (src, dest), counters in links.items():
+            original = line4_run.sim.link_stats[(src, dest)]
+            assert counters["sent"] == original.sent
+            assert counters["lost"] == original.lost
+            assert counters["duplicated"] == original.duplicated
+        total_sent = sum(c["sent"] for c in links.values())
+        assert total_sent == line4_run.sim.messages_sent
+
+    def test_rows_are_sorted_and_json_safe(self, line4_run):
+        rows = link_stats_to_dicts(line4_run.sim.link_stats)
+        assert rows == sorted(rows, key=lambda r: (r["src"], r["dest"]))
+        restored = link_stats_from_dicts(json.loads(json.dumps(rows)))
+        assert set(restored) == set(line4_run.sim.link_stats)
+
+    def test_v1_document_loads_with_empty_links(self, line4_run, tmp_path):
+        """Backward compatibility: a v1 archive has no links section."""
+        path = tmp_path / "run.json"
+        dump_run(line4_run, str(path))
+        with open(path) as handle:
+            document = json.load(handle)
+        document["version"] = 1
+        document["trace"]["version"] = 1
+        document["spec"]["version"] = 1
+        del document["links"]
+        v1_path = tmp_path / "run_v1.json"
+        with open(v1_path, "w") as handle:
+            json.dump(document, handle)
+        spec, trace, samples, links = load_run_document(str(v1_path))
+        assert links == {}
+        assert len(trace) == len(line4_run.trace)
+        spec2, trace2, samples2 = load_run(str(v1_path))
+        assert len(samples2) == len(samples)
