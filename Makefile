@@ -2,7 +2,12 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments experiments-quick chaos chaos-byz examples clean
+.PHONY: install test bench experiments experiments-quick chaos chaos-byz examples fuzz fuzz-long clean
+
+# conformance-suite paths run by the fuzz targets (the differential
+# driver, oracles, invariant hooks, corpus replay, and both fuzz files)
+FUZZ_PATHS = tests/testing tests/integration/test_protocol_fuzz.py \
+	tests/integration/test_lossy_fuzz.py tests/core/test_validate_byzantine.py
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -26,6 +31,14 @@ chaos:
 # (payload tampering, suspicion, eviction) - deterministic smoke check
 chaos-byz:
 	$(PYTHON) -m repro.experiments.chaos --shapes ring --duration 60 --seed 0 --liars 1
+
+# property-based conformance sweep at the CI example budget (~150/property)
+fuzz:
+	HYPOTHESIS_PROFILE=ci $(PYTHON) -m pytest $(FUZZ_PATHS) -q
+
+# nightly-scale sweep with debug invariant hooks armed everywhere
+fuzz-long:
+	HYPOTHESIS_PROFILE=nightly REPRO_DEBUG=1 $(PYTHON) -m pytest $(FUZZ_PATHS) -q
 
 examples:
 	for script in examples/*.py; do \

@@ -22,6 +22,10 @@ Layout
 ``repro.experiments``
     One module per experiment in DESIGN.md (E1-E9, A1, A2), runnable via
     ``python -m repro.experiments.cli``.
+``repro.testing``
+    The conformance subsystem (docs/TESTING.md): from-scratch oracles,
+    the differential driver with corpus replay, debug-mode invariant
+    hooks, and the Hypothesis strategy library.
 
 Quickstart
 ----------
@@ -40,4 +44,4 @@ True
 
 __version__ = "1.0.0"
 
-__all__ = ["core", "sim", "baselines", "analysis", "experiments"]
+__all__ = ["core", "sim", "baselines", "analysis", "experiments", "testing"]

@@ -74,6 +74,10 @@ class AGDP:
         #: retained only when gc is disabled, to answer is_live queries
         self._dead: Set[NodeKey] = set()
         self.stats = AGDPStats()
+        #: debug-mode callback invoked with ``self`` after every mutating
+        #: edge insertion and kill (see repro.testing.invariants); None in
+        #: production - the checks are O(n^3) per call
+        self.invariant_hook = None
         if source is not None:
             self.add_node(source)
 
@@ -175,6 +179,8 @@ class AGDP:
                 self.stats.pair_updates += 1
                 if candidate < row[s]:
                     row[s] = candidate
+        if self.invariant_hook is not None:
+            self.invariant_hook(self)
 
     def kill(self, node: NodeKey) -> None:
         """Unmark ``node`` as live; with gc enabled, drop its row and column."""
@@ -185,10 +191,12 @@ class AGDP:
         self.stats.nodes_killed += 1
         if not self._gc_enabled:
             self._dead.add(node)
-            return
-        del self._dist[node]
-        for row in self._dist.values():
-            del row[node]
+        else:
+            del self._dist[node]
+            for row in self._dist.values():
+                del row[node]
+        if self.invariant_hook is not None:
+            self.invariant_hook(self)
 
     def step(
         self,

@@ -47,6 +47,10 @@ class NumpyAGDP:
         self._gc_enabled = gc_enabled
         self._dead: Set[NodeKey] = set()
         self.stats = AGDPStats()
+        #: debug-mode callback invoked with ``self`` after every mutating
+        #: edge insertion and kill (see repro.testing.invariants); None in
+        #: production - the checks are O(n^3) per call
+        self.invariant_hook = None
         if source is not None:
             self.add_node(source)
 
@@ -145,6 +149,8 @@ class NumpyAGDP:
         self.stats.pair_updates += idx.size * idx.size
         np.minimum(block, candidate, out=block)
         self._matrix[np.ix_(idx, idx)] = block
+        if self.invariant_hook is not None:
+            self.invariant_hook(self)
 
     def kill(self, node: NodeKey) -> None:
         if node not in self._slot:
@@ -154,12 +160,14 @@ class NumpyAGDP:
         self.stats.nodes_killed += 1
         if not self._gc_enabled:
             self._dead.add(node)
-            return
-        index = self._slot.pop(node)
-        del self._key_of[index]
-        self._matrix[index, :] = np.inf
-        self._matrix[:, index] = np.inf
-        self._free.append(index)
+        else:
+            index = self._slot.pop(node)
+            del self._key_of[index]
+            self._matrix[index, :] = np.inf
+            self._matrix[:, index] = np.inf
+            self._free.append(index)
+        if self.invariant_hook is not None:
+            self.invariant_hook(self)
 
     def step(
         self,

@@ -149,8 +149,14 @@ class EfficientCSA(Estimator):
         track_reports: bool = False,
         degraded_mode: bool = False,
         suspicion: Optional[SuspicionPolicy] = None,
+        debug_checks: Optional[bool] = None,
     ):
         super().__init__(proc, spec)
+        # expensive structural self-checks after every event hook and AGDP
+        # mutation; None defers to the REPRO_DEBUG environment variable
+        from ..testing.invariants import debug_checks_enabled
+
+        self._debug_checks = debug_checks_enabled(debug_checks)
         self.history = HistoryModule(
             proc,
             spec.neighbors(proc),
@@ -191,14 +197,21 @@ class EfficientCSA(Estimator):
 
     def _make_agdp(self):
         if self._agdp_backend == "dict":
-            return AGDP(gc_enabled=self._agdp_gc)
-        if self._agdp_backend == "numpy":
+            agdp = AGDP(gc_enabled=self._agdp_gc)
+        elif self._agdp_backend == "numpy":
             from .agdp_numpy import NumpyAGDP
 
-            return NumpyAGDP(gc_enabled=self._agdp_gc)
-        raise ValueError(
-            f"unknown AGDP backend {self._agdp_backend!r} (use 'dict' or 'numpy')"
-        )
+            agdp = NumpyAGDP(gc_enabled=self._agdp_gc)
+        else:
+            raise ValueError(
+                f"unknown AGDP backend {self._agdp_backend!r} (use 'dict' or 'numpy')"
+            )
+        if self._debug_checks:
+            from ..testing.invariants import check_agdp_invariants
+
+            # installed here so eviction rebuilds re-arm the hook too
+            agdp.invariant_hook = check_agdp_invariants
+        return agdp
 
     @property
     def degraded(self) -> bool:
@@ -209,6 +222,13 @@ class EfficientCSA(Estimator):
     def eviction_events(self):
         """Suspicion state transitions so far (empty outside hardened mode)."""
         return tuple(self.suspicion.events) if self.suspicion is not None else ()
+
+    def _debug_check(self) -> None:
+        """Run the full cross-module invariant suite (debug mode only)."""
+        if self._debug_checks:
+            from ..testing.invariants import check_csa_invariants
+
+            check_csa_invariants(self)
 
     # -- event hooks -------------------------------------------------------------
 
@@ -222,6 +242,7 @@ class EfficientCSA(Estimator):
         if not self.reliable:
             self._pending_tokens[event.eid] = token
         self._maybe_rehabilitate()
+        self._debug_check()
         return payload
 
     def on_receive(self, event: Event, payload: HistoryPayload) -> None:
@@ -243,17 +264,20 @@ class EfficientCSA(Estimator):
         for flag in new_flags:
             self._apply_loss_flag(flag)
         self._maybe_rehabilitate()
+        self._debug_check()
 
     def on_internal(self, event: Event) -> None:
         self._track_local(event)
         self.history.record_local(event)
         self._ingest(event)
         self._maybe_rehabilitate()
+        self._debug_check()
 
     def on_delivery_confirmed(self, send_eid: EventId) -> None:
         token = self._pending_tokens.pop(send_eid, None)
         if token is not None:
             self.history.confirm_delivery(token)
+        self._debug_check()
 
     def on_loss_detected(self, send_eid: EventId) -> None:
         """Sec 3.3: locally detected loss of a message this processor sent."""
@@ -262,6 +286,7 @@ class EfficientCSA(Estimator):
             self.history.abort_delivery(token)
         if self.history.record_loss(send_eid):
             self._apply_loss_flag(send_eid)
+        self._debug_check()
 
     # -- core insertion ------------------------------------------------------------
 

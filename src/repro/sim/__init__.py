@@ -13,6 +13,9 @@ be checked against concrete executions:
 * :mod:`~repro.sim.faults` - declarative, seeded fault injection (crashes,
   partitions, burst loss, duplication, out-of-spec excursions) and the
   retransmission policy;
+* :mod:`~repro.sim.schedule` - explicit step-by-step adversarial
+  schedules (with deterministic Byzantine tampering) and a replay
+  harness, used by the conformance/differential test suite;
 * :mod:`~repro.sim.trace` - the omniscient execution record used by all
   test oracles;
 * :mod:`~repro.sim.workloads` - send modules (periodic gossip, NTP
@@ -43,6 +46,7 @@ from .faults import (
 )
 from .network import LinkConfig, Network, topologies
 from .runner import EstimateSample, RunResult, run_workload, standard_network
+from .schedule import Schedule, ScheduleHarness, TamperSpec
 from .serialize import dump_run, load_run
 from .trace import ExecutionTrace, TracedEvent
 
@@ -68,9 +72,12 @@ __all__ = [
     "PiecewiseDriftingClock",
     "RetransmitPolicy",
     "RunResult",
+    "Schedule",
+    "ScheduleHarness",
     "SimProcessor",
     "SinusoidalDriftClock",
     "Simulation",
+    "TamperSpec",
     "TracedEvent",
     "dump_run",
     "load_run",

@@ -1,0 +1,403 @@
+"""Deterministic adversarial schedules and their replay harness.
+
+The property-based conformance suite (:mod:`repro.testing`) does not drive
+the discrete-event simulator: it drives the protocol *directly* through a
+:class:`Schedule` - a fully explicit, JSON-serializable list of steps
+(sends, FIFO deliveries, drops) over hidden affine clocks.  Determinism is
+the point: a schedule replays bit-identically, so any divergence found by
+the differential driver can be committed to the corpus and replayed
+forever (see ``docs/TESTING.md``).
+
+A schedule may carry a :class:`TamperSpec` describing a single Byzantine
+processor.  Tampering mutates only the history payloads the liar ships
+(never the events of the real execution and never the full-information
+reference's view payloads, mirroring
+:meth:`repro.sim.faults.ActiveFaults.tamper_payloads`), and every lie is a
+deterministic function of the schedule - no RNG - so tampered runs replay
+exactly too.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.csa import EfficientCSA
+from ..core.csa_full import FullInformationCSA
+from ..core.events import Event, EventId, EventKind, ProcessorId
+from ..core.history import HistoryPayload
+from ..core.specs import DriftSpec, SystemSpec, TransitSpec
+from ..core.view import View
+
+__all__ = ["Schedule", "ScheduleHarness", "TamperSpec", "TAMPER_MODES"]
+
+#: Byzantine payload mutations a :class:`TamperSpec` may combine.  The
+#: deterministic counterparts of :data:`repro.sim.faults.BYZANTINE_MODES`
+#: ("lie" ~ lie_timestamps, "equivocate", "truncate"); fabrication is left
+#: to the seeded chaos path, which owns the RNG needed for fresh events.
+TAMPER_MODES = ("lie", "equivocate", "truncate")
+
+
+@dataclass(frozen=True)
+class TamperSpec:
+    """One Byzantine processor, described without any randomness.
+
+    ``liar`` is the processor index (never 0 - the source is the trust
+    anchor).  Every ``period``-th history payload the liar ships is
+    tampered according to ``modes``:
+
+    * ``"lie"`` - the liar's own records get ``lt + magnitude`` (cached
+      per event so the liar stays self-consistent across re-reports, the
+      hardest case for the validator);
+    * ``"equivocate"`` - like ``"lie"``, but the offset is
+      ``magnitude * (1 + dest_index)``: different destinations hear
+      different clocks;
+    * ``"truncate"`` - the newest record is silently dropped, planting a
+      gap the receiver only notices on the next payload.
+    """
+
+    liar: int
+    modes: Tuple[str, ...]
+    magnitude: float = 0.5
+    period: int = 2
+
+    def __post_init__(self):
+        if self.liar <= 0:
+            raise ValueError("the source (index 0) cannot be the liar")
+        if not self.modes:
+            raise ValueError("a tamper spec needs at least one mode")
+        bad = set(self.modes) - set(TAMPER_MODES)
+        if bad:
+            raise ValueError(f"unknown tamper modes {sorted(bad)}")
+        if self.period < 1:
+            raise ValueError("tamper period must be >= 1")
+
+    def to_dict(self) -> Dict:
+        return {
+            "liar": self.liar,
+            "modes": list(self.modes),
+            "magnitude": self.magnitude,
+            "period": self.period,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "TamperSpec":
+        return cls(
+            liar=int(data["liar"]),
+            modes=tuple(data["modes"]),
+            magnitude=float(data["magnitude"]),
+            period=int(data["period"]),
+        )
+
+
+#: Step kinds a schedule may contain.  Every step is a 4-tuple
+#: ``(op, src, dest, dt)``: advance real time by ``dt``, then apply ``op``
+#: on the directed link ``src -> dest`` (indices into the processor list).
+STEP_OPS = ("send", "deliver", "drop")
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A deterministic protocol schedule over hidden affine clocks.
+
+    ``rates`` lists the hidden clock rate of each processor (index 0 is
+    the source; its rate is forced to 1.0 - the source defines real
+    time).  ``edges`` lists undirected links as index pairs.  ``steps``
+    drive the run; ``deliver``/``drop`` on an empty queue are no-ops, so
+    *every* subsequence of a valid schedule is again a valid schedule -
+    the property that makes shrinking and delta-debugging sound.
+    """
+
+    rates: Tuple[float, ...]
+    edges: Tuple[Tuple[int, int], ...]
+    steps: Tuple[Tuple, ...]
+    lossy: bool = False
+    tamper: Optional[TamperSpec] = None
+
+    def __post_init__(self):
+        n = len(self.rates)
+        if n < 2:
+            raise ValueError("a schedule needs at least two processors")
+        for u, v in self.edges:
+            if not (0 <= u < n and 0 <= v < n and u != v):
+                raise ValueError(f"bad edge ({u}, {v}) for {n} processors")
+        for step in self.steps:
+            op, u, v, dt = step
+            if op not in STEP_OPS:
+                raise ValueError(f"unknown step op {op!r}")
+            if op == "drop" and not self.lossy:
+                raise ValueError("drop steps require a lossy schedule")
+            if dt < 0:
+                raise ValueError(f"step {step} rewinds time")
+        if self.tamper is not None and self.tamper.liar >= n:
+            raise ValueError("tamper liar index out of range")
+
+    @property
+    def n_procs(self) -> int:
+        return len(self.rates)
+
+    @property
+    def names(self) -> Tuple[ProcessorId, ...]:
+        return tuple(f"q{i}" for i in range(len(self.rates)))
+
+    def directed_links(self) -> List[Tuple[int, int]]:
+        out = []
+        for u, v in self.edges:
+            out.append((u, v))
+            out.append((v, u))
+        return sorted(set(out))
+
+    # -- persistence (the corpus format, docs/TESTING.md) ----------------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "rates": list(self.rates),
+            "edges": [list(e) for e in self.edges],
+            "steps": [[op, u, v, dt] for op, u, v, dt in self.steps],
+            "lossy": self.lossy,
+            "tamper": None if self.tamper is None else self.tamper.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Schedule":
+        return cls(
+            rates=tuple(float(r) for r in data["rates"]),
+            edges=tuple((int(u), int(v)) for u, v in data["edges"]),
+            steps=tuple(
+                (str(op), int(u), int(v), float(dt))
+                for op, u, v, dt in data["steps"]
+            ),
+            lossy=bool(data.get("lossy", False)),
+            tamper=(
+                None
+                if data.get("tamper") is None
+                else TamperSpec.from_dict(data["tamper"])
+            ),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Schedule":
+        return cls.from_dict(json.loads(text))
+
+    def build_spec(self) -> SystemSpec:
+        """The advertised specification every replay of this schedule obeys.
+
+        The drift band covers all hidden rates with a hair of slack, and
+        links advertise only ``transit >= 0`` - so every generated
+        execution satisfies its specification by construction.
+        """
+        rates = self.true_rates()
+        band = (min(rates), max(rates))
+        names = self.names
+        return SystemSpec.build(
+            source=names[0],
+            processors=list(names),
+            links=[(names[u], names[v]) for u, v in self.edges],
+            default_drift=DriftSpec.from_rate_bounds(band[0] - 1e-9, band[1] + 1e-9),
+            default_transit=TransitSpec(0.0, math.inf),
+        )
+
+    def true_rates(self) -> Tuple[float, ...]:
+        """Hidden clock rates with the source pinned to real time."""
+        return (1.0,) + tuple(self.rates[1:])
+
+
+class ScheduleHarness:
+    """Replays a :class:`Schedule` against live estimators, deterministically.
+
+    One :class:`~repro.core.csa.EfficientCSA` per processor (customizable
+    via ``estimator_factory``), optionally shadowed by a
+    :class:`~repro.core.csa_full.FullInformationCSA` reference receiving
+    untampered view payloads over the same executions.  The harness records
+    the omniscient ground truth (events in learn order, real times, a
+    causally closed :class:`~repro.core.view.View`) for the oracles in
+    :mod:`repro.testing`.
+    """
+
+    def __init__(
+        self,
+        schedule: Schedule,
+        *,
+        estimator_factory: Optional[
+            Callable[[ProcessorId, SystemSpec], EfficientCSA]
+        ] = None,
+        attach_full: bool = True,
+    ):
+        self.schedule = schedule
+        self.names = list(schedule.names)
+        self.rates = dict(zip(self.names, schedule.true_rates()))
+        self.spec = schedule.build_spec()
+        if estimator_factory is None:
+            reliable = not schedule.lossy
+            estimator_factory = lambda p, s: EfficientCSA(p, s, reliable=reliable)
+        self.csas: Dict[ProcessorId, EfficientCSA] = {
+            name: estimator_factory(name, self.spec) for name in self.names
+        }
+        self.fulls: Dict[ProcessorId, FullInformationCSA] = (
+            {name: FullInformationCSA(name, self.spec) for name in self.names}
+            if attach_full
+            else {}
+        )
+        self.now = 0.0
+        self.seq = {name: 0 for name in self.names}
+        #: FIFO queues of (send_event, payload, full_payload) per directed link
+        self.in_flight: Dict[Tuple[ProcessorId, ProcessorId], deque] = {}
+        for u, v in schedule.edges:
+            self.in_flight[(self.names[u], self.names[v])] = deque()
+            self.in_flight[(self.names[v], self.names[u])] = deque()
+        #: every event of the real execution, in a topological (learn) order
+        self.events: Dict[EventId, Event] = {}
+        #: the same events as a causally closed View (legacy oracle surface)
+        self.view = View()
+        #: hidden real time of each event
+        self.truth: Dict[EventId, float] = {}
+        #: sends dropped and truthfully flagged so far
+        self.flagged: Set[EventId] = set()
+        #: processors whose state may causally depend on tampered payloads
+        self.tainted: Set[ProcessorId] = set()
+        # -- deterministic tampering state --
+        self._tamper = schedule.tamper
+        self._liar: Optional[ProcessorId] = (
+            self.names[self._tamper.liar] if self._tamper is not None else None
+        )
+        if self._liar is not None:
+            self.tainted.add(self._liar)
+        self._payload_count = 0
+        self._lie_lt: Dict[Tuple[EventId, Optional[ProcessorId]], float] = {}
+
+    # -- clock plumbing ---------------------------------------------------------
+
+    def _lt(self, proc: ProcessorId) -> float:
+        return self.rates[proc] * self.now
+
+    def _next_event(self, proc: ProcessorId, kind: EventKind, **kwargs) -> Event:
+        event = Event(
+            eid=EventId(proc, self.seq[proc]), lt=self._lt(proc), kind=kind, **kwargs
+        )
+        self.seq[proc] += 1
+        self.events[event.eid] = event
+        self.view.add(event)
+        self.truth[event.eid] = self.now
+        return event
+
+    # -- step application -------------------------------------------------------
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+    def send(self, src: ProcessorId, dest: ProcessorId) -> None:
+        event = self._next_event(src, EventKind.SEND, dest=dest)
+        payload = self.csas[src].on_send(event)
+        if src == self._liar:
+            payload = self._tamper_payload(dest, payload)
+        full_payload = (
+            self.fulls[src].on_send(event) if self.fulls else None
+        )
+        self.in_flight[(src, dest)].append((event, payload, full_payload))
+
+    def deliver(self, src: ProcessorId, dest: ProcessorId) -> Optional[ProcessorId]:
+        """Deliver the oldest in-flight message; returns the receiver or None."""
+        queue = self.in_flight[(src, dest)]
+        if not queue:
+            return None
+        send_event, payload, full_payload = queue.popleft()
+        event = self._next_event(dest, EventKind.RECEIVE, send_eid=send_event.eid)
+        self.csas[dest].on_receive(event, payload)
+        if self.fulls:
+            self.fulls[dest].on_receive(event, full_payload)
+        if self.schedule.lossy:
+            self.csas[src].on_delivery_confirmed(send_event.eid)
+            if self.fulls:
+                self.fulls[src].on_delivery_confirmed(send_event.eid)
+        if src in self.tainted:
+            self.tainted.add(dest)
+        return dest
+
+    def drop(self, src: ProcessorId, dest: ProcessorId) -> Optional[ProcessorId]:
+        """Drop the oldest in-flight message, truthfully detected at the sender."""
+        queue = self.in_flight[(src, dest)]
+        if not queue:
+            return None
+        send_event, _payload, _full = queue.popleft()
+        self.flagged.add(send_event.eid)
+        self.csas[src].on_loss_detected(send_event.eid)
+        if self.fulls:
+            self.fulls[src].on_loss_detected(send_event.eid)
+        return src
+
+    def run(
+        self,
+        on_checkpoint: Optional[Callable[[int, ProcessorId], None]] = None,
+    ) -> None:
+        """Replay every step; call ``on_checkpoint(step_index, proc)`` after
+        each effective delivery (at the receiver) or drop (at the sender)."""
+        for index, (op, u, v, dt) in enumerate(self.schedule.steps):
+            self.advance(dt)
+            src, dest = self.names[u], self.names[v]
+            if (src, dest) not in self.in_flight:
+                continue  # a shrunk schedule may reference a removed edge
+            if op == "send":
+                self.send(src, dest)
+            elif op == "deliver":
+                at = self.deliver(src, dest)
+                if at is not None and on_checkpoint is not None:
+                    on_checkpoint(index, at)
+            else:
+                at = self.drop(src, dest)
+                if at is not None and on_checkpoint is not None:
+                    on_checkpoint(index, at)
+
+    # -- deterministic Byzantine tampering --------------------------------------
+
+    def _tamper_payload(
+        self, dest: ProcessorId, payload: HistoryPayload
+    ) -> HistoryPayload:
+        """Apply the schedule's tamper spec to one outgoing payload.
+
+        Lies are cached per (event, destination) so the liar never
+        contradicts itself to the same listener; the cache is consulted on
+        every payload (not only firing ones) because an honest-looking
+        re-report of an already-told lie must repeat the lie.
+        """
+        tamper = self._tamper
+        self._payload_count += 1
+        firing = self._payload_count % tamper.period == 0
+        records: List[Event] = []
+        mutated = False
+        for record in payload.records:
+            if record.eid.proc == self._liar and (
+                "lie" in tamper.modes or "equivocate" in tamper.modes
+            ):
+                claimed = self._claimed_lt(dest, record, firing)
+                if claimed != record.lt:
+                    record = dataclasses.replace(record, lt=claimed)
+                    mutated = True
+            records.append(record)
+        if firing and "truncate" in tamper.modes and len(records) > 1:
+            records.pop()
+            mutated = True
+        if not mutated:
+            return payload
+        return HistoryPayload(records=tuple(records), loss_flags=payload.loss_flags)
+
+    def _claimed_lt(self, dest: ProcessorId, record: Event, firing: bool) -> float:
+        equivocate = "equivocate" in self._tamper.modes
+        key = (record.eid, dest if equivocate else None)
+        cached = self._lie_lt.get(key)
+        if cached is not None:
+            return cached
+        if not firing:
+            return record.lt
+        offset = self._tamper.magnitude
+        if equivocate:
+            offset *= 1.0 + self.names.index(dest)
+        claimed = record.lt + offset
+        self._lie_lt[key] = claimed
+        return claimed

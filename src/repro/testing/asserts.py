@@ -1,0 +1,46 @@
+"""Shared assertion helpers for conformance tests.
+
+Deduplicates the interval-comparison helper that used to be copy-pasted
+across the integration fuzz files.  Kept free of pytest so the differential
+driver (which reports divergences instead of raising) can reuse the
+predicates.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["assert_bound_equal", "bounds_equal", "endpoint_equal"]
+
+#: Default absolute tolerance for finite interval endpoints.  Matches the
+#: historical fuzz-suite tolerance (floating-point noise from shortest-path
+#: summation, far below any drift- or transit-scale signal).
+DEFAULT_TOLERANCE = 1e-7
+
+
+def endpoint_equal(ours: float, oracle: float, *, tolerance: float = DEFAULT_TOLERANCE) -> bool:
+    """One endpoint: infinite must match exactly, finite within tolerance."""
+    if math.isinf(oracle) or math.isinf(ours):
+        return ours == oracle
+    return abs(ours - oracle) <= tolerance
+
+
+def bounds_equal(bound, expected, *, tolerance: float = DEFAULT_TOLERANCE) -> bool:
+    """Whether two interval estimates agree endpoint-for-endpoint."""
+    return endpoint_equal(
+        bound.lower, expected.lower, tolerance=tolerance
+    ) and endpoint_equal(bound.upper, expected.upper, tolerance=tolerance)
+
+
+def assert_bound_equal(bound, expected, *, tolerance: float = DEFAULT_TOLERANCE) -> None:
+    """Assert two interval estimates agree endpoint-for-endpoint.
+
+    Infinite endpoints must match exactly (an algorithm claiming a bound
+    where the optimum has none - or vice versa - is wrong regardless of
+    magnitude); finite endpoints may differ by ``tolerance``.
+    """
+    if not bounds_equal(bound, expected, tolerance=tolerance):
+        raise AssertionError(
+            f"interval mismatch: ours {bound}, oracle {expected} "
+            f"(tolerance {tolerance})"
+        )

@@ -1,0 +1,272 @@
+"""From-scratch reference oracles for differential testing.
+
+Everything here is re-derived directly from the paper's definitions and
+deliberately shares **no code** with the incremental production paths:
+
+* causal pasts are recomputed by BFS over raw event attributes (no
+  :class:`~repro.core.view.View`);
+* the synchronization graph (Definition 2.1) is rebuilt edge-by-edge from
+  the drift/transit formulas (no :mod:`repro.core.syncgraph`);
+* distances use a textbook Bellman-Ford and a textbook Floyd-Warshall (no
+  SPFA, no incremental AGDP updates, no
+  :mod:`repro.core.distances`);
+* liveness is Definition 3.1 evaluated on the raw event set (no
+  :class:`~repro.core.live.LiveTracker`).
+
+The only shared types are the dumb containers (:class:`Event`,
+:class:`ClockBound`, the spec dataclasses) - they carry data, not
+algorithmics - so a bug in the production code cannot silently cancel
+against the same bug here.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from ..core.events import Event, EventId, ProcessorId
+from ..core.intervals import ClockBound
+from ..core.specs import SystemSpec
+
+__all__ = [
+    "OracleInconsistencyError",
+    "oracle_all_pairs",
+    "oracle_causal_past",
+    "oracle_distances_from",
+    "oracle_distances_to",
+    "oracle_external_bounds",
+    "oracle_live_points",
+    "oracle_source_point",
+    "oracle_sync_edges",
+]
+
+INF = math.inf
+
+
+class OracleInconsistencyError(Exception):
+    """The oracle's synchronization graph contains a negative cycle.
+
+    By Theorem 2.1 this means the event set contradicts the specification
+    it is being checked against - for generated-in-spec schedules this is
+    itself a test failure.
+    """
+
+
+def _index(events) -> Dict[EventId, Event]:
+    """Events as an id-indexed mapping; accepts mappings or iterables."""
+    if isinstance(events, Mapping):
+        return dict(events)
+    return {event.eid: event for event in events}
+
+
+# -- structure -----------------------------------------------------------------------
+
+
+def oracle_causal_past(events, point: EventId) -> Dict[EventId, Event]:
+    """All events that happen-before ``point`` (inclusive), by raw BFS.
+
+    Parents are read straight off the event attributes: the same-processor
+    predecessor ``(proc, seq - 1)`` and, for receives, the send event.
+    """
+    evs = _index(events)
+    if point not in evs:
+        raise KeyError(f"point {point} is not among the given events")
+    past: Dict[EventId, Event] = {}
+    stack = [point]
+    while stack:
+        eid = stack.pop()
+        if eid in past:
+            continue
+        event = evs[eid]
+        past[eid] = event
+        if eid.seq > 0:
+            stack.append(EventId(eid.proc, eid.seq - 1))
+        if event.send_eid is not None:
+            stack.append(event.send_eid)
+    return past
+
+
+def oracle_live_points(events, lost: Iterable[EventId] = ()) -> Set[EventId]:
+    """Definition 3.1 liveness, evaluated from scratch.
+
+    A point is live iff it is the last point of its processor in the event
+    set, or a send whose receive is absent.  ``lost`` lists sends flagged
+    lost (Sec 3.3): a flagged send stops being live unless it is still the
+    last point of its processor.
+    """
+    evs = _index(events)
+    last_seq: Dict[ProcessorId, int] = {}
+    delivered: Set[EventId] = set()
+    for event in evs.values():
+        eid = event.eid
+        if eid.seq > last_seq.get(eid.proc, -1):
+            last_seq[eid.proc] = eid.seq
+        if event.send_eid is not None:
+            delivered.add(event.send_eid)
+    live: Set[EventId] = {
+        EventId(proc, seq) for proc, seq in last_seq.items()
+    }
+    flagged = set(lost)
+    for event in evs.values():
+        if event.dest is None:
+            continue  # not a send
+        eid = event.eid
+        if eid in delivered or eid in flagged:
+            continue
+        live.add(eid)
+    return live
+
+
+def oracle_source_point(events, spec: SystemSpec) -> Optional[EventId]:
+    """The latest event of the source processor in the event set, if any."""
+    best: Optional[EventId] = None
+    for eid in _index(events):
+        if eid.proc != spec.source:
+            continue
+        if best is None or eid.seq > best.seq:
+            best = eid
+    return best
+
+
+# -- the synchronization graph (Definition 2.1), rebuilt from first principles -------
+
+
+def oracle_sync_edges(
+    events, spec: SystemSpec
+) -> List[Tuple[EventId, EventId, float]]:
+    """All finite-weight synchronization-graph edges of the event set.
+
+    For ``q`` directly followed by ``p`` at one processor with local-clock
+    advance ``delta``: drift bounds give ``RT(p) - RT(q)`` in
+    ``[alpha * delta, beta * delta]``, hence edges
+    ``(p -> q, (beta - 1) * delta)`` and ``(q -> p, (1 - alpha) * delta)``.
+    For a receive ``r`` of the message sent at ``s`` with observed
+    local-time difference ``observed = LT(r) - LT(s)``: transit bounds give
+    edges ``(r -> s, upper - observed)`` and ``(s -> r, observed - lower)``.
+    Infinite weights (the paper's ``TOP``) carry no information and are
+    omitted.
+    """
+    evs = _index(events)
+    edges: List[Tuple[EventId, EventId, float]] = []
+    for event in evs.values():
+        eid = event.eid
+        if eid.seq > 0:
+            pred_id = EventId(eid.proc, eid.seq - 1)
+            pred = evs.get(pred_id)
+            if pred is not None:
+                drift = spec.drift_of(eid.proc)
+                delta = event.lt - pred.lt
+                edges.append((eid, pred_id, (drift.beta - 1.0) * delta))
+                edges.append((pred_id, eid, (1.0 - drift.alpha) * delta))
+        if event.send_eid is not None:
+            send = evs.get(event.send_eid)
+            if send is not None:
+                transit = spec.transit_of(event.send_eid.proc, eid.proc)
+                observed = event.lt - send.lt
+                if not math.isinf(transit.upper):
+                    edges.append((eid, event.send_eid, transit.upper - observed))
+                edges.append((event.send_eid, eid, observed - transit.lower))
+    return edges
+
+
+# -- textbook shortest paths ----------------------------------------------------------
+
+
+def _bellman_ford(
+    nodes: List[EventId],
+    edges: List[Tuple[EventId, EventId, float]],
+    source: EventId,
+) -> Dict[EventId, float]:
+    """Plain Bellman-Ford: |V| - 1 full relaxation rounds plus a check round."""
+    dist = {node: INF for node in nodes}
+    dist[source] = 0.0
+    for _ in range(max(len(nodes) - 1, 1)):
+        changed = False
+        for u, v, w in edges:
+            du = dist[u]
+            if du + w < dist[v]:
+                dist[v] = du + w
+                changed = True
+        if not changed:
+            break
+    else:
+        for u, v, w in edges:
+            if dist[u] + w < dist[v] - 1e-9:
+                raise OracleInconsistencyError(
+                    f"negative cycle reachable from {source} (via {u} -> {v})"
+                )
+    return dist
+
+
+def oracle_distances_from(events, spec: SystemSpec, source: EventId) -> Dict[EventId, float]:
+    """Shortest-path distances from ``source`` in the synchronization graph."""
+    evs = _index(events)
+    return _bellman_ford(list(evs), oracle_sync_edges(evs, spec), source)
+
+
+def oracle_distances_to(events, spec: SystemSpec, sink: EventId) -> Dict[EventId, float]:
+    """Shortest-path distances *to* ``sink``: Bellman-Ford on the reverse graph."""
+    evs = _index(events)
+    reversed_edges = [(v, u, w) for u, v, w in oracle_sync_edges(evs, spec)]
+    return _bellman_ford(list(evs), reversed_edges, sink)
+
+
+def oracle_all_pairs(events, spec: SystemSpec) -> Dict[EventId, Dict[EventId, float]]:
+    """Textbook Floyd-Warshall over the full synchronization graph.
+
+    Raises :class:`OracleInconsistencyError` if any diagonal entry goes
+    negative (a negative cycle - the execution violates the spec).
+    """
+    evs = _index(events)
+    nodes = sorted(evs)
+    dist: Dict[EventId, Dict[EventId, float]] = {
+        u: {v: (0.0 if u == v else INF) for v in nodes} for u in nodes
+    }
+    for u, v, w in oracle_sync_edges(evs, spec):
+        if w < dist[u][v]:
+            dist[u][v] = w
+    for k in nodes:
+        row_k = dist[k]
+        for i in nodes:
+            d_ik = dist[i][k]
+            if math.isinf(d_ik):
+                continue
+            row_i = dist[i]
+            for j in nodes:
+                candidate = d_ik + row_k[j]
+                if candidate < row_i[j]:
+                    row_i[j] = candidate
+    for node in nodes:
+        if dist[node][node] < -1e-9:
+            raise OracleInconsistencyError(
+                f"negative cycle through {node} (d = {dist[node][node]})"
+            )
+    return dist
+
+
+# -- Theorem 2.1 ----------------------------------------------------------------------
+
+
+def oracle_external_bounds(events, spec: SystemSpec, point: EventId) -> ClockBound:
+    """Theorem 2.1: the optimal external interval at ``point``.
+
+    With ``sp`` the latest source point of the event set,
+
+        ``ext_L = LT(point) - d(sp, point)``  and
+        ``ext_U = LT(point) + d(point, sp)``,
+
+    distances taken in the synchronization graph; an unreachable direction
+    leaves that endpoint unbounded.  The event set should be the causal
+    past of ``point`` (pass :func:`oracle_causal_past` output) to model
+    what an on-line algorithm may know.
+    """
+    evs = _index(events)
+    sp = oracle_source_point(evs, spec)
+    if sp is None:
+        return ClockBound.unbounded()
+    point_event = evs[point]
+    d_from_sp = oracle_distances_from(evs, spec, sp)[point]
+    d_to_sp = oracle_distances_to(evs, spec, sp)[point]
+    lower = -INF if math.isinf(d_from_sp) else point_event.lt - d_from_sp
+    upper = INF if math.isinf(d_to_sp) else point_event.lt + d_to_sp
+    return ClockBound(lower, upper)

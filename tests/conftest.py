@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.core import (
     DriftSpec,
@@ -19,6 +21,20 @@ from repro.core import (
 )
 from repro.sim import run_workload, standard_network, topologies
 from repro.sim.workloads import PeriodicGossip, RandomTraffic
+
+# Hypothesis budgets are centralized here so CI tiers pick example counts
+# without editing test files: dev (default, fast inner loop), ci (the
+# `make fuzz` budget), nightly (`make fuzz-long`, scheduled CI).  Select
+# with HYPOTHESIS_PROFILE=<name>; explicit @settings on a test override
+# only the fields they name.
+_COMMON = dict(
+    deadline=None,  # oracle recomputation makes per-example time noisy
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+settings.register_profile("dev", max_examples=20, **_COMMON)
+settings.register_profile("ci", max_examples=150, **_COMMON)
+settings.register_profile("nightly", max_examples=1000, print_blob=True, **_COMMON)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 def make_event(proc, seq, lt, kind=EventKind.INTERNAL, dest=None, send_eid=None):

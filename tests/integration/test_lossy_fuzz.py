@@ -1,163 +1,45 @@
 """Property-based fuzzing of the lossy path (Sec 3.3).
 
-Hypothesis drives sends, deliveries, *drops*, and loss detections in
-arbitrary order over the unreliable-mode protocol.  After every delivery
-we assert, against from-scratch oracles:
+Hypothesis draws schedules with sends, deliveries, *drops*, and loss
+detections in arbitrary order over the unreliable-mode protocol; the
+differential driver (:mod:`repro.testing.differential`) replays each one
+and asserts, against from-scratch oracles:
 
 * soundness (the estimate contains the hidden truth);
 * exact optimality versus Theorem 2.1 on the oracle local view - killing
   flagged points must not lose any live-live information (Lemma 3.4
   applied to the Sec 3.3 flags);
 * the liveness identity: the tracker's live set equals Definition 3.1 on
-  the local view minus the flagged-lost sends this processor knows about.
+  the local view minus the flagged-lost sends this processor knows about;
+* Lemma 3.5 at end of run: GC preserved every live-live distance exactly.
+
+Example budgets come from the Hypothesis profiles registered in
+``tests/conftest.py`` (dev/ci/nightly via ``HYPOTHESIS_PROFILE``).
 """
 
-import math
-from collections import deque
+from hypothesis import given
 
-import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
-
-from repro.core import (
-    DriftSpec,
-    EfficientCSA,
-    Event,
-    EventId,
-    EventKind,
-    SystemSpec,
-    TransitSpec,
-    View,
-    external_bounds,
-)
-
-from .test_protocol_fuzz import topology_strategy
+from repro.testing import run_differential
+from repro.testing.strategies import schedules
 
 
-
-def _assert_bound_equal(bound, expected):
-    import math
-    import pytest
-
-    for ours, oracle in ((bound.lower, expected.lower), (bound.upper, expected.upper)):
-        if math.isinf(oracle):
-            assert ours == oracle
-        else:
-            assert ours == pytest.approx(oracle, abs=1e-7)
+@given(schedules(min_steps=8, max_steps=50, lossy=True))
+def test_lossy_fuzz(schedule):
+    report = run_differential(schedule, check_determinism=False)
+    assert report.ok, report.describe()
 
 
-class LossyFuzzHarness:
-    """Like the reliable harness, but messages can be dropped and flagged."""
+@given(schedules(min_steps=8, max_steps=40, lossy=True))
+def test_lossy_fuzz_gc_ablation_agrees(schedule):
+    """GC on/off must produce identical estimates (Lemma 3.4/3.5 end to end)."""
+    from repro.core import EfficientCSA
 
-    def __init__(self, rates, edges):
-        names = [f"q{i}" for i in range(len(rates))]
-        self.names = names
-        self.rates = dict(zip(names, rates))
-        self.rates[names[0]] = 1.0
-        band = (min(self.rates.values()), max(self.rates.values()))
-        self.spec = SystemSpec.build(
-            source=names[0],
-            processors=names,
-            links=[(names[u], names[v]) for u, v in edges],
-            default_drift=DriftSpec.from_rate_bounds(band[0] - 1e-9, band[1] + 1e-9),
-            default_transit=TransitSpec(0.0, math.inf),
-        )
-        self.csas = {
-            name: EfficientCSA(name, self.spec, reliable=False) for name in names
-        }
-        self.now = 0.0
-        self.seq = {name: 0 for name in names}
-        self.in_flight = {}
-        for u, v in edges:
-            self.in_flight[(names[u], names[v])] = deque()
-            self.in_flight[(names[v], names[u])] = deque()
-        self.oracle = View()
-        self.truth = {}
-        self.flagged = set()
-
-    def _next_event(self, proc, kind, **kwargs):
-        event = Event(
-            eid=EventId(proc, self.seq[proc]),
-            lt=self.rates[proc] * self.now,
-            kind=kind,
-            **kwargs,
-        )
-        self.seq[proc] += 1
-        self.oracle.add(event)
-        self.truth[event.eid] = self.now
-        return event
-
-    def advance(self, dt):
-        self.now += dt
-
-    def send(self, src, dest):
-        event = self._next_event(src, EventKind.SEND, dest=dest)
-        payload = self.csas[src].on_send(event)
-        self.in_flight[(src, dest)].append((event, payload))
-
-    def deliver(self, src, dest):
-        queue = self.in_flight[(src, dest)]
-        if not queue:
-            return
-        send_event, payload = queue.popleft()
-        event = self._next_event(dest, EventKind.RECEIVE, send_eid=send_event.eid)
-        self.csas[dest].on_receive(event, payload)
-        self.csas[src].on_delivery_confirmed(send_event.eid)
-        self._check(dest)
-
-    def drop(self, src, dest):
-        """Drop the oldest in-flight message and (truthfully) detect it."""
-        queue = self.in_flight[(src, dest)]
-        if not queue:
-            return
-        send_event, _payload = queue.popleft()
-        self.flagged.add(send_event.eid)
-        self.csas[src].on_loss_detected(send_event.eid)
-        self._check(src)
-
-    def _check(self, proc):
-        csa = self.csas[proc]
-        last = csa.last_local_event
-        if last is None:
-            return
-        bound = csa.estimate()
-        assert bound.contains(self.truth[last.eid], tolerance=1e-7)
-        local_view = self.oracle.view_from(last.eid)
-        expected = external_bounds(local_view, self.spec, last.eid)
-        _assert_bound_equal(bound, expected)
-        # Definition 3.1 minus the flags this processor has learned
-        known_flags = csa.history.loss_flags
-        oracle_live = local_view.live_points() - {
-            f for f in known_flags
-            if f in local_view
-            and local_view.receive_of(f) is None
-            and local_view.last_seq(f.proc) != f.seq
-        }
-        assert csa.live.live_points() == oracle_live
-
-
-@settings(max_examples=40, deadline=None)
-@given(st.data())
-def test_lossy_fuzz(data):
-    rates, edges = topology_strategy(data.draw)
-    harness = LossyFuzzHarness(rates, edges)
-    directed = sorted(harness.in_flight)
-    n_ops = data.draw(st.integers(min_value=8, max_value=50))
-    for _ in range(n_ops):
-        harness.advance(data.draw(st.floats(min_value=0.01, max_value=2.0)))
-        link = directed[data.draw(st.integers(min_value=0, max_value=len(directed) - 1))]
-        action = data.draw(st.integers(min_value=0, max_value=3))
-        if action <= 1:
-            harness.send(*link)
-        elif action == 2:
-            harness.deliver(*link)
-        else:
-            harness.drop(*link)
-    # drain the rest however hypothesis pleases
-    for link in directed:
-        while harness.in_flight[link]:
-            harness.advance(data.draw(st.floats(min_value=0.01, max_value=1.0)))
-            if data.draw(st.booleans()):
-                harness.deliver(*link)
-            else:
-                harness.drop(*link)
+    report = run_differential(
+        schedule,
+        estimator_factory=lambda p, s: EfficientCSA(
+            p, s, reliable=False, agdp_gc=False, history_gc=False
+        ),
+        check_determinism=False,
+        check_gc_distances=False,
+    )
+    assert report.ok, report.describe()

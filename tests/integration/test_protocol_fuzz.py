@@ -1,170 +1,64 @@
 """Property-based fuzzing of the full CSA stack under adversarial schedules.
 
-Hypothesis drives the protocol directly - no simulator: it chooses, step
-by step, whether each processor sends (to a random neighbor) or whether
-some in-flight message is delivered (FIFO per directed link, but links
-interleave arbitrarily and messages may sit in flight for the rest of the
-run).  Timestamps come from hidden affine clocks whose rates sit inside
-the advertised drift bounds, and links advertise only ``transit >= 0``,
-so every generated execution satisfies its specification by construction.
-
-Checked after every delivery, against oracles recomputed from scratch:
+Hypothesis draws explicit :class:`repro.sim.schedule.Schedule`s - step by
+step send/deliver choices over a random connected topology, with hidden
+affine clocks inside the advertised drift band - and the differential
+driver replays each one against the full-information reference and the
+from-scratch oracles (:mod:`repro.testing`).  Checked at every delivery:
 
 * the estimate contains the hidden true time of the last local event;
 * the estimate equals Theorem 2.1 on the oracle local view;
-* the live tracker equals Definition 3.1 on the oracle local view.
+* the live tracker equals Definition 3.1 on the oracle local view;
+
+plus end-of-run checks (Lemma 3.5 GC preservation, serialization
+round-trips, quarantine cleanliness).
+
+Example budgets come from the Hypothesis profiles registered in
+``tests/conftest.py`` (dev/ci/nightly via ``HYPOTHESIS_PROFILE``).
 """
 
 import math
-from collections import deque
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given
 
 from repro.core import (
-    DriftSpec,
-    EfficientCSA,
-    Event,
-    EventId,
-    EventKind,
-    SystemSpec,
-    TransitSpec,
-    View,
+    build_sync_graph,
+    check_execution,
     external_bounds,
+    extremal_execution,
+    source_point,
 )
+from repro.sim.schedule import ScheduleHarness
+from repro.testing import run_differential
+from repro.testing.strategies import schedules
 
 
-
-def _assert_bound_equal(bound, expected):
-    import math
-    import pytest
-
-    for ours, oracle in ((bound.lower, expected.lower), (bound.upper, expected.upper)):
-        if math.isinf(oracle):
-            assert ours == oracle
-        else:
-            assert ours == pytest.approx(oracle, abs=1e-7)
+@given(schedules(min_steps=5, max_steps=40))
+def test_fuzz_optimality_and_liveness(schedule):
+    report = run_differential(schedule, check_determinism=False)
+    assert report.ok, report.describe()
 
 
-class FuzzHarness:
-    """N processors with hidden affine clocks, FIFO in-flight queues."""
+@given(schedules(min_steps=5, max_steps=30))
+def test_fuzz_numpy_backend_agrees(schedule):
+    from repro.core import EfficientCSA
 
-    def __init__(self, rates, edges):
-        names = [f"q{i}" for i in range(len(rates))]
-        self.names = names
-        self.rates = dict(zip(names, rates))
-        self.rates[names[0]] = 1.0  # the source defines real time
-        band = (min(self.rates.values()), max(self.rates.values()))
-        self.spec = SystemSpec.build(
-            source=names[0],
-            processors=names,
-            links=[(names[u], names[v]) for u, v in edges],
-            default_drift=DriftSpec.from_rate_bounds(band[0] - 1e-9, band[1] + 1e-9),
-            default_transit=TransitSpec(0.0, math.inf),
-        )
-        self.csas = {name: EfficientCSA(name, self.spec) for name in names}
-        self.now = 0.0
-        self.seq = {name: 0 for name in names}
-        self.in_flight = {}
-        for u, v in edges:
-            self.in_flight[(names[u], names[v])] = deque()
-            self.in_flight[(names[v], names[u])] = deque()
-        self.oracle = View()
-        self.truth = {}
-
-    def _lt(self, proc):
-        return self.rates[proc] * self.now
-
-    def _next_event(self, proc, kind, **kwargs):
-        event = Event(
-            eid=EventId(proc, self.seq[proc]),
-            lt=self._lt(proc),
-            kind=kind,
-            **kwargs,
-        )
-        self.seq[proc] += 1
-        self.oracle.add(event)
-        self.truth[event.eid] = self.now
-        return event
-
-    def advance(self, dt):
-        self.now += dt
-
-    def send(self, src, dest):
-        event = self._next_event(src, EventKind.SEND, dest=dest)
-        payload = self.csas[src].on_send(event)
-        self.in_flight[(src, dest)].append((event, payload))
-
-    def deliver(self, src, dest):
-        queue = self.in_flight[(src, dest)]
-        if not queue:
-            return False
-        send_event, payload = queue.popleft()
-        event = self._next_event(dest, EventKind.RECEIVE, send_eid=send_event.eid)
-        self.csas[dest].on_receive(event, payload)
-        self._check(dest)
-        return True
-
-    def _check(self, proc):
-        csa = self.csas[proc]
-        last = csa.last_local_event
-        bound = csa.estimate()
-        # soundness against the hidden truth
-        assert bound.contains(self.truth[last.eid], tolerance=1e-7), (
-            proc,
-            bound,
-            self.truth[last.eid],
-        )
-        # optimality against the from-scratch oracle
-        local_view = self.oracle.view_from(last.eid)
-        expected = external_bounds(local_view, self.spec, last.eid)
-        _assert_bound_equal(bound, expected)
-        # liveness against Definition 3.1
-        assert csa.live.live_points() == local_view.live_points()
+    report = run_differential(
+        schedule,
+        estimator_factory=lambda p, s: EfficientCSA(p, s, agdp_backend="numpy"),
+        check_determinism=False,
+    )
+    assert report.ok, report.describe()
 
 
-def topology_strategy(draw):
-    n = draw(st.integers(min_value=2, max_value=5))
-    edges = [(draw(st.integers(min_value=0, max_value=i - 1)), i) for i in range(1, n)]
-    # a few chords
-    for _ in range(draw(st.integers(min_value=0, max_value=2))):
-        u = draw(st.integers(min_value=0, max_value=n - 1))
-        v = draw(st.integers(min_value=0, max_value=n - 1))
-        if u != v and (min(u, v), max(u, v)) not in [
-            (min(a, b), max(a, b)) for a, b in edges
-        ]:
-            edges.append((min(u, v), max(u, v)))
-    rates = [
-        draw(st.floats(min_value=0.995, max_value=1.005, allow_nan=False))
-        for _ in range(n)
-    ]
-    return rates, edges
-
-
-@settings(max_examples=15, deadline=None)
-@given(st.data())
-def test_fuzz_tightness_endpoints(data):
+@given(schedules(min_steps=8, max_steps=30))
+def test_fuzz_tightness_endpoints(schedule):
     """On random executions, both endpoints of the optimal interval are
     attained by explicitly constructed, spec-satisfying executions."""
-    from repro.core import (
-        build_sync_graph,
-        check_execution,
-        extremal_execution,
-        source_point,
-    )
-
-    rates, edges = topology_strategy(data.draw)
-    harness = FuzzHarness(rates, edges)
-    directed = sorted(harness.in_flight)
-    for _ in range(data.draw(st.integers(min_value=8, max_value=30))):
-        harness.advance(data.draw(st.floats(min_value=0.01, max_value=2.0)))
-        link = directed[data.draw(st.integers(min_value=0, max_value=len(directed) - 1))]
-        if data.draw(st.booleans()):
-            harness.send(*link)
-        elif harness.in_flight[link]:
-            harness.deliver(*link)
-    view = harness.oracle
+    harness = ScheduleHarness(schedule, attach_full=False)
+    harness.run()
+    view = harness.view
     spec = harness.spec
     sp = source_point(view, spec)
     if sp is None:
@@ -179,24 +73,3 @@ def test_fuzz_tightness_endpoints(data):
             rt = extremal_execution(view, spec, p, sp, endpoint, graph=graph)
             assert check_execution(view, spec, rt, tolerance=1e-7) == []
             assert rt[p] == pytest.approx(target, abs=1e-7)
-
-
-@settings(max_examples=40, deadline=None)
-@given(st.data())
-def test_fuzz_optimality_and_liveness(data):
-    rates, edges = topology_strategy(data.draw)
-    harness = FuzzHarness(rates, edges)
-    directed = sorted(harness.in_flight)
-    n_ops = data.draw(st.integers(min_value=5, max_value=40))
-    for _ in range(n_ops):
-        harness.advance(data.draw(st.floats(min_value=0.01, max_value=2.0)))
-        link = directed[data.draw(st.integers(min_value=0, max_value=len(directed) - 1))]
-        if data.draw(st.booleans()):
-            harness.send(*link)
-        else:
-            harness.deliver(*link)
-    # drain a random subset of what is still in flight
-    for link in directed:
-        while harness.in_flight[link] and data.draw(st.booleans()):
-            harness.advance(data.draw(st.floats(min_value=0.01, max_value=1.0)))
-            harness.deliver(*link)

@@ -1,0 +1,37 @@
+"""Deterministic replay of the committed schedule corpus.
+
+Every JSON entry under ``tests/corpus/`` - seeds committed with this
+subsystem plus any divergence archived by :func:`check_schedule` and
+promoted to a regression test - is replayed through the full differential
+driver and must come back clean.  An entry written at discovery time
+therefore stays red until the underlying bug is fixed, and green forever
+after (see docs/TESTING.md for the entry format).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.testing import load_corpus_entry, run_differential
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus"
+ENTRIES = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def test_corpus_is_not_empty():
+    assert ENTRIES, f"no corpus entries found under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=lambda p: p.stem)
+def test_corpus_entry_replays_clean(path):
+    schedule = load_corpus_entry(path)
+    report = run_differential(schedule, debug_invariants=True)
+    assert report.ok, f"{path.name}: {report.describe()}"
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=lambda p: p.stem)
+def test_corpus_entry_is_well_formed(path):
+    data = json.loads(path.read_text())
+    assert set(data) >= {"format", "label", "note", "schedule", "repro"}
+    assert "run_differential" in data["repro"]

@@ -1,0 +1,133 @@
+"""The oracles against the production path - and against themselves.
+
+The from-scratch references in :mod:`repro.testing.oracle` only earn
+trust by agreeing with the production implementations they were written
+to check (on executions where both are believed correct) and by internal
+cross-consistency: Floyd-Warshall versus Bellman-Ford versus the reverse
+graph, causal pasts versus the View's transitive closure.
+"""
+
+import math
+
+import pytest
+from hypothesis import given
+
+from repro.core import (
+    DriftSpec,
+    SystemSpec,
+    TransitSpec,
+    View,
+    external_bounds,
+    source_point,
+)
+from repro.sim.schedule import ScheduleHarness
+from repro.testing.oracle import (
+    OracleInconsistencyError,
+    oracle_all_pairs,
+    oracle_causal_past,
+    oracle_distances_from,
+    oracle_distances_to,
+    oracle_external_bounds,
+    oracle_live_points,
+    oracle_source_point,
+    oracle_sync_edges,
+)
+from repro.testing.strategies import schedules
+
+from ..conftest import make_event, recv, send, two_proc_spec
+
+
+def _run(schedule):
+    harness = ScheduleHarness(schedule, attach_full=False)
+    harness.run()
+    return harness
+
+
+@given(schedules(min_steps=5, max_steps=30))
+def test_oracle_agrees_with_production_path(schedule):
+    harness = _run(schedule)
+    view = harness.view
+    spec = harness.spec
+    # liveness: Definition 3.1 from raw events vs the View implementation
+    assert oracle_live_points(harness.events) == view.live_points()
+    assert oracle_source_point(harness.events, spec) == source_point(view, spec)
+    for proc in view.processors:
+        p = view.last_event(proc).eid
+        past = oracle_causal_past(harness.events, p)
+        # causal past: raw BFS vs the View's happens-before closure
+        assert set(past) == set(view.view_from(p))
+        ours = oracle_external_bounds(past, spec, p)
+        expected = external_bounds(view.view_from(p), spec, p)
+        assert ours.lower == pytest.approx(expected.lower, abs=1e-9)
+        if math.isinf(expected.upper):
+            assert math.isinf(ours.upper)
+        else:
+            assert ours.upper == pytest.approx(expected.upper, abs=1e-9)
+
+
+@given(schedules(min_steps=5, max_steps=25))
+def test_oracle_internal_cross_consistency(schedule):
+    """Floyd-Warshall, forward Bellman-Ford, and reverse Bellman-Ford agree."""
+    harness = _run(schedule)
+    spec = harness.spec
+    events = harness.events
+    all_pairs = oracle_all_pairs(events, spec)
+    eids = sorted(events)
+    for x in eids[:4]:  # a few rows/columns keep the check O(small)
+        from_x = oracle_distances_from(events, spec, x)
+        to_x = oracle_distances_to(events, spec, x)
+        for y in eids:
+            assert from_x[y] == pytest.approx(all_pairs[x][y], abs=1e-9) or (
+                math.isinf(from_x[y]) and math.isinf(all_pairs[x][y])
+            )
+            assert to_x[y] == pytest.approx(all_pairs[y][x], abs=1e-9) or (
+                math.isinf(to_x[y]) and math.isinf(all_pairs[y][x])
+            )
+
+
+def test_unbounded_without_source_point():
+    spec = two_proc_spec()
+    lone = make_event("a", 0, 5.0)
+    bound = oracle_external_bounds([lone], spec, lone.eid)
+    assert not bound.is_bounded
+
+
+def test_source_point_is_the_latest_source_event():
+    spec = two_proc_spec()
+    events = [make_event("src", 0, 1.0), make_event("src", 1, 2.0),
+              make_event("a", 0, 9.0)]
+    assert oracle_source_point(events, spec).seq == 1
+
+
+def test_inconsistent_execution_raises():
+    """A round trip faster than the advertised minimum transit has no
+    satisfying execution: the sync graph closes a negative cycle."""
+    spec = SystemSpec.build(
+        source="src",
+        processors=["src", "a"],
+        links=[("src", "a")],
+        default_drift=DriftSpec.perfect(),
+        default_transit=TransitSpec(5.0, 10.0),  # transit at least 5
+    )
+    s1 = send("src", 0, 0.0, dest="a")
+    r1 = recv("a", 0, 1.0, s1)  # claims arrival after 1 < 5 time units
+    s2 = send("a", 1, 1.5, dest="src")
+    r2 = recv("src", 1, 2.0, s2)
+    events = [s1, r1, s2, r2]
+    with pytest.raises(OracleInconsistencyError):
+        oracle_all_pairs(events, spec)
+    with pytest.raises(OracleInconsistencyError):
+        oracle_distances_from(events, spec, s1.eid)
+
+
+def test_sync_edges_omit_infinite_weights():
+    spec = two_proc_spec(transit=(0.0, math.inf))
+    s1 = send("src", 0, 1.0, dest="a")
+    r1 = recv("a", 0, 2.0, s1)
+    edges = oracle_sync_edges([s1, r1], spec)
+    assert all(math.isfinite(w) for _u, _v, w in edges)
+    directions = {(u, v) for u, v, _w in edges}
+    # unbounded transit upper: the recv->send edge (weight upper - observed
+    # = inf) is omitted; send->recv (observed - lower) is kept
+    assert (r1.eid, s1.eid) not in directions
+    assert (s1.eid, r1.eid) in directions
