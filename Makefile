@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments experiments-quick chaos chaos-byz examples fuzz fuzz-long clean
+.PHONY: install test bench bench-json experiments experiments-quick chaos chaos-byz examples fuzz fuzz-long rt-demo rt-smoke clean
 
 # conformance-suite paths run by the fuzz targets (the differential
 # driver, oracles, invariant hooks, corpus replay, and both fuzz files)
@@ -17,6 +17,12 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# machine-readable benchmark baseline; BENCH_core.json is committed so
+# perf regressions show up as a diff (CI uploads the fresh run as an
+# artifact for comparison)
+bench-json:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only --benchmark-json=BENCH_core.json
 
 experiments:
 	$(PYTHON) -m repro.experiments.cli
@@ -45,6 +51,18 @@ examples:
 		echo "== $$script =="; \
 		$(PYTHON) $$script || exit 1; \
 	done
+
+# live 4-node cluster over loopback with drifting clocks (~4 s)
+rt-demo:
+	$(PYTHON) -m repro.rt.cli --nodes 4 --shape ring --duration 4 \
+		--period 0.2 --drifting --require-converged
+
+# the CI runtime gate: loopback + real UDP sockets, both must converge
+rt-smoke:
+	$(PYTHON) -m repro.rt.cli --nodes 3 --duration 8 --period 0.25 \
+		--skew-ppm 100 --require-converged --out rt_loopback_run.json
+	$(PYTHON) -m repro.rt.cli --nodes 2 --transport udp --duration 8 \
+		--period 0.25 --skew-ppm 100 --require-converged --out rt_udp_run.json
 
 clean:
 	rm -rf .pytest_cache .hypothesis src/repro.egg-info

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""A live cluster: EfficientCSA on real wall clocks, in your process.
+
+Everything in the other examples runs inside the simulator, where time
+is a variable.  This one stands up three asyncio node daemons on an
+in-process loopback transport and lets them gossip for ~3 *real*
+seconds: every local time stamp comes from ``time.monotonic()`` through
+each node's hardware-clock model (n1 runs 200 ppm fast, n2 drifts
+inside a +/-150 ppm band), every message crosses an actual transport,
+every ack cancels an actual timer.
+
+Watch the certified intervals narrow as evidence accumulates - and note
+the run ends with the same oracle-checkable trace a simulation would
+produce.
+
+Run:  python examples/live_cluster.py
+"""
+
+from repro.rt import (
+    ClusterConfig,
+    ModelClockSource,
+    SkewedClockSource,
+    run_cluster_sync,
+)
+from repro.sim.clock import PiecewiseDriftingClock
+
+
+def main():
+    config = ClusterConfig(
+        processors=("n0", "n1", "n2"),
+        links=(("n0", "n1"), ("n1", "n2")),
+        duration=3.0,
+        gossip_period=0.2,
+        sample_period=0.5,
+        clocks={
+            # n0 (the source) keeps the perfect monotonic clock
+            "n1": SkewedClockSource(1.0 + 200e-6),
+            "n2": ModelClockSource(
+                PiecewiseDriftingClock(
+                    seed=7, r_min=1 - 150e-6, r_max=1 + 150e-6, mean_segment=1.0
+                )
+            ),
+        },
+        seed=7,
+    )
+    result = run_cluster_sync(config)
+
+    print("per-node interval width over ~3 s of wall time:")
+    for proc in config.processors:
+        widths = [
+            f"{s.bound.width * 1e3:8.3f}" if s.bound.is_bounded else "     inf"
+            for s in result.samples
+            if s.proc == proc
+        ]
+        print(f"  {proc}: {'  '.join(widths)}  (ms)")
+
+    print(
+        f"\n{result.messages_sent} messages, {result.messages_lost} lost, "
+        f"{len(result.trace)} events traced"
+    )
+    unsound = result.soundness_violations()
+    print(f"soundness violations: {len(unsound)}")
+    for proc, stats in sorted(result.nodes.items()):
+        print(f"  {proc}: final bound {stats.bound}")
+    assert not unsound, "a certified interval excluded the truth"
+
+
+if __name__ == "__main__":
+    main()

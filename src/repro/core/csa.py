@@ -288,6 +288,26 @@ class EfficientCSA(Estimator):
             self._apply_loss_flag(send_eid)
         self._debug_check()
 
+    def report_anomaly(
+        self, accused: ProcessorId, kind: str, at_lt: float, detail: str = ""
+    ) -> None:
+        """Feed an externally observed anomaly into the suspicion ledger.
+
+        Entry point for layers below the estimator - e.g. the runtime wire
+        codec attributing undecodable bytes to the claimed sender.  The
+        anomaly is recorded as a :class:`ValidationFailure` and blamed
+        exactly like a screening failure; no-op outside hardened mode
+        (without a suspicion ledger there is nowhere to put it).
+        """
+        if self.suspicion is None:
+            return
+        self.validation_failures.append(
+            ValidationFailure(kind=kind, accused=(accused,), detail=detail)
+        )
+        if self.suspicion.blame(accused, kind, at_lt, detail):
+            self._rebuild()
+        self._debug_check()
+
     # -- core insertion ------------------------------------------------------------
 
     def _ingest(self, event: Event) -> None:

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, Optional
 
 __all__ = [
     "ProcessorId",
@@ -163,3 +163,73 @@ class Event:
     def __str__(self):
         tag = {EventKind.SEND: "s", EventKind.RECEIVE: "r", EventKind.INTERNAL: "i"}[self.kind]
         return f"{self.eid}{tag}@{self.lt:g}"
+
+    # -- JSON codec -------------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """This event as a flat JSON-safe mapping.
+
+        The shape matches the per-event entries of the archived-run format
+        (:mod:`repro.sim.serialize`): ``proc``/``seq``/``lt``/``kind`` plus
+        ``dest`` for sends and ``send: [proc, seq]`` for receives.  The
+        derived ``link`` attribute is not stored; :meth:`from_dict`
+        recomputes it.
+        """
+        entry: Dict = {
+            "proc": self.eid.proc,
+            "seq": self.eid.seq,
+            "lt": self.lt,
+            "kind": self.kind.value,
+        }
+        if self.is_send:
+            entry["dest"] = self.dest
+        if self.is_receive:
+            entry["send"] = [self.send_eid.proc, self.send_eid.seq]
+        return entry
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Event":
+        """Inverse of :meth:`to_dict`; raises ``ValueError`` on bad input.
+
+        Built for untrusted bytes (the wire protocol decodes payload
+        records through here), so every field is type-checked explicitly
+        rather than trusted to crash somewhere downstream.
+        """
+        if not isinstance(data, dict):
+            raise ValueError(f"event record must be a mapping, got {type(data).__name__}")
+        proc = data.get("proc")
+        if not isinstance(proc, str) or not proc:
+            raise ValueError(f"event record needs a non-empty 'proc' string, got {proc!r}")
+        seq = data.get("seq")
+        if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
+            raise ValueError(f"event record needs a non-negative integer 'seq', got {seq!r}")
+        lt = data.get("lt")
+        if isinstance(lt, bool) or not isinstance(lt, (int, float)):
+            raise ValueError(f"event record needs a numeric 'lt', got {lt!r}")
+        lt = float(lt)
+        if lt != lt or lt in (float("inf"), float("-inf")):
+            raise ValueError(f"event local time must be finite, got {lt!r}")
+        try:
+            kind = EventKind(data.get("kind"))
+        except ValueError:
+            raise ValueError(f"unknown event kind {data.get('kind')!r}") from None
+        dest = None
+        send_eid = None
+        if kind is EventKind.SEND:
+            dest = data.get("dest")
+            if not isinstance(dest, str) or not dest:
+                raise ValueError(f"send record needs a non-empty 'dest' string, got {dest!r}")
+        elif kind is EventKind.RECEIVE:
+            ref = data.get("send")
+            if (
+                not isinstance(ref, (list, tuple))
+                or len(ref) != 2
+                or not isinstance(ref[0], str)
+                or not ref[0]
+                or not isinstance(ref[1], int)
+                or isinstance(ref[1], bool)
+                or ref[1] < 0
+            ):
+                raise ValueError(f"receive record needs 'send': [proc, seq], got {ref!r}")
+            send_eid = EventId(ref[0], ref[1])
+        return cls(eid=EventId(proc, seq), lt=lt, kind=kind, dest=dest, send_eid=send_eid)

@@ -75,6 +75,53 @@ class HistoryPayload:
         """Report size in records (the paper's message-size unit)."""
         return len(self.records) + len(self.loss_flags)
 
+    # -- JSON codec -------------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """JSON-safe form: event records via :meth:`Event.to_dict`, loss
+        flags as ``[proc, seq]`` pairs.  Exact inverse of :meth:`from_dict`
+        (the wire protocol and corpus/debug dumps both rely on the
+        round trip being lossless)."""
+        return {
+            "records": [event.to_dict() for event in self.records],
+            "loss_flags": [[eid.proc, eid.seq] for eid in self.loss_flags],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "HistoryPayload":
+        """Inverse of :meth:`to_dict`; raises ``ValueError`` on bad input.
+
+        This is the decode path for *untrusted* bytes (the wire protocol
+        feeds received frames through here before any admission
+        screening), so shapes are checked explicitly and errors carry the
+        offending fragment.
+        """
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"history payload must be a mapping, got {type(data).__name__}"
+            )
+        records_raw = data.get("records", [])
+        if not isinstance(records_raw, (list, tuple)):
+            raise ValueError(f"'records' must be a list, got {type(records_raw).__name__}")
+        records = tuple(Event.from_dict(entry) for entry in records_raw)
+        flags_raw = data.get("loss_flags", [])
+        if not isinstance(flags_raw, (list, tuple)):
+            raise ValueError(f"'loss_flags' must be a list, got {type(flags_raw).__name__}")
+        flags = []
+        for entry in flags_raw:
+            if (
+                not isinstance(entry, (list, tuple))
+                or len(entry) != 2
+                or not isinstance(entry[0], str)
+                or not entry[0]
+                or not isinstance(entry[1], int)
+                or isinstance(entry[1], bool)
+                or entry[1] < 0
+            ):
+                raise ValueError(f"loss flag must be [proc, seq], got {entry!r}")
+            flags.append(EventId(entry[0], entry[1]))
+        return cls(records=records, loss_flags=tuple(flags))
+
 
 @dataclass
 class HistoryStats:

@@ -1,0 +1,185 @@
+"""``repro-rt``: launch a live cluster from the command line.
+
+Stands up an N-node cluster (loopback by default, ``--transport udp``
+for real sockets on 127.0.0.1), runs it for ``--duration`` wall seconds,
+prints per-node convergence, and optionally archives the run as a
+:mod:`repro.sim.serialize` v2 document (``--out``) that the analysis CLI
+and :func:`~repro.sim.serialize.load_run` consume like any simulated run.
+
+``--require-converged`` makes the exit status a health check: non-zero
+unless every node ends with finite two-sided bounds and every sample is
+sound - the contract the CI runtime-smoke job enforces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Tuple
+
+from ..core.events import ProcessorId
+from ..sim.clock import PiecewiseDriftingClock
+from .clock import ModelClockSource, SkewedClockSource
+from .cluster import ClusterConfig, CrashSchedule, dump_rt_run, run_cluster_sync
+
+__all__ = ["main", "build_parser", "shape_links"]
+
+
+def shape_links(
+    names: List[ProcessorId], shape: str
+) -> List[Tuple[ProcessorId, ProcessorId]]:
+    """The link set of a named topology over ``names``."""
+    n = len(names)
+    if shape == "line":
+        return [(names[i], names[i + 1]) for i in range(n - 1)]
+    if shape == "ring":
+        links = [(names[i], names[i + 1]) for i in range(n - 1)]
+        if n > 2:
+            links.append((names[-1], names[0]))
+        return links
+    if shape == "star":
+        return [(names[0], names[i]) for i in range(1, n)]
+    if shape == "full":
+        return [(names[i], names[j]) for i in range(n) for j in range(i + 1, n)]
+    raise ValueError(f"unknown shape {shape!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-rt",
+        description="Run a live EfficientCSA cluster over loopback or UDP.",
+    )
+    parser.add_argument("--nodes", type=int, default=3, help="cluster size (default 3)")
+    parser.add_argument(
+        "--shape",
+        choices=("line", "ring", "star", "full"),
+        default="line",
+        help="topology over n0..n{N-1}; n0 is the source (default line)",
+    )
+    parser.add_argument(
+        "--transport",
+        choices=("loopback", "udp"),
+        default="loopback",
+        help="in-process loopback or real UDP sockets on 127.0.0.1",
+    )
+    parser.add_argument("--duration", type=float, default=3.0, help="wall seconds to run")
+    parser.add_argument(
+        "--period", type=float, default=0.25, help="gossip period in seconds"
+    )
+    parser.add_argument(
+        "--sample-period", type=float, default=0.25, help="estimate sampling period"
+    )
+    parser.add_argument(
+        "--skew-ppm",
+        type=float,
+        default=0.0,
+        help="give node i a fixed clock skew of i*this many ppm",
+    )
+    parser.add_argument(
+        "--drifting",
+        action="store_true",
+        help="give non-source nodes seeded piecewise-drifting clocks instead",
+    )
+    parser.add_argument(
+        "--drift-ppm",
+        type=float,
+        default=200.0,
+        help="advertised drift band for --drifting clocks (default 200)",
+    )
+    parser.add_argument(
+        "--crash",
+        metavar="PROC:STOP[:RESTART]",
+        action="append",
+        default=[],
+        help="fail-stop PROC at STOP elapsed seconds (restart at RESTART)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="seed for jitter and clocks")
+    parser.add_argument("--out", help="archive the run as a serialize-v2 JSON document")
+    parser.add_argument(
+        "--require-converged",
+        action="store_true",
+        help="exit non-zero unless all nodes end bounded and all samples sound",
+    )
+    return parser
+
+
+def _parse_crash(text: str) -> CrashSchedule:
+    parts = text.split(":")
+    if len(parts) not in (2, 3):
+        raise ValueError(f"crash spec {text!r} is not PROC:STOP[:RESTART]")
+    restart = float(parts[2]) if len(parts) == 3 else None
+    return CrashSchedule(proc=parts[0], stop_at=float(parts[1]), restart_at=restart)
+
+
+def _clocks(args, names: List[ProcessorId]):
+    clocks = {}
+    for index, name in enumerate(names):
+        if index == 0:
+            continue  # the source stays monotonic (it defines real time)
+        if args.drifting:
+            band = args.drift_ppm * 1e-6
+            clocks[name] = ModelClockSource(
+                PiecewiseDriftingClock(
+                    args.seed + index,
+                    r_min=1.0 - band,
+                    r_max=1.0 + band,
+                    mean_segment=1.0,
+                )
+            )
+        elif args.skew_ppm:
+            rate = 1.0 + index * args.skew_ppm * 1e-6
+            clocks[name] = SkewedClockSource(rate)
+    return clocks
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.nodes < 2:
+        print("error: --nodes must be at least 2", file=sys.stderr)
+        return 2
+    names = [f"n{i}" for i in range(args.nodes)]
+    try:
+        crashes = tuple(_parse_crash(text) for text in args.crash)
+        config = ClusterConfig(
+            processors=tuple(names),
+            links=tuple(shape_links(names, args.shape)),
+            duration=args.duration,
+            gossip_period=args.period,
+            sample_period=args.sample_period,
+            clocks=_clocks(args, names),
+            transport=args.transport,
+            crashes=crashes,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = run_cluster_sync(config)
+
+    print(
+        f"{args.nodes}-node {args.shape} over {args.transport}: "
+        f"{result.messages_sent} messages, {result.messages_lost} lost, "
+        f"{len(result.trace)} events"
+    )
+    all_converged = True
+    for proc in names:
+        stats = result.nodes[proc]
+        tag = "source" if proc == config.source_proc else (
+            "converged" if stats.converged else "UNBOUNDED"
+        )
+        if proc != config.source_proc and not stats.converged:
+            all_converged = False
+        print(f"  {proc}: bound={stats.bound}  events={stats.events}  [{tag}]")
+    violations = result.soundness_violations()
+    if violations:
+        print(f"  UNSOUND: {len(violations)} sample(s) exclude the truth")
+    if args.out:
+        dump_rt_run(result, args.out)
+        print(f"  archived -> {args.out}")
+    if args.require_converged and (violations or not all_converged):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,144 @@
+"""Wall-clock time sources for the real-time runtime.
+
+The simulator owns time; a runtime node does not.  A :class:`ClockSource`
+is the node's *hardware clock*: a strictly increasing mapping from the
+host's monotonic elapsed time to the node's local time, advertising a
+:class:`~repro.core.specs.DriftSpec` exactly like the simulator's
+:class:`~repro.sim.clock.ClockModel` - the optimality theorems quantify
+over executions satisfying their own specification, so the advertisement
+is part of the contract here too.
+
+Reading a clock is a two-step split on purpose:
+
+* :class:`TimeBase` produces the *real* elapsed time ``rt`` (one
+  ``time.monotonic()`` call shared by every node in the process - in the
+  analysis-only role the simulator's global clock plays; a deployed node
+  never looks at another node's readings);
+* ``ClockSource.lt_at(rt)`` is a *pure* function of that reading.
+
+Pairing ``(rt, lt)`` through a single monotonic sample keeps the recorded
+execution exactly in-spec: no scheduling delay can slip between the real
+time the analysis records for an event and the local time the node stamps
+on it.
+
+Sources:
+
+* :class:`MonotonicClockSource` - local time equals elapsed monotonic
+  time (the source node; defines real time for the cluster).
+* :class:`SkewedClockSource` - a constant-rate skew plus offset; the
+  classical fixed-skew model, useful to make multi-node runs on one host
+  exhibit drift.
+* :class:`ModelClockSource` - adapts any simulator
+  :class:`~repro.sim.clock.ClockModel` (e.g. a seeded
+  :class:`~repro.sim.clock.PiecewiseDriftingClock`), so the runtime can
+  exercise genuinely *drifting* clocks while running over real sockets.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+
+from ..core.errors import SimulationError
+from ..core.specs import DriftSpec
+from ..sim.clock import ClockModel
+
+__all__ = [
+    "TimeBase",
+    "ClockSource",
+    "MonotonicClockSource",
+    "SkewedClockSource",
+    "ModelClockSource",
+]
+
+
+class TimeBase:
+    """A shared monotonic epoch; ``elapsed()`` is the cluster's real time.
+
+    One instance is shared by every node of an in-process cluster plus the
+    harness, so sampled truths and event real-times are mutually
+    comparable.  The origin is captured at construction.
+    """
+
+    def __init__(self):
+        self._origin = time.monotonic()
+
+    def elapsed(self) -> float:
+        """Seconds of real time since this time base was created."""
+        return time.monotonic() - self._origin
+
+
+class ClockSource(abc.ABC):
+    """A node's hardware clock: pure mapping from elapsed real time to LT."""
+
+    @property
+    @abc.abstractmethod
+    def advertised(self) -> DriftSpec:
+        """The drift specification this clock promises to satisfy."""
+
+    @abc.abstractmethod
+    def lt_at(self, rt: float) -> float:
+        """Local time shown when the shared time base reads ``rt >= 0``."""
+
+
+class MonotonicClockSource(ClockSource):
+    """Local time is elapsed monotonic time: the perfect (source) clock."""
+
+    @property
+    def advertised(self) -> DriftSpec:
+        return DriftSpec.perfect()
+
+    def lt_at(self, rt: float) -> float:
+        return rt
+
+
+class SkewedClockSource(ClockSource):
+    """``LT = offset + rate * elapsed`` - a constant-rate skewed clock.
+
+    ``advertised`` defaults to the exact band ``[rate, rate]``; pass
+    ``advertised_band=(r_min, r_max)`` containing ``rate`` to mirror a
+    datasheet-tolerance advertisement instead.
+    """
+
+    def __init__(self, rate: float = 1.0, offset: float = 0.0, *, advertised_band=None):
+        if rate <= 0:
+            raise SimulationError(f"clock rate must be positive, got {rate}")
+        self.rate = rate
+        self.offset = offset
+        if advertised_band is None:
+            self._advertised = DriftSpec.from_rate_bounds(rate, rate)
+        else:
+            r_min, r_max = advertised_band
+            if not (r_min <= rate <= r_max):
+                raise SimulationError(
+                    f"true rate {rate} outside advertised band [{r_min}, {r_max}]"
+                )
+            self._advertised = DriftSpec.from_rate_bounds(r_min, r_max)
+
+    @property
+    def advertised(self) -> DriftSpec:
+        return self._advertised
+
+    def lt_at(self, rt: float) -> float:
+        return self.offset + self.rate * rt
+
+
+class ModelClockSource(ClockSource):
+    """Adapter: drive any simulator :class:`ClockModel` from real time.
+
+    The model's real-time axis is identified with the shared time base's
+    elapsed seconds, so e.g. a seeded
+    :class:`~repro.sim.clock.PiecewiseDriftingClock` makes a runtime
+    node's clock wander inside its advertised band while the node runs
+    over real sockets.
+    """
+
+    def __init__(self, model: ClockModel):
+        self.model = model
+
+    @property
+    def advertised(self) -> DriftSpec:
+        return self.model.advertised
+
+    def lt_at(self, rt: float) -> float:
+        return self.model.lt(rt)

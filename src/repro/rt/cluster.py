@@ -1,0 +1,333 @@
+"""Cluster harness: launch, sample, crash, and archive N live nodes.
+
+:func:`run_cluster` stands up one :class:`~repro.rt.node.Node` per
+configured processor on a shared transport (in-process loopback or real
+UDP sockets), lets them gossip for ``duration`` seconds of wall time,
+samples every node's :meth:`~repro.rt.node.Node.estimate_now` on a fixed
+period, optionally injects a :class:`~repro.sim.faults.FaultPlan` through
+:class:`~repro.rt.transport.FaultMiddleware` and crash/restart schedules
+through :meth:`Node.stop`/:meth:`Node.start`, and finally merges every
+node's local event log into one :class:`~repro.sim.trace.ExecutionTrace`.
+
+The result is deliberately shaped like the simulator's
+:class:`~repro.sim.runner.RunResult`: same sample records, same trace
+type, and :meth:`RtRunResult.to_document` emits the exact
+:mod:`repro.sim.serialize` version-2 document, so an archived live run
+loads through :func:`~repro.sim.serialize.load_run` and flows into the
+same oracles, claim checkers, and analysis CLI as a simulated one.  That
+is the parity story of this subsystem: two execution engines, one
+evidence format.
+
+The source processor's clock is pinned to
+:class:`~repro.rt.clock.MonotonicClockSource` - the source *defines*
+real time, so sample truths are the shared time base's elapsed reading.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.errors import SimulationError
+from ..core.events import ProcessorId
+from ..core.specs import DriftSpec, SystemSpec, TransitSpec
+from ..sim.faults import FaultPlan, RetransmitPolicy
+from ..sim.runner import EstimateSample
+from ..sim.serialize import (
+    FORMAT_VERSION,
+    samples_to_dicts,
+    spec_to_dict,
+    trace_to_dict,
+)
+from ..sim.trace import ExecutionTrace
+from .clock import ClockSource, MonotonicClockSource, TimeBase
+from .node import Node, NodeConfig, NodeStats
+from .transport import FaultMiddleware, LoopbackTransport, Transport, UDPTransport
+
+__all__ = [
+    "CrashSchedule",
+    "ClusterConfig",
+    "RtRunResult",
+    "build_spec",
+    "run_cluster",
+    "run_cluster_sync",
+    "dump_rt_run",
+]
+
+
+@dataclass(frozen=True)
+class CrashSchedule:
+    """Fail-stop ``proc`` at ``stop_at`` (elapsed s); restart at ``restart_at``."""
+
+    proc: ProcessorId
+    stop_at: float
+    restart_at: Optional[float] = None
+
+    def __post_init__(self):
+        if self.stop_at < 0:
+            raise SimulationError(f"stop_at must be non-negative, got {self.stop_at}")
+        if self.restart_at is not None and self.restart_at <= self.stop_at:
+            raise SimulationError("restart_at must come after stop_at")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Everything needed to stand up one live cluster."""
+
+    processors: Tuple[ProcessorId, ...]
+    links: Tuple[Tuple[ProcessorId, ProcessorId], ...]
+    source: Optional[ProcessorId] = None  # default: first processor
+    duration: float = 3.0
+    gossip_period: float = 0.25
+    sample_period: float = 0.25
+    #: advertised per-direction transit bounds (real networks: lower 0)
+    transit: TransitSpec = field(default_factory=TransitSpec)
+    #: per-processor hardware clocks; missing entries get a monotonic clock
+    clocks: Mapping[ProcessorId, ClockSource] = field(default_factory=dict)
+    retransmit: RetransmitPolicy = field(default_factory=RetransmitPolicy)
+    transport: str = "loopback"  # or "udp"
+    #: loopback-only delivery delay/jitter
+    loopback_delay: float = 0.0
+    loopback_jitter: float = 0.0
+    #: live fault injection through FaultMiddleware
+    faults: Optional[FaultPlan] = None
+    crashes: Tuple[CrashSchedule, ...] = ()
+    gossip_jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self):
+        if len(self.processors) < 2:
+            raise SimulationError("a cluster needs at least two processors")
+        if self.transport not in ("loopback", "udp"):
+            raise SimulationError(f"unknown transport kind {self.transport!r}")
+        if self.duration <= 0 or self.sample_period <= 0:
+            raise SimulationError("duration and sample_period must be positive")
+        src = self.source_proc
+        clock = self.clocks.get(src)
+        if clock is not None and not isinstance(clock, MonotonicClockSource):
+            raise SimulationError(
+                f"the source {src!r} defines real time; its clock must be monotonic"
+            )
+        for proc in self.clocks:
+            if proc not in self.processors:
+                raise SimulationError(f"clock configured for unknown processor {proc!r}")
+        for crash in self.crashes:
+            if crash.proc == src:
+                raise SimulationError("crashing the source leaves truth undefined")
+            if crash.proc not in self.processors:
+                raise SimulationError(f"crash schedule names unknown {crash.proc!r}")
+
+    @property
+    def source_proc(self) -> ProcessorId:
+        return self.source if self.source is not None else self.processors[0]
+
+    def clock_for(self, proc: ProcessorId) -> ClockSource:
+        clock = self.clocks.get(proc)
+        return clock if clock is not None else MonotonicClockSource()
+
+
+def build_spec(config: ClusterConfig) -> SystemSpec:
+    """The advertised :class:`SystemSpec` of a cluster: clocks tell the truth.
+
+    Each processor advertises exactly its configured clock's drift band,
+    so every recorded execution is in-spec by construction and
+    Theorem 2.1's soundness/optimality preconditions hold.
+    """
+    drift: Dict[ProcessorId, DriftSpec] = {
+        proc: config.clock_for(proc).advertised for proc in config.processors
+    }
+    return SystemSpec.build(
+        source=config.source_proc,
+        processors=config.processors,
+        links=config.links,
+        drift=drift,
+        default_transit=config.transit,
+    )
+
+
+@dataclass
+class RtRunResult:
+    """A finished live run, shaped like the simulator's RunResult."""
+
+    spec: SystemSpec
+    trace: ExecutionTrace
+    samples: List[EstimateSample]
+    #: final per-node snapshots, keyed by processor
+    nodes: Dict[ProcessorId, NodeStats]
+    messages_sent: int
+    messages_lost: int
+    #: serialize-v2 ``links`` rows: per-directed-link sent/lost/duplicated
+    link_rows: List[Dict]
+
+    def soundness_violations(self) -> List[EstimateSample]:
+        return [s for s in self.samples if not s.sound]
+
+    def to_document(self) -> Dict:
+        """The :mod:`repro.sim.serialize` v2 document of this run."""
+        return {
+            "version": FORMAT_VERSION,
+            "spec": spec_to_dict(self.spec),
+            "trace": trace_to_dict(self.trace),
+            "samples": samples_to_dicts(self.samples),
+            "messages_sent": self.messages_sent,
+            "messages_lost": self.messages_lost,
+            "links": self.link_rows,
+        }
+
+
+def dump_rt_run(result: RtRunResult, path: str) -> None:
+    """Archive a live run; loads back via :func:`repro.sim.serialize.load_run`."""
+    with open(path, "w") as handle:
+        json.dump(result.to_document(), handle)
+
+
+def _make_transport(config: ClusterConfig, time_base: TimeBase) -> Transport:
+    if config.transport == "udp":
+        inner: Transport = UDPTransport(
+            {proc: ("127.0.0.1", 0) for proc in config.processors}
+        )
+    else:
+        inner = LoopbackTransport(
+            delay=config.loopback_delay,
+            jitter=config.loopback_jitter,
+            seed=config.seed,
+        )
+    if config.faults is None or config.faults.is_noop:
+        return inner
+    return FaultMiddleware(
+        inner,
+        config.faults,
+        time_base,
+        procs=config.processors,
+        links=config.links,
+        source=config.source_proc,
+    )
+
+
+def _merge_trace(nodes: Sequence[Node]) -> ExecutionTrace:
+    """One chronological trace from every node's local event log.
+
+    Entries are ordered by shared-time-base real time; at equal readings
+    (clock resolution) sends sort before receives so a message never
+    appears to arrive before it left.
+    """
+    entries = []
+    for node in nodes:
+        entries.extend(node.trace_log)
+    entries.sort(key=lambda pair: (pair[1], pair[0].is_receive, pair[0].proc, pair[0].seq))
+    trace = ExecutionTrace()
+    received = set()
+    for event, rt in entries:
+        trace.record(event, rt)
+        if event.is_receive:
+            received.add(event.send_eid)
+    # a send with no matching receive anywhere is a lost message
+    for event, _rt in entries:
+        if event.is_send and event.eid not in received:
+            trace.record_lost(event.eid)
+    return trace
+
+
+def _link_rows(nodes: Sequence[Node]) -> List[Dict]:
+    rows = []
+    for node in sorted(nodes, key=lambda n: n.proc):
+        for peer in node.peers:
+            stats = node.stats[peer]
+            rows.append(
+                {
+                    "src": node.proc,
+                    "dest": peer,
+                    "sent": stats.sent,
+                    "lost": stats.losses_signaled,
+                    "duplicated": stats.duplicates,
+                }
+            )
+    return rows
+
+
+async def run_cluster(config: ClusterConfig) -> RtRunResult:
+    """Run one live cluster to completion and collect the evidence."""
+    spec = build_spec(config)
+    time_base = TimeBase()
+    transport = _make_transport(config, time_base)
+    await transport.start()
+    nodes = [
+        Node(
+            NodeConfig(
+                proc=proc,
+                spec=spec,
+                gossip_period=config.gossip_period,
+                jitter=config.gossip_jitter,
+                retransmit=config.retransmit,
+                seed=config.seed + index,
+            ),
+            transport,
+            clock=config.clock_for(proc),
+            time_base=time_base,
+        )
+        for index, proc in enumerate(config.processors)
+    ]
+    by_name = {node.proc: node for node in nodes}
+    samples: List[EstimateSample] = []
+
+    async def crash_driver(crash: CrashSchedule) -> None:
+        node = by_name[crash.proc]
+        await asyncio.sleep(max(0.0, crash.stop_at - time_base.elapsed()))
+        await node.stop()
+        if crash.restart_at is not None:
+            await asyncio.sleep(max(0.0, crash.restart_at - time_base.elapsed()))
+            await node.start()
+
+    try:
+        for node in nodes:
+            await node.start()
+        crash_tasks = [
+            asyncio.get_running_loop().create_task(crash_driver(crash))
+            for crash in config.crashes
+        ]
+        while time_base.elapsed() < config.duration:
+            await asyncio.sleep(
+                min(config.sample_period, config.duration - time_base.elapsed())
+            )
+            for node in nodes:
+                if not node.running:
+                    continue  # a crashed processor estimates nothing
+                # one atomic reading serves as both sampling instant and
+                # truth: the source clock defines real time
+                rt, bound = node._estimate_at_now()
+                samples.append(
+                    EstimateSample(
+                        rt=rt, proc=node.proc, channel="rt", bound=bound, truth=rt
+                    )
+                )
+        for task in crash_tasks:
+            task.cancel()
+        for task in crash_tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        for node in nodes:
+            await node.stop()
+        # drain in-flight loopback deliveries so the trace is settled
+        await asyncio.sleep(0)
+    finally:
+        await transport.stop()
+    trace = _merge_trace(nodes)
+    sent = sum(s.sent for node in nodes for s in node.stats.values())
+    return RtRunResult(
+        spec=spec,
+        trace=trace,
+        samples=samples,
+        nodes={node.proc: node.snapshot() for node in nodes},
+        messages_sent=sent,
+        messages_lost=len(trace.lost_sends),
+        link_rows=_link_rows(nodes),
+    )
+
+
+def run_cluster_sync(config: ClusterConfig) -> RtRunResult:
+    """Blocking wrapper: run the cluster on a fresh event loop."""
+    return asyncio.run(run_cluster(config))

@@ -1,0 +1,419 @@
+"""The asyncio node daemon: one live processor running an estimator.
+
+A :class:`Node` is the runtime counterpart of one simulated processor.
+It owns an :class:`~repro.core.csa_base.Estimator` (by default a
+hardened, unreliable-mode :class:`~repro.core.csa.EfficientCSA`), reads
+its hardware clock through a :class:`~repro.rt.clock.ClockSource`, and
+drives the estimator's passive event hooks from real traffic on a
+:class:`~repro.rt.transport.Transport`:
+
+* a gossip loop emits one ``sync`` frame per neighbor every
+  ``gossip_period`` seconds (jittered), calling ``on_send`` and wiring
+  the returned :class:`~repro.core.history.HistoryPayload` onto the wire;
+* received ``sync`` frames become receive events (``on_receive``) and are
+  acknowledged; duplicates are discarded *before* the estimator but
+  re-acked, giving the at-most-once delivery the event model assumes;
+* ``ack`` frames confirm delivery (``on_delivery_confirmed``), cancelling
+  the per-message loss timer; a timer that fires first signals
+  ``on_loss_detected`` and retransmits as a *fresh* send while the
+  :class:`~repro.sim.faults.RetransmitPolicy` allows - the same Sec 3.3
+  recovery loop PR 1 built for the simulator, now against real timers;
+* undecodable or malformed bytes never reach the estimator: they are
+  counted, and when the claimed sender is a known neighbor the anomaly is
+  fed to :meth:`~repro.core.csa.EfficientCSA.report_anomaly`, so
+  wire-level garbage lands in the same suspicion ledger as sim-path
+  tampering.
+
+Every local event is paired ``(rt, lt)`` through one shared
+:class:`~repro.rt.clock.TimeBase` reading, and appended to the node's
+local trace log; the cluster harness merges these logs into an
+:class:`~repro.sim.trace.ExecutionTrace` that the oracles and the
+serializer consume exactly as if the simulator had produced it.
+
+Crash/restart follows PR 1's fail-stop-with-durable-state semantics:
+:meth:`Node.stop` halts timers and unregisters from the transport;
+:meth:`Node.start` re-registers, first flushing any transmissions that
+were in flight at the crash as losses (sound - loss signals only discard
+information) and resuming sequence numbers where they left off.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..core.csa import EfficientCSA
+from ..core.csa_base import Estimator, SuspicionPolicy
+from ..core.errors import SimulationError
+from ..core.events import Event, EventId, EventKind, ProcessorId
+from ..core.intervals import ClockBound
+from ..core.specs import SystemSpec
+from ..sim.faults import RetransmitPolicy
+from .clock import ClockSource, MonotonicClockSource, TimeBase
+from .transport import Transport
+from .wire import Frame, ack_frame, decode_frame, encode_frame, hello_frame, sync_frame
+
+__all__ = [
+    "LinkStats",
+    "NodeConfig",
+    "NodeStats",
+    "Node",
+]
+
+#: smallest forward nudge of the shared real-time reading used to keep a
+#: node's local-time stamps strictly increasing (see Node._next_point)
+_RT_NUDGE = 1e-7
+
+
+@dataclass
+class LinkStats:
+    """Per-neighbor traffic counters, updated live."""
+
+    sent: int = 0
+    received: int = 0
+    acked: int = 0
+    retransmissions: int = 0
+    losses_signaled: int = 0
+    duplicates: int = 0
+    decode_errors: int = 0
+    rejected_frames: int = 0
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """Static configuration of one runtime node."""
+
+    proc: ProcessorId
+    spec: SystemSpec
+    gossip_period: float = 0.5
+    #: fraction of the period added as uniform jitter (desynchronizes nodes)
+    jitter: float = 0.1
+    retransmit: RetransmitPolicy = field(default_factory=RetransmitPolicy)
+    #: suspicion policy for the default estimator; None -> unhardened
+    suspicion: Optional[SuspicionPolicy] = field(default_factory=SuspicionPolicy)
+    seed: int = 0
+    #: build a custom estimator; default is hardened unreliable EfficientCSA
+    estimator_factory: Optional[Callable[["NodeConfig"], Estimator]] = None
+
+    def __post_init__(self):
+        if self.gossip_period <= 0:
+            raise SimulationError(
+                f"gossip period must be positive, got {self.gossip_period}"
+            )
+        if self.jitter < 0:
+            raise SimulationError(f"jitter must be non-negative, got {self.jitter}")
+
+    def build_estimator(self) -> Estimator:
+        if self.estimator_factory is not None:
+            return self.estimator_factory(self)
+        return EfficientCSA(
+            self.proc,
+            self.spec,
+            reliable=False,
+            degraded_mode=True,
+            suspicion=self.suspicion,
+        )
+
+
+@dataclass(frozen=True)
+class NodeStats:
+    """A consistent snapshot of one node's situation, taken on demand."""
+
+    proc: ProcessorId
+    running: bool
+    rt: float
+    lt: float
+    #: bounds advanced to the snapshot instant (estimate_now)
+    bound: ClockBound
+    #: bounds exactly at the last local event (what Theorem 2.1 quantifies)
+    event_bound: ClockBound
+    events: int
+    links: Dict[ProcessorId, LinkStats]
+    suspected: Tuple[ProcessorId, ...]
+
+    @property
+    def converged(self) -> bool:
+        return self.bound.is_bounded
+
+
+class Node:
+    """One live processor: estimator + clock + transport endpoint."""
+
+    def __init__(
+        self,
+        config: NodeConfig,
+        transport: Transport,
+        clock: Optional[ClockSource] = None,
+        time_base: Optional[TimeBase] = None,
+    ):
+        self.config = config
+        self.proc = config.proc
+        self.transport = transport
+        self.clock = clock if clock is not None else MonotonicClockSource()
+        self.time_base = time_base if time_base is not None else TimeBase()
+        self.estimator = config.build_estimator()
+        self.peers: Tuple[ProcessorId, ...] = config.spec.neighbors(config.proc)
+        self._rng = random.Random(config.seed)
+        #: durable across stop/start (fail-stop with durable state)
+        self._next_seq = 0
+        #: (event, rt) pairs, in local emission order; harness merges these
+        self.trace_log: List[Tuple[Event, float]] = []
+        #: in-flight sends awaiting ack: seq -> (dest, eid, attempt, timer)
+        self._pending: Dict[int, Tuple[ProcessorId, EventId, int, asyncio.TimerHandle]] = {}
+        #: per-peer seqs already delivered to the estimator (at-most-once)
+        self._seen: Dict[ProcessorId, Set[int]] = {p: set() for p in self.peers}
+        self.stats: Dict[ProcessorId, LinkStats] = {p: LinkStats() for p in self.peers}
+        self.peer_last_seen: Dict[ProcessorId, float] = {}
+        #: estimator hook exceptions swallowed on the receive path
+        self.estimator_errors = 0
+        #: decode errors whose claimed sender is unknown or absent
+        self.unattributed_errors = 0
+        self._gossip_task: Optional[asyncio.Task] = None
+        self._running = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Register with the transport and begin gossiping."""
+        if self._running:
+            return
+        # anything in flight at the last stop is unknowable now: flush as
+        # loss before new traffic so history watermarks stay conservative
+        for seq in sorted(self._pending):
+            dest, eid, _attempt, timer = self._pending.pop(seq)
+            timer.cancel()
+            self.stats[dest].losses_signaled += 1
+            self._guarded(self.estimator.on_loss_detected, eid)
+        self._running = True
+        self.transport.register(self.proc, self._on_datagram)
+        ensure = getattr(self.transport, "ensure_endpoint", None)
+        if ensure is not None:
+            await ensure(self.proc)
+        for peer in self.peers:
+            self.transport.send(
+                self.proc, peer, encode_frame(hello_frame(self.proc, peer))
+            )
+        self._gossip_task = asyncio.get_running_loop().create_task(self._gossip_loop())
+
+    async def stop(self) -> None:
+        """Fail-stop: halt gossip and timers, drop off the transport.
+
+        Estimator state, sequence numbers, and the trace log survive; a
+        later :meth:`start` resumes from them.
+        """
+        self._running = False
+        self.transport.unregister(self.proc)
+        if self._gossip_task is not None:
+            self._gossip_task.cancel()
+            try:
+                await self._gossip_task
+            except asyncio.CancelledError:
+                pass
+            self._gossip_task = None
+        for _dest, _eid, _attempt, timer in self._pending.values():
+            timer.cancel()
+        # pending entries are kept: the next start() flushes them as losses
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    # -- clock reads -------------------------------------------------------------
+
+    def _now(self) -> Tuple[float, float]:
+        """One atomic (rt, lt) pair off the shared time base."""
+        rt = self.time_base.elapsed()
+        return rt, self.clock.lt_at(rt)
+
+    def _next_point(self) -> Tuple[float, float]:
+        """An (rt, lt) pair with lt strictly after the last local event.
+
+        When two reads land inside clock resolution, the *real-time*
+        reading is nudged forward and the local time recomputed through
+        the clock mapping - so the recorded pair still lies exactly on
+        this clock's trajectory and the execution stays in-spec (nudging
+        lt alone would implicitly claim rate 1.0).
+        """
+        rt, lt = self._now()
+        last = self.estimator.last_local_event
+        if last is not None:
+            nudge = _RT_NUDGE
+            while lt <= last.lt:
+                rt += nudge
+                lt = self.clock.lt_at(rt)
+                nudge *= 2
+        return rt, lt
+
+    # -- send path ---------------------------------------------------------------
+
+    async def _gossip_loop(self) -> None:
+        period = self.config.gossip_period
+        while self._running:
+            for peer in self.peers:
+                if not self._running:
+                    return
+                self._send_sync(peer, attempt=0)
+            await asyncio.sleep(
+                period * (1.0 + self._rng.uniform(0.0, self.config.jitter))
+            )
+
+    def _send_sync(self, dest: ProcessorId, *, attempt: int) -> None:
+        """Emit one fresh sync frame to ``dest`` and arm its loss timer."""
+        rt, lt = self._next_point()
+        event = Event(EventId(self.proc, self._next_seq), lt, EventKind.SEND, dest=dest)
+        try:
+            payload = self.estimator.on_send(event)
+        except Exception:
+            # the seq was not consumed: the local event chain stays gapless
+            self.estimator_errors += 1
+            return
+        self._next_seq += 1
+        self.trace_log.append((event, rt))
+        stats = self.stats[dest]
+        stats.sent += 1
+        if attempt > 0:
+            stats.retransmissions += 1
+        self.transport.send(self.proc, dest, encode_frame(sync_frame(event, payload)))
+        timer = asyncio.get_running_loop().call_later(
+            self.config.retransmit.timeout_for(attempt),
+            self._on_ack_timeout,
+            event.eid,
+            dest,
+            attempt,
+        )
+        self._pending[event.seq] = (dest, event.eid, attempt, timer)
+
+    def _on_ack_timeout(self, eid: EventId, dest: ProcessorId, attempt: int) -> None:
+        if self._pending.pop(eid.seq, None) is None:
+            return  # acked in the meantime
+        self.stats[dest].losses_signaled += 1
+        self._guarded(self.estimator.on_loss_detected, eid)
+        if self._running and attempt < self.config.retransmit.max_retries:
+            # recovery is a *new* send event: history re-reports everything
+            # still unconfirmed, so the fresh message supersedes the lost one
+            self._send_sync(dest, attempt=attempt + 1)
+
+    # -- receive path ------------------------------------------------------------
+
+    def _on_datagram(self, data: bytes) -> None:
+        result = decode_frame(data)
+        if result.error is not None:
+            self._on_decode_error(result.error)
+            return
+        frame = result.frame
+        if frame.src not in self._seen or frame.dst != self.proc:
+            # not one of our links: count it where we can, never crash
+            if frame.src in self.stats:
+                self.stats[frame.src].rejected_frames += 1
+            return
+        self.peer_last_seen[frame.src] = self.time_base.elapsed()
+        if frame.type == "hello":
+            return
+        if frame.type == "ack":
+            self._on_ack(frame)
+            return
+        self._on_sync(frame)
+
+    def _on_decode_error(self, error) -> None:
+        src = error.src
+        if src is not None and src in self.stats:
+            self.stats[src].decode_errors += 1
+            report = getattr(self.estimator, "report_anomaly", None)
+            if report is not None:
+                _rt, lt = self._now()
+                last = self.estimator.last_local_event
+                if last is not None and lt < last.lt:
+                    lt = last.lt
+                self._guarded(report, src, "malformed", lt, f"wire: {error.code}: {error.detail}")
+        else:
+            self.unattributed_errors += 1
+
+    def _on_ack(self, frame: Frame) -> None:
+        entry = self._pending.pop(frame.seq, None)
+        if entry is None:
+            return  # late ack after timeout: the loss signal stands (sound)
+        dest, eid, _attempt, timer = entry
+        if dest != frame.src:
+            # an ack for this seq from the wrong peer: put the entry back
+            self._pending[frame.seq] = entry
+            self.stats[frame.src].rejected_frames += 1
+            return
+        timer.cancel()
+        self.stats[dest].acked += 1
+        self._guarded(self.estimator.on_delivery_confirmed, eid)
+
+    def _on_sync(self, frame: Frame) -> None:
+        stats = self.stats[frame.src]
+        if frame.seq in self._seen[frame.src]:
+            # duplicate (echo, retransmit race): discard before the
+            # estimator, but re-ack so the sender can settle its token
+            stats.duplicates += 1
+            self._ack(frame.src, frame.seq)
+            return
+        rt, lt = self._next_point()
+        event = Event(
+            EventId(self.proc, self._next_seq),
+            lt,
+            EventKind.RECEIVE,
+            send_eid=EventId(frame.src, frame.seq),
+        )
+        try:
+            self.estimator.on_receive(event, frame.payload)
+        except Exception:
+            self.estimator_errors += 1
+            stats.rejected_frames += 1
+            return
+        self._next_seq += 1
+        self._seen[frame.src].add(frame.seq)
+        stats.received += 1
+        self.trace_log.append((event, rt))
+        self._ack(frame.src, frame.seq)
+
+    def _ack(self, peer: ProcessorId, seq: int) -> None:
+        self.transport.send(self.proc, peer, encode_frame(ack_frame(self.proc, peer, seq)))
+
+    # -- introspection -----------------------------------------------------------
+
+    def estimate_now(self) -> ClockBound:
+        """Current source-time bounds at this node's clock reading."""
+        _rt, bound = self._estimate_at_now()
+        return bound
+
+    def _estimate_at_now(self) -> Tuple[float, ClockBound]:
+        """One atomic (rt, bound) pair: the bound holds *at* that reading.
+
+        Soundness comparisons need the truth instant and the evaluation
+        instant to be the same clock read - re-reading the time base after
+        computing the bound would let the scheduling gap masquerade as an
+        estimator error.
+        """
+        rt, lt = self._now()
+        last = self.estimator.last_local_event
+        if last is not None and lt < last.lt:
+            lt = last.lt  # clock resolution race with an in-flight event
+        return rt, self.estimator.estimate_now(lt)
+
+    def snapshot(self) -> NodeStats:
+        rt, lt = self._now()
+        suspicion = getattr(self.estimator, "suspicion", None)
+        suspected = tuple(suspicion.suspected()) if suspicion is not None else ()
+        return NodeStats(
+            proc=self.proc,
+            running=self._running,
+            rt=rt,
+            lt=lt,
+            bound=self.estimate_now(),
+            event_bound=self.estimator.estimate(),
+            events=len(self.trace_log),
+            links={peer: LinkStats(**vars(s)) for peer, s in self.stats.items()},
+            suspected=suspected,
+        )
+
+    def _guarded(self, hook, *args) -> None:
+        """Call an estimator hook; a runtime node must survive its errors."""
+        try:
+            hook(*args)
+        except Exception:
+            self.estimator_errors += 1

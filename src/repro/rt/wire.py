@@ -1,0 +1,257 @@
+"""The versioned wire protocol of the real-time runtime.
+
+Every datagram is one *frame*:
+
+    +-------+---------+------------------+------------ ... -+
+    | magic | version | body length (u32)| JSON body        |
+    | 2 B   | 1 B     | 4 B big-endian   | <= MAX_BODY bytes|
+    +-------+---------+------------------+------------ ... -+
+
+The length prefix makes truncation and trailing garbage detectable even
+on datagram transports (and lets the same framing run over streams
+later).  The body is strict JSON (``allow_nan=False``) extending the
+conventions of :mod:`repro.sim.serialize`: history payloads travel as
+``HistoryPayload.to_dict()`` documents.
+
+Frame types:
+
+* ``hello`` - peer liveness/discovery; carries no synchronization data.
+* ``sync``  - one gossip message: the send event's ``seq``/``lt`` plus
+  the piggybacked :class:`~repro.core.history.HistoryPayload` (Fig 2).
+* ``ack``   - delivery confirmation for one ``sync`` frame, by ``seq``;
+  drives the sender's Sec 3.3 delivery-detection hooks.
+
+**Decoding never raises.**  Bytes off the wire are adversarial input:
+:func:`decode_frame` returns a :class:`DecodeResult` whose ``error`` is a
+structured :class:`WireError` for malformed input - short or truncated
+frames, wrong magic or version, oversized bodies, broken JSON, bad frame
+fields, or a payload section :meth:`HistoryPayload.from_dict` rejects.
+When the envelope (src/dst/type) survives but the payload does not, the
+error still carries the claimed sender, so the node daemon can feed the
+anomaly into the existing suspicion machinery
+(:meth:`~repro.core.csa.EfficientCSA.report_anomaly`) exactly like
+sim-path tampering.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..core.errors import ProtocolError
+from ..core.events import Event, ProcessorId
+from ..core.history import HistoryPayload
+
+__all__ = [
+    "WIRE_VERSION",
+    "MAGIC",
+    "MAX_BODY_BYTES",
+    "FRAME_TYPES",
+    "Frame",
+    "WireError",
+    "DecodeResult",
+    "encode_frame",
+    "decode_frame",
+    "hello_frame",
+    "sync_frame",
+    "ack_frame",
+]
+
+#: current wire format version; bump on any incompatible body change
+WIRE_VERSION = 1
+
+#: frame preamble - two magic bytes, so stray datagrams fail fast
+MAGIC = b"RS"
+
+_HEADER = struct.Struct(">2sBI")
+
+#: hard cap on the JSON body; keeps frames inside one UDP datagram and
+#: bounds what a hostile peer can make a node parse
+MAX_BODY_BYTES = 60_000
+
+FRAME_TYPES = ("hello", "sync", "ack")
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded wire frame."""
+
+    type: str
+    src: ProcessorId
+    dst: ProcessorId
+    #: sync: the sender's send-event sequence number; ack: the confirmed one
+    seq: Optional[int] = None
+    #: sync only: the send event's claimed local time
+    lt: Optional[float] = None
+    #: sync only: the piggybacked history payload
+    payload: Optional[HistoryPayload] = None
+    #: hello extras (advertised wire version, etc.)
+    meta: Dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class WireError:
+    """A structured decode rejection (never an exception).
+
+    ``code`` is one of ``short-frame``, ``bad-magic``, ``bad-version``,
+    ``oversized``, ``length-mismatch``, ``bad-json``, ``bad-frame``,
+    ``bad-payload``.  ``src`` is the *claimed* sender when the envelope
+    decoded far enough to name one - attribution input for the suspicion
+    ledger, not established fact.
+    """
+
+    code: str
+    detail: str
+    src: Optional[ProcessorId] = None
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """Outcome of :func:`decode_frame`: exactly one of frame/error is set."""
+
+    frame: Optional[Frame] = None
+    error: Optional[WireError] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.frame is not None
+
+
+# -- construction helpers --------------------------------------------------------------
+
+
+def hello_frame(src: ProcessorId, dst: ProcessorId) -> Frame:
+    return Frame(type="hello", src=src, dst=dst, meta={"wire": WIRE_VERSION})
+
+
+def sync_frame(send_event: Event, payload: HistoryPayload) -> Frame:
+    """The gossip frame for one send event and its piggybacked payload."""
+    if not send_event.is_send:
+        raise ProtocolError(f"sync frames wrap send events, got {send_event.kind}")
+    return Frame(
+        type="sync",
+        src=send_event.proc,
+        dst=send_event.dest,
+        seq=send_event.seq,
+        lt=send_event.lt,
+        payload=payload,
+    )
+
+
+def ack_frame(src: ProcessorId, dst: ProcessorId, seq: int) -> Frame:
+    return Frame(type="ack", src=src, dst=dst, seq=seq)
+
+
+# -- encode ----------------------------------------------------------------------------
+
+
+def encode_frame(frame: Frame) -> bytes:
+    """Serialize a frame; raises :class:`ProtocolError` on local misuse.
+
+    Encoding errors are *our* bugs or limits (an oversized payload), not
+    remote input, hence the exception - callers on the send path treat it
+    like a lost message.
+    """
+    body: Dict = {"type": frame.type, "src": frame.src, "dst": frame.dst}
+    if frame.seq is not None:
+        body["seq"] = frame.seq
+    if frame.lt is not None:
+        body["lt"] = frame.lt
+    if frame.payload is not None:
+        body["payload"] = frame.payload.to_dict()
+    if frame.meta:
+        body["meta"] = dict(frame.meta)
+    try:
+        encoded = json.dumps(body, separators=(",", ":"), allow_nan=False).encode()
+    except ValueError as exc:
+        raise ProtocolError(f"frame body is not strict-JSON-safe: {exc}") from None
+    if len(encoded) > MAX_BODY_BYTES:
+        raise ProtocolError(
+            f"frame body of {len(encoded)} bytes exceeds the {MAX_BODY_BYTES} cap"
+        )
+    return _HEADER.pack(MAGIC, WIRE_VERSION, len(encoded)) + encoded
+
+
+# -- decode ----------------------------------------------------------------------------
+
+
+def _envelope_src(body) -> Optional[ProcessorId]:
+    if isinstance(body, dict) and isinstance(body.get("src"), str) and body["src"]:
+        return body["src"]
+    return None
+
+
+def decode_frame(data: bytes) -> DecodeResult:
+    """Parse untrusted bytes into a frame or a structured error."""
+    if len(data) < _HEADER.size:
+        return DecodeResult(
+            error=WireError("short-frame", f"{len(data)} bytes < {_HEADER.size}-byte header")
+        )
+    magic, version, length = _HEADER.unpack_from(data)
+    if magic != MAGIC:
+        return DecodeResult(error=WireError("bad-magic", f"preamble {magic!r}"))
+    if version != WIRE_VERSION:
+        return DecodeResult(
+            error=WireError("bad-version", f"wire version {version}, expected {WIRE_VERSION}")
+        )
+    if length > MAX_BODY_BYTES:
+        return DecodeResult(
+            error=WireError("oversized", f"declared body of {length} bytes exceeds cap")
+        )
+    body_bytes = data[_HEADER.size :]
+    if len(body_bytes) != length:
+        return DecodeResult(
+            error=WireError(
+                "length-mismatch",
+                f"declared {length} body bytes, got {len(body_bytes)} (truncated or padded)",
+            )
+        )
+    try:
+        body = json.loads(body_bytes)
+    except (ValueError, UnicodeDecodeError) as exc:
+        return DecodeResult(error=WireError("bad-json", str(exc)))
+    src = _envelope_src(body)
+    if not isinstance(body, dict):
+        return DecodeResult(error=WireError("bad-frame", "body is not an object"))
+    ftype = body.get("type")
+    if ftype not in FRAME_TYPES:
+        return DecodeResult(error=WireError("bad-frame", f"unknown type {ftype!r}", src=src))
+    dst = body.get("dst")
+    if src is None or not isinstance(dst, str) or not dst:
+        return DecodeResult(
+            error=WireError("bad-frame", "missing or non-string src/dst", src=src)
+        )
+    seq = body.get("seq")
+    lt = body.get("lt")
+    meta = body.get("meta", {})
+    if not isinstance(meta, dict):
+        return DecodeResult(error=WireError("bad-frame", "meta is not an object", src=src))
+    if ftype in ("sync", "ack"):
+        if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
+            return DecodeResult(
+                error=WireError("bad-frame", f"{ftype} needs a non-negative seq, got {seq!r}", src=src)
+            )
+    payload = None
+    if ftype == "sync":
+        if isinstance(lt, bool) or not isinstance(lt, (int, float)):
+            return DecodeResult(
+                error=WireError("bad-frame", f"sync needs a numeric lt, got {lt!r}", src=src)
+            )
+        lt = float(lt)
+        try:
+            payload = HistoryPayload.from_dict(body.get("payload", {}))
+        except ValueError as exc:
+            return DecodeResult(error=WireError("bad-payload", str(exc), src=src))
+    return DecodeResult(
+        frame=Frame(
+            type=ftype,
+            src=src,
+            dst=dst,
+            seq=seq if ftype in ("sync", "ack") else None,
+            lt=lt if ftype == "sync" else None,
+            payload=payload,
+            meta=dict(meta),
+        )
+    )

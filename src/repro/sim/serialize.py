@@ -23,7 +23,7 @@ import math
 from typing import Dict, List, Optional, Tuple
 
 from ..core.errors import SpecificationError
-from ..core.events import Event, EventId, EventKind
+from ..core.events import Event, EventId
 from ..core.specs import DriftSpec, SystemSpec, TransitSpec
 from .runner import EstimateSample
 from .trace import ExecutionTrace
@@ -75,20 +75,11 @@ def _unnum(value) -> float:
 
 
 def trace_to_dict(trace: ExecutionTrace) -> Dict:
+    # per-event entries are Event.to_dict() plus the analysis-only real time
     events = []
     for record in trace:
-        event = record.event
-        entry = {
-            "proc": event.proc,
-            "seq": event.seq,
-            "lt": event.lt,
-            "rt": record.rt,
-            "kind": event.kind.value,
-        }
-        if event.is_send:
-            entry["dest"] = event.dest
-        if event.is_receive:
-            entry["send"] = [event.send_eid.proc, event.send_eid.seq]
+        entry = record.event.to_dict()
+        entry["rt"] = record.rt
         events.append(entry)
     return {
         "version": FORMAT_VERSION,
@@ -101,19 +92,7 @@ def trace_from_dict(data: Dict) -> ExecutionTrace:
     _check_version(data, "trace")
     trace = ExecutionTrace()
     for entry in data["events"]:
-        kind = EventKind(entry["kind"])
-        send_eid = None
-        if kind is EventKind.RECEIVE:
-            proc, seq = entry["send"]
-            send_eid = EventId(proc, seq)
-        event = Event(
-            eid=EventId(entry["proc"], entry["seq"]),
-            lt=entry["lt"],
-            kind=kind,
-            dest=entry.get("dest"),
-            send_eid=send_eid,
-        )
-        trace.record(event, entry["rt"])
+        trace.record(Event.from_dict(entry), entry["rt"])
     for proc, seq in data.get("lost", []):
         trace.record_lost(EventId(proc, seq))
     return trace

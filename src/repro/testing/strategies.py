@@ -28,7 +28,8 @@ from typing import List, NamedTuple, Sequence, Tuple
 
 from hypothesis import strategies as st
 
-from ..core.events import ProcessorId
+from ..core.events import Event, EventId, EventKind, ProcessorId
+from ..core.history import HistoryPayload
 from ..core.specs import DriftSpec, SystemSpec, TransitSpec
 from ..sim.faults import (
     BYZANTINE_MODES,
@@ -44,7 +45,9 @@ __all__ = [
     "Topology",
     "byzantine_processors",
     "clock_rates",
+    "events",
     "fault_plans",
+    "history_payloads",
     "schedules",
     "system_specs",
     "tamper_specs",
@@ -131,6 +134,71 @@ def system_specs(
         links=topo.named_links(),
         default_drift=DriftSpec.from_ppm(ppm),
         default_transit=transit,
+    )
+
+
+_PROC_NAMES = tuple(f"q{i}" for i in range(6))
+
+_FINITE_LT = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def events(draw, *, procs: Sequence[ProcessorId] = _PROC_NAMES) -> Event:
+    """Arbitrary well-formed :class:`~repro.core.events.Event` records.
+
+    Structural validity only (the dataclass invariants hold); nothing here
+    promises protocol-level consistency across drawn events - exactly what
+    a codec round-trip property needs.
+    """
+    procs = list(procs)
+    proc = draw(st.sampled_from(procs))
+    seq = draw(st.integers(min_value=0, max_value=10_000))
+    lt = draw(_FINITE_LT)
+    kind = draw(st.sampled_from(list(EventKind)))
+    others = [p for p in procs if p != proc]
+    if not others:
+        kind = EventKind.INTERNAL
+    if kind is EventKind.SEND:
+        return Event(EventId(proc, seq), lt, kind, dest=draw(st.sampled_from(others)))
+    if kind is EventKind.RECEIVE:
+        send = EventId(
+            draw(st.sampled_from(others)),
+            draw(st.integers(min_value=0, max_value=10_000)),
+        )
+        return Event(EventId(proc, seq), lt, kind, send_eid=send)
+    return Event(EventId(proc, seq), lt, kind)
+
+
+@st.composite
+def history_payloads(
+    draw, *, procs: Sequence[ProcessorId] = _PROC_NAMES, max_records: int = 12
+) -> HistoryPayload:
+    """Arbitrary :class:`~repro.core.history.HistoryPayload`\\ s for codec tests.
+
+    Record ids are deduplicated (a payload never reports one event twice);
+    loss flags are arbitrary send-shaped ids.
+    """
+    drawn = draw(st.lists(events(procs=procs), max_size=max_records))
+    seen = set()
+    records = []
+    for event in drawn:
+        if event.eid not in seen:
+            seen.add(event.eid)
+            records.append(event)
+    flags = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(list(procs)), st.integers(min_value=0, max_value=10_000)
+            ),
+            max_size=4,
+            unique=True,
+        )
+    )
+    return HistoryPayload(
+        records=tuple(records),
+        loss_flags=tuple(EventId(p, s) for p, s in flags),
     )
 
 

@@ -1,0 +1,96 @@
+"""JSON codec round trips for Event and HistoryPayload.
+
+The wire protocol (repro.rt.wire) ships HistoryPayloads as JSON bytes, so
+the to_dict/from_dict pair must be an exact inverse on every well-formed
+value - asserted here property-style with the shared strategy library -
+and must reject malformed input with ValueError (never a crash deeper in
+the stack).
+"""
+
+import json
+
+import pytest
+from hypothesis import given
+
+from repro.core.events import Event, EventId, EventKind
+from repro.core.history import HistoryPayload
+from repro.testing.strategies import events, history_payloads
+
+
+@given(events())
+def test_event_round_trip(event):
+    data = event.to_dict()
+    # the dict must survive a real JSON encode/decode, not just a copy
+    restored = Event.from_dict(json.loads(json.dumps(data)))
+    assert restored == event
+    assert restored.link == event.link
+
+
+@given(history_payloads())
+def test_history_payload_round_trip(payload):
+    data = payload.to_dict()
+    restored = HistoryPayload.from_dict(json.loads(json.dumps(data)))
+    assert restored == payload
+    assert restored.size == payload.size
+
+
+@given(history_payloads())
+def test_history_payload_dict_is_json_safe(payload):
+    # no NaN/Infinity leaks: strict JSON must accept the document
+    json.dumps(payload.to_dict(), allow_nan=False)
+
+
+def _sample_payload():
+    send = Event(EventId("a", 0), 1.0, EventKind.SEND, dest="b")
+    recv = Event(EventId("b", 0), 1.5, EventKind.RECEIVE, send_eid=EventId("a", 0))
+    return HistoryPayload(records=(send, recv), loss_flags=(EventId("a", 7),))
+
+
+@pytest.mark.parametrize(
+    "mutate",
+    [
+        lambda d: d.__setitem__("records", "oops"),
+        lambda d: d["records"][0].pop("proc"),
+        lambda d: d["records"][0].__setitem__("proc", 3),
+        lambda d: d["records"][0].__setitem__("seq", -1),
+        lambda d: d["records"][0].__setitem__("seq", "zero"),
+        lambda d: d["records"][0].__setitem__("lt", "late"),
+        lambda d: d["records"][0].__setitem__("lt", float("nan")),
+        lambda d: d["records"][0].__setitem__("kind", "teleport"),
+        lambda d: d["records"][0].__setitem__("dest", ""),
+        lambda d: d["records"][1].__setitem__("send", ["a"]),
+        lambda d: d["records"][1].__setitem__("send", ["a", -2]),
+    ],
+)
+def test_malformed_payload_dicts_raise_value_error(mutate):
+    data = _sample_payload().to_dict()
+    mutate(data)
+    with pytest.raises(ValueError):
+        HistoryPayload.from_dict(data)
+
+
+def test_missing_sections_default_to_empty():
+    # absent records/loss_flags decode as an empty payload, not an error
+    assert HistoryPayload.from_dict({}) == HistoryPayload(records=())
+
+
+@pytest.mark.parametrize(
+    "flags",
+    ["oops", [["a"]], [["a", -1]], [["", 3]], [["a", True]], [[3, 3]]],
+)
+def test_malformed_loss_flags_raise_value_error(flags):
+    data = _sample_payload().to_dict()
+    data["loss_flags"] = flags
+    with pytest.raises(ValueError):
+        HistoryPayload.from_dict(data)
+
+
+def test_inconsistent_event_combinations_raise():
+    # from_dict re-runs the Event dataclass invariants: a receive from its
+    # own processor is structurally impossible
+    bad = {"proc": "a", "seq": 1, "lt": 0.0, "kind": "receive", "send": ["a", 0]}
+    with pytest.raises(ValueError):
+        Event.from_dict(bad)
+    missing_dest = {"proc": "a", "seq": 0, "lt": 0.0, "kind": "send"}
+    with pytest.raises(ValueError):
+        Event.from_dict(missing_dest)

@@ -1,0 +1,243 @@
+"""Transports: loopback delivery, fault middleware verdicts, UDP sockets.
+
+No estimators here - raw byte frames through each medium, asserting the
+datagram service contract (fire-and-forget, at-most-once per datagram,
+crashed/partitioned traffic suppressed) that the node daemon builds on.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.rt.clock import TimeBase
+from repro.rt.transport import (
+    FaultMiddleware,
+    LoopbackTransport,
+    UDPTransport,
+)
+from repro.sim.faults import (
+    CrashWindow,
+    Duplication,
+    FaultPlan,
+    PartitionWindow,
+)
+
+
+def _collector(box, name):
+    def handler(data):
+        box.setdefault(name, []).append(data)
+
+    return handler
+
+
+async def _settle(seconds=0.05):
+    await asyncio.sleep(seconds)
+
+
+class TestLoopback:
+    def test_immediate_delivery(self):
+        async def run():
+            transport = LoopbackTransport()
+            await transport.start()
+            box = {}
+            transport.register("b", _collector(box, "b"))
+            transport.send("a", "b", b"one")
+            transport.send("a", "b", b"two")
+            await _settle(0)
+            await transport.stop()
+            return box
+
+        box = asyncio.run(run())
+        assert box["b"] == [b"one", b"two"]
+
+    def test_unregistered_destination_is_dropped(self):
+        async def run():
+            transport = LoopbackTransport()
+            await transport.start()
+            transport.send("a", "ghost", b"x")
+            await _settle(0)
+            await transport.stop()
+
+        asyncio.run(run())  # must not raise
+
+    def test_send_before_start_is_dropped(self):
+        async def run():
+            transport = LoopbackTransport()
+            box = {}
+            transport.register("b", _collector(box, "b"))
+            transport.send("a", "b", b"early")
+            await transport.start()
+            await _settle(0)
+            return box
+
+        assert asyncio.run(run()) == {}
+
+    def test_handler_exception_is_contained(self):
+        async def run():
+            transport = LoopbackTransport()
+            await transport.start()
+            transport.register("b", lambda data: 1 / 0)
+            box = {}
+            transport.register("c", _collector(box, "c"))
+            transport.send("a", "b", b"boom")
+            transport.send("a", "c", b"fine")
+            await _settle(0)
+            return transport, box
+
+        transport, box = asyncio.run(run())
+        assert transport.handler_errors == 1
+        assert box["c"] == [b"fine"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            LoopbackTransport(delay=-0.1)
+
+    def test_jittered_delivery_arrives(self):
+        async def run():
+            transport = LoopbackTransport(delay=0.01, jitter=0.02, seed=7)
+            await transport.start()
+            box = {}
+            transport.register("b", _collector(box, "b"))
+            for i in range(5):
+                transport.send("a", "b", bytes([i]))
+            await _settle(0.1)
+            await transport.stop()
+            return box
+
+        box = asyncio.run(run())
+        assert sorted(box["b"]) == [bytes([i]) for i in range(5)]
+
+
+class TestFaultMiddleware:
+    def _wrap(self, plan, time_base=None):
+        inner = LoopbackTransport()
+        return FaultMiddleware(
+            inner,
+            plan,
+            time_base or TimeBase(),
+            procs=["a", "b"],
+            links=[("a", "b")],
+            source="a",
+        )
+
+    def test_partition_drops_and_counts(self):
+        async def run():
+            plan = FaultPlan(seed=1, injections=(
+                PartitionWindow("a", "b", 0.0, 60.0),
+            ))
+            transport = self._wrap(plan)
+            await transport.start()
+            box = {}
+            transport.register("b", _collector(box, "b"))
+            transport.send("a", "b", b"x")
+            await _settle(0)
+            await transport.stop()
+            return transport, box
+
+        transport, box = asyncio.run(run())
+        assert box == {}
+        assert transport.dropped == 1
+
+    def test_crashed_sender_and_receiver_suppressed(self):
+        async def run():
+            plan = FaultPlan(seed=1, injections=(CrashWindow("b", 0.0, 60.0),))
+            transport = self._wrap(plan)
+            await transport.start()
+            box = {}
+            transport.register("a", _collector(box, "a"))
+            transport.register("b", _collector(box, "b"))
+            transport.send("a", "b", b"to-crashed")  # receiver down
+            transport.send("b", "a", b"from-crashed")  # sender down
+            await _settle(0)
+            await transport.stop()
+            return transport, box
+
+        transport, box = asyncio.run(run())
+        assert box == {}
+        assert transport.dropped == 2
+
+    def test_duplication_echoes(self):
+        async def run():
+            plan = FaultPlan(seed=3, injections=(
+                Duplication("a", "b", prob=1.0, start=0.0, end=60.0),
+            ))
+            transport = self._wrap(plan)
+            await transport.start()
+            box = {}
+            transport.register("b", _collector(box, "b"))
+            transport.send("a", "b", b"x")
+            await _settle(0.2)
+            await transport.stop()
+            return transport, box
+
+        transport, box = asyncio.run(run())
+        assert box["b"] == [b"x", b"x"]
+        assert transport.duplicated == 1
+
+    def test_clean_plan_passes_through(self):
+        async def run():
+            transport = self._wrap(FaultPlan(seed=0))
+            await transport.start()
+            box = {}
+            transport.register("b", _collector(box, "b"))
+            transport.send("a", "b", b"x")
+            await _settle(0)
+            await transport.stop()
+            return transport, box
+
+        transport, box = asyncio.run(run())
+        assert box["b"] == [b"x"]
+        assert (transport.dropped, transport.duplicated) == (0, 0)
+
+    def test_unknown_processor_in_plan_rejected(self):
+        plan = FaultPlan(seed=0, injections=(CrashWindow("zz", 0.0, 1.0),))
+        with pytest.raises(SimulationError):
+            self._wrap(plan)
+
+
+class TestUDP:
+    def test_round_trip_over_real_sockets(self):
+        async def run():
+            transport = UDPTransport({
+                "a": ("127.0.0.1", 0), "b": ("127.0.0.1", 0),
+            })
+            box = {}
+            transport.register("a", _collector(box, "a"))
+            transport.register("b", _collector(box, "b"))
+            await transport.start()
+            # port 0 was resolved to real ephemeral ports at start
+            assert all(port != 0 for _host, port in transport.addresses.values())
+            transport.send("a", "b", b"ping")
+            await _settle(0.1)
+            transport.send("b", "a", b"pong")
+            await _settle(0.1)
+            await transport.stop()
+            return box
+
+        box = asyncio.run(run())
+        assert box["b"] == [b"ping"]
+        assert box["a"] == [b"pong"]
+
+    def test_unconfigured_endpoint_rejected(self):
+        transport = UDPTransport({"a": ("127.0.0.1", 0)})
+        with pytest.raises(SimulationError):
+            transport.register("zz", lambda data: None)
+
+    def test_unregister_closes_socket_and_drops_traffic(self):
+        async def run():
+            transport = UDPTransport({
+                "a": ("127.0.0.1", 0), "b": ("127.0.0.1", 0),
+            })
+            box = {}
+            transport.register("a", _collector(box, "a"))
+            transport.register("b", _collector(box, "b"))
+            await transport.start()
+            transport.unregister("b")
+            transport.send("a", "b", b"into-the-void")
+            await _settle(0.05)
+            await transport.stop()
+            return box
+
+        box = asyncio.run(run())
+        assert "b" not in box

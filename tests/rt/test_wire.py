@@ -1,0 +1,211 @@
+"""Wire codec: round trips and, more importantly, the rejection paths.
+
+Every byte string off a socket is adversarial input; decode_frame must
+map malformed input - truncated, wrong magic/version, oversized,
+tampered, non-JSON - to a structured WireError without ever raising, and
+a tampered sync payload must land in the estimator's suspicion ledger
+exactly like sim-path tampering does.
+"""
+
+import json
+
+import pytest
+from hypothesis import given
+
+from repro.core.csa import EfficientCSA
+from repro.core.csa_base import SuspicionPolicy
+from repro.core.errors import ProtocolError
+from repro.core.events import Event, EventId, EventKind
+from repro.core.history import HistoryPayload
+from repro.core.specs import SystemSpec
+from repro.rt.wire import (
+    MAGIC,
+    MAX_BODY_BYTES,
+    WIRE_VERSION,
+    ack_frame,
+    decode_frame,
+    encode_frame,
+    hello_frame,
+    sync_frame,
+)
+from repro.testing.strategies import history_payloads
+
+
+def _send_event(seq=0, lt=1.0, src="a", dst="b"):
+    return Event(EventId(src, seq), lt, EventKind.SEND, dest=dst)
+
+
+def _sync_bytes(payload=None, **kwargs):
+    payload = payload if payload is not None else HistoryPayload(records=())
+    return encode_frame(sync_frame(_send_event(**kwargs), payload))
+
+
+class TestRoundTrip:
+    def test_hello(self):
+        result = decode_frame(encode_frame(hello_frame("a", "b")))
+        assert result.ok and result.error is None
+        assert result.frame.type == "hello"
+        assert (result.frame.src, result.frame.dst) == ("a", "b")
+        assert result.frame.meta["wire"] == WIRE_VERSION
+
+    def test_ack(self):
+        result = decode_frame(encode_frame(ack_frame("b", "a", 17)))
+        assert result.ok
+        assert result.frame.type == "ack"
+        assert result.frame.seq == 17
+        assert result.frame.payload is None
+
+    def test_sync_carries_event_and_payload(self):
+        send = _send_event(seq=3, lt=2.5)
+        payload = HistoryPayload(records=(send,), loss_flags=(EventId("a", 1),))
+        result = decode_frame(encode_frame(sync_frame(send, payload)))
+        assert result.ok
+        frame = result.frame
+        assert (frame.type, frame.src, frame.dst) == ("sync", "a", "b")
+        assert (frame.seq, frame.lt) == (3, 2.5)
+        assert frame.payload == payload
+
+    @given(history_payloads())
+    def test_sync_round_trips_any_payload(self, payload):
+        frame = decode_frame(_sync_bytes(payload)).frame
+        assert frame is not None and frame.payload == payload
+
+    def test_sync_frame_rejects_non_send_events(self):
+        event = Event(EventId("a", 0), 1.0, EventKind.INTERNAL)
+        with pytest.raises(ProtocolError):
+            sync_frame(event, HistoryPayload(records=()))
+
+
+class TestRejectionPaths:
+    """decode_frame never raises; each malformation has a stable code."""
+
+    def decode(self, data):
+        result = decode_frame(data)
+        assert not result.ok and result.frame is None
+        return result.error
+
+    def test_empty_and_short(self):
+        assert self.decode(b"").code == "short-frame"
+        assert self.decode(b"RS\x01").code == "short-frame"
+
+    def test_bad_magic(self):
+        data = bytearray(_sync_bytes())
+        data[0:2] = b"XX"
+        assert self.decode(bytes(data)).code == "bad-magic"
+
+    def test_bad_version(self):
+        data = bytearray(_sync_bytes())
+        data[2] = WIRE_VERSION + 1
+        error = self.decode(bytes(data))
+        assert error.code == "bad-version"
+        assert str(WIRE_VERSION) in error.detail
+
+    def test_truncated_body(self):
+        data = _sync_bytes()
+        assert self.decode(data[:-5]).code == "length-mismatch"
+
+    def test_trailing_garbage(self):
+        assert self.decode(_sync_bytes() + b"xx").code == "length-mismatch"
+
+    def test_oversized_declared_length(self):
+        import struct
+
+        header = struct.pack(">2sBI", MAGIC, WIRE_VERSION, MAX_BODY_BYTES + 1)
+        assert self.decode(header).code == "oversized"
+
+    def test_oversized_encode_raises_locally(self):
+        records = tuple(
+            Event(EventId("a", i), float(i), EventKind.SEND, dest="b")
+            for i in range(3000)
+        )
+        with pytest.raises(ProtocolError):
+            encode_frame(sync_frame(_send_event(seq=3000, lt=4000.0),
+                                    HistoryPayload(records=records)))
+
+    def test_non_json_body(self):
+        import struct
+
+        body = b"\xff\xfe not json"
+        header = struct.pack(">2sBI", MAGIC, WIRE_VERSION, len(body))
+        assert self.decode(header + body).code == "bad-json"
+
+    def test_non_object_body(self):
+        import struct
+
+        body = json.dumps([1, 2, 3]).encode()
+        header = struct.pack(">2sBI", MAGIC, WIRE_VERSION, len(body))
+        assert self.decode(header + body).code == "bad-frame"
+
+    @staticmethod
+    def _reframe(mutate):
+        """Decode a good sync body, mutate the dict, re-frame the bytes."""
+        import struct
+
+        data = _sync_bytes()
+        body = json.loads(data[7:])
+        mutate(body)
+        encoded = json.dumps(body).encode()
+        return struct.pack(">2sBI", MAGIC, WIRE_VERSION, len(encoded)) + encoded
+
+    def test_unknown_type(self):
+        error = self.decode(self._reframe(lambda b: b.__setitem__("type", "warp")))
+        assert error.code == "bad-frame"
+        assert error.src == "a"  # envelope attribution survives
+
+    def test_missing_dst(self):
+        error = self.decode(self._reframe(lambda b: b.pop("dst")))
+        assert error.code == "bad-frame"
+
+    def test_bad_seq(self):
+        for bad in (-1, "three", None, True):
+            error = self.decode(self._reframe(lambda b: b.__setitem__("seq", bad)))
+            assert error.code == "bad-frame"
+            assert error.src == "a"
+
+    def test_bad_lt(self):
+        error = self.decode(self._reframe(lambda b: b.__setitem__("lt", "noon")))
+        assert error.code == "bad-frame"
+
+    def test_tampered_payload_attributes_claimed_sender(self):
+        # a payload record with a bogus kind: caught by the payload codec
+        def tamper(body):
+            body["payload"] = {"records": [{"proc": "a", "seq": 0,
+                                            "lt": 1.0, "kind": "teleport"}]}
+
+        error = self.decode(self._reframe(tamper))
+        assert error.code == "bad-payload"
+        assert error.src == "a"
+
+
+class TestSuspicionIntegration:
+    """Wire-level anomalies reach the same ledger as sim-path tampering."""
+
+    def _estimator(self):
+        spec = SystemSpec.build(
+            source="src", processors=["src", "p", "q"],
+            links=[("src", "p"), ("p", "q")],
+        )
+        return EfficientCSA("p", spec, reliable=False,
+                            suspicion=SuspicionPolicy(threshold=2.0))
+
+    def test_report_anomaly_records_failure_and_blames(self):
+        csa = self._estimator()
+        csa.report_anomaly("q", "malformed", 1.0, "wire: bad-payload: oops")
+        assert [f.kind for f in csa.validation_failures] == ["malformed"]
+        assert csa.validation_failures[0].accused == ("q",)
+        assert csa.suspicion.scores["q"] == pytest.approx(1.0)
+        assert "q" not in csa.suspicion.evicted_procs
+
+    def test_repeated_anomalies_evict(self):
+        csa = self._estimator()
+        csa.report_anomaly("q", "malformed", 1.0)
+        csa.report_anomaly("q", "malformed", 2.0)
+        assert "q" in csa.suspicion.evicted_procs
+
+    def test_noop_outside_hardened_mode(self):
+        spec = SystemSpec.build(
+            source="src", processors=["src", "p"], links=[("src", "p")]
+        )
+        csa = EfficientCSA("p", spec, reliable=False)
+        csa.report_anomaly("src", "malformed", 1.0)  # must not raise
+        assert csa.validation_failures == []

@@ -33,7 +33,7 @@ def test_estimate_strict():
         csa.estimate_strict()
 
 
-@pytest.mark.parametrize("script", ["quickstart.py", "lossy_links.py", "calibration.py", "offline_analysis.py", "why_this_wide.py"])
+@pytest.mark.parametrize("script", ["quickstart.py", "lossy_links.py", "calibration.py", "offline_analysis.py", "why_this_wide.py", "live_cluster.py"])
 def test_example_runs(script):
     result = subprocess.run(
         [sys.executable, str(EXAMPLES / script)],
@@ -57,4 +57,5 @@ def test_all_examples_present():
         "calibration.py",
         "offline_analysis.py",
         "why_this_wide.py",
+        "live_cluster.py",
     } <= found
