@@ -2,7 +2,14 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-json experiments experiments-quick chaos chaos-byz examples fuzz fuzz-long rt-demo rt-smoke clean
+.PHONY: install test bench bench-json bench-compare bench-refresh experiments experiments-quick chaos chaos-byz examples fuzz fuzz-long rt-demo rt-smoke clean
+
+# relative slowdown tolerated by the perf gate before it fails.  0.75
+# accommodates CPU-throttled/shared dev machines (observed run-to-run
+# drift up to ~1.5x with identical code); tighten on quiet hardware with
+# `BENCH_TOLERANCE=0.25 make bench-compare`.  CI sets 1.0.  The 2x
+# backend speedup floor is within-run and unaffected by this knob.
+BENCH_TOLERANCE ?= 0.75
 
 # conformance-suite paths run by the fuzz targets (the differential
 # driver, oracles, invariant hooks, corpus replay, and both fuzz files)
@@ -22,6 +29,21 @@ bench:
 # perf regressions show up as a diff (CI uploads the fresh run as an
 # artifact for comparison)
 bench-json:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only --benchmark-json=BENCH_core.json
+
+# the perf-regression gate: fresh run vs the committed baseline, plus the
+# hard floor on the compacted numpy AGDP backend's speedup over dict at
+# the largest live-set size (the tentpole acceptance criterion)
+bench-compare:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only --benchmark-json=BENCH_fresh.json
+	$(PYTHON) benchmarks/compare.py BENCH_core.json BENCH_fresh.json \
+		--tolerance $(BENCH_TOLERANCE) --report BENCH_compare.md \
+		--assert-speedup "test_agdp_backend_comparison[128-numpy]" \
+			"test_agdp_backend_comparison[128-dict]" 2.0
+
+# rebless the committed baseline after an intentional perf change
+# (bench-json with intent: review the diff of BENCH_core.json)
+bench-refresh:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only --benchmark-json=BENCH_core.json
 
 experiments:
@@ -66,4 +88,5 @@ rt-smoke:
 
 clean:
 	rm -rf .pytest_cache .hypothesis src/repro.egg-info
+	rm -f BENCH_fresh.json BENCH_compare.md
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -9,6 +9,9 @@ import pytest
 
 from repro.core import (
     EfficientCSA,
+    Event,
+    EventId,
+    EventKind,
     View,
     bellman_ford_from,
     build_sync_graph,
@@ -16,6 +19,7 @@ from repro.core import (
     extremal_execution,
     source_point,
 )
+from repro.core.history import HistoryModule
 from repro.sim import run_workload, standard_network, topologies
 from repro.sim.workloads import PeriodicGossip
 
@@ -84,3 +88,41 @@ def test_extremal_execution_build(benchmark, harvested):
     sp = source_point(view, spec)
     rt = benchmark(extremal_execution, view, spec, point, sp, "upper", graph)
     assert len(rt) == len(view)
+
+
+def test_history_gossip_rounds(benchmark):
+    """Full-mesh history gossip: sends must cost O(|payload|), not O(|H_v|).
+
+    Eight processors, each round every processor records an internal event
+    then sends to every neighbor in turn (reliable mode).  This is the hot
+    path the pending index optimises: with the old full-buffer scan the
+    cost per send grew with the buffer, independent of what the neighbor
+    actually lacked.
+    """
+    procs = [f"p{i}" for i in range(8)]
+
+    def gossip(rounds=12):
+        modules = {
+            p: HistoryModule(p, [q for q in procs if q != p]) for p in procs
+        }
+        seq = {p: 0 for p in procs}
+        lt = 0.0
+        for _ in range(rounds):
+            for p in procs:
+                lt += 1.0
+                modules[p].record_local(
+                    Event(eid=EventId(p, seq[p]), lt=lt, kind=EventKind.INTERNAL)
+                )
+                seq[p] += 1
+                for q in procs:
+                    if q == p:
+                        continue
+                    payload, _token = modules[p].prepare_payload(q)
+                    modules[q].ingest_payload(p, payload)
+        return modules
+
+    modules = benchmark(gossip)
+    # full mesh: every event reached every processor within its round
+    assert all(
+        m.known_seq(q) == 11 for m in modules.values() for q in procs
+    )

@@ -28,10 +28,33 @@ def test_agdp_steady_state_insertions(benchmark, live, request):
     assert per_insert <= 4 * (live + 2) ** 2
 
 
-@pytest.mark.parametrize("backend", ["dict", "numpy"])
-def test_agdp_backend_comparison(benchmark, backend):
-    """Dict vs vectorised numpy backend at a large live-set size."""
-    result = benchmark(
-        steady_state_agdp, 96, 60, degree=3, seed=1, backend=backend
-    )
-    assert len(result) <= 98
+# the edge-insertion speedup gate: `make bench-compare` asserts the
+# compacted numpy backend beats dict by >= 2x at live >= 128 (these ids
+# are referenced by the Makefile's --assert-speedup flags)
+COMPARISON = [
+    pytest.param(live, backend, id=f"{live}-{backend}")
+    for live in (96, 128)
+    for backend in ("dict", "numpy", "numpy-source-only")
+]
+
+
+@pytest.mark.parametrize("live,backend", COMPARISON)
+def test_agdp_backend_comparison(benchmark, live, backend):
+    """Backend shoot-out at large live-set sizes.
+
+    ``steps = live + 32`` so the workload actually reaches the live target
+    and spends a steady-state phase there (pure pool growth would cap the
+    active block well below ``live``).  The dict backend gets pinned
+    rounds (it runs hundreds of ms per call; calibration would make the
+    suite crawl) while the fast backends use normal calibration - three
+    rounds of a ~2 ms function is all jitter.
+    """
+    args = (live, live + 32)
+    kwargs = dict(degree=3, seed=1, backend=backend)
+    if backend == "dict":
+        result = benchmark.pedantic(
+            steady_state_agdp, args=args, kwargs=kwargs, rounds=3, iterations=1
+        )
+    else:
+        result = benchmark(steady_state_agdp, *args, **kwargs)
+    assert len(result) <= live + 2

@@ -39,6 +39,15 @@ remaining (still mutually consistent) constraints.  Dropping constraints
 is sound: distances only grow, so bounds only widen; it merely forfeits
 optimality for the affected pairs.
 
+**AGDP backends** (``agdp_backend``): ``"dict"`` (pure-Python, the
+reference), ``"numpy"`` (compacted dense matrix, vectorised Ausiello
+update - the fast choice for large live sets), and
+``"numpy-source-only"`` (maintains only the source representative's
+distance row/column by incremental relaxation - O(affected edges) per
+insertion; :meth:`estimate` and :meth:`estimate_of` work,
+:meth:`relative_estimate` raises, degraded/hardened modes are rejected).
+See docs/PERFORMANCE.md for the selection guide.
+
 **Hardened mode** (``suspicion=SuspicionPolicy(...)``; implies degraded
 mode): the Byzantine-input pipeline of docs/FAULTS.md.  Incoming history
 payloads are screened by :mod:`repro.core.validate` before any state
@@ -152,6 +161,17 @@ class EfficientCSA(Estimator):
         debug_checks: Optional[bool] = None,
     ):
         super().__init__(proc, spec)
+        if agdp_backend == "numpy-source-only" and (
+            degraded_mode or suspicion is not None
+        ):
+            # quarantine needs insert_edge to refuse a bad constraint
+            # *before* mutating; the source-only solver detects negative
+            # cycles only during relaxation, after the adjacency changed
+            raise ValueError(
+                "the 'numpy-source-only' AGDP backend cannot run in degraded "
+                "or hardened mode (no pre-mutation inconsistency detection); "
+                "use 'dict' or 'numpy'"
+            )
         # expensive structural self-checks after every event hook and AGDP
         # mutation; None defers to the REPRO_DEBUG environment variable
         from ..testing.invariants import debug_checks_enabled
@@ -202,9 +222,18 @@ class EfficientCSA(Estimator):
             from .agdp_numpy import NumpyAGDP
 
             agdp = NumpyAGDP(gc_enabled=self._agdp_gc)
+        elif self._agdp_backend == "numpy-source-only":
+            # O(affected edges) per insertion instead of O(L^2): maintains
+            # only the source representative's distance row/column, which
+            # is all estimate()/estimate_of() read.  relative_estimate()
+            # needs arbitrary pairs and raises; see docs/PERFORMANCE.md.
+            from .agdp_numpy import NumpyAGDP
+
+            agdp = NumpyAGDP(gc_enabled=self._agdp_gc, source_only=True)
         else:
             raise ValueError(
-                f"unknown AGDP backend {self._agdp_backend!r} (use 'dict' or 'numpy')"
+                f"unknown AGDP backend {self._agdp_backend!r} "
+                "(use 'dict', 'numpy', or 'numpy-source-only')"
             )
         if self._debug_checks:
             from ..testing.invariants import check_agdp_invariants
@@ -427,6 +456,8 @@ class EfficientCSA(Estimator):
                 self.agdp.kill(victim)
         if event.proc == self.spec.source:
             self._source_rep = eid
+            if getattr(self.agdp, "source_only", False):
+                self.agdp.set_anchor(eid)
         self._finish_insert(event, blames)
 
     def _finish_insert(

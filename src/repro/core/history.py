@@ -41,6 +41,29 @@ Advancing ``C_vu`` at send time is only sound if the message arrives, so
 
 Loss flags (Sec 3.3) ride along with event records and are disseminated
 once per link direction.
+
+**Indexed hot paths.**  Naively, every send scans the whole buffer
+(``O(|H_v|)`` per message) and every watermark advance rebuilds the buffer
+dict (``O(|H_v| * deg)`` per settle/ingest).  This module instead keeps
+
+* a per-neighbor *pending index* - for each neighbor ``u``, the buffered
+  events ``u`` still lacks relative to *confirmed* watermarks, in learn
+  order - so :meth:`prepare_payload` is ``O(|payload|)``; and
+* a per-event *lacking refcount* - how many neighbors still lack the
+  event - so garbage collection is incremental: an event leaves ``H_v``
+  the moment its refcount hits zero, with no full-buffer rebuild.
+
+Invariant: for every buffered event ``e`` and neighbor ``u``,
+``e in pending[u]`` iff ``C_vu[loc(e)] < seq(e)``, and
+``lacking[e] = |{u : e in pending[u]}| > 0``.  Watermarks only advance, so
+an event leaves each pending index at most once and is never re-added.
+Learn order is preserved for free: Python dicts iterate in insertion
+order, events are learned exactly once, and eviction never reorders the
+survivors.  Observable behaviour (payload contents and order, Lemma 3.2
+report-once, Lemma 3.3 buffer bound, unreliable-mode token semantics) is
+bit-identical to the pre-indexing module, which is preserved as
+:class:`repro.testing.reference.ReferenceHistoryModule` and enforced by
+differential property tests.
 """
 
 from __future__ import annotations
@@ -165,20 +188,32 @@ class HistoryModule:
         self.neighbors: Tuple[ProcessorId, ...] = tuple(sorted(set(neighbors)))
         if proc in self.neighbors:
             raise ProtocolError(f"processor {proc!r} cannot neighbor itself")
-        #: H_v - buffered event records keyed by id
+        #: H_v - buffered event records keyed by id, in learn order (events
+        #: are inserted exactly once and eviction preserves dict order)
         self._buffer: Dict[EventId, Event] = {}
-        #: learn order: a topological order over everything this module saw
-        self._learn_order: Dict[EventId, int] = {}
-        self._learn_counter = 0
         #: C_vu[w] as sequence-number watermarks (-1 = knows nothing of w)
         self._watermark: Dict[ProcessorId, Dict[ProcessorId, int]] = {
             u: {} for u in self.neighbors
         }
+        #: per-neighbor pending index: buffered events the neighbor still
+        #: lacks (by confirmed watermark), in learn order - the payload of
+        #: the next send, maintained incrementally
+        self._pending: Dict[ProcessorId, Dict[EventId, Event]] = {
+            u: {} for u in self.neighbors
+        }
+        #: per-event refcount: how many neighbors still lack it; an event
+        #: is buffered iff its count is positive (incremental GC)
+        self._lacking: Dict[EventId, int] = {}
         #: K_v[w] - this module's own knowledge frontier per processor
         self._known: Dict[ProcessorId, int] = {}
         #: Sec 3.3 loss flags known / already confirmed-shipped per neighbor
         self._loss_known: Set[EventId] = set()
         self._loss_sent: Dict[ProcessorId, Set[EventId]] = {
+            u: set() for u in self.neighbors
+        }
+        #: per-neighbor pending loss flags (= _loss_known - _loss_sent[u]),
+        #: maintained incrementally for O(|payload|) sends
+        self._loss_pending: Dict[ProcessorId, Set[EventId]] = {
             u: set() for u in self.neighbors
         }
         self.reliable = reliable
@@ -208,7 +243,8 @@ class HistoryModule:
         return len(self._buffer)
 
     def buffered_events(self) -> List[Event]:
-        return sorted(self._buffer.values(), key=lambda e: self._learn_order[e.eid])
+        """Buffered events in learn order (dict insertion order; no sort)."""
+        return list(self._buffer.values())
 
     @property
     def loss_flags(self) -> Set[EventId]:
@@ -232,6 +268,10 @@ class HistoryModule:
         if send_eid in self._loss_known:
             return False
         self._loss_known.add(send_eid)
+        # a fresh flag is never in any _loss_sent set (those only hold
+        # flags already in _loss_known), so it is pending everywhere
+        for pending in self._loss_pending.values():
+            pending.add(send_eid)
         return True
 
     def _learn(self, event: Event) -> None:
@@ -242,12 +282,17 @@ class HistoryModule:
                 f"{self.proc!r} learned {eid} out of order (expected seq {expected})"
             )
         self._known[eid.proc] = eid.seq
-        self._learn_order[eid] = self._learn_counter
-        self._learn_counter += 1
-        # Buffer the event iff some neighbor might still lack it.
-        if any(
-            eid.seq > self._watermark[u].get(eid.proc, -1) for u in self.neighbors
-        ):
+        # Buffer the event iff some neighbor still lacks it, and index it
+        # under exactly those neighbors' pending maps.
+        lacking = 0
+        seq = eid.seq
+        proc = eid.proc
+        for u in self.neighbors:
+            if seq > self._watermark[u].get(proc, -1):
+                self._pending[u][eid] = event
+                lacking += 1
+        if lacking:
+            self._lacking[eid] = lacking
             self._buffer[eid] = event
             self.stats.max_buffer = max(self.stats.max_buffer, len(self._buffer))
 
@@ -265,13 +310,9 @@ class HistoryModule:
         """
         if neighbor not in self._watermark:
             raise ProtocolError(f"{neighbor!r} is not a neighbor of {self.proc!r}")
-        marks = self._watermark[neighbor]
-        fresh = [
-            event
-            for eid, event in self._buffer.items()
-            if eid.seq > marks.get(eid.proc, -1)
-        ]
-        fresh.sort(key=lambda e: self._learn_order[e.eid])
+        # the pending index holds exactly the events the neighbor lacks by
+        # confirmed watermark, already in learn order: O(|payload|)
+        fresh = list(self._pending[neighbor].values())
         advance: Dict[ProcessorId, int] = {}
         for event in fresh:
             if event.seq > advance.get(event.proc, -1):
@@ -279,7 +320,7 @@ class HistoryModule:
             if self.stats.reports is not None:
                 key = (event.eid, neighbor)
                 self.stats.reports[key] = self.stats.reports.get(key, 0) + 1
-        flags = tuple(sorted(self._loss_known - self._loss_sent[neighbor]))
+        flags = tuple(sorted(self._loss_pending[neighbor]))
         payload = HistoryPayload(records=tuple(fresh), loss_flags=flags)
         token = _DeliveryToken(
             token_id=next(self._token_ids),
@@ -323,11 +364,15 @@ class HistoryModule:
         if not confirmed:
             return
         marks = self._watermark[token.neighbor]
+        advanced = False
         for proc, seq in token.marks.items():
             if seq > marks.get(proc, -1):
                 marks[proc] = seq
+                advanced = True
         self._loss_sent[token.neighbor].update(token.loss_flags)
-        self._gc()
+        self._loss_pending[token.neighbor].difference_update(token.loss_flags)
+        if advanced:
+            self._prune_pending(token.neighbor)
 
     # -- protocol: receiving ------------------------------------------------------------
 
@@ -346,11 +391,13 @@ class HistoryModule:
         marks = self._watermark[neighbor]
         new_events: List[Event] = []
         self.stats.payloads_received += 1
+        advanced = False
         for event in payload.records:
             self.stats.records_received += 1
             w = event.proc
             if event.seq > marks.get(w, -1):
                 marks[w] = event.seq
+                advanced = True
             if self.knows(event.eid):
                 self.stats.duplicate_records_received += 1
                 continue
@@ -358,22 +405,39 @@ class HistoryModule:
             new_events.append(event)
         new_flags = [f for f in payload.loss_flags if f not in self._loss_known]
         self._loss_known.update(new_flags)
+        for other, pending in self._loss_pending.items():
+            if other != neighbor:
+                pending.update(new_flags)
         # the sender evidently knows these flags; never ship them back
         self._loss_sent[neighbor].update(payload.loss_flags)
-        self._gc()
+        self._loss_pending[neighbor].difference_update(payload.loss_flags)
+        if advanced:
+            self._prune_pending(neighbor)
         return new_events, new_flags
 
     # -- garbage collection ----------------------------------------------------------
 
-    def _gc(self) -> None:
-        """Corrected Figure 2 GC: drop events every neighbor already has."""
-        if not self._gc_enabled:
-            return
-        keep: Dict[EventId, Event] = {}
-        for eid, event in self._buffer.items():
-            if any(
-                eid.seq > self._watermark[u].get(eid.proc, -1)
-                for u in self.neighbors
-            ):
-                keep[eid] = event
-        self._buffer = keep
+    def _prune_pending(self, neighbor: ProcessorId) -> None:
+        """Incremental corrected-Figure 2 GC after a watermark advance.
+
+        Drops from ``neighbor``'s pending index every event its watermarks
+        now cover, decrementing the lacking refcounts; an event whose count
+        reaches zero is known by every neighbor and leaves ``H_v``
+        (unless GC is disabled for the A2 ablation).  O(|pending index|)
+        per advance instead of a full-buffer rebuild.
+        """
+        pending = self._pending[neighbor]
+        marks = self._watermark[neighbor]
+        covered = [
+            eid for eid in pending if eid.seq <= marks.get(eid.proc, -1)
+        ]
+        lacking = self._lacking
+        for eid in covered:
+            del pending[eid]
+            count = lacking[eid] - 1
+            if count:
+                lacking[eid] = count
+            else:
+                del lacking[eid]
+                if self._gc_enabled:
+                    del self._buffer[eid]

@@ -67,7 +67,31 @@ def check_agdp_invariants(agdp, *, tolerance: float = 1e-6) -> None:
 
     Works against both the dict and the numpy backend (anything with
     ``nodes`` and ``distance``).  O(n^3) - debug mode only.
+
+    A source-only solver cannot answer arbitrary pairs; for it the check
+    reduces to what is observable: zero anchor self-distance, no NaN in
+    the anchor row/column, and every anchor-through cycle non-negative
+    (``d(anchor, x) + d(x, anchor) >= 0``, Theorem 2.1).
     """
+    if getattr(agdp, "source_only", False):
+        anchor = agdp.anchor
+        if anchor is None:
+            return
+        if agdp.distance(anchor, anchor) != 0.0:
+            _fail(f"anchor self-distance is {agdp.distance(anchor, anchor)}")
+        for x in agdp.nodes:
+            d_ax = agdp.distance(anchor, x)
+            d_xa = agdp.distance(x, anchor)
+            if math.isnan(d_ax) or math.isnan(d_xa):
+                _fail(f"anchor distance to {x} is NaN")
+            if math.isinf(d_ax) or math.isinf(d_xa):
+                continue
+            if d_ax + d_xa < -tolerance:
+                _fail(
+                    f"negative cycle through the anchor at {x}: "
+                    f"{d_ax} + {d_xa}"
+                )
+        return
     nodes = sorted(agdp.nodes)
     dist = {x: {y: agdp.distance(x, y) for y in nodes} for x in nodes}
     for x in nodes:

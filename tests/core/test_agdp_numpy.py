@@ -1,11 +1,19 @@
 """The numpy AGDP backend is observationally identical to the dict one."""
 
 import math
+import random
 
 import pytest
 from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.core import AGDP, EfficientCSA, InconsistentSpecificationError, NumpyAGDP
+from repro.core import (
+    AGDP,
+    EfficientCSA,
+    InconsistentSpecificationError,
+    NumpyAGDP,
+    SuspicionPolicy,
+)
 from repro.sim import run_workload, standard_network, topologies
 from repro.sim.workloads import RandomTraffic
 
@@ -93,6 +101,203 @@ def test_numpy_matches_dict_backend(steps):
                     assert b == pytest.approx(a, abs=1e-9)
 
 
+@st.composite
+def heavy_churn_scripts(draw):
+    """Kill-heavy / growth-heavy scripts stressing the compacted-slot layout.
+
+    Unlike :func:`agdp_scripts` these run long enough to force capacity
+    doubling past the initial 16 slots ("grow" flavour) and enough
+    interleaved kills that nearly every step compacts via a swap-with-last
+    ("churn" flavour).  Weights stay potential-based (feasible).
+    """
+    n_steps = draw(st.integers(min_value=20, max_value=40))
+    rng = random.Random(draw(st.integers(min_value=0, max_value=10_000)))
+    flavour = draw(st.sampled_from(["grow", "churn"]))
+    kill_prob = 0.15 if flavour == "grow" else 0.85
+    potentials = {"s": 0.0}
+    live = ["s"]
+    steps = []
+    for i in range(n_steps):
+        node = f"n{i}"
+        potentials[node] = rng.uniform(-5, 5)
+        degree = rng.randint(1, min(4, len(live)))
+        edges = []
+        for peer in rng.sample(live, degree):
+            for x, y in ((node, peer), (peer, node)):
+                if rng.random() < 0.9:
+                    slack = rng.uniform(0, 2)
+                    edges.append((x, y, potentials[y] - potentials[x] + slack))
+        kills = []
+        killable = [p for p in live if p != "s"]
+        rng.shuffle(killable)
+        while killable and rng.random() < kill_prob:
+            kills.append(killable.pop())
+            if len(kills) >= 2:
+                break
+        steps.append((node, edges, kills))
+        live = [p for p in live if p not in kills] + [node]
+    return steps
+
+
+@settings(max_examples=25, deadline=None)
+@given(heavy_churn_scripts())
+def test_numpy_survives_heavy_slot_churn(steps):
+    """Distance-map equivalence under interleaved add/kill/grow sequences.
+
+    Every kill on the compacted backend swaps the last occupied slot into
+    the hole; every growth reallocates the prefix.  Neither may perturb a
+    single surviving distance relative to the dict backend.
+    """
+    dict_agdp = AGDP(source="s")
+    np_agdp = NumpyAGDP(source="s")
+    live = {"s"}
+    for node, edges, kills in steps:
+        dict_agdp.step(node, edges, kills)
+        np_agdp.step(node, edges, kills)
+        live.add(node)
+        live -= set(kills)
+        assert np_agdp.nodes == dict_agdp.nodes == live
+        for x in live:
+            from_dict = dict_agdp.distances_from(x)
+            from_np = np_agdp.distances_from(x)
+            assert from_np.keys() == from_dict.keys()
+            for y, a in from_dict.items():
+                b = from_np[y]
+                if math.isinf(a):
+                    assert math.isinf(b)
+                else:
+                    assert b == pytest.approx(a, abs=1e-9)
+
+
+def test_compaction_swap_preserves_self_distances():
+    """Killing an interior slot swaps the last row/column in; the moved
+    node's self-distance must land back on the diagonal."""
+    agdp = NumpyAGDP(source="s")
+    for name, w in (("a", 1.0), ("b", 2.0), ("c", 3.0)):
+        agdp.step(name, [("s", name, w), (name, "s", -w + 0.5)])
+    agdp.kill("a")  # interior slot: c (last) swaps into a's slot
+    assert agdp.nodes == {"s", "b", "c"}
+    for node in ("s", "b", "c"):
+        assert agdp.distance(node, node) == 0.0
+    assert agdp.distance("s", "c") == pytest.approx(3.0)
+    assert agdp.distance("c", "s") == pytest.approx(-2.5)
+
+
+@settings(max_examples=60, deadline=None)
+@given(agdp_scripts())
+def test_stats_parity_across_backends(steps):
+    """Both backends report identical work/size counters - including
+    ``pair_updates``, which must mean the same quantity (finite relaxation
+    candidates) regardless of backend so complexity plots line up."""
+    dict_agdp = AGDP(source="s")
+    np_agdp = NumpyAGDP(source="s")
+    for node, edges, kills in steps:
+        dict_agdp.step(node, edges, kills)
+        np_agdp.step(node, edges, kills)
+    for field in (
+        "nodes_added",
+        "nodes_killed",
+        "edges_inserted",
+        "pair_updates",
+        "max_nodes",
+    ):
+        assert getattr(np_agdp.stats, field) == getattr(dict_agdp.stats, field), field
+
+
+class TestSourceOnlyMode:
+    @settings(max_examples=60, deadline=None)
+    @given(agdp_scripts())
+    def test_anchor_distances_match_dict(self, steps):
+        dict_agdp = AGDP(source="s")
+        so = NumpyAGDP(source="s", source_only=True)
+        live = {"s"}
+        for node, edges, kills in steps:
+            dict_agdp.step(node, edges, kills)
+            so.step(node, edges, kills)
+            live.add(node)
+            live -= set(kills)
+            assert so.nodes == dict_agdp.nodes
+            for x in live:
+                for a, b in (
+                    (dict_agdp.distance("s", x), so.distance("s", x)),
+                    (dict_agdp.distance(x, "s"), so.distance(x, "s")),
+                ):
+                    if math.isinf(a):
+                        assert math.isinf(b)
+                    else:
+                        assert b == pytest.approx(a, abs=1e-9)
+
+    def test_paths_through_dead_nodes_survive(self):
+        """Lemma 3.4: killing a relay must not lose the distances it routed."""
+        so = NumpyAGDP(source="s", source_only=True)
+        dict_agdp = AGDP(source="s")
+        for agdp in (so, dict_agdp):
+            agdp.step("a", [("s", "a", 1.0), ("a", "s", 1.0)])
+            agdp.step("b", [("a", "b", 2.0), ("b", "a", 2.0)], kills=["a"])
+            agdp.step("c", [("b", "c", 4.0)])
+        assert so.distance("s", "c") == pytest.approx(dict_agdp.distance("s", "c"))
+        assert so.distance("s", "c") == pytest.approx(7.0)
+
+    def test_re_anchoring(self):
+        so = NumpyAGDP(source="s", source_only=True)
+        dict_agdp = AGDP(source="s")
+        for agdp in (so, dict_agdp):
+            agdp.step("a", [("s", "a", 1.0), ("a", "s", 1.5)])
+            agdp.step("b", [("a", "b", 2.0), ("b", "a", 2.5)])
+        assert so.anchor == "s"
+        so.set_anchor("b")
+        assert so.anchor == "b"
+        for x in ("s", "a", "b"):
+            assert so.distance("b", x) == pytest.approx(dict_agdp.distance("b", x))
+            assert so.distance(x, "b") == pytest.approx(dict_agdp.distance(x, "b"))
+
+    def test_query_surface_errors(self):
+        so = NumpyAGDP(source="s", source_only=True)
+        so.step("a", [("s", "a", 1.0)])
+        so.step("b", [("a", "b", 1.0)])
+        # anchor-incident pairs and x == y answer; anything else refuses
+        assert so.distance("s", "b") == pytest.approx(2.0)
+        assert so.distance("a", "a") == 0.0
+        with pytest.raises(ValueError):
+            so.distance("a", "b")
+        with pytest.raises(KeyError):
+            so.distance("s", "ghost")
+        with pytest.raises(ValueError):
+            so.distances_from("a")
+        with pytest.raises(KeyError):
+            so.distances_to("ghost")
+        with pytest.raises(KeyError):
+            so.set_anchor("ghost")
+        dense = NumpyAGDP(source="s")
+        with pytest.raises(ValueError):
+            dense.set_anchor("s")
+        assert dense.anchor is None
+
+    def test_negative_cycle_through_anchor_rejected(self):
+        so = NumpyAGDP(source="s", source_only=True)
+        so.step("a", [("s", "a", 1.0), ("a", "s", 1.0)])
+        with pytest.raises(InconsistentSpecificationError):
+            so.insert_edge("a", "s", -2.0)
+
+    def test_negative_cycle_off_anchor_detected_by_budget(self):
+        """A negative cycle not incident to the anchor is still caught -
+        by the relaxation budget, after the adjacency mutated (the reason
+        degraded mode cannot use this backend)."""
+        so = NumpyAGDP(source="s", source_only=True)
+        so.step("a", [("s", "a", 1.0)])
+        so.step("b", [("a", "b", 1.0)])
+        with pytest.raises(InconsistentSpecificationError):
+            so.insert_edge("b", "a", -2.0)
+
+    def test_space_accounting(self):
+        so = NumpyAGDP(source="s", source_only=True)
+        so.step("a", [("s", "a", 1.0), ("a", "s", 1.0)])
+        assert so.matrix_size() == 2 * 2  # two vectors over {s, a}
+        assert so.edge_space() == 4  # two directed edges, in+out lists
+        dense = NumpyAGDP(source="s")
+        assert dense.edge_space() == 0
+
+
 class TestBackendInCSA:
     def test_estimates_identical_across_backends(self):
         names, links = topologies.ring(5)
@@ -103,6 +308,9 @@ class TestBackendInCSA:
             {
                 "dict": lambda p, s: EfficientCSA(p, s, agdp_backend="dict"),
                 "numpy": lambda p, s: EfficientCSA(p, s, agdp_backend="numpy"),
+                "source-only": lambda p, s: EfficientCSA(
+                    p, s, agdp_backend="numpy-source-only"
+                ),
             },
             duration=40.0,
             seed=21,
@@ -111,15 +319,35 @@ class TestBackendInCSA:
         assert result.soundness_violations() == []
         for proc in names:
             a = result.sim.estimator(proc, "dict").estimate()
-            b = result.sim.estimator(proc, "numpy").estimate()
-            if not (a.is_bounded and b.is_bounded):
-                assert a.lower == b.lower and a.upper == b.upper
-                continue
-            assert b.lower == pytest.approx(a.lower, abs=1e-9)
-            assert b.upper == pytest.approx(a.upper, abs=1e-9)
+            for other in ("numpy", "source-only"):
+                b = result.sim.estimator(proc, other).estimate()
+                if not (a.is_bounded and b.is_bounded):
+                    assert a.lower == b.lower and a.upper == b.upper
+                    continue
+                assert b.lower == pytest.approx(a.lower, abs=1e-9)
+                assert b.upper == pytest.approx(a.upper, abs=1e-9)
 
     def test_unknown_backend_rejected(self):
         names, links = topologies.line(2)
         network = standard_network(names, links, seed=1)
         with pytest.raises(ValueError):
             EfficientCSA("p1", network.spec, agdp_backend="fortran")
+
+    def test_source_only_rejects_degraded_and_hardened(self):
+        """No pre-mutation inconsistency detection => no quarantine modes."""
+        names, links = topologies.line(2)
+        network = standard_network(names, links, seed=1)
+        with pytest.raises(ValueError):
+            EfficientCSA(
+                "p1",
+                network.spec,
+                agdp_backend="numpy-source-only",
+                degraded_mode=True,
+            )
+        with pytest.raises(ValueError):
+            EfficientCSA(
+                "p1",
+                network.spec,
+                agdp_backend="numpy-source-only",
+                suspicion=SuspicionPolicy(),
+            )
