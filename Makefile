@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-json bench-compare bench-refresh experiments experiments-quick chaos chaos-byz examples fuzz fuzz-long rt-demo rt-smoke clean
+.PHONY: install test bench bench-json bench-compare bench-refresh experiments experiments-quick chaos chaos-byz churn examples fuzz fuzz-long rt-demo rt-smoke clean
 
 # relative slowdown tolerated by the perf gate before it fails.  0.75
 # accommodates CPU-throttled/shared dev machines (observed run-to-run
@@ -59,6 +59,12 @@ chaos:
 # (payload tampering, suspicion, eviction) - deterministic smoke check
 chaos-byz:
 	$(PYTHON) -m repro.experiments.chaos --shapes ring --duration 60 --seed 0 --liars 1
+
+# fixed-seed churn smoke: every corruption scope detected and rebuilt
+# with finite re-convergence, plus a late joiner bootstrapping through
+# the sponsor-snapshot handshake (quick size, deterministic)
+churn:
+	$(PYTHON) -m repro.experiments.cli e11-churn --quick
 
 # property-based conformance sweep at the CI example budget (~150/property)
 fuzz:

@@ -15,7 +15,8 @@ The public surface re-exports the classes a downstream user needs:
 
 from .agdp import AGDP, AGDPStats
 from .agdp_numpy import NumpyAGDP
-from .csa import CSAStats, EfficientCSA, QuarantineDiagnostic
+from .bootstrap import BootstrapSnapshot
+from .csa import CSAStats, EfficientCSA, QuarantineDiagnostic, RecoveryEvent
 from .csa_base import (
     DEFAULT_BLAME_WEIGHTS,
     Estimator,
@@ -76,6 +77,7 @@ from .view import View
 __all__ = [
     "AGDP",
     "AGDPStats",
+    "BootstrapSnapshot",
     "CSAStats",
     "ClockBound",
     "DEFAULT_BLAME_WEIGHTS",
@@ -101,6 +103,7 @@ __all__ = [
     "ProcessorId",
     "ProtocolError",
     "QuarantineDiagnostic",
+    "RecoveryEvent",
     "ReproError",
     "SimulationError",
     "SpecificationError",

@@ -1,0 +1,166 @@
+"""Late-joiner bootstrap snapshots (dynamic membership support).
+
+A processor that joins an execution late cannot replay the whole run; it
+needs exactly the state that Theorem 2.1 says matters.  Lemmas 3.4/3.5
+make that state small: every future synchronization-graph edge is
+incident only to *live* points, and garbage collection preserves exact
+distances between live points, so a sponsor's
+
+* live-point set (last event per processor + undelivered sends),
+* finite live-live distance matrix,
+* history knowledge frontier (the watermark handoff - what the joiner
+  may claim to already know), and
+* loss flags (Sec 3.3)
+
+are a sufficient interface for the joiner to continue as if it had
+absorbed the sponsor's entire view.  Re-inserting the distance entries
+as edges reconstructs the metric closure exactly (triangle inequality +
+the Ausiello relaxation), and by Lemma 3.1 the sponsor's view at its
+latest point *is* the causal past of the handshake message, so a
+bootstrap followed by the handshake receive is information-equivalent to
+full replay - the joiner's first estimate is already optimal.
+
+The snapshot is a dumb, JSON-codable container: it crosses the wire in
+the runtime's ``join`` handshake and rides inside the simulator's
+membership events, so the codec is strict about shapes (untrusted-bytes
+path, like :meth:`~repro.core.history.HistoryPayload.from_dict`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from .events import EventId, ProcessorId
+
+__all__ = ["BootstrapSnapshot"]
+
+
+def _check_eid_pair(entry, what: str) -> EventId:
+    if (
+        not isinstance(entry, (list, tuple))
+        or len(entry) != 2
+        or not isinstance(entry[0], str)
+        or not entry[0]
+        or not isinstance(entry[1], int)
+        or isinstance(entry[1], bool)
+        or entry[1] < 0
+    ):
+        raise ValueError(f"{what} must be [proc, seq], got {entry!r}")
+    return EventId(entry[0], entry[1])
+
+
+def _check_number(value, what: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(f"{what} must be a number, got {value!r}")
+    return float(value)
+
+
+@dataclass(frozen=True)
+class BootstrapSnapshot:
+    """One sponsor's handoff state for a late joiner.
+
+    ``last`` holds ``(proc, seq, lt, is_send)`` per known processor;
+    ``undelivered`` the in-flight sends ``(proc, seq, lt)``;
+    ``known`` the history frontier ``(proc, seq)`` (sequence watermarks);
+    ``loss_flags`` the Sec 3.3 flags; ``distances`` every finite
+    live-live distance ``(x_proc, x_seq, y_proc, y_seq, weight)``;
+    ``source_rep`` the sponsor's latest known source point, if any.
+    """
+
+    sponsor: ProcessorId
+    last: Tuple[Tuple[ProcessorId, int, float, bool], ...]
+    undelivered: Tuple[Tuple[ProcessorId, int, float], ...] = ()
+    known: Tuple[Tuple[ProcessorId, int], ...] = ()
+    loss_flags: Tuple[EventId, ...] = ()
+    distances: Tuple[Tuple[ProcessorId, int, ProcessorId, int, float], ...] = ()
+    source_rep: Optional[EventId] = None
+
+    def live_points(self) -> Tuple[EventId, ...]:
+        """Every live point of the snapshot, sorted for determinism."""
+        points = {EventId(proc, seq) for proc, seq, _lt, _is_send in self.last}
+        points.update(EventId(proc, seq) for proc, seq, _lt in self.undelivered)
+        return tuple(sorted(points))
+
+    def frontier(self) -> Dict[ProcessorId, int]:
+        return dict(self.known)
+
+    # -- JSON codec -------------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """JSON-safe form; exact inverse of :meth:`from_dict`."""
+        return {
+            "sponsor": self.sponsor,
+            "last": [[p, s, lt, send] for p, s, lt, send in self.last],
+            "undelivered": [[p, s, lt] for p, s, lt in self.undelivered],
+            "known": [[p, s] for p, s in self.known],
+            "loss_flags": [[eid.proc, eid.seq] for eid in self.loss_flags],
+            "distances": [[xp, xs, yp, ys, w] for xp, xs, yp, ys, w in self.distances],
+            "source_rep": (
+                None
+                if self.source_rep is None
+                else [self.source_rep.proc, self.source_rep.seq]
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "BootstrapSnapshot":
+        """Strict decode for untrusted bytes; raises ``ValueError`` on bad shapes."""
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"bootstrap snapshot must be a mapping, got {type(data).__name__}"
+            )
+        sponsor = data.get("sponsor")
+        if not isinstance(sponsor, str) or not sponsor:
+            raise ValueError(f"snapshot sponsor must be a processor id, got {sponsor!r}")
+        last = []
+        for entry in cls._seq(data, "last"):
+            if not isinstance(entry, (list, tuple)) or len(entry) != 4:
+                raise ValueError(f"last entry must be [proc, seq, lt, is_send], got {entry!r}")
+            eid = _check_eid_pair(entry[:2], "last entry")
+            lt = _check_number(entry[2], "last entry lt")
+            if not isinstance(entry[3], bool):
+                raise ValueError(f"last entry is_send must be a bool, got {entry[3]!r}")
+            last.append((eid.proc, eid.seq, lt, entry[3]))
+        undelivered = []
+        for entry in cls._seq(data, "undelivered"):
+            if not isinstance(entry, (list, tuple)) or len(entry) != 3:
+                raise ValueError(f"undelivered entry must be [proc, seq, lt], got {entry!r}")
+            eid = _check_eid_pair(entry[:2], "undelivered entry")
+            undelivered.append((eid.proc, eid.seq, _check_number(entry[2], "undelivered lt")))
+        known = []
+        for entry in cls._seq(data, "known"):
+            eid = _check_eid_pair(entry, "known entry")
+            known.append((eid.proc, eid.seq))
+        flags = tuple(
+            _check_eid_pair(entry, "loss flag") for entry in cls._seq(data, "loss_flags")
+        )
+        distances = []
+        for entry in cls._seq(data, "distances"):
+            if not isinstance(entry, (list, tuple)) or len(entry) != 5:
+                raise ValueError(
+                    f"distance entry must be [xp, xs, yp, ys, w], got {entry!r}"
+                )
+            x = _check_eid_pair(entry[:2], "distance endpoint")
+            y = _check_eid_pair(entry[2:4], "distance endpoint")
+            distances.append(
+                (x.proc, x.seq, y.proc, y.seq, _check_number(entry[4], "distance weight"))
+            )
+        rep_raw = data.get("source_rep")
+        source_rep = None if rep_raw is None else _check_eid_pair(rep_raw, "source_rep")
+        return cls(
+            sponsor=sponsor,
+            last=tuple(last),
+            undelivered=tuple(undelivered),
+            known=tuple(known),
+            loss_flags=flags,
+            distances=tuple(distances),
+            source_rep=source_rep,
+        )
+
+    @staticmethod
+    def _seq(data: Dict, key: str):
+        raw = data.get(key, [])
+        if not isinstance(raw, (list, tuple)):
+            raise ValueError(f"'{key}' must be a list, got {type(raw).__name__}")
+        return raw

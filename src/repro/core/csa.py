@@ -76,6 +76,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from .agdp import AGDP
+from .bootstrap import BootstrapSnapshot
 from .csa_base import Estimator, SuspicionPolicy, SuspicionTracker
 from .errors import InconsistentSpecificationError, ProtocolError
 from .events import Event, EventId, ProcessorId
@@ -85,7 +86,7 @@ from .live import LiveTracker
 from .specs import SystemSpec, TOP
 from .validate import ValidationFailure, validate_payload
 
-__all__ = ["EfficientCSA", "CSAStats", "QuarantineDiagnostic"]
+__all__ = ["EfficientCSA", "CSAStats", "QuarantineDiagnostic", "RecoveryEvent"]
 
 
 @dataclass(frozen=True)
@@ -104,6 +105,16 @@ class QuarantineDiagnostic:
     #: which constraint family the edge encodes: "drift" or "transit"
     kind: str
     #: the detector's message (names the closing pair and distance)
+    reason: str
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One self-stabilization episode: corruption detected, state rebuilt."""
+
+    #: local time of the event hook whose entry audit caught the corruption
+    at_lt: float
+    #: which structural invariant failed (the detector's message)
     reason: str
 
 
@@ -158,6 +169,7 @@ class EfficientCSA(Estimator):
         track_reports: bool = False,
         degraded_mode: bool = False,
         suspicion: Optional[SuspicionPolicy] = None,
+        self_heal: bool = False,
         debug_checks: Optional[bool] = None,
     ):
         super().__init__(proc, spec)
@@ -172,11 +184,21 @@ class EfficientCSA(Estimator):
                 "or hardened mode (no pre-mutation inconsistency detection); "
                 "use 'dict' or 'numpy'"
             )
+        if agdp_backend == "numpy-source-only" and self_heal:
+            # the structural audit reads matrix diagonals and the recovery
+            # path replays pairwise constraints; the anchored row/column
+            # solver retains neither
+            raise ValueError(
+                "the 'numpy-source-only' AGDP backend cannot self-heal; "
+                "use 'dict' or 'numpy'"
+            )
         # expensive structural self-checks after every event hook and AGDP
         # mutation; None defers to the REPRO_DEBUG environment variable
         from ..testing.invariants import debug_checks_enabled
 
         self._debug_checks = debug_checks_enabled(debug_checks)
+        self._history_gc = history_gc
+        self._track_reports = track_reports
         self.history = HistoryModule(
             proc,
             spec.neighbors(proc),
@@ -199,6 +221,7 @@ class EfficientCSA(Estimator):
         #: pending history delivery tokens per local send (unreliable mode)
         self._pending_tokens: Dict[EventId, int] = {}
         #: per-processor blame ledger (hardened mode only)
+        self._suspicion_policy = suspicion
         self.suspicion: Optional[SuspicionTracker] = (
             SuspicionTracker(suspicion, protect=(proc, spec.source))
             if suspicion is not None
@@ -214,6 +237,22 @@ class EfficientCSA(Estimator):
         self._event_log: List[Event] = []
         self._log_index: Dict[EventId, Event] = {}
         self._replaying = False
+        #: self-stabilization (churn extension): audit structural invariants
+        #: at every event hook and rebuild from the retained log on failure
+        self.self_heal = self_heal
+        #: the event log doubles as the recovery replay source, so it is
+        #: retained for self-healing estimators even outside hardened mode
+        self._retain_log = self.suspicion is not None or self_heal
+        #: loss flags in arrival order, durable across history rebuilds
+        self._flag_log: Set[EventId] = set()
+        #: frontier-covered records re-buffered for forwarding but never
+        #: learned (so absent from the event log); kept in arrival order so
+        #: recovery can restore the forwarding buffer exactly
+        self._rebuffer_log: Dict[EventId, Event] = {}
+        #: late-joiner handoff adopted at bootstrap; replay prefix of rebuilds
+        self._bootstrap: Optional[BootstrapSnapshot] = None
+        self.recoveries = 0
+        self.recovery_events: List[RecoveryEvent] = []
 
     def _make_agdp(self):
         if self._agdp_backend == "dict":
@@ -264,6 +303,7 @@ class EfficientCSA(Estimator):
     def on_send(self, event: Event) -> HistoryPayload:
         if not event.is_send:
             raise ProtocolError(f"on_send called with {event.kind} event {event.eid}")
+        self._audit(event.lt)
         self._track_local(event)
         self.history.record_local(event)
         self._ingest(event)
@@ -281,6 +321,7 @@ class EfficientCSA(Estimator):
             raise TypeError(
                 f"efficient CSA expected a HistoryPayload, got {type(payload).__name__}"
             )
+        self._audit(event.lt)
         self._track_local(event)
         sender = event.send_eid.proc
         if self.suspicion is not None:
@@ -288,6 +329,18 @@ class EfficientCSA(Estimator):
         new_events, new_flags = self.history.ingest_payload(sender, payload)
         for reported in new_events:
             self._ingest(reported)
+        if self._retain_log:
+            # records the history re-buffered rather than learned (covered
+            # by an adopted frontier) never reach the event log; retain
+            # them separately so recovery can restore the forwarding buffer
+            new_ids = {e.eid for e in new_events}
+            for record in payload.records:
+                if (
+                    record.eid not in new_ids
+                    and record.eid not in self._log_index
+                    and record.eid not in self._rebuffer_log
+                ):
+                    self._rebuffer_log[record.eid] = record
         self.history.record_local(event)
         self._ingest(event)
         for flag in new_flags:
@@ -296,6 +349,7 @@ class EfficientCSA(Estimator):
         self._debug_check()
 
     def on_internal(self, event: Event) -> None:
+        self._audit(event.lt)
         self._track_local(event)
         self.history.record_local(event)
         self._ingest(event)
@@ -337,11 +391,240 @@ class EfficientCSA(Estimator):
             self._rebuild()
         self._debug_check()
 
+    # -- dynamic membership: late-joiner bootstrap -----------------------------------
+
+    @property
+    def is_fresh(self) -> bool:
+        """Whether this estimator has neither observed nor adopted anything.
+
+        Only a fresh estimator may bootstrap: adopting over existing state
+        would forge continuity.  A restarted node with durable state is not
+        fresh - its :meth:`bootstrap_from` is a no-op returning ``False``,
+        which is exactly the at-most-once semantics the runtime handshake
+        needs (a retransmitted join answer must not re-apply).
+        """
+        return (
+            self._last_local is None
+            and self.live.events_observed == 0
+            and not self.live.processors
+            and not self._event_log
+            and self._bootstrap is None
+        )
+
+    def bootstrap_snapshot(self) -> BootstrapSnapshot:
+        """Export this estimator's handoff state for a late joiner.
+
+        Sound and complete by Lemmas 3.4/3.5: garbage collection preserves
+        exact distances between live points, and every future constraint is
+        incident only to live points, so the frontier + finite live-live
+        distances + loss flags are all a joiner needs (see
+        :mod:`repro.core.bootstrap`).  Call *after* recording the send
+        event of the handshake message, so the snapshot covers it.
+        """
+        if getattr(self.agdp, "source_only", False):
+            raise ProtocolError(
+                "the 'numpy-source-only' backend retains no pairwise "
+                "distances to hand off; sponsor with 'dict' or 'numpy'"
+            )
+        last = tuple(
+            (proc, seq, lt, is_send)
+            for proc, (seq, lt, is_send) in sorted(self.live.last_events().items())
+        )
+        undelivered = tuple(
+            (eid.proc, eid.seq, self.live.send_lt(eid))
+            for eid in sorted(self.live.undelivered_sends())
+        )
+        points = [p for p in sorted(self.live.live_points()) if p in self.agdp]
+        distances = []
+        for x in points:
+            for y in points:
+                if x == y:
+                    continue
+                w = self.agdp.distance(x, y)
+                if math.isfinite(w):
+                    distances.append((x.proc, x.seq, y.proc, y.seq, w))
+        return BootstrapSnapshot(
+            sponsor=self.proc,
+            last=last,
+            undelivered=undelivered,
+            known=tuple(sorted(self.history.knowledge_frontier().items())),
+            loss_flags=tuple(sorted(self.history.loss_flags)),
+            distances=tuple(distances),
+            source_rep=self._source_rep,
+        )
+
+    def bootstrap_from(self, snapshot: BootstrapSnapshot) -> bool:
+        """Adopt a sponsor's snapshot; returns ``False`` unless fresh.
+
+        On success the estimator behaves as if it had absorbed the
+        sponsor's entire view: the next receive (the handshake message
+        itself) attaches to the adopted live points and the first estimate
+        is already Theorem 2.1-optimal.  A snapshot whose distances are
+        internally inconsistent (corrupt or adversarial) is refused
+        wholesale - the estimator resets to fresh and returns ``False``.
+        """
+        if not self.is_fresh:
+            return False
+        if getattr(self.agdp, "source_only", False):
+            raise ProtocolError(
+                "the 'numpy-source-only' backend cannot bootstrap "
+                "(no pairwise distance storage); use 'dict' or 'numpy'"
+            )
+        sponsor = (
+            snapshot.sponsor if snapshot.sponsor in self.history.neighbors else None
+        )
+        try:
+            self.history.adopt_frontier(
+                snapshot.frontier(), snapshot.loss_flags, sponsor=sponsor
+            )
+            self._apply_snapshot(snapshot)
+        except (InconsistentSpecificationError, ProtocolError, ValueError):
+            self._reset_fresh()
+            return False
+        self._bootstrap = snapshot
+        if self._retain_log:
+            self._flag_log.update(snapshot.loss_flags)
+        return True
+
+    def _apply_snapshot(self, snapshot: BootstrapSnapshot) -> None:
+        """Load a snapshot into the live tracker and solver (fresh structures).
+
+        Shared by :meth:`bootstrap_from` and :meth:`_rebuild`; in hardened
+        replays, points claimed by currently excluded processors stay out of
+        the solver (their folded path contributions cannot be unfolded - the
+        snapshot is trusted sponsor state, eviction excises only direct
+        nodes).
+        """
+        self.live.adopt(snapshot.last, snapshot.undelivered, snapshot.loss_flags)
+        excluded = (
+            self.suspicion.is_excluded if self.suspicion is not None else lambda e: False
+        )
+        kept = [p for p in snapshot.live_points() if not excluded(p)]
+        for point in kept:
+            self.agdp.add_node(point)
+        in_agdp = set(kept)
+        for xp, xs, yp, ys, w in snapshot.distances:
+            x, y = EventId(xp, xs), EventId(yp, ys)
+            if x not in in_agdp or y not in in_agdp:
+                continue
+            try:
+                self.agdp.insert_edge(x, y, w)
+            except InconsistentSpecificationError:
+                if not self._replaying:
+                    raise  # bootstrap_from refuses the snapshot wholesale
+                # replay: quarantine silently, like logged-event replays
+        if snapshot.source_rep is not None and snapshot.source_rep in self.agdp:
+            self._source_rep = snapshot.source_rep
+
+    def _reset_fresh(self) -> None:
+        """Discard all state after a refused bootstrap (back to fresh)."""
+        self.history = HistoryModule(
+            self.proc,
+            self.spec.neighbors(self.proc),
+            reliable=self.reliable,
+            track_reports=self._track_reports,
+            gc_enabled=self._history_gc,
+        )
+        self.live = LiveTracker()
+        self.agdp = self._make_agdp()
+        self._source_rep = None
+        self._bootstrap = None
+
+    # -- self-stabilization: audit and recovery --------------------------------------
+
+    def self_check(self) -> bool:
+        """Cheap structural audit; ``True`` when state looks coherent."""
+        return self._find_corruption() is None
+
+    def _find_corruption(self) -> Optional[str]:
+        """O(#processors) cross-module invariant probe.
+
+        Detects the corruption classes of the churn fault model: a
+        scrambled history frontier (disagrees with the live tracker), a
+        poisoned distance matrix (nonzero diagonal at a live point, or a
+        lost source representative), and an invalid suspicion ledger
+        (negative or NaN scores).  Anything that *raises* during the probe
+        is corruption too.
+        """
+        try:
+            for proc in self.live.processors:
+                if self.history.known_seq(proc) != self.live.last_seq(proc):
+                    return (
+                        f"history frontier for {proc!r} disagrees with the "
+                        "live tracker"
+                    )
+            if self._source_rep is not None and self._source_rep not in self.agdp:
+                return "source representative missing from the distance solver"
+            for proc in self.live.processors:
+                last = self.live.last_event(proc)
+                if last is not None and last[0] in self.agdp:
+                    if self.agdp.distance(last[0], last[0]) != 0.0:
+                        return f"distance matrix diagonal poisoned at {last[0]}"
+            if self.suspicion is not None:
+                for proc, score in self.suspicion.scores.items():
+                    if not score >= 0.0:  # NaN fails this comparison too
+                        return f"suspicion ledger holds invalid score for {proc!r}"
+        except Exception as exc:
+            return f"structural audit raised: {exc}"
+        return None
+
+    def _audit(self, at_lt: float) -> None:
+        """Entry audit of every event hook (self-healing estimators only)."""
+        if not self.self_heal:
+            return
+        reason = self._find_corruption()
+        if reason is not None:
+            self._recover(at_lt, reason)
+
+    def _recover(self, at_lt: float, reason: str) -> None:
+        """Rebuild every subsystem from durable logs (self-stabilization).
+
+        The retained event log, loss-flag log, and bootstrap snapshot are
+        the ground truth; history, live tracker, solver, and suspicion
+        ledger are all re-derived from them, so recovery is *exact*: the
+        rebuilt state is bit-identical to a never-corrupted twin's (modulo
+        watermarks, which reset and merely cause re-shipping that receivers
+        dedup).  Unsettled delivery tokens are dropped - late confirms
+        become no-ops and the unconfirmed payloads are simply re-reported.
+        """
+        self.recoveries += 1
+        self.recovery_events.append(RecoveryEvent(at_lt=at_lt, reason=reason))
+        self.history = HistoryModule(
+            self.proc,
+            self.spec.neighbors(self.proc),
+            reliable=self.reliable,
+            track_reports=self._track_reports,
+            gc_enabled=self._history_gc,
+        )
+        if self._bootstrap is not None:
+            sponsor = (
+                self._bootstrap.sponsor
+                if self._bootstrap.sponsor in self.history.neighbors
+                else None
+            )
+            self.history.adopt_frontier(
+                self._bootstrap.frontier(),
+                self._bootstrap.loss_flags,
+                sponsor=sponsor,
+            )
+        # frontier-covered forwardables first: they causally precede every
+        # logged (post-bootstrap) event, so this is a valid learn order
+        self.history.adopt_events(self._rebuffer_log.values())
+        self.history.adopt_events(self._event_log)
+        for flag in sorted(self._flag_log):
+            self.history.record_loss(flag)
+        if self._suspicion_policy is not None:
+            self.suspicion = SuspicionTracker(
+                self._suspicion_policy, protect=(self.proc, self.spec.source)
+            )
+        self._pending_tokens.clear()
+        self._rebuild()
+
     # -- core insertion ------------------------------------------------------------
 
     def _ingest(self, event: Event) -> None:
-        """Log (hardened mode) and insert one event into the graph layer."""
-        if self.suspicion is not None and not self._replaying:
+        """Log (hardened/self-heal mode) and insert one event into the graph layer."""
+        if self._retain_log and not self._replaying:
             self._event_log.append(event)
             self._log_index[event.eid] = event
         self._agdp_insert(event)
@@ -527,6 +810,8 @@ class EfficientCSA(Estimator):
             self.live = LiveTracker()
             self.agdp = self._make_agdp()
             self._source_rep = None
+            if self._bootstrap is not None:
+                self._apply_snapshot(self._bootstrap)
             for event in self._event_log:
                 self._agdp_insert(event)
             for flag in self.history.loss_flags:
@@ -552,6 +837,8 @@ class EfficientCSA(Estimator):
             )
 
     def _apply_loss_flag(self, send_eid: EventId) -> None:
+        if self._retain_log and not self._replaying:
+            self._flag_log.add(send_eid)
         for victim in self.live.flag_lost(send_eid):
             if victim in self.agdp:
                 self.agdp.kill(victim)
@@ -559,8 +846,25 @@ class EfficientCSA(Estimator):
     # -- estimates ----------------------------------------------------------------
 
     def estimate(self) -> ClockBound:
+        if self.self_heal:
+            # reads audit too: sampling can land between the corruption and
+            # the next event hook, and a scrambled matrix must never leak
+            # out as an exception (or worse, an unsound interval)
+            at_lt = self._last_local.lt if self._last_local is not None else 0.0
+            self._audit(at_lt)
+            lower, upper = self._estimate_endpoints()
+            if lower > upper:
+                # an empty interval is impossible for honest state, so this
+                # is corruption the structural audit could not see
+                self._recover(at_lt, "estimate produced an empty bound")
+                lower, upper = self._estimate_endpoints()
+            return ClockBound(lower, upper)
+        lower, upper = self._estimate_endpoints()
+        return ClockBound(lower, upper)
+
+    def _estimate_endpoints(self) -> Tuple[float, float]:
         if self._last_local is None or self._source_rep is None:
-            return ClockBound.unbounded()
+            return -math.inf, math.inf
         p = self._last_local.eid
         sp = self._source_rep
         lt_p = self._last_local.lt
@@ -568,7 +872,7 @@ class EfficientCSA(Estimator):
         d_sp_p = self.agdp.distance(sp, p)
         lower = -math.inf if math.isinf(d_sp_p) else lt_p - d_sp_p
         upper = math.inf if math.isinf(d_p_sp) else lt_p + d_p_sp
-        return ClockBound(lower, upper)
+        return lower, upper
 
     def estimate_of(self, proc: ProcessorId) -> ClockBound:
         """Bounds on ``RT`` at the last *known* point of another processor.

@@ -253,6 +253,88 @@ class HistoryModule:
     def pending_tokens(self) -> int:
         return len(self._tokens)
 
+    def knowledge_frontier(self) -> Dict[ProcessorId, int]:
+        """``K_v`` - this module's knowledge frontier, ``proc -> max seq``."""
+        return dict(self._known)
+
+    # -- dynamic membership -----------------------------------------------------------
+
+    def adopt_frontier(
+        self,
+        known: Dict[ProcessorId, int],
+        loss_flags: Iterable[EventId] = (),
+        *,
+        sponsor: Optional[ProcessorId] = None,
+    ) -> None:
+        """Late-joiner bootstrap: adopt a sponsor's knowledge frontier.
+
+        The joiner claims to know everything up to ``known`` without holding
+        the records themselves - sound because those events' constraints
+        arrive pre-folded in the AGDP distance snapshot, and the frontier
+        stops neighbors' payload dedup from re-teaching them (a record at or
+        below the frontier is skipped as a duplicate on ingest).
+
+        If ``sponsor`` is one of our neighbors, its watermark row is seeded
+        with the same frontier (the sponsor knows everything it handed us),
+        so the first payload back to it is small; adopted loss flags are
+        likewise marked already-shipped toward the sponsor but pending to
+        every other neighbor.  Only a fresh module may adopt.
+        """
+        if self._known or self._buffer or self._loss_known:
+            raise ProtocolError(
+                f"{self.proc!r} cannot adopt a frontier over existing history"
+            )
+        self._known.update(known)
+        flags = set(loss_flags)
+        self._loss_known.update(flags)
+        for u, pending in self._loss_pending.items():
+            if u != sponsor:
+                pending.update(flags)
+        if sponsor is not None and sponsor in self._watermark:
+            marks = self._watermark[sponsor]
+            for proc, seq in known.items():
+                if seq > marks.get(proc, -1):
+                    marks[proc] = seq
+            self._loss_sent[sponsor].update(flags)
+
+    def absorb_peer_frontier(
+        self, neighbor: ProcessorId, marks: Dict[ProcessorId, int]
+    ) -> None:
+        """Watermark handoff: learn that ``neighbor`` already knows ``marks``.
+
+        Called on a joiner's *peers* when the joiner bootstraps from a
+        sponsor snapshot: the peer may advance ``C_vu`` for the new neighbor
+        to the snapshot frontier without shipping anything (the knowledge
+        arrived out of band).  Watermarks only advance, so this composes
+        with any interleaving of regular payload traffic.
+        """
+        if neighbor not in self._watermark:
+            raise ProtocolError(f"{neighbor!r} is not a neighbor of {self.proc!r}")
+        row = self._watermark[neighbor]
+        advanced = False
+        for proc, seq in marks.items():
+            if seq > row.get(proc, -1):
+                row[proc] = seq
+                advanced = True
+        if advanced:
+            self._prune_pending(neighbor)
+
+    def adopt_events(self, events: Iterable[Event]) -> None:
+        """Re-learn ``events`` in order (self-stabilization rebuild path).
+
+        Unlike :meth:`record_local` this accepts events of any processor;
+        the caller is responsible for supplying a valid learn order (the
+        estimator's retained event log is one by construction).  Events
+        already covered by the knowledge frontier (records an adopted
+        frontier covers seq-wise) are re-buffered for forwarding instead
+        of re-learned.
+        """
+        for event in events:
+            if self.knows(event.eid):
+                self._rebuffer(event)
+            else:
+                self._learn(event)
+
     # -- local events ---------------------------------------------------------------
 
     def record_local(self, event: Event) -> None:
@@ -289,6 +371,27 @@ class HistoryModule:
         proc = eid.proc
         for u in self.neighbors:
             if seq > self._watermark[u].get(proc, -1):
+                self._pending[u][eid] = event
+                lacking += 1
+        if lacking:
+            self._lacking[eid] = lacking
+            self._buffer[eid] = event
+            self.stats.max_buffer = max(self.stats.max_buffer, len(self._buffer))
+
+    def _rebuffer(self, event: Event) -> None:
+        """Re-index an already-known record for neighbors that still lack it.
+
+        Buffer order stays a valid learn order: any record causally
+        preceding an already-buffered event arrived no later than it on the
+        same channel, so a record re-buffered now cannot precede anything
+        buffered earlier.
+        """
+        eid = event.eid
+        if eid in self._lacking:
+            return  # already buffered and indexed
+        lacking = 0
+        for u in self.neighbors:
+            if eid.seq > self._watermark[u].get(eid.proc, -1):
                 self._pending[u][eid] = event
                 lacking += 1
         if lacking:
@@ -400,6 +503,13 @@ class HistoryModule:
                 advanced = True
             if self.knows(event.eid):
                 self.stats.duplicate_records_received += 1
+                # A record we know *of* but do not hold: after a frontier
+                # adoption the seqs are covered yet the records are not -
+                # hold it for any neighbor whose watermark does not cover
+                # it, or an information-poor neighbor could never learn it
+                # through us.  For true duplicates every lacking neighbor
+                # is already indexed (or covered), so this is a no-op.
+                self._rebuffer(event)
                 continue
             self._learn(event)
             new_events.append(event)

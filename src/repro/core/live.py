@@ -17,7 +17,7 @@ solver.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from .errors import ProtocolError
 from .events import Event, EventId, ProcessorId
@@ -91,7 +91,45 @@ class LiveTracker:
     def processors(self) -> Tuple[ProcessorId, ...]:
         return tuple(sorted(self._last))
 
+    def last_events(self) -> Dict[ProcessorId, Tuple[int, float, bool]]:
+        """Export the per-processor frontier as ``proc -> (seq, lt, is_send)``.
+
+        Together with :meth:`undelivered_sends`/:meth:`send_lt` and
+        :attr:`lost_flags` this is the full bootstrap-relevant state of the
+        tracker (what a sponsor hands a late joiner).
+        """
+        return {
+            proc: (last.seq, last.lt, last.is_send)
+            for proc, last in self._last.items()
+        }
+
     # -- mutation ----------------------------------------------------------------
+
+    def adopt(
+        self,
+        last: Iterable[Tuple[ProcessorId, int, float, bool]],
+        undelivered: Iterable[Tuple[ProcessorId, int, float]] = (),
+        lost: Iterable[EventId] = (),
+    ) -> None:
+        """Adopt a sponsor's live frontier wholesale (late-joiner bootstrap).
+
+        Only a *fresh* tracker may adopt - continuity guarantees would be
+        spent otherwise - and adopted events do not count as observed
+        (``events_observed`` keeps measuring this processor's own run).
+        """
+        if self.events_observed or self._last or self._undelivered or self._lost:
+            raise ProtocolError("only a fresh tracker can adopt a frontier")
+        for proc, seq, lt, is_send in last:
+            self._last[proc] = _LastEvent(seq, lt, is_send)
+        for proc, seq, lt in undelivered:
+            eid = EventId(proc, seq)
+            if seq > self.last_seq(proc):
+                raise ProtocolError(
+                    f"adopted undelivered send {eid} beyond frontier"
+                )
+            self._undelivered[eid] = lt
+        self._lost.update(lost)
+        self.max_live = max(self.max_live, self.live_count())
 
     def observe(self, event: Event, *, lenient: bool = False) -> List[EventId]:
         """Record ``event`` (the next event of its processor) and return kills.

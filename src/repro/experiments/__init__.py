@@ -27,6 +27,7 @@ from . import (  # noqa: F401  (imported for registration side effects)
     e8_baselines,
     e9_loss,
     e10_convergence,
+    e11_churn,
     x1_internal,
     x2_adaptive,
 )

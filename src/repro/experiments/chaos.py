@@ -49,9 +49,12 @@ from ..core.distances import find_negative_cycle
 from ..core.syncgraph import build_sync_graph
 from ..sim.faults import (
     ByzantineProcessor,
+    CrashWindow,
     DelayExcursion,
     FaultPlan,
+    LateJoin,
     RetransmitPolicy,
+    StateCorruption,
 )
 from ..sim.network import topologies
 from ..sim.runner import RunResult, run_workload, standard_network
@@ -193,6 +196,64 @@ def _out_of_spec_run(n: int, duration: float, seed: int) -> Tuple[RunResult, int
     return result, quarantined
 
 
+def _churn_scenario_run(
+    n: int, duration: float, seed: int
+) -> Tuple[RunResult, Dict[str, object]]:
+    """Membership churn + state corruption on one line, simultaneously.
+
+    The far-end processor joins late off a sponsor snapshot, a middle
+    relay crashes and restarts (durable-state rejoin), and another relay
+    gets its estimator state scrambled - all under i.i.d. loss with
+    retransmission.  The self-healing estimators must detect the
+    scramble, rebuild, and re-converge; nobody may ever emit an unsound
+    sample.
+    """
+    import math as _math
+
+    names, links = topologies.line(n)
+    network = standard_network(names, links, seed=seed, loss_prob=0.03)
+    joiner, sponsor = names[-1], names[-2]
+    rebooter = names[1]
+    victim = names[2]
+    plan = FaultPlan(
+        seed=seed,
+        injections=(
+            LateJoin(joiner, duration * 0.2, sponsor=sponsor),
+            CrashWindow(rebooter, duration * 0.35, duration * 0.5),
+            StateCorruption(victim, duration * 0.6, "agdp"),
+        ),
+    )
+    result = run_workload(
+        network,
+        PeriodicGossip(period=2.0, seed=seed),
+        {
+            "efficient": lambda p, s: EfficientCSA(
+                p, s, reliable=False, self_heal=True, suspicion=SuspicionPolicy()
+            )
+        },
+        duration=duration,
+        seed=seed,
+        sample_period=2.0,
+        faults=plan,
+        retransmit=RetransmitPolicy(timeout=1.0, backoff=2.0, max_retries=3),
+    )
+    recoveries = result.recovery_events("efficient")
+    join_lag, _ = result.reconvergence_after(duration * 0.2, joiner, "efficient")
+    reboot_lag, _ = result.reconvergence_after(duration * 0.5, rebooter, "efficient")
+    corrupt_lag, _ = result.reconvergence_after(duration * 0.6, victim, "efficient")
+    verdict = {
+        "bootstrapped": result.sim.faults.injected["joins_bootstrapped"],
+        "victim_recoveries": len(recoveries.get((victim, "efficient"), ())),
+        "join_lag": join_lag,
+        "reboot_lag": reboot_lag,
+        "corrupt_lag": corrupt_lag,
+        "all_finite": all(
+            _math.isfinite(lag) for lag in (join_lag, reboot_lag, corrupt_lag)
+        ),
+    }
+    return result, verdict
+
+
 def _byzantine_run(
     n: int, duration: float, seed: int, liars: int
 ) -> Tuple[RunResult, Tuple[str, ...]]:
@@ -317,6 +378,7 @@ def run(
     seed: int = 0,
     loss_prob: float = 0.05,
     liars: int = 1,
+    churn: bool = True,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment="chaos-soak",
@@ -389,6 +451,37 @@ def run(
             },
         )
     )
+    if churn:
+        churn_result, verdict = _churn_scenario_run(n, duration, seed + 2221)
+        churn_bad = [s for s in churn_result.samples if not s.sound]
+        result.rows.append(
+            {
+                "shape": "line(churn)",
+                "faults": 3,
+                "sent": churn_result.sim.messages_sent,
+                "lost": churn_result.sim.messages_lost,
+                "dup": 0,
+                "retrans": churn_result.sim.retransmissions,
+                "suppressed": churn_result.sim.sends_suppressed,
+                "partition_drops": 0,
+                "burst_drops": 0,
+                "crash_drops": churn_result.sim.faults.injected[
+                    "crash_dropped_arrivals"
+                ],
+            }
+        )
+        result.checks.append(
+            ClaimCheck(
+                name="churn: joiner bootstrapped, scramble rebuilt, all re-converge",
+                passed=(
+                    verdict["bootstrapped"] == 1
+                    and verdict["victim_recoveries"] >= 1
+                    and verdict["all_finite"]
+                    and not churn_bad
+                ),
+                details=dict(verdict, violations=len(churn_bad)),
+            )
+        )
     if liars > 0:
         byz, chosen = _byzantine_run(n, duration * 1.5, seed + 4099, liars)
         injected = byz.sim.faults.injected
@@ -455,6 +548,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=1,
         help="Byzantine processors in the adversarial run (0 disables it)",
     )
+    parser.add_argument(
+        "--no-churn",
+        action="store_true",
+        help="skip the membership-churn / self-stabilization cell",
+    )
     args = parser.parse_args(argv)
     result = run(
         tuple(args.shapes),
@@ -463,6 +561,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         seed=args.seed,
         loss_prob=args.loss_prob,
         liars=args.liars,
+        churn=not args.no_churn,
     )
     print(result.render())
     return 0 if result.all_passed else 1

@@ -35,6 +35,7 @@ from .clock import (
 from .cluster import (
     ClusterConfig,
     CrashSchedule,
+    JoinSchedule,
     RtRunResult,
     build_spec,
     dump_rt_run,
@@ -53,6 +54,7 @@ from .wire import (
     decode_frame,
     encode_frame,
     hello_frame,
+    join_frame,
     sync_frame,
 )
 
@@ -64,6 +66,7 @@ __all__ = [
     "TimeBase",
     "ClusterConfig",
     "CrashSchedule",
+    "JoinSchedule",
     "RtRunResult",
     "build_spec",
     "dump_rt_run",
@@ -86,5 +89,6 @@ __all__ = [
     "decode_frame",
     "encode_frame",
     "hello_frame",
+    "join_frame",
     "sync_frame",
 ]

@@ -48,6 +48,7 @@ from .transport import FaultMiddleware, LoopbackTransport, Transport, UDPTranspo
 
 __all__ = [
     "CrashSchedule",
+    "JoinSchedule",
     "ClusterConfig",
     "RtRunResult",
     "build_spec",
@@ -73,6 +74,22 @@ class CrashSchedule:
 
 
 @dataclass(frozen=True)
+class JoinSchedule:
+    """Hold ``proc`` out of the cluster until ``at`` (elapsed s), then start
+    it with ``sponsor`` as its bootstrap neighbor."""
+
+    proc: ProcessorId
+    at: float
+    sponsor: ProcessorId
+
+    def __post_init__(self):
+        if self.at < 0:
+            raise SimulationError(f"join time must be non-negative, got {self.at}")
+        if self.sponsor == self.proc:
+            raise SimulationError(f"{self.proc!r} cannot sponsor itself")
+
+
+@dataclass(frozen=True)
 class ClusterConfig:
     """Everything needed to stand up one live cluster."""
 
@@ -94,6 +111,8 @@ class ClusterConfig:
     #: live fault injection through FaultMiddleware
     faults: Optional[FaultPlan] = None
     crashes: Tuple[CrashSchedule, ...] = ()
+    #: late joiners: held out until their join time, then sponsored in
+    joins: Tuple[JoinSchedule, ...] = ()
     gossip_jitter: float = 0.1
     seed: int = 0
 
@@ -118,6 +137,21 @@ class ClusterConfig:
                 raise SimulationError("crashing the source leaves truth undefined")
             if crash.proc not in self.processors:
                 raise SimulationError(f"crash schedule names unknown {crash.proc!r}")
+        joiners = set()
+        links = {tuple(sorted(edge)) for edge in self.links}
+        for join in self.joins:
+            if join.proc == src:
+                raise SimulationError("the source cannot be a late joiner")
+            for name in (join.proc, join.sponsor):
+                if name not in self.processors:
+                    raise SimulationError(f"join schedule names unknown {name!r}")
+            if tuple(sorted((join.proc, join.sponsor))) not in links:
+                raise SimulationError(
+                    f"sponsor {join.sponsor!r} is not a neighbor of {join.proc!r}"
+                )
+            if join.proc in joiners:
+                raise SimulationError(f"{join.proc!r} has two join schedules")
+            joiners.add(join.proc)
 
     @property
     def source_proc(self) -> ProcessorId:
@@ -163,6 +197,38 @@ class RtRunResult:
 
     def soundness_violations(self) -> List[EstimateSample]:
         return [s for s in self.samples if not s.sound]
+
+    def samples_for(self, proc: ProcessorId) -> List[EstimateSample]:
+        return [s for s in self.samples if s.proc == proc]
+
+    def recoveries(self) -> Dict[ProcessorId, int]:
+        """Per node: self-stabilization recoveries its estimator performed."""
+        return {
+            proc: stats.recoveries
+            for proc, stats in self.nodes.items()
+            if stats.recoveries
+        }
+
+    def reconvergence_after(self, rt0: float, proc: ProcessorId) -> Tuple[float, int]:
+        """Re-convergence after a disruption at elapsed time ``rt0``.
+
+        Returns ``(rt_delta, samples_examined)`` exactly like the
+        simulator's :meth:`~repro.sim.runner.RunResult.reconvergence_after`:
+        the lag from ``rt0`` to the first sample of ``proc`` from which
+        every remaining sample is sound and bounded, or ``(inf, n)`` if
+        the tail never settles.
+        """
+        tail = [s for s in self.samples_for(proc) if s.rt >= rt0]
+        settled_from: Optional[float] = None
+        for sample in tail:
+            good = sample.sound and sample.bound.is_bounded
+            if good and settled_from is None:
+                settled_from = sample.rt
+            elif not good:
+                settled_from = None
+        if settled_from is None:
+            return float("inf"), len(tail)
+        return settled_from - rt0, len(tail)
 
     def to_document(self) -> Dict:
         """The :mod:`repro.sim.serialize` v2 document of this run."""
@@ -253,6 +319,7 @@ async def run_cluster(config: ClusterConfig) -> RtRunResult:
     time_base = TimeBase()
     transport = _make_transport(config, time_base)
     await transport.start()
+    sponsors = {join.proc: join.sponsor for join in config.joins}
     nodes = [
         Node(
             NodeConfig(
@@ -262,6 +329,7 @@ async def run_cluster(config: ClusterConfig) -> RtRunResult:
                 jitter=config.gossip_jitter,
                 retransmit=config.retransmit,
                 seed=config.seed + index,
+                sponsor=sponsors.get(proc),
             ),
             transport,
             clock=config.clock_for(proc),
@@ -280,12 +348,20 @@ async def run_cluster(config: ClusterConfig) -> RtRunResult:
             await asyncio.sleep(max(0.0, crash.restart_at - time_base.elapsed()))
             await node.start()
 
+    async def join_driver(join: JoinSchedule) -> None:
+        await asyncio.sleep(max(0.0, join.at - time_base.elapsed()))
+        await by_name[join.proc].start()
+
     try:
         for node in nodes:
-            await node.start()
+            if node.proc not in sponsors:
+                await node.start()
         crash_tasks = [
             asyncio.get_running_loop().create_task(crash_driver(crash))
             for crash in config.crashes
+        ] + [
+            asyncio.get_running_loop().create_task(join_driver(join))
+            for join in config.joins
         ]
         while time_base.elapsed() < config.duration:
             await asyncio.sleep(

@@ -22,7 +22,15 @@ drives the estimator's passive event hooks from real traffic on a
   counted, and when the claimed sender is a known neighbor the anomaly is
   fed to :meth:`~repro.core.csa.EfficientCSA.report_anomaly`, so
   wire-level garbage lands in the same suspicion ledger as sim-path
-  tampering.
+  tampering;
+* a node configured with a ``sponsor`` asks that neighbor for a
+  bootstrap while its estimator is still fresh: ``join`` frames repeat
+  every gossip period until a boot-carrying ``sync`` lands, the sponsor
+  snapshots *after* the answering send event (Lemma 3.1), and
+  :meth:`~repro.core.csa.EfficientCSA.bootstrap_from` enforces
+  at-most-once adoption - so joins, retransmits, and duplicate answers
+  are all harmless over UDP, and a *restarted* node (durable state, not
+  fresh) silently ignores boots and recovers from its own state instead.
 
 Every local event is paired ``(rt, lt)`` through one shared
 :class:`~repro.rt.clock.TimeBase` reading, and appended to the node's
@@ -53,7 +61,15 @@ from ..core.specs import SystemSpec
 from ..sim.faults import RetransmitPolicy
 from .clock import ClockSource, MonotonicClockSource, TimeBase
 from .transport import Transport
-from .wire import Frame, ack_frame, decode_frame, encode_frame, hello_frame, sync_frame
+from .wire import (
+    Frame,
+    ack_frame,
+    decode_frame,
+    encode_frame,
+    hello_frame,
+    join_frame,
+    sync_frame,
+)
 
 __all__ = [
     "LinkStats",
@@ -79,6 +95,12 @@ class LinkStats:
     duplicates: int = 0
     decode_errors: int = 0
     rejected_frames: int = 0
+    #: join requests received from this peer (we acted as its sponsor)
+    join_requests: int = 0
+    #: highest own seq this peer has confirmed (-1: nothing acked yet)
+    last_acked_seq: int = -1
+    #: highest peer seq seen on this link, duplicates included
+    last_seen_seq: int = -1
 
 
 @dataclass(frozen=True)
@@ -96,6 +118,11 @@ class NodeConfig:
     seed: int = 0
     #: build a custom estimator; default is hardened unreliable EfficientCSA
     estimator_factory: Optional[Callable[["NodeConfig"], Estimator]] = None
+    #: neighbor to request a bootstrap snapshot from while still fresh
+    sponsor: Optional[ProcessorId] = None
+    #: how long (s) a fresh joiner holds gossip for its sponsor's boot
+    #: before falling back to a cold join; irrelevant without a sponsor
+    boot_patience: float = 2.0
 
     def __post_init__(self):
         if self.gossip_period <= 0:
@@ -104,6 +131,16 @@ class NodeConfig:
             )
         if self.jitter < 0:
             raise SimulationError(f"jitter must be non-negative, got {self.jitter}")
+        if self.sponsor is not None and self.sponsor not in self.spec.neighbors(
+            self.proc
+        ):
+            raise SimulationError(
+                f"sponsor {self.sponsor!r} is not a neighbor of {self.proc!r}"
+            )
+        if self.boot_patience < 0:
+            raise SimulationError(
+                f"boot patience must be non-negative, got {self.boot_patience}"
+            )
 
     def build_estimator(self) -> Estimator:
         if self.estimator_factory is not None:
@@ -132,6 +169,10 @@ class NodeStats:
     events: int
     links: Dict[ProcessorId, LinkStats]
     suspected: Tuple[ProcessorId, ...]
+    #: self-stabilization recoveries the estimator has performed
+    recoveries: int = 0
+    #: whether this node adopted a sponsor's bootstrap snapshot
+    bootstrapped: bool = False
 
     @property
     def converged(self) -> bool:
@@ -170,6 +211,16 @@ class Node:
         self.estimator_errors = 0
         #: decode errors whose claimed sender is unknown or absent
         self.unattributed_errors = 0
+        #: whether a sponsor's bootstrap snapshot has been adopted
+        self.boot_adopted = False
+        #: bootstrap snapshots shipped to joining neighbors
+        self.boot_sent = 0
+        #: snapshots that exceeded the frame cap (joiner falls back cold)
+        self.boot_oversized = 0
+        #: plain syncs dropped (unacked) while holding out for a boot
+        self.boot_deferred = 0
+        #: elapsed instant after which a fresh joiner stops waiting
+        self._boot_deadline: Optional[float] = None
         self._gossip_task: Optional[asyncio.Task] = None
         self._running = False
 
@@ -195,6 +246,9 @@ class Node:
             self.transport.send(
                 self.proc, peer, encode_frame(hello_frame(self.proc, peer))
             )
+        if self.config.sponsor is not None and getattr(self.estimator, "is_fresh", False):
+            self._boot_deadline = self.time_base.elapsed() + self.config.boot_patience
+        self._request_bootstrap()
         self._gossip_task = asyncio.get_running_loop().create_task(self._gossip_loop())
 
     async def stop(self) -> None:
@@ -251,16 +305,51 @@ class Node:
     async def _gossip_loop(self) -> None:
         period = self.config.gossip_period
         while self._running:
-            for peer in self.peers:
-                if not self._running:
-                    return
-                self._send_sync(peer, attempt=0)
+            # re-ask the sponsor while still fresh: joins are idempotent and
+            # UDP may lose them, so retrying until a boot lands is free
+            self._request_bootstrap()
+            if not self._awaiting_boot():
+                for peer in self.peers:
+                    if not self._running:
+                        return
+                    self._send_sync(peer, attempt=0)
             await asyncio.sleep(
                 period * (1.0 + self._rng.uniform(0.0, self.config.jitter))
             )
 
-    def _send_sync(self, dest: ProcessorId, *, attempt: int) -> None:
-        """Emit one fresh sync frame to ``dest`` and arm its loss timer."""
+    def _awaiting_boot(self) -> bool:
+        """Whether this node is still holding out for its sponsor's boot.
+
+        While true the node neither gossips nor accepts plain syncs - any
+        local event would end freshness and forfeit the bootstrap.  The
+        deadline bounds the wait: past it the node joins cold, building
+        its view from ordinary gossip alone (slower, equally sound).
+        """
+        return (
+            self._boot_deadline is not None
+            and self.time_base.elapsed() < self._boot_deadline
+            and getattr(self.estimator, "is_fresh", False)
+        )
+
+    def _request_bootstrap(self) -> None:
+        """Ask the configured sponsor for a snapshot while still fresh."""
+        sponsor = self.config.sponsor
+        if sponsor is None or not getattr(self.estimator, "is_fresh", False):
+            return
+        self.transport.send(
+            self.proc, sponsor, encode_frame(join_frame(self.proc, sponsor))
+        )
+
+    def _send_sync(self, dest: ProcessorId, *, attempt: int, boot: bool = False) -> None:
+        """Emit one fresh sync frame to ``dest`` and arm its loss timer.
+
+        With ``boot`` the frame also carries a bootstrap snapshot taken
+        *after* the send event - the joiner's adopted view then equals
+        the sponsor's causal past at the handshake send (Lemma 3.1), so
+        handshake-receive plus snapshot is information-equivalent to a
+        full replay.  An oversized snapshot degrades to a plain sync: the
+        joiner simply bootstraps cold off ordinary gossip.
+        """
         rt, lt = self._next_point()
         event = Event(EventId(self.proc, self._next_seq), lt, EventKind.SEND, dest=dest)
         try:
@@ -275,7 +364,19 @@ class Node:
         stats.sent += 1
         if attempt > 0:
             stats.retransmissions += 1
-        self.transport.send(self.proc, dest, encode_frame(sync_frame(event, payload)))
+        frame_bytes: Optional[bytes] = None
+        if boot:
+            take = getattr(self.estimator, "bootstrap_snapshot", None)
+            if take is not None:
+                try:
+                    frame_bytes = encode_frame(sync_frame(event, payload, boot=take()))
+                    self.boot_sent += 1
+                except Exception:
+                    self.boot_oversized += 1
+                    frame_bytes = None
+        if frame_bytes is None:
+            frame_bytes = encode_frame(sync_frame(event, payload))
+        self.transport.send(self.proc, dest, frame_bytes)
         timer = asyncio.get_running_loop().call_later(
             self.config.retransmit.timeout_for(attempt),
             self._on_ack_timeout,
@@ -311,10 +412,24 @@ class Node:
         self.peer_last_seen[frame.src] = self.time_base.elapsed()
         if frame.type == "hello":
             return
+        if frame.type == "join":
+            self._on_join(frame)
+            return
         if frame.type == "ack":
             self._on_ack(frame)
             return
         self._on_sync(frame)
+
+    def _on_join(self, frame: Frame) -> None:
+        """Sponsor a joining neighbor: answer with a boot-carrying sync.
+
+        Joins may repeat (the joiner retries while fresh, UDP duplicates
+        frames); every answer is a fresh send event, and the joiner's
+        :meth:`~repro.core.csa.EfficientCSA.bootstrap_from` refuses all
+        but the first adopted snapshot, so repetition stays harmless.
+        """
+        self.stats[frame.src].join_requests += 1
+        self._send_sync(frame.src, attempt=0, boot=True)
 
     def _on_decode_error(self, error) -> None:
         src = error.src
@@ -342,15 +457,24 @@ class Node:
             return
         timer.cancel()
         self.stats[dest].acked += 1
+        self.stats[dest].last_acked_seq = max(self.stats[dest].last_acked_seq, frame.seq)
         self._guarded(self.estimator.on_delivery_confirmed, eid)
 
     def _on_sync(self, frame: Frame) -> None:
         stats = self.stats[frame.src]
+        stats.last_seen_seq = max(stats.last_seen_seq, frame.seq)
         if frame.seq in self._seen[frame.src]:
             # duplicate (echo, retransmit race): discard before the
             # estimator, but re-ack so the sender can settle its token
             stats.duplicates += 1
             self._ack(frame.src, frame.seq)
+            return
+        if frame.boot is not None:
+            self._adopt_boot(frame)
+        elif self._awaiting_boot():
+            # a plain sync would end freshness and forfeit the bootstrap;
+            # drop it unacked - the sender's loss timer covers the gap
+            self.boot_deferred += 1
             return
         rt, lt = self._next_point()
         event = Event(
@@ -370,6 +494,28 @@ class Node:
         stats.received += 1
         self.trace_log.append((event, rt))
         self._ack(frame.src, frame.seq)
+
+    def _adopt_boot(self, frame: Frame) -> None:
+        """Adopt a sponsor snapshot riding a sync frame, at most once.
+
+        The snapshot must name its carrier as sponsor (attribution), and
+        :meth:`bootstrap_from` refuses non-fresh estimators - so a
+        retransmitted or rogue boot can never overwrite live state; it
+        just degrades to an ordinary sync.
+        """
+        adopt = getattr(self.estimator, "bootstrap_from", None)
+        if adopt is None:
+            return
+        if frame.boot.sponsor != frame.src:
+            self.stats[frame.src].rejected_frames += 1
+            return
+        try:
+            if adopt(frame.boot):
+                self.boot_adopted = True
+        except Exception:
+            # a structurally invalid snapshot: suspicion-worthy input
+            self.estimator_errors += 1
+            self.stats[frame.src].rejected_frames += 1
 
     def _ack(self, peer: ProcessorId, seq: int) -> None:
         self.transport.send(self.proc, peer, encode_frame(ack_frame(self.proc, peer, seq)))
@@ -409,6 +555,8 @@ class Node:
             events=len(self.trace_log),
             links={peer: LinkStats(**vars(s)) for peer, s in self.stats.items()},
             suspected=suspected,
+            recoveries=getattr(self.estimator, "recoveries", 0),
+            bootstrapped=self.boot_adopted,
         )
 
     def _guarded(self, hook, *args) -> None:

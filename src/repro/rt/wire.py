@@ -18,8 +18,14 @@ Frame types:
 * ``hello`` - peer liveness/discovery; carries no synchronization data.
 * ``sync``  - one gossip message: the send event's ``seq``/``lt`` plus
   the piggybacked :class:`~repro.core.history.HistoryPayload` (Fig 2).
+  A sync answering a ``join`` additionally carries ``boot``, the
+  sponsor's :class:`~repro.core.bootstrap.BootstrapSnapshot` taken right
+  after the send - the late-joiner handoff of Lemmas 3.4/3.5.
 * ``ack``   - delivery confirmation for one ``sync`` frame, by ``seq``;
   drives the sender's Sec 3.3 delivery-detection hooks.
+* ``join``  - a fresh node asking a sponsor neighbor for a bootstrap;
+  seq-less like ``hello`` (the *answer* is an ordinary sync and rides
+  the normal at-most-once machinery, so joins may repeat freely).
 
 **Decoding never raises.**  Bytes off the wire are adversarial input:
 :func:`decode_frame` returns a :class:`DecodeResult` whose ``error`` is a
@@ -40,6 +46,7 @@ import struct
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from ..core.bootstrap import BootstrapSnapshot
 from ..core.errors import ProtocolError
 from ..core.events import Event, ProcessorId
 from ..core.history import HistoryPayload
@@ -57,6 +64,7 @@ __all__ = [
     "hello_frame",
     "sync_frame",
     "ack_frame",
+    "join_frame",
 ]
 
 #: current wire format version; bump on any incompatible body change
@@ -71,7 +79,7 @@ _HEADER = struct.Struct(">2sBI")
 #: bounds what a hostile peer can make a node parse
 MAX_BODY_BYTES = 60_000
 
-FRAME_TYPES = ("hello", "sync", "ack")
+FRAME_TYPES = ("hello", "sync", "ack", "join")
 
 
 @dataclass(frozen=True)
@@ -87,6 +95,8 @@ class Frame:
     lt: Optional[float] = None
     #: sync only: the piggybacked history payload
     payload: Optional[HistoryPayload] = None
+    #: sync answering a join: the sponsor's bootstrap snapshot
+    boot: Optional[BootstrapSnapshot] = None
     #: hello extras (advertised wire version, etc.)
     meta: Dict = field(default_factory=dict)
 
@@ -97,7 +107,7 @@ class WireError:
 
     ``code`` is one of ``short-frame``, ``bad-magic``, ``bad-version``,
     ``oversized``, ``length-mismatch``, ``bad-json``, ``bad-frame``,
-    ``bad-payload``.  ``src`` is the *claimed* sender when the envelope
+    ``bad-payload``, ``bad-boot``.  ``src`` is the *claimed* sender when the envelope
     decoded far enough to name one - attribution input for the suspicion
     ledger, not established fact.
     """
@@ -126,7 +136,11 @@ def hello_frame(src: ProcessorId, dst: ProcessorId) -> Frame:
     return Frame(type="hello", src=src, dst=dst, meta={"wire": WIRE_VERSION})
 
 
-def sync_frame(send_event: Event, payload: HistoryPayload) -> Frame:
+def sync_frame(
+    send_event: Event,
+    payload: HistoryPayload,
+    boot: Optional[BootstrapSnapshot] = None,
+) -> Frame:
     """The gossip frame for one send event and its piggybacked payload."""
     if not send_event.is_send:
         raise ProtocolError(f"sync frames wrap send events, got {send_event.kind}")
@@ -137,11 +151,17 @@ def sync_frame(send_event: Event, payload: HistoryPayload) -> Frame:
         seq=send_event.seq,
         lt=send_event.lt,
         payload=payload,
+        boot=boot,
     )
 
 
 def ack_frame(src: ProcessorId, dst: ProcessorId, seq: int) -> Frame:
     return Frame(type="ack", src=src, dst=dst, seq=seq)
+
+
+def join_frame(src: ProcessorId, dst: ProcessorId) -> Frame:
+    """A fresh node's bootstrap request to its sponsor neighbor."""
+    return Frame(type="join", src=src, dst=dst, meta={"wire": WIRE_VERSION})
 
 
 # -- encode ----------------------------------------------------------------------------
@@ -161,6 +181,8 @@ def encode_frame(frame: Frame) -> bytes:
         body["lt"] = frame.lt
     if frame.payload is not None:
         body["payload"] = frame.payload.to_dict()
+    if frame.boot is not None:
+        body["boot"] = frame.boot.to_dict()
     if frame.meta:
         body["meta"] = dict(frame.meta)
     try:
@@ -234,6 +256,7 @@ def decode_frame(data: bytes) -> DecodeResult:
                 error=WireError("bad-frame", f"{ftype} needs a non-negative seq, got {seq!r}", src=src)
             )
     payload = None
+    boot = None
     if ftype == "sync":
         if isinstance(lt, bool) or not isinstance(lt, (int, float)):
             return DecodeResult(
@@ -244,6 +267,11 @@ def decode_frame(data: bytes) -> DecodeResult:
             payload = HistoryPayload.from_dict(body.get("payload", {}))
         except ValueError as exc:
             return DecodeResult(error=WireError("bad-payload", str(exc), src=src))
+        if "boot" in body:
+            try:
+                boot = BootstrapSnapshot.from_dict(body["boot"])
+            except ValueError as exc:
+                return DecodeResult(error=WireError("bad-boot", str(exc), src=src))
     return DecodeResult(
         frame=Frame(
             type=ftype,
@@ -252,6 +280,7 @@ def decode_frame(data: bytes) -> DecodeResult:
             seq=seq if ftype in ("sync", "ack") else None,
             lt=lt if ftype == "sync" else None,
             payload=payload,
+            boot=boot,
             meta=dict(meta),
         )
     )

@@ -34,6 +34,7 @@ from .clock import (
 )
 from .engine import LinkCounters, Message, SimProcessor, Simulation
 from .faults import (
+    CORRUPTION_SCOPES,
     BurstLoss,
     ByzantineProcessor,
     CrashWindow,
@@ -41,12 +42,15 @@ from .faults import (
     DriftExcursion,
     Duplication,
     FaultPlan,
+    LateJoin,
     PartitionWindow,
     RetransmitPolicy,
+    StateCorruption,
+    scramble_estimator,
 )
 from .network import LinkConfig, Network, topologies
 from .runner import EstimateSample, RunResult, run_workload, standard_network
-from .schedule import Schedule, ScheduleHarness, TamperSpec
+from .schedule import CHURN_OPS, Schedule, ScheduleHarness, TamperSpec
 from .serialize import dump_run, load_run
 from .trace import ExecutionTrace, TracedEvent
 
@@ -54,6 +58,8 @@ __all__ = [
     "AffineClock",
     "BurstLoss",
     "ByzantineProcessor",
+    "CHURN_OPS",
+    "CORRUPTION_SCOPES",
     "ClockModel",
     "CrashWindow",
     "DelayExcursion",
@@ -63,6 +69,7 @@ __all__ = [
     "ExcursionClock",
     "ExecutionTrace",
     "FaultPlan",
+    "LateJoin",
     "LinkConfig",
     "LinkCounters",
     "Message",
@@ -77,11 +84,13 @@ __all__ = [
     "SimProcessor",
     "SinusoidalDriftClock",
     "Simulation",
+    "StateCorruption",
     "TamperSpec",
     "TracedEvent",
     "dump_run",
     "load_run",
     "run_workload",
+    "scramble_estimator",
     "standard_network",
     "topologies",
 ]

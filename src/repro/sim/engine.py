@@ -55,10 +55,10 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.csa_base import Estimator
-from ..core.errors import SimulationError
+from ..core.errors import ProtocolError, SimulationError
 from ..core.events import Event, EventId, EventKind, ProcessorId
 from .clock import ClockModel
-from .faults import ActiveFaults, FaultPlan, RetransmitPolicy
+from .faults import ActiveFaults, FaultPlan, RetransmitPolicy, scramble_estimator
 from .network import LinkConfig, Network
 from .trace import ExecutionTrace
 
@@ -193,6 +193,14 @@ class Simulation:
         self.link_stats: Dict[Tuple[ProcessorId, ProcessorId], LinkCounters] = {}
         #: sends awaiting a delivery confirmation under the retransmit policy
         self._await_ack: Dict[EventId, Message] = {}
+        # churn extension: state corruptions and late joins fire as ordinary
+        # scheduled actions (estimators are attached before run_until drains
+        # the queue, so the lazily bound hooks see them)
+        if self.faults is not None:
+            for inj in self.faults.corruptions():
+                self.schedule_at(inj.at, lambda inj=inj: self._do_corrupt(inj))
+            for inj in self.faults.late_joins().values():
+                self.schedule_at(inj.at, lambda inj=inj: self._do_join(inj))
 
     # -- setup -------------------------------------------------------------------
 
@@ -467,6 +475,64 @@ class Simulation:
         retry = self.send(src, dest, message.info, _attempt=message.attempt + 1)
         if retry is not None:
             self.retransmissions += 1
+
+    # -- churn: state corruption and late joins ---------------------------------------
+
+    def _do_corrupt(self, inj) -> None:
+        """Scramble one subsystem of every self-healing estimator at a victim.
+
+        Deterministic per (victim, scope, time, channel); estimators without
+        ``self_heal`` refuse the scramble (corrupting a non-healing estimator
+        tests nothing but a crash) and the injection counts as skipped.
+        """
+        sp = self.processors[inj.proc]
+        scrambled = False
+        for name, estimator in sp.estimators.items():
+            rng = random.Random(f"corrupt|{inj.proc}|{inj.scope}|{inj.at}|{name}")
+            if scramble_estimator(estimator, inj.scope, rng):
+                scrambled = True
+        self.faults.injected[
+            "corruptions" if scrambled else "corruptions_skipped"
+        ] += 1
+
+    def _do_join(self, inj) -> None:
+        """Admit a late joiner via a sponsor bootstrap handshake.
+
+        The sponsor sends an ordinary application message to the joiner (so
+        the handshake rides the normal payload/FIFO/loss machinery); each
+        sponsor estimator that supports it exports a snapshot *after* that
+        send - covering it as an undelivered live point - and the joiner's
+        matching estimator adopts it immediately (the snapshot travels out
+        of band; only the records ride the message).  With the sponsor
+        crashed or the snapshot unsupported, the joiner comes up cold and
+        learns through regular traffic instead.
+        """
+        joiner, sponsor = inj.proc, inj.sponsor
+        if self.faults.crashed(sponsor, self.now):
+            self.faults.injected["joins_cold"] += 1
+            return
+        send_event = self.send(sponsor, joiner)
+        if send_event is None:
+            self.faults.injected["joins_cold"] += 1
+            return
+        jp = self.processors[joiner]
+        sp = self.processors[sponsor]
+        bootstrapped = False
+        for name, estimator in jp.estimators.items():
+            sponsor_est = sp.estimators.get(name)
+            snap_fn = getattr(sponsor_est, "bootstrap_snapshot", None)
+            adopt_fn = getattr(estimator, "bootstrap_from", None)
+            if snap_fn is None or adopt_fn is None:
+                continue
+            try:
+                snapshot = snap_fn()
+            except ProtocolError:
+                continue  # source-only backends hold no pairwise distances
+            if adopt_fn(snapshot):
+                bootstrapped = True
+        self.faults.injected[
+            "joins_bootstrapped" if bootstrapped else "joins_cold"
+        ] += 1
 
     # -- main loop -----------------------------------------------------------------
 

@@ -84,6 +84,10 @@ __all__ = [
     "DriftExcursion",
     "ByzantineProcessor",
     "BYZANTINE_MODES",
+    "StateCorruption",
+    "LateJoin",
+    "CORRUPTION_SCOPES",
+    "scramble_estimator",
     "FaultPlan",
     "ActiveFaults",
     "RetransmitPolicy",
@@ -273,6 +277,143 @@ class ByzantineProcessor:
             raise SimulationError(f"byzantine rate must be in [0, 1], got {self.rate}")
 
 
+#: state-corruption scopes the churn fault model can scramble (which
+#: subsystem of a self-healing estimator gets poisoned)
+CORRUPTION_SCOPES = ("agdp", "history", "ledger")
+
+
+@dataclass(frozen=True)
+class StateCorruption:
+    """Estimator state of ``proc`` is scrambled in place at real time ``at``.
+
+    The self-stabilization fault model (Charron-Bost & Penet de Monterno
+    style): nothing about the execution changes - no message is lost, no
+    clock drifts - but the victim's *internal state* is arbitrarily
+    corrupted.  ``scope`` picks the poisoned subsystem (see
+    :data:`CORRUPTION_SCOPES`): AGDP distance matrix, history
+    frontier/buffers, or the suspicion ledger.  A self-healing estimator
+    (``EfficientCSA(self_heal=True)``) must detect the corruption at its
+    next event hook and rebuild from its durable logs; re-convergence time
+    is the number of events (or real time) until Theorem 2.1 bounds hold
+    again.  Corrupting a non-self-healing estimator is refused (counted
+    as skipped), since it could never recover.
+    """
+
+    proc: ProcessorId
+    at: float
+    scope: str = "agdp"
+
+    def __post_init__(self):
+        if self.at < 0:
+            raise SimulationError(f"corruption time must be >= 0, got {self.at}")
+        if self.scope not in CORRUPTION_SCOPES:
+            raise SimulationError(
+                f"unknown corruption scope {self.scope!r}; "
+                f"choose from {CORRUPTION_SCOPES}"
+            )
+
+
+@dataclass(frozen=True)
+class LateJoin:
+    """``proc`` is absent until ``at``, then admitted via ``sponsor``.
+
+    Before ``at`` the processor behaves exactly like a crashed one (no
+    events, arrivals dropped).  At ``at`` the sponsor - which must be a
+    link neighbor - sends a handshake message carrying its bootstrap
+    snapshot (:meth:`~repro.core.csa.EfficientCSA.bootstrap_snapshot`);
+    the joiner adopts it and converges without replaying the run.  The
+    source cannot join late: its clock defines real time.
+    """
+
+    proc: ProcessorId
+    at: float
+    sponsor: ProcessorId
+
+    def __post_init__(self):
+        if self.at < 0:
+            raise SimulationError(f"join time must be >= 0, got {self.at}")
+        if self.proc == self.sponsor:
+            raise SimulationError(f"{self.proc!r} cannot sponsor its own join")
+
+
+def scramble_estimator(estimator, scope: str, rng: random.Random) -> bool:
+    """Corrupt one subsystem of ``estimator`` in a detectably broken way.
+
+    Returns ``True`` when state was actually scrambled; ``False`` when the
+    corruption is refused (estimator is not self-healing, or the targeted
+    subsystem holds nothing to corrupt yet).  Every scramble is guaranteed
+    to trip the estimator's structural audit
+    (:meth:`~repro.core.csa.EfficientCSA.self_check`): the AGDP scope
+    poisons matrix diagonals, the history scope drags the knowledge
+    frontier below the live tracker's, and the ledger scope plants a
+    negative suspicion score.
+    """
+    if not getattr(estimator, "self_heal", False):
+        return False
+    if scope not in CORRUPTION_SCOPES:
+        raise SimulationError(
+            f"unknown corruption scope {scope!r}; choose from {CORRUPTION_SCOPES}"
+        )
+    if scope == "agdp":
+        return _scramble_agdp(estimator.agdp, rng)
+    if scope == "history":
+        return _scramble_history(estimator, rng)
+    return _scramble_ledger(estimator, rng)
+
+
+def _scramble_agdp(agdp, rng: random.Random) -> bool:
+    nodes = sorted(agdp.nodes)
+    if not nodes:
+        return False
+    dist = getattr(agdp, "_dist", None)
+    if dist is not None:  # dict backend
+        for x in nodes:
+            row = dist[x]
+            for y in list(row):
+                if y != x and math.isfinite(row[y]):
+                    row[y] += rng.uniform(-2.0, 2.0)
+            row[x] = rng.uniform(0.5, 3.0)  # nonzero diagonal: the detector
+        return True
+    matrix = getattr(agdp, "_matrix", None)
+    if matrix is None:
+        return False  # source-only backend keeps no matrix to scramble
+    n = agdp._n
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                matrix[i, j] = rng.uniform(0.5, 3.0)
+            elif math.isfinite(matrix[i, j]):
+                matrix[i, j] = matrix[i, j] + rng.uniform(-2.0, 2.0)
+    return n > 0
+
+
+def _scramble_history(estimator, rng: random.Random) -> bool:
+    history = estimator.history
+    victims = [p for p in estimator.live.processors if history.known_seq(p) >= 0]
+    if not victims:
+        return False
+    # drag the frontier strictly below the live tracker's (the detector)
+    # and trash the buffer indexes; recovery re-derives both from the log
+    for proc in victims:
+        history._known[proc] = max(-1, history.known_seq(proc) - rng.randint(1, 3))
+    history._buffer.clear()
+    history._lacking.clear()
+    for pending in history._pending.values():
+        pending.clear()
+    return True
+
+
+def _scramble_ledger(estimator, rng: random.Random) -> bool:
+    tracker = estimator.suspicion
+    if tracker is None:
+        return False
+    others = sorted(p for p in estimator.spec.processors if p != estimator.proc)
+    if not others:
+        return False
+    tracker.scores[rng.choice(others)] = -rng.uniform(1.0, 5.0)
+    return True
+
+
 #: injection kinds that violate the advertised specification
 _OUT_OF_SPEC = (DelayExcursion, DriftExcursion)
 
@@ -338,6 +479,8 @@ class FaultPlan:
             DelayExcursion,
             DriftExcursion,
             ByzantineProcessor,
+            StateCorruption,
+            LateJoin,
         )
         for injection in self.injections:
             if not isinstance(injection, known):
@@ -371,6 +514,14 @@ class FaultPlan:
         return tuple(
             sorted({i.proc for i in self.injections if isinstance(i, ByzantineProcessor)})
         )
+
+    def corruptions(self) -> List["StateCorruption"]:
+        """The state-corruption injections, in plan order."""
+        return self.of_kind(StateCorruption)
+
+    def late_joins(self) -> List["LateJoin"]:
+        """The late-join injections, in plan order."""
+        return self.of_kind(LateJoin)
 
     def bind(self, network) -> "ActiveFaults":
         """Validate the plan against ``network`` and create runtime state."""
@@ -460,6 +611,10 @@ class ActiveFaults:
         self._drift_excursions: Dict[ProcessorId, List[DriftExcursion]] = {}
         #: per-processor Byzantine injection (at most one per processor)
         self._byzantine: Dict[ProcessorId, ByzantineProcessor] = {}
+        #: state-corruption injections, in plan order
+        self._corruptions: List[StateCorruption] = []
+        #: per-processor late-join injection (at most one per processor)
+        self._late_joins: Dict[ProcessorId, LateJoin] = {}
         #: cached claimed local time per (event id, destination-or-None)
         self._lie_lt: Dict[Tuple[EventId, Optional[ProcessorId]], float] = {}
         #: local time of the first tampered record per liar (lie anchor)
@@ -521,6 +676,22 @@ class ActiveFaults:
                         f"duplicate Byzantine injection for processor {injection.proc!r}"
                     )
                 self._byzantine[injection.proc] = injection
+            elif isinstance(injection, StateCorruption):
+                check_proc(injection.proc)
+                self._corruptions.append(injection)
+            elif isinstance(injection, LateJoin):
+                check_proc(injection.proc)
+                check_proc(injection.sponsor)
+                check_link(injection.proc, injection.sponsor)
+                if injection.proc == network.source:
+                    raise SimulationError(
+                        "the source cannot join late: its clock defines real time"
+                    )
+                if injection.proc in self._late_joins:
+                    raise SimulationError(
+                        f"duplicate late-join injection for processor {injection.proc!r}"
+                    )
+                self._late_joins[injection.proc] = injection
         #: counters of injected faults, by kind, for reporting
         self.injected: Dict[str, int] = {
             "crash_suppressed_sends": 0,
@@ -535,6 +706,10 @@ class ActiveFaults:
             "equivocations": 0,
             "truncated_records": 0,
             "fabricated_records": 0,
+            "corruptions": 0,
+            "corruptions_skipped": 0,
+            "joins_bootstrapped": 0,
+            "joins_cold": 0,
         }
 
     # -- queries the engine makes --------------------------------------------------
@@ -544,8 +719,19 @@ class ActiveFaults:
         return any(start <= rt < end for start, end in windows)
 
     def crashed(self, proc: ProcessorId, rt: float) -> bool:
+        join = self._late_joins.get(proc)
+        if join is not None and rt < join.at:
+            # a not-yet-joined processor behaves exactly like a crashed one:
+            # no events occur at it and arrivals are dropped
+            return True
         windows = self._crashes.get(proc)
         return bool(windows) and self._in_window(windows, rt)
+
+    def corruptions(self) -> List[StateCorruption]:
+        return list(self._corruptions)
+
+    def late_joins(self) -> Dict[ProcessorId, LateJoin]:
+        return dict(self._late_joins)
 
     def crash_windows(self, proc: ProcessorId) -> List[Tuple[float, float]]:
         return list(self._crashes.get(proc, ()))

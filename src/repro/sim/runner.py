@@ -132,6 +132,42 @@ class RunResult:
                 out[proc] = suspicion.evicted_procs
         return out
 
+    # -- self-stabilization reporting (churn extension) -----------------------------
+
+    def recovery_events(self, channel: Optional[str] = None) -> Dict[
+        Tuple[ProcessorId, str], list
+    ]:
+        """Per ``(observer, channel)``: self-stabilization recovery events."""
+        out: Dict[Tuple[ProcessorId, str], list] = {}
+        for proc, name, estimator in self._each_estimator(channel):
+            events = list(getattr(estimator, "recovery_events", ()) or ())
+            if events:
+                out[(proc, name)] = events
+        return out
+
+    def reconvergence_after(
+        self, rt0: float, proc: ProcessorId, channel: str
+    ) -> Tuple[float, int]:
+        """Re-convergence after a disruption at real time ``rt0``.
+
+        Returns ``(rt_delta, samples_examined)``: the real-time lag from
+        ``rt0`` to the first sample of ``proc`` on ``channel`` from which
+        every remaining sample is sound *and* bounded - the operational
+        reading of "the Theorem 2.1 bounds hold again".  ``(inf, n)`` if
+        the tail never settles (or no sample at/after ``rt0`` exists).
+        """
+        tail = [s for s in self.samples_for(channel, proc) if s.rt >= rt0]
+        settled_from: Optional[float] = None
+        for sample in tail:
+            good = sample.sound and sample.bound.is_bounded
+            if good and settled_from is None:
+                settled_from = sample.rt
+            elif not good:
+                settled_from = None
+        if settled_from is None:
+            return float("inf"), len(tail)
+        return settled_from - rt0, len(tail)
+
 
 def standard_network(
     names: Sequence[ProcessorId],

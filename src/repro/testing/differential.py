@@ -128,15 +128,23 @@ def default_estimator_factory(
     Lossy schedules run in unreliable mode; tampered schedules run the
     hardened pipeline (payload screening + suspicion), since feeding lies
     to an unhardened estimator checks nothing the honest suite does not.
+    Schedules containing ``corrupt`` steps arm self-healing (and
+    suspicion, which the ledger corruption scope needs as a target).
     """
     reliable = not schedule.lossy
-    suspicion = SuspicionPolicy() if schedule.tamper is not None else None
+    self_heal = any(step[0] == "corrupt" for step in schedule.steps)
+    suspicion = (
+        SuspicionPolicy()
+        if (schedule.tamper is not None or self_heal)
+        else None
+    )
     def factory(proc: str, spec: SystemSpec) -> EfficientCSA:
         return EfficientCSA(
             proc,
             spec,
             reliable=reliable,
             suspicion=suspicion,
+            self_heal=self_heal,
             debug_checks=True if debug_invariants else None,
         )
     return factory
@@ -182,6 +190,9 @@ def run_differential(
             return
         if proc in harness.tainted:
             return  # no honest-path guarantees past the liar's influence
+        if proc in harness.dirty:
+            return  # corrupted and not yet audited (a drop checkpoint can
+            # land on a dirty sender before its next local event recovers it)
         bound = csa.estimate()
         report.checks += 1
         truth = harness.truth[last.eid]
@@ -277,6 +288,8 @@ def _end_of_run_checks(
     spec = harness.spec
     for proc in harness.names:
         csa = harness.csas[proc]
+        if proc in harness.dirty:
+            continue  # corrupted with no event since - nothing to certify
         if proc in harness.tainted:
             _suspicion_consistency(report, proc, csa)
             continue
@@ -412,6 +425,9 @@ def _capture_run(
     trace: List[Tuple] = []
 
     def checkpoint(step_index: int, proc: str) -> None:
+        if proc in harness.dirty:  # corrupted state may not form an interval
+            trace.append((step_index, proc, "dirty"))
+            return
         bound = harness.csas[proc].estimate()
         trace.append((step_index, proc, bound.lower, bound.upper))
 

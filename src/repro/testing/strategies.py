@@ -33,6 +33,7 @@ from ..core.history import HistoryPayload
 from ..core.specs import DriftSpec, SystemSpec, TransitSpec
 from ..sim.faults import (
     BYZANTINE_MODES,
+    CORRUPTION_SCOPES,
     ByzantineProcessor,
     CrashWindow,
     Duplication,
@@ -44,6 +45,7 @@ from ..sim.schedule import Schedule, TamperSpec, TAMPER_MODES
 __all__ = [
     "Topology",
     "byzantine_processors",
+    "churn_schedules",
     "clock_rates",
     "events",
     "fault_plans",
@@ -267,6 +269,104 @@ def schedules(
         steps=tuple(steps),
         lossy=lossy,
         tamper=spec,
+    )
+
+
+@st.composite
+def churn_schedules(
+    draw,
+    *,
+    min_procs: int = 3,
+    max_procs: int = 6,
+    min_steps: int = 10,
+    max_steps: int = 45,
+    corrupt: bool = True,
+) -> Schedule:
+    """Lossy schedules with membership churn and state corruption.
+
+    A subset of non-source processors starts absent and is admitted via
+    ``join`` handshakes; the step mix adds ``leave``/``rejoin``/``join``,
+    time-varying edges (``link_down``/``link_up``) and - with ``corrupt`` -
+    seeded state-corruption steps exercising the self-stabilization path.
+    A restoration tail rejoins departed processors, raises every edge, and
+    gives each processor fresh send events (so corrupted-but-idle
+    estimators audit and recover) before a final drain - end-of-run
+    oracle checks then cover everything that ever ran.  Every churn op
+    no-ops when its precondition fails, so shrinking stays sound.
+    """
+    topo = draw(topologies(min_procs=max(min_procs, 3), max_procs=max_procs))
+    n = topo.n_procs
+    rates = draw(clock_rates(n))
+    directed = sorted(
+        {(u, v) for u, v in topo.edges} | {(v, u) for u, v in topo.edges}
+    )
+    neighbors = {i: sorted({v for u, v in directed if u == i}) for i in range(n)}
+    late = sorted(
+        draw(
+            st.sets(
+                st.integers(min_value=1, max_value=n - 1),
+                max_size=max(n - 2, 1),
+            )
+        )
+    )
+    initial = tuple(i for i in range(n) if i not in late)
+
+    def dt() -> float:
+        return draw(st.floats(min_value=0.01, max_value=1.5, allow_nan=False))
+
+    steps: List[Tuple] = []
+    # warm up the initially-present members so sponsors have state to hand off
+    for _ in range(draw(st.integers(min_value=2, max_value=6))):
+        u, v = draw(st.sampled_from(directed))
+        steps.append(("send", u, v, dt()))
+        steps.append(("deliver", u, v, dt()))
+    # admit each late joiner (a sponsor drawn absent makes this a no-op and
+    # the joiner simply stays out - end-of-run checks skip eventless procs)
+    for j in late:
+        sponsors = [s for s in neighbors[j] if s not in late] or neighbors[j]
+        steps.append(("join", j, draw(st.sampled_from(sponsors)), dt()))
+    ops = [
+        "send", "send", "send", "deliver", "deliver", "deliver", "drop",
+        "leave", "rejoin", "join", "link_down", "link_up",
+    ]
+    if corrupt:
+        ops.append("corrupt")
+    for _ in range(draw(st.integers(min_value=min_steps, max_value=max_steps))):
+        op = draw(st.sampled_from(ops))
+        if op in ("send", "deliver", "drop"):
+            u, v = draw(st.sampled_from(directed))
+            steps.append((op, u, v, dt()))
+        elif op in ("leave", "rejoin"):
+            u = draw(st.integers(min_value=1, max_value=n - 1))
+            steps.append((op, u, u, dt()))
+        elif op == "join":
+            j = draw(st.integers(min_value=1, max_value=n - 1))
+            steps.append(("join", j, draw(st.sampled_from(neighbors[j])), dt()))
+        elif op == "corrupt":
+            u = draw(st.integers(min_value=0, max_value=n - 1))
+            scope = draw(
+                st.integers(min_value=0, max_value=len(CORRUPTION_SCOPES) - 1)
+            )
+            steps.append(("corrupt", u, scope, dt()))
+        else:  # link_down / link_up
+            u, v = draw(st.sampled_from(list(topo.edges)))
+            steps.append((op, u, v, dt()))
+    # restoration tail: everyone back, every edge up, every estimator audited
+    for i in range(1, n):
+        steps.append(("rejoin", i, i, dt()))
+    for u, v in topo.edges:
+        steps.append(("link_up", u, v, dt()))
+    for u, v in directed:
+        steps.append(("send", u, v, dt()))
+    for u, v in directed:
+        for _ in range(draw(st.integers(min_value=1, max_value=3))):
+            steps.append(("deliver", u, v, dt()))
+    return Schedule(
+        rates=rates,
+        edges=topo.edges,
+        steps=tuple(steps),
+        lossy=True,
+        initial=initial if late else None,
     )
 
 

@@ -1,0 +1,123 @@
+"""Self-stabilization: seeded state corruption, detection, exact rebuild.
+
+Every scramble in :data:`~repro.sim.faults.CORRUPTION_SCOPES` must trip
+the structural audit, and the recovery (a replay of the durable event
+log) must leave the estimator with exactly the estimates of a twin that
+was never corrupted - detection happens at the next event hook *or* at
+the next read, whichever comes first, so a sampled estimate can never
+leak scrambled state.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core import EfficientCSA
+from repro.core.specs import DriftSpec, SystemSpec, TransitSpec
+from repro.sim.faults import CORRUPTION_SCOPES, scramble_estimator
+from repro.core.csa_base import SuspicionPolicy
+
+from ..conftest import make_event, recv, send
+
+
+def line3_spec() -> SystemSpec:
+    return SystemSpec.build(
+        source="src",
+        processors=["src", "a", "b"],
+        links=[("src", "a"), ("a", "b")],
+        default_drift=DriftSpec.from_ppm(100.0),
+        default_transit=TransitSpec(0.2, 1.0),
+    )
+
+
+def run_script(estimator_a):
+    """One round trip src <-> a, driving the passive hooks."""
+    spec = estimator_a.spec
+    source = EfficientCSA("src", spec)
+    s1 = send("src", 0, 10.0, dest="a")
+    payload1 = source.on_send(s1)
+    estimator_a.on_receive(recv("a", 0, 13.5, s1), payload1)
+    s2 = send("a", 1, 14.0, dest="src")
+    source.on_receive(recv("src", 1, 11.5, s2), estimator_a.on_send(s2))
+    return source
+
+
+def healing_pair():
+    """Two identically-driven self-healing estimators (victim + twin)."""
+    spec = line3_spec()
+    victim = EfficientCSA("a", spec, self_heal=True, suspicion=SuspicionPolicy())
+    twin = EfficientCSA("a", spec, self_heal=True, suspicion=SuspicionPolicy())
+    run_script(victim)
+    run_script(twin)
+    return victim, twin
+
+
+@pytest.mark.parametrize("scope", CORRUPTION_SCOPES)
+def test_scramble_trips_the_structural_audit(scope):
+    victim, _twin = healing_pair()
+    assert victim.self_check()
+    assert scramble_estimator(victim, scope, random.Random(7))
+    assert not victim.self_check()
+
+
+@pytest.mark.parametrize("scope", CORRUPTION_SCOPES)
+def test_next_event_hook_recovers_exactly(scope):
+    victim, twin = healing_pair()
+    assert scramble_estimator(victim, scope, random.Random(7))
+    # the next send's entry audit detects and rebuilds from the event log
+    s3 = send("a", 2, 15.0, dest="src")
+    payload_victim = victim.on_send(s3)
+    payload_twin = twin.on_send(send("a", 2, 15.0, dest="src"))
+    assert victim.recoveries == 1
+    assert len(victim.recovery_events) == 1
+    assert victim.self_check()
+    assert victim.estimate().lower == pytest.approx(twin.estimate().lower)
+    assert victim.estimate().upper == pytest.approx(twin.estimate().upper)
+    # the rebuilt history re-reports, receivers dedup: records are a superset
+    victim_ids = {record.eid for record in payload_victim.records}
+    twin_ids = {record.eid for record in payload_twin.records}
+    assert victim_ids >= twin_ids
+
+
+@pytest.mark.parametrize("scope", CORRUPTION_SCOPES)
+def test_read_path_audits_too(scope):
+    """Sampling between the scramble and the next event must self-heal."""
+    victim, twin = healing_pair()
+    assert scramble_estimator(victim, scope, random.Random(11))
+    bound = victim.estimate()  # no event hook ran in between
+    assert victim.recoveries == 1
+    assert bound.lower == pytest.approx(twin.estimate().lower)
+    assert bound.upper == pytest.approx(twin.estimate().upper)
+
+
+def test_estimate_of_matches_twin_after_recovery():
+    victim, twin = healing_pair()
+    assert scramble_estimator(victim, "agdp", random.Random(3))
+    victim.on_internal(make_event("a", 2, 15.0))  # audit runs at entry
+    twin.on_internal(make_event("a", 2, 15.0))
+    for proc in ("src", "a"):
+        ours = victim.estimate_of(proc)
+        theirs = twin.estimate_of(proc)
+        assert ours.lower == pytest.approx(theirs.lower)
+        assert ours.upper == pytest.approx(theirs.upper)
+
+
+def test_plain_estimator_refuses_the_scramble():
+    spec = line3_spec()
+    plain = EfficientCSA("a", spec)
+    run_script(plain)
+    assert not scramble_estimator(plain, "agdp", random.Random(5))
+    assert plain.estimate().is_bounded  # untouched
+
+
+def test_unknown_scope_rejected():
+    victim, _twin = healing_pair()
+    with pytest.raises(Exception):
+        scramble_estimator(victim, "flux-capacitor", random.Random(1))
+
+
+def test_scramble_before_any_state_is_refused():
+    spec = line3_spec()
+    empty = EfficientCSA("a", spec, self_heal=True)
+    assert not scramble_estimator(empty, "agdp", random.Random(2))

@@ -28,6 +28,7 @@ class TestRegistry:
             "e10-convergence",
             "x2-adaptive-polling",
             "chaos-soak",
+            "e11-churn",
         }
         assert set(REGISTRY) == expected
 

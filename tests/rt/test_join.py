@@ -1,0 +1,313 @@
+"""Late-joiner admission over the live runtime: wire, node, cluster.
+
+The runtime counterpart of the simulator's ``LateJoin``: a fresh node
+configured with a sponsor sends seq-less ``join`` frames, holds its own
+gossip while waiting, and adopts exactly one boot-carrying ``sync``
+(the sponsor's post-send snapshot, Lemma 3.1).  The acceptance claims:
+
+* a live cluster admits a late joiner over loopback *and* real UDP, and
+  the merged trace still passes the Theorem 2.1 oracle parity check;
+* a node that is killed and rejoins re-converges without any honest
+  peer landing in a suspicion ledger.
+"""
+
+import asyncio
+import dataclasses
+import math
+
+import pytest
+
+from repro.core.csa import EfficientCSA
+from repro.core.events import Event, EventId, EventKind
+from repro.core.history import HistoryPayload
+from repro.rt.clock import MonotonicClockSource, SkewedClockSource, TimeBase
+from repro.rt.cluster import (
+    ClusterConfig,
+    CrashSchedule,
+    JoinSchedule,
+    build_spec,
+    run_cluster_sync,
+)
+from repro.rt.node import Node, NodeConfig
+from repro.rt.transport import LoopbackTransport
+from repro.rt.wire import decode_frame, encode_frame, join_frame, sync_frame
+from repro.core.errors import SimulationError
+from repro.sim.faults import RetransmitPolicy
+
+from .test_node_cluster import LINE3, _assert_oracle_parity, _line3_config
+
+FAST_RETRANSMIT = RetransmitPolicy(timeout=0.3, backoff=1.5, max_retries=3)
+
+SPEC = build_spec(_line3_config())
+
+
+def _sponsor_estimator():
+    """An ``n1`` estimator that has heard from the source once."""
+    sponsor = EfficientCSA("n1", SPEC)
+    source = EfficientCSA("n0", SPEC)
+    s = Event(EventId("n0", 0), 0.010, EventKind.SEND, dest="n1")
+    payload = source.on_send(s)
+    sponsor.on_receive(
+        Event(EventId("n1", 0), 0.025, EventKind.RECEIVE, send_eid=s.eid), payload
+    )
+    return sponsor
+
+
+def _boot_sync_bytes(sponsor, *, mangle_sponsor=None):
+    """One boot-carrying sync from ``n1`` to ``n2``, post-send snapshot."""
+    seq = sponsor.history.known_seq("n1") + 1
+    event = Event(EventId("n1", seq), 0.030 + 0.01 * seq, EventKind.SEND, dest="n2")
+    payload = sponsor.on_send(event)
+    boot = sponsor.bootstrap_snapshot()
+    if mangle_sponsor is not None:
+        boot = dataclasses.replace(boot, sponsor=mangle_sponsor)
+    return encode_frame(sync_frame(event, payload, boot=boot))
+
+
+def _joiner(transport, **overrides):
+    config = dict(
+        proc="n2",
+        spec=SPEC,
+        sponsor="n1",
+        boot_patience=30.0,
+        retransmit=FAST_RETRANSMIT,
+    )
+    config.update(overrides)
+    return Node(
+        NodeConfig(**config),
+        transport,
+        clock=MonotonicClockSource(),
+        time_base=TimeBase(),
+    )
+
+
+class TestWireCodec:
+    def test_join_frame_round_trips(self):
+        result = decode_frame(encode_frame(join_frame("n2", "n1")))
+        assert result.ok
+        assert result.frame.type == "join"
+        assert result.frame.src == "n2"
+        assert result.frame.dst == "n1"
+        assert result.frame.seq is None
+        assert result.frame.boot is None
+
+    def test_boot_carrying_sync_round_trips(self):
+        sponsor = _sponsor_estimator()
+        result = decode_frame(_boot_sync_bytes(sponsor))
+        assert result.ok
+        frame = result.frame
+        assert frame.type == "sync"
+        assert frame.boot is not None
+        assert frame.boot.sponsor == "n1"
+        # the post-send snapshot covers the handshake send itself
+        assert frame.boot.frontier().get("n1") == frame.seq
+
+    def test_bad_boot_is_a_structured_attributed_error(self):
+        # a sync whose boot section is garbage: strict decode must flag
+        # it and still attribute the claimed sender
+        import json
+        import struct
+
+        from repro.rt.wire import MAGIC, WIRE_VERSION
+
+        body = json.dumps(
+            {
+                "type": "sync", "src": "n1", "dst": "n2", "seq": 0, "lt": 0.5,
+                "payload": {"records": []}, "boot": [1, 2, 3],
+            }
+        ).encode()
+        result = decode_frame(struct.pack(">2sBI", MAGIC, WIRE_VERSION, len(body)) + body)
+        assert result.error is not None
+        assert result.error.code == "bad-boot"
+        assert result.error.src == "n1"
+
+
+class TestSponsorSide:
+    def test_join_request_is_answered_with_a_boot_sync(self):
+        async def scenario():
+            transport = LoopbackTransport()
+            await transport.start()
+            captured = []
+            transport.register("n2", captured.append)
+            sponsor = Node(
+                NodeConfig(proc="n1", spec=SPEC, retransmit=FAST_RETRANSMIT),
+                transport,
+                clock=MonotonicClockSource(),
+                time_base=TimeBase(),
+            )
+            transport.register("n1", sponsor._on_datagram)
+            sponsor._running = True  # receive path only; no gossip task
+            sponsor._on_datagram(encode_frame(join_frame("n2", "n1")))
+            await asyncio.sleep(0)  # let call_soon deliver
+            for _dest, _eid, _attempt, timer in sponsor._pending.values():
+                timer.cancel()
+            return sponsor, captured
+
+        sponsor, captured = asyncio.run(scenario())
+        assert sponsor.stats["n2"].join_requests == 1
+        assert sponsor.boot_sent == 1
+        boots = [
+            f for f in (decode_frame(d).frame for d in captured)
+            if f is not None and f.type == "sync" and f.boot is not None
+        ]
+        assert len(boots) == 1
+        assert boots[0].boot.sponsor == "n1"
+
+
+class TestJoinerSide:
+    def _scenario(self, body):
+        async def run():
+            transport = LoopbackTransport()  # never started: sends vanish
+            node = _joiner(transport)
+            await node.start()
+            try:
+                body(node)
+            finally:
+                await node.stop()
+            return node
+
+        return asyncio.run(run())
+
+    def test_fresh_joiner_adopts_exactly_once(self):
+        sponsor = _sponsor_estimator()
+        first = _boot_sync_bytes(sponsor)
+        second = _boot_sync_bytes(sponsor)
+
+        def body(node):
+            assert node._awaiting_boot()
+            node._on_datagram(first)
+            assert node.boot_adopted
+            assert not node._awaiting_boot()  # no longer fresh
+            node._on_datagram(second)  # a duplicate answer: plain sync
+
+        node = self._scenario(body)
+        assert node.stats["n1"].received == 2
+        assert node.estimator_errors == 0
+        # exactly one adoption: the second boot was refused by freshness
+        assert node.snapshot().bootstrapped
+
+    def test_boot_must_name_its_carrier(self):
+        sponsor = _sponsor_estimator()
+        forged = _boot_sync_bytes(sponsor, mangle_sponsor="n0")
+
+        def body(node):
+            node._on_datagram(forged)
+            assert not node.boot_adopted
+
+        node = self._scenario(body)
+        assert node.stats["n1"].rejected_frames == 1
+
+    def test_plain_syncs_are_deferred_while_awaiting_boot(self):
+        source = EfficientCSA("n1", SPEC)
+        event = Event(EventId("n1", 0), 0.010, EventKind.SEND, dest="n2")
+        plain = encode_frame(sync_frame(event, source.on_send(event)))
+
+        def body(node):
+            node._on_datagram(plain)
+            # dropped unacked, before the estimator: freshness survives
+            assert node.boot_deferred == 1
+            assert node.stats["n1"].received == 0
+            assert node.estimator.is_fresh
+
+        self._scenario(body)
+
+    def test_past_patience_the_node_joins_cold(self):
+        source = EfficientCSA("n1", SPEC)
+        event = Event(EventId("n1", 0), 0.010, EventKind.SEND, dest="n2")
+        plain = encode_frame(sync_frame(event, source.on_send(event)))
+
+        async def run():
+            transport = LoopbackTransport()
+            node = _joiner(transport, boot_patience=0.0)  # no patience at all
+            await node.start()
+            try:
+                assert not node._awaiting_boot()
+                node._on_datagram(plain)
+            finally:
+                await node.stop()
+            return node
+
+        node = asyncio.run(run())
+        assert node.stats["n1"].received == 1  # cold but learning
+        assert not node.boot_adopted
+
+    def test_sponsor_must_be_a_neighbor(self):
+        with pytest.raises(SimulationError, match="neighbor"):
+            NodeConfig(proc="n2", spec=SPEC, sponsor="n0")
+
+
+class TestClusterJoin:
+    def test_loopback_cluster_admits_a_late_joiner(self):
+        join_at = 0.5
+        config = _line3_config(
+            duration=2.0,
+            joins=(JoinSchedule("n2", join_at, sponsor="n1"),),
+        )
+        result = run_cluster_sync(config)
+        assert result.soundness_violations() == []
+        assert result.nodes["n2"].bootstrapped
+        assert result.nodes["n2"].converged
+        # held out means held out: no sample of the joiner precedes the join
+        assert all(s.rt >= join_at for s in result.samples_for("n2"))
+        lag, examined = result.reconvergence_after(join_at, "n2")
+        assert math.isfinite(lag)
+        assert examined > 0
+        _assert_oracle_parity(
+            result.spec,
+            result.trace,
+            {proc: stats.event_bound for proc, stats in result.nodes.items()},
+        )
+
+    def test_udp_cluster_admits_a_late_joiner(self):
+        """Acceptance: a live UDP cluster admits a late daemon and the
+        merged trace still passes Theorem 2.1 oracle parity."""
+        config = _line3_config(
+            transport="udp",
+            duration=2.4,
+            gossip_period=0.1,
+            joins=(JoinSchedule("n2", 0.6, sponsor="n1"),),
+        )
+        result = run_cluster_sync(config)
+        assert result.soundness_violations() == []
+        assert result.nodes["n2"].bootstrapped
+        assert result.nodes["n2"].converged
+        _assert_oracle_parity(
+            result.spec,
+            result.trace,
+            {proc: stats.event_bound for proc, stats in result.nodes.items()},
+        )
+
+    def test_killed_and_rejoined_node_reconverges_without_evictions(self):
+        """Acceptance: kill the joiner after it bootstrapped; on restart it
+        resumes durable state, re-converges, and no honest peer is ever
+        suspected - churn must not look like Byzantine behaviour."""
+        restart_at = 1.5
+        config = _line3_config(
+            duration=3.0,
+            joins=(JoinSchedule("n2", 0.4, sponsor="n1"),),
+            crashes=(CrashSchedule("n2", stop_at=1.0, restart_at=restart_at),),
+        )
+        result = run_cluster_sync(config)
+        assert result.soundness_violations() == []
+        assert result.nodes["n2"].bootstrapped  # from the pre-kill join
+        assert result.nodes["n2"].converged  # re-converged after restart
+        lag, _examined = result.reconvergence_after(restart_at, "n2")
+        assert math.isfinite(lag)
+        for proc, stats in result.nodes.items():
+            assert stats.suspected == (), f"{proc} suspects {stats.suspected}"
+        # survivors stayed converged throughout
+        assert result.nodes["n0"].converged
+        assert result.nodes["n1"].converged
+
+    def test_join_schedule_validation(self):
+        with pytest.raises(SimulationError, match="neighbor"):
+            _line3_config(joins=(JoinSchedule("n2", 0.5, sponsor="n0"),))
+        with pytest.raises(SimulationError, match="source"):
+            _line3_config(joins=(JoinSchedule("n0", 0.5, sponsor="n1"),))
+        with pytest.raises(SimulationError, match="two join"):
+            _line3_config(
+                joins=(
+                    JoinSchedule("n2", 0.5, sponsor="n1"),
+                    JoinSchedule("n2", 0.9, sponsor="n1"),
+                )
+            )

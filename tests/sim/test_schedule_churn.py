@@ -1,0 +1,244 @@
+"""Schedule-level churn: validation, harness semantics, regressions.
+
+The churn extension adds membership (``join``/``leave``/``rejoin``) and
+time-varying edges (``link_down``/``link_up``) plus seeded state
+corruption to the deterministic schedule language.  These tests pin the
+validation rules, the harness's operational semantics (every churn op
+degrades to a no-op when its precondition fails - the property that
+keeps shrinking sound), and the two minimized regressions the
+differential driver caught while this layer was built.
+"""
+
+import math
+
+import pytest
+
+from repro.core import EfficientCSA
+from repro.sim.faults import CORRUPTION_SCOPES
+from repro.sim.schedule import CHURN_OPS, Schedule, ScheduleHarness
+from repro.testing.differential import run_differential
+
+
+def churn_schedule(steps, *, n=3, edges=((0, 1), (1, 2)), initial=None, lossy=True):
+    return Schedule(
+        rates=(1.0,) * n,
+        edges=tuple(edges),
+        steps=tuple(steps),
+        lossy=lossy,
+        initial=initial,
+    )
+
+
+class TestValidation:
+    def test_churn_ops_are_known_step_ops(self):
+        schedule = churn_schedule(
+            [
+                ("leave", 1, 1, 0.1),
+                ("rejoin", 1, 1, 0.1),
+                ("join", 2, 1, 0.1),
+                ("corrupt", 1, 0, 0.1),
+                ("link_down", 0, 1, 0.1),
+                ("link_up", 0, 1, 0.1),
+            ]
+        )
+        assert set(op for op, *_ in schedule.steps) == set(CHURN_OPS)
+
+    @pytest.mark.parametrize("op", ["leave", "rejoin", "link_down", "link_up"])
+    def test_purging_ops_require_lossy(self, op):
+        step = (op, 0, 1, 0.1) if op.startswith("link") else (op, 1, 1, 0.1)
+        with pytest.raises(ValueError, match="lossy"):
+            churn_schedule([step], lossy=False)
+
+    @pytest.mark.parametrize("op", ["join", "leave", "rejoin"])
+    def test_source_cannot_churn(self, op):
+        with pytest.raises(ValueError, match="source"):
+            churn_schedule([(op, 0, 1 if op == "join" else 0, 0.1)])
+
+    def test_join_requires_an_edge_to_the_sponsor(self):
+        with pytest.raises(ValueError, match="not an edge"):
+            churn_schedule([("join", 2, 0, 0.1)])  # 0-2 is not a link
+
+    def test_corrupt_scope_index_is_range_checked(self):
+        with pytest.raises(ValueError, match="scope index"):
+            churn_schedule([("corrupt", 1, len(CORRUPTION_SCOPES), 0.1)])
+
+    def test_initial_must_contain_the_source(self):
+        with pytest.raises(ValueError, match="source"):
+            churn_schedule([], initial=(1, 2))
+
+    def test_initial_rejects_duplicates_and_strays(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            churn_schedule([], initial=(0, 1, 1))
+        with pytest.raises(ValueError, match="out of range"):
+            churn_schedule([], initial=(0, 7))
+
+    def test_round_trip_preserves_membership(self):
+        schedule = churn_schedule(
+            [("join", 1, 0, 0.5), ("corrupt", 1, 1, 0.25)], initial=(0, 2)
+        )
+        assert Schedule.from_json(schedule.to_json()) == schedule
+
+
+class TestHarnessSemantics:
+    def test_absent_processor_cannot_exchange_messages(self):
+        harness = ScheduleHarness(
+            churn_schedule(
+                [("send", 0, 1, 0.1), ("send", 1, 2, 0.1)], initial=(0, 2)
+            )
+        )
+        harness.run()
+        assert all(not q for q in harness.in_flight.values())
+        assert harness.events == {}
+
+    def test_join_adopts_the_sponsor_snapshot(self):
+        schedule = churn_schedule(
+            [
+                ("send", 0, 1, 0.5),  # warm the sponsor first
+                ("deliver", 0, 1, 0.5),
+                ("join", 2, 1, 0.5),
+            ],
+            initial=(0, 1),
+        )
+        harness = ScheduleHarness(schedule)
+        harness.run()
+        assert "q2" in harness.present
+        joiner = harness.csas["q2"]
+        assert not joiner.is_fresh
+        # the handshake receive anchors the adopted knowledge immediately
+        # (the schedule spec advertises transit <= inf, so only the lower
+        # bound can tighten - but tighten it does, off one handshake)
+        assert math.isfinite(joiner.estimate().lower)
+
+    def test_join_noops_when_sponsor_is_absent(self):
+        harness = ScheduleHarness(
+            churn_schedule([("join", 2, 1, 0.1)], initial=(0,))
+        )
+        harness.run()
+        assert harness.present == {"q0"}
+
+    def test_leave_purges_inbound_and_flags_the_sender(self):
+        schedule = churn_schedule(
+            [("send", 0, 1, 0.1), ("leave", 1, 1, 0.1)]
+        )
+        harness = ScheduleHarness(schedule)
+        harness.run()
+        assert harness.present == {"q0", "q2"}
+        assert len(harness.flagged) == 1  # the in-flight send, truthfully
+        assert not harness.in_flight[("q0", "q1")]
+
+    def test_rejoin_returns_with_durable_state(self):
+        schedule = churn_schedule(
+            [
+                ("send", 0, 1, 0.5),
+                ("deliver", 0, 1, 0.5),
+                ("leave", 1, 1, 0.5),
+                ("rejoin", 1, 1, 0.5),
+                ("send", 1, 2, 0.5),
+                ("deliver", 1, 2, 0.5),
+            ]
+        )
+        harness = ScheduleHarness(schedule)
+        harness.run()
+        # no handshake happened: q1 kept its estimator across the absence
+        # and its post-rejoin send still carries usable knowledge to q2
+        assert math.isfinite(harness.csas["q1"].estimate().lower)
+        assert math.isfinite(harness.csas["q2"].estimate().lower)
+
+    def test_corrupt_marks_dirty_until_the_next_audit(self):
+        schedule = churn_schedule(
+            [
+                ("send", 0, 1, 0.5),
+                ("deliver", 0, 1, 0.5),
+                ("corrupt", 1, 0, 0.1),  # scramble q1's agdp
+            ]
+        )
+        harness = ScheduleHarness(
+            schedule,
+            estimator_factory=lambda p, s: EfficientCSA(
+                p, s, reliable=False, self_heal=True
+            ),
+        )
+        harness.run()
+        assert harness.dirty == {"q1"}
+        # the next event at q1 audits, detects, and rebuilds
+        harness.send("q1", "q2")
+        harness._note_recovered("q1")
+        assert harness.dirty == set()
+        assert harness.csas["q1"].recoveries == 1
+
+    def test_corrupt_before_any_state_is_a_noop(self):
+        harness = ScheduleHarness(
+            churn_schedule([("corrupt", 2, 0, 0.1)]),
+            estimator_factory=lambda p, s: EfficientCSA(
+                p, s, reliable=False, self_heal=True
+            ),
+        )
+        harness.run()
+        assert harness.dirty == set()
+
+    def test_link_down_purges_both_directions(self):
+        schedule = churn_schedule(
+            [
+                ("send", 0, 1, 0.1),
+                ("send", 1, 0, 0.1),
+                ("link_down", 0, 1, 0.1),
+                ("send", 0, 1, 0.1),  # edge is down: no-op
+                ("link_up", 0, 1, 0.1),
+                ("send", 0, 1, 0.1),  # edge is back: queued
+            ]
+        )
+        harness = ScheduleHarness(schedule)
+        harness.run()
+        assert len(harness.flagged) == 2
+        assert len(harness.in_flight[("q0", "q1")]) == 1
+
+    def test_churn_ops_are_idempotent_noops(self):
+        """Re-applying any membership op never raises (shrinking soundness)."""
+        schedule = churn_schedule(
+            [
+                ("leave", 1, 1, 0.1),
+                ("leave", 1, 1, 0.1),
+                ("rejoin", 1, 1, 0.1),
+                ("rejoin", 1, 1, 0.1),
+                ("join", 1, 0, 0.1),  # already present: no-op
+                ("link_up", 0, 1, 0.1),  # already up: no-op
+            ]
+        )
+        harness = ScheduleHarness(schedule)
+        harness.run()
+        assert harness.present == {"q0", "q1", "q2"}
+
+
+class TestRegressions:
+    """Minimized divergences found while building the churn layer.
+
+    Both were real estimator bugs in the watermark handoff: a snapshot
+    frontier absorbed by the joiner's neighbors let the *sender-side*
+    history skip records the receiver-side buffers had never seen, so a
+    post-join (or post-recovery) payload to a third party shipped a hole.
+    Fixed by re-buffering adopted knowledge for every neighbor; these
+    schedules replay the exact minimal shapes.
+    """
+
+    def test_join_then_forward_to_a_third_party(self):
+        schedule = Schedule.from_json(
+            '{"edges": [[0, 1], [0, 2], [0, 3], [1, 4]],'
+            ' "initial": [0, 2, 3, 4], "lossy": true,'
+            ' "rates": [1.0, 1.0, 1.0, 1.0, 1.0],'
+            ' "steps": [["join", 1, 0, 1.0], ["send", 1, 4, 1.0],'
+            ' ["deliver", 1, 4, 1.0]], "tamper": null}'
+        )
+        report = run_differential(schedule, debug_invariants=True)
+        assert report.ok, report.describe()
+
+    def test_join_corrupt_recover_then_forward(self):
+        schedule = Schedule.from_json(
+            '{"edges": [[0, 1], [0, 2], [1, 3], [0, 4], [0, 5]],'
+            ' "initial": [0, 2, 3, 5], "lossy": true,'
+            ' "rates": [1.0, 1.0, 1.0, 1.0, 1.0, 1.0],'
+            ' "steps": [["join", 1, 0, 0.01], ["corrupt", 1, 0, 0.1],'
+            ' ["send", 1, 3, 0.01], ["deliver", 1, 3, 0.01]],'
+            ' "tamper": null}'
+        )
+        report = run_differential(schedule, debug_invariants=True)
+        assert report.ok, report.describe()
