@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-json bench-compare bench-refresh experiments experiments-quick chaos chaos-byz churn examples fuzz fuzz-long rt-demo rt-smoke clean
+.PHONY: install test bench bench-json bench-compare bench-refresh experiments experiments-quick chaos chaos-byz churn examples fuzz fuzz-long rt-demo rt-smoke serve-demo loadtest serve-smoke clean
 
 # relative slowdown tolerated by the perf gate before it fails.  0.75
 # accommodates CPU-throttled/shared dev machines (observed run-to-run
@@ -39,7 +39,9 @@ bench-compare:
 	$(PYTHON) benchmarks/compare.py BENCH_core.json BENCH_fresh.json \
 		--tolerance $(BENCH_TOLERANCE) --report BENCH_compare.md \
 		--assert-speedup "test_agdp_backend_comparison[128-numpy]" \
-			"test_agdp_backend_comparison[128-dict]" 2.0
+			"test_agdp_backend_comparison[128-dict]" 2.0 \
+		--assert-speedup "test_serve_garbage_rejection" \
+			"test_serve_probe_throughput" 2.0
 
 # rebless the committed baseline after an intentional perf change
 # (bench-json with intent: review the diff of BENCH_core.json)
@@ -92,7 +94,29 @@ rt-smoke:
 	$(PYTHON) -m repro.rt.cli --nodes 2 --transport udp --duration 8 \
 		--period 0.25 --skew-ppm 100 --require-converged --out rt_udp_run.json
 
+# serving-tier demo: 2 servers, 4 clients, primary crash and failover (~3 s)
+serve-demo:
+	$(PYTHON) -m repro.rt.serve_cli --nodes 3 --duration 3 --clients 4 \
+		--crash-primary 1.2:2.2 --eps-max 0.02 --require-sound
+
+# sustained overload: an undersized bucket must shed explicitly while
+# every accepted bound stays sound (archives the scorecard)
+loadtest:
+	$(PYTHON) -m repro.rt.serve_cli --nodes 3 --duration 5 --clients 8 \
+		--bucket-rate 40 --bucket-burst 5 --max-interval 0.03 \
+		--require-sound --out serve_load_run.json
+
+# the CI serving gate: primary crash mid-load over loopback with skewed
+# clocks, plus a UDP swarm - both must end with zero unsound accepts
+serve-smoke:
+	$(PYTHON) -m repro.rt.serve_cli --nodes 3 --duration 6 --clients 4 \
+		--crash-primary 2:4 --skew-ppm 100 --eps-max 0.02 \
+		--require-sound --out serve_smoke_run.json
+	$(PYTHON) -m repro.rt.serve_cli --nodes 2 --transport udp --duration 4 \
+		--clients 2 --require-sound
+
 clean:
 	rm -rf .pytest_cache .hypothesis src/repro.egg-info
 	rm -f BENCH_fresh.json BENCH_compare.md
+	rm -f serve_load_run.json serve_smoke_run.json
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -1,0 +1,78 @@
+"""Serving-tier benchmark - the per-probe cost of the Cristian tier.
+
+The serving tier's scaling claim is that clients are *cheap*: one
+stateless decode + admit + answer round per probe, no per-client state,
+no protocol membership.  These benchmarks pin the cost of that hot path
+(the synchronous core of :class:`~repro.rt.serve.ServeNode`, exactly
+the work the asyncio shell does per request, minus the queue hop) and
+of the explicit-shed fast path, which must stay cheaper than serving -
+shedding is the overload valve, so it has to cost less than the work it
+is refusing.
+
+``test_serve_probe_throughput`` is the committed-baseline perf gate for
+this subsystem: a regression here means fewer queries per second per
+core.
+"""
+
+import pytest
+
+from repro.core.events import Event, EventId, EventKind
+from repro.rt.clock import MonotonicClockSource, TimeBase
+from repro.rt.cluster import ClusterConfig, build_spec
+from repro.rt.node import Node, NodeConfig
+from repro.rt.serve import ServeConfig, ServeNode
+from repro.rt.transport import LoopbackTransport
+from repro.rt.wire import decode_frame, encode_frame, probe_frame
+
+
+def _serve_rig(serve_config):
+    """A primed source node + serving endpoint, no event loop."""
+    config = ClusterConfig(
+        processors=("n0", "n1", "n2"),
+        links=(("n0", "n1"), ("n1", "n2")),
+    )
+    time_base = TimeBase()
+    node = Node(
+        NodeConfig(proc="n0", spec=build_spec(config)),
+        LoopbackTransport(),
+        clock=MonotonicClockSource(),
+        time_base=time_base,
+    )
+    lt = node.clock.lt_at(time_base.elapsed())
+    node.estimator.on_internal(Event(EventId("n0", 0), lt, EventKind.INTERNAL))
+    return ServeNode(node, node.transport, serve_config)
+
+
+def test_serve_probe_throughput(benchmark):
+    """decode + admit + bound + encode for one admitted probe."""
+    serve = _serve_rig(ServeConfig(bucket_rate=1e9, bucket_burst=1e9))
+    probe = encode_frame(probe_frame("c0", serve.endpoint, 7))
+
+    result = benchmark(serve.handle_probe_bytes, probe)
+
+    frame = decode_frame(result).frame
+    assert frame.type == "reply" and frame.nonce == 7
+    assert serve.stats.replies > 0 and serve.stats.shed_total == 0
+
+
+def test_serve_shed_fast_path(benchmark):
+    """An over-rate probe must be refused cheaply (the overload valve)."""
+    serve = _serve_rig(ServeConfig(bucket_rate=1e-6, bucket_burst=1.0))
+    probe = encode_frame(probe_frame("c0", serve.endpoint, 7))
+    assert decode_frame(serve.handle_probe_bytes(probe)).frame.type == "reply"
+
+    result = benchmark(serve.handle_probe_bytes, probe)
+
+    assert decode_frame(result).frame.type == "shed"
+    assert serve.stats.shed.get("overload", 0) > 0
+
+
+def test_serve_garbage_rejection(benchmark):
+    """Undecodable bytes are refused without estimator work."""
+    serve = _serve_rig(ServeConfig())
+    garbage = b"\x00\x01" + b"x" * 40
+
+    result = benchmark(serve.handle_probe_bytes, garbage)
+
+    assert result is None
+    assert serve.stats.decode_errors > 0 and serve.stats.replies == 0

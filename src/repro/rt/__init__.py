@@ -22,8 +22,23 @@ Layers (bottom up):
   (Sec 3.3), at-most-once delivery, crash/restart with durable state.
 * :mod:`repro.rt.cluster` - N-node harness producing
   :mod:`repro.sim.serialize`-compatible run documents.
-* :mod:`repro.rt.cli` - the ``repro-rt`` entry point.
+* :mod:`repro.rt.serve` / :mod:`repro.rt.client` - the Cristian serving
+  tier: stateless probe/reply endpoints with admission control, load
+  shedding, and sound degraded bounds; swarm clients with backoff and
+  accrual-style failover.
+* :mod:`repro.rt.loadgen` - the serving-tier load generator and its
+  run-document scorecard.
+* :mod:`repro.rt.cli` / :mod:`repro.rt.serve_cli` - the ``repro-rt``
+  and ``repro-serve`` entry points.
 """
+
+from .client import (
+    AcceptedSample,
+    AccrualHealth,
+    ClientConfig,
+    ClientStats,
+    ServeClient,
+)
 
 from .clock import (
     ClockSource,
@@ -36,13 +51,28 @@ from .cluster import (
     ClusterConfig,
     CrashSchedule,
     JoinSchedule,
+    LiveCluster,
     RtRunResult,
     build_spec,
     dump_rt_run,
     run_cluster,
     run_cluster_sync,
 )
+from .loadgen import (
+    ServeLoadConfig,
+    ServeLoadResult,
+    run_serve_load,
+    run_serve_load_sync,
+)
 from .node import LinkStats, Node, NodeConfig, NodeStats
+from .serve import (
+    ServeConfig,
+    ServeNode,
+    ServeStats,
+    TokenBucket,
+    serve_endpoint,
+    serve_owner,
+)
 from .transport import FaultMiddleware, LoopbackTransport, Transport, UDPTransport
 from .wire import (
     MAX_BODY_BYTES,
@@ -55,6 +85,9 @@ from .wire import (
     encode_frame,
     hello_frame,
     join_frame,
+    probe_frame,
+    reply_frame,
+    shed_frame,
     sync_frame,
 )
 
@@ -67,11 +100,27 @@ __all__ = [
     "ClusterConfig",
     "CrashSchedule",
     "JoinSchedule",
+    "LiveCluster",
     "RtRunResult",
     "build_spec",
     "dump_rt_run",
     "run_cluster",
     "run_cluster_sync",
+    "AcceptedSample",
+    "AccrualHealth",
+    "ClientConfig",
+    "ClientStats",
+    "ServeClient",
+    "ServeConfig",
+    "ServeNode",
+    "ServeStats",
+    "TokenBucket",
+    "serve_endpoint",
+    "serve_owner",
+    "ServeLoadConfig",
+    "ServeLoadResult",
+    "run_serve_load",
+    "run_serve_load_sync",
     "LinkStats",
     "Node",
     "NodeConfig",
@@ -90,5 +139,8 @@ __all__ = [
     "encode_frame",
     "hello_frame",
     "join_frame",
+    "probe_frame",
+    "reply_frame",
+    "shed_frame",
     "sync_frame",
 ]

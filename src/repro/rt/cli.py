@@ -9,20 +9,87 @@ and :func:`~repro.sim.serialize.load_run` consume like any simulated run.
 ``--require-converged`` makes the exit status a health check: non-zero
 unless every node ends with finite two-sided bounds and every sample is
 sound - the contract the CI runtime-smoke job enforces.
+
+A live run must die cleanly: SIGINT (Ctrl-C) or ``--timeout`` expiry
+aborts at the next period edge, still archives whatever evidence exists
+(the document is marked ``"partial": true``), and exits non-zero -
+never a traceback, never a hang.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
+import signal
 import sys
-from typing import List, Optional, Tuple
+from typing import Awaitable, Callable, List, Optional, Tuple, TypeVar
 
 from ..core.events import ProcessorId
 from ..sim.clock import PiecewiseDriftingClock
 from .clock import ModelClockSource, SkewedClockSource
-from .cluster import ClusterConfig, CrashSchedule, dump_rt_run, run_cluster_sync
+from .cluster import ClusterConfig, CrashSchedule, dump_rt_run, run_cluster
 
-__all__ = ["main", "build_parser", "shape_links"]
+__all__ = ["main", "build_parser", "shape_links", "run_abortable"]
+
+T = TypeVar("T")
+
+#: exit status of a run cut short by SIGINT (the shell convention) or timeout
+EXIT_INTERRUPTED = 130
+EXIT_TIMEOUT = 124  # matches coreutils timeout(1)
+
+
+def run_abortable(
+    runner: Callable[[asyncio.Event], Awaitable[T]],
+    timeout: Optional[float] = None,
+) -> Tuple[T, Optional[str]]:
+    """Run ``runner(abort)`` on a fresh loop with clean-death wiring.
+
+    SIGINT and ``timeout`` expiry both set the abort event instead of
+    tearing the loop down, so the runner winds down cooperatively and
+    still returns its (partial) result.  Returns ``(result, why)`` with
+    ``why`` in ``(None, "interrupt", "timeout")``.
+    """
+    why: List[Optional[str]] = [None]
+
+    async def drive() -> T:
+        abort = asyncio.Event()
+        loop = asyncio.get_running_loop()
+
+        def on_sigint() -> None:
+            if why[0] is None:
+                why[0] = "interrupt"
+            abort.set()
+
+        try:
+            loop.add_signal_handler(signal.SIGINT, on_sigint)
+            installed = True
+        except (NotImplementedError, RuntimeError):  # non-main thread / platform
+            installed = False
+
+        async def watchdog() -> None:
+            await asyncio.sleep(timeout)
+            if why[0] is None:
+                why[0] = "timeout"
+            abort.set()
+
+        guard = loop.create_task(watchdog()) if timeout is not None else None
+        try:
+            return await runner(abort)
+        finally:
+            if guard is not None:
+                guard.cancel()
+                try:
+                    await guard
+                except asyncio.CancelledError:
+                    pass
+            if installed:
+                loop.remove_signal_handler(signal.SIGINT)
+
+    return asyncio.run(drive()), why[0]
+
+
+def abort_exit_code(why: Optional[str]) -> int:
+    return EXIT_INTERRUPTED if why == "interrupt" else EXIT_TIMEOUT
 
 
 def shape_links(
@@ -96,6 +163,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0, help="seed for jitter and clocks")
     parser.add_argument("--out", help="archive the run as a serialize-v2 JSON document")
     parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="abort cleanly after this many wall seconds (partial archive, exit 124)",
+    )
+    parser.add_argument(
         "--require-converged",
         action="store_true",
         help="exit non-zero unless all nodes end bounded and all samples sound",
@@ -154,8 +227,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    result = run_cluster_sync(config)
+    if args.timeout is not None and args.timeout <= 0:
+        print("error: --timeout must be positive", file=sys.stderr)
+        return 2
+    result, why = run_abortable(
+        lambda abort: run_cluster(config, abort=abort), args.timeout
+    )
 
+    if result.aborted:
+        print(f"aborted ({why}): partial evidence only", file=sys.stderr)
     print(
         f"{args.nodes}-node {args.shape} over {args.transport}: "
         f"{result.messages_sent} messages, {result.messages_lost} lost, "
@@ -176,6 +256,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.out:
         dump_rt_run(result, args.out)
         print(f"  archived -> {args.out}")
+    if result.aborted:
+        return abort_exit_code(why)
     if args.require_converged and (violations or not all_converged):
         return 1
     return 0

@@ -50,6 +50,7 @@ __all__ = [
     "CrashSchedule",
     "JoinSchedule",
     "ClusterConfig",
+    "LiveCluster",
     "RtRunResult",
     "build_spec",
     "run_cluster",
@@ -194,6 +195,8 @@ class RtRunResult:
     messages_lost: int
     #: serialize-v2 ``links`` rows: per-directed-link sent/lost/duplicated
     link_rows: List[Dict]
+    #: the run was cut short (SIGINT / --timeout); evidence is partial
+    aborted: bool = False
 
     def soundness_violations(self) -> List[EstimateSample]:
         return [s for s in self.samples if not s.sound]
@@ -232,7 +235,7 @@ class RtRunResult:
 
     def to_document(self) -> Dict:
         """The :mod:`repro.sim.serialize` v2 document of this run."""
-        return {
+        document = {
             "version": FORMAT_VERSION,
             "spec": spec_to_dict(self.spec),
             "trace": trace_to_dict(self.trace),
@@ -241,6 +244,11 @@ class RtRunResult:
             "messages_lost": self.messages_lost,
             "links": self.link_rows,
         }
+        if self.aborted:
+            # extra keys pass through load_run untouched; readers that
+            # care (CI gates) can tell a clean run from a truncated one
+            document["partial"] = True
+        return document
 
 
 def dump_rt_run(result: RtRunResult, path: str) -> None:
@@ -249,11 +257,23 @@ def dump_rt_run(result: RtRunResult, path: str) -> None:
         json.dump(result.to_document(), handle)
 
 
-def _make_transport(config: ClusterConfig, time_base: TimeBase) -> Transport:
+def _make_transport(
+    config: ClusterConfig,
+    time_base: TimeBase,
+    *,
+    extra_procs: Sequence[ProcessorId] = (),
+    extra_links: Sequence[Tuple[ProcessorId, ProcessorId]] = (),
+) -> Transport:
+    """The cluster transport, optionally extended with serve-tier endpoints.
+
+    ``extra_procs``/``extra_links`` register non-protocol endpoints (serve
+    sockets, load clients) with the UDP address book and the fault
+    topology, so a :class:`FaultPlan` can target client<->server links the
+    same way it targets gossip links.
+    """
+    endpoints = tuple(config.processors) + tuple(extra_procs)
     if config.transport == "udp":
-        inner: Transport = UDPTransport(
-            {proc: ("127.0.0.1", 0) for proc in config.processors}
-        )
+        inner: Transport = UDPTransport({proc: ("127.0.0.1", 0) for proc in endpoints})
     else:
         inner = LoopbackTransport(
             delay=config.loopback_delay,
@@ -266,8 +286,8 @@ def _make_transport(config: ClusterConfig, time_base: TimeBase) -> Transport:
         inner,
         config.faults,
         time_base,
-        procs=config.processors,
-        links=config.links,
+        procs=endpoints,
+        links=tuple(config.links) + tuple(extra_links),
         source=config.source_proc,
     )
 
@@ -313,95 +333,204 @@ def _link_rows(nodes: Sequence[Node]) -> List[Dict]:
     return rows
 
 
-async def run_cluster(config: ClusterConfig) -> RtRunResult:
-    """Run one live cluster to completion and collect the evidence."""
-    spec = build_spec(config)
-    time_base = TimeBase()
-    transport = _make_transport(config, time_base)
-    await transport.start()
-    sponsors = {join.proc: join.sponsor for join in config.joins}
-    nodes = [
-        Node(
-            NodeConfig(
-                proc=proc,
-                spec=spec,
-                gossip_period=config.gossip_period,
-                jitter=config.gossip_jitter,
-                retransmit=config.retransmit,
-                seed=config.seed + index,
-                sponsor=sponsors.get(proc),
-            ),
-            transport,
-            clock=config.clock_for(proc),
-            time_base=time_base,
-        )
-        for index, proc in enumerate(config.processors)
-    ]
-    by_name = {node.proc: node for node in nodes}
-    samples: List[EstimateSample] = []
+class LiveCluster:
+    """A live cluster as a reusable object: nodes, transport, schedules.
 
-    async def crash_driver(crash: CrashSchedule) -> None:
-        node = by_name[crash.proc]
-        await asyncio.sleep(max(0.0, crash.stop_at - time_base.elapsed()))
+    :func:`run_cluster` is a thin wrapper around this class.  Exposing
+    the pieces lets the serving tier (:mod:`repro.rt.loadgen`) ride the
+    same harness: attach :class:`~repro.rt.serve.ServeNode` companions
+    that crash and restart with their host node, register extra
+    fault-injectable endpoints, and interleave its own client traffic
+    with the sampling loop.
+
+    Lifecycle: ``await start()``; then ``await run_sampling(abort)``
+    (or drive sampling yourself with :meth:`sample_once`); then
+    ``await finish()``; finally read :meth:`result`.  ``finish`` must
+    run even after an exception - it stops the transport.
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        *,
+        extra_procs: Sequence[ProcessorId] = (),
+        extra_links: Sequence[Tuple[ProcessorId, ProcessorId]] = (),
+    ):
+        self.config = config
+        self.spec = build_spec(config)
+        self.time_base = TimeBase()
+        self.transport = _make_transport(
+            config,
+            self.time_base,
+            extra_procs=extra_procs,
+            extra_links=extra_links,
+        )
+        self.sponsors = {join.proc: join.sponsor for join in config.joins}
+        self.nodes = [
+            Node(
+                NodeConfig(
+                    proc=proc,
+                    spec=self.spec,
+                    gossip_period=config.gossip_period,
+                    jitter=config.gossip_jitter,
+                    retransmit=config.retransmit,
+                    seed=config.seed + index,
+                    sponsor=self.sponsors.get(proc),
+                ),
+                self.transport,
+                clock=config.clock_for(proc),
+                time_base=self.time_base,
+            )
+            for index, proc in enumerate(config.processors)
+        ]
+        self.by_name = {node.proc: node for node in self.nodes}
+        self.samples: List[EstimateSample] = []
+        #: per-processor companions (e.g. ServeNodes) started/stopped
+        #: in lockstep with their host node by the crash driver
+        self._companions: Dict[ProcessorId, List] = {}
+        self._driver_tasks: List[asyncio.Task] = []
+        self._started = False
+
+    def attach_companion(self, proc: ProcessorId, companion) -> None:
+        """Tie ``companion`` (``.start()``/``.stop()``) to ``proc``'s fate.
+
+        When a :class:`CrashSchedule` fail-stops the host node, its
+        companions stop first (a dead server answers nothing) and
+        restart after the node does.  Must be called before
+        :meth:`start`; started companions are stopped by
+        :meth:`finish`.
+        """
+        if self._started:
+            raise SimulationError("companions must attach before the cluster starts")
+        if proc not in self.by_name:
+            raise SimulationError(f"no node {proc!r} to attach a companion to")
+        self._companions.setdefault(proc, []).append(companion)
+
+    async def _crash_driver(self, crash: CrashSchedule) -> None:
+        node = self.by_name[crash.proc]
+        companions = self._companions.get(crash.proc, [])
+        await asyncio.sleep(max(0.0, crash.stop_at - self.time_base.elapsed()))
+        for companion in companions:
+            await companion.stop()
         await node.stop()
         if crash.restart_at is not None:
-            await asyncio.sleep(max(0.0, crash.restart_at - time_base.elapsed()))
-            await node.start()
-
-    async def join_driver(join: JoinSchedule) -> None:
-        await asyncio.sleep(max(0.0, join.at - time_base.elapsed()))
-        await by_name[join.proc].start()
-
-    try:
-        for node in nodes:
-            if node.proc not in sponsors:
-                await node.start()
-        crash_tasks = [
-            asyncio.get_running_loop().create_task(crash_driver(crash))
-            for crash in config.crashes
-        ] + [
-            asyncio.get_running_loop().create_task(join_driver(join))
-            for join in config.joins
-        ]
-        while time_base.elapsed() < config.duration:
             await asyncio.sleep(
-                min(config.sample_period, config.duration - time_base.elapsed())
+                max(0.0, crash.restart_at - self.time_base.elapsed())
             )
-            for node in nodes:
-                if not node.running:
-                    continue  # a crashed processor estimates nothing
-                # one atomic reading serves as both sampling instant and
-                # truth: the source clock defines real time
-                rt, bound = node._estimate_at_now()
-                samples.append(
-                    EstimateSample(
-                        rt=rt, proc=node.proc, channel="rt", bound=bound, truth=rt
-                    )
-                )
-        for task in crash_tasks:
-            task.cancel()
-        for task in crash_tasks:
-            try:
-                await task
-            except asyncio.CancelledError:
-                pass
-        for node in nodes:
-            await node.stop()
-        # drain in-flight loopback deliveries so the trace is settled
-        await asyncio.sleep(0)
+            await node.start()
+            for companion in companions:
+                await companion.start()
+
+    async def _join_driver(self, join: JoinSchedule) -> None:
+        await asyncio.sleep(max(0.0, join.at - self.time_base.elapsed()))
+        await self.by_name[join.proc].start()
+
+    async def start(self) -> None:
+        """Start transport, non-joiner nodes and companions, and drivers."""
+        self._started = True
+        await self.transport.start()
+        for node in self.nodes:
+            if node.proc not in self.sponsors:
+                await node.start()
+        for proc, companions in self._companions.items():
+            if proc not in self.sponsors:
+                for companion in companions:
+                    await companion.start()
+        loop = asyncio.get_running_loop()
+        self._driver_tasks = [
+            loop.create_task(self._crash_driver(crash))
+            for crash in self.config.crashes
+        ] + [
+            loop.create_task(self._join_driver(join)) for join in self.config.joins
+        ]
+
+    def sample_once(self) -> None:
+        """Record one estimate sample from every running node."""
+        for node in self.nodes:
+            if not node.running:
+                continue  # a crashed processor estimates nothing
+            # one atomic reading serves as both sampling instant and
+            # truth: the source clock defines real time
+            rt, bound = node.estimate_at_now()
+            self.samples.append(
+                EstimateSample(rt=rt, proc=node.proc, channel="rt", bound=bound, truth=rt)
+            )
+
+    async def run_sampling(self, abort: Optional[asyncio.Event] = None) -> bool:
+        """Sample on the configured period until ``duration`` elapses.
+
+        Setting ``abort`` cuts the run short at the next period edge;
+        returns True when that happened (the run is partial).
+        """
+        config = self.config
+        while self.time_base.elapsed() < config.duration:
+            if abort is not None and abort.is_set():
+                return True
+            wait = min(config.sample_period, config.duration - self.time_base.elapsed())
+            if abort is None:
+                await asyncio.sleep(wait)
+            else:
+                try:
+                    await asyncio.wait_for(abort.wait(), timeout=wait)
+                    return True
+                except asyncio.TimeoutError:
+                    pass
+            self.sample_once()
+        return False
+
+    async def finish(self) -> None:
+        """Cancel drivers, stop companions and nodes, stop the transport."""
+        try:
+            for task in self._driver_tasks:
+                task.cancel()
+            for task in self._driver_tasks:
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+            for companions in self._companions.values():
+                for companion in companions:
+                    await companion.stop()
+            for node in self.nodes:
+                await node.stop()
+            # drain in-flight loopback deliveries so the trace is settled
+            await asyncio.sleep(0)
+        finally:
+            await self.transport.stop()
+
+    def result(self, *, aborted: bool = False) -> RtRunResult:
+        """Assemble the evidence collected so far into an RtRunResult."""
+        trace = _merge_trace(self.nodes)
+        sent = sum(s.sent for node in self.nodes for s in node.stats.values())
+        return RtRunResult(
+            spec=self.spec,
+            trace=trace,
+            samples=self.samples,
+            nodes={node.proc: node.snapshot() for node in self.nodes},
+            messages_sent=sent,
+            messages_lost=len(trace.lost_sends),
+            link_rows=_link_rows(self.nodes),
+            aborted=aborted,
+        )
+
+
+async def run_cluster(
+    config: ClusterConfig, *, abort: Optional[asyncio.Event] = None
+) -> RtRunResult:
+    """Run one live cluster to completion and collect the evidence.
+
+    ``abort`` (e.g. set from a SIGINT handler or timeout watchdog) ends
+    the run early; the result is then marked ``aborted`` and its
+    document carries ``"partial": true``.
+    """
+    cluster = LiveCluster(config)
+    aborted = False
+    try:
+        await cluster.start()
+        aborted = await cluster.run_sampling(abort)
     finally:
-        await transport.stop()
-    trace = _merge_trace(nodes)
-    sent = sum(s.sent for node in nodes for s in node.stats.values())
-    return RtRunResult(
-        spec=spec,
-        trace=trace,
-        samples=samples,
-        nodes={node.proc: node.snapshot() for node in nodes},
-        messages_sent=sent,
-        messages_lost=len(trace.lost_sends),
-        link_rows=_link_rows(nodes),
-    )
+        await cluster.finish()
+    return cluster.result(aborted=aborted)
 
 
 def run_cluster_sync(config: ClusterConfig) -> RtRunResult:

@@ -524,10 +524,10 @@ class Node:
 
     def estimate_now(self) -> ClockBound:
         """Current source-time bounds at this node's clock reading."""
-        _rt, bound = self._estimate_at_now()
+        _rt, bound = self.estimate_at_now()
         return bound
 
-    def _estimate_at_now(self) -> Tuple[float, ClockBound]:
+    def estimate_at_now(self) -> Tuple[float, ClockBound]:
         """One atomic (rt, bound) pair: the bound holds *at* that reading.
 
         Soundness comparisons need the truth instant and the evaluation
@@ -540,6 +540,9 @@ class Node:
         if last is not None and lt < last.lt:
             lt = last.lt  # clock resolution race with an in-flight event
         return rt, self.estimator.estimate_now(lt)
+
+    # backward-compatible alias (pre-serving-tier name)
+    _estimate_at_now = estimate_at_now
 
     def snapshot(self) -> NodeStats:
         rt, lt = self._now()

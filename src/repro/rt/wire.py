@@ -27,6 +27,25 @@ Frame types:
   seq-less like ``hello`` (the *answer* is an ordinary sync and rides
   the normal at-most-once machinery, so joins may repeat freely).
 
+The *serving tier* (Sec 4's Cristian application, :mod:`repro.rt.serve`)
+adds three stateless frames.  Clients never join the history/AGDP
+protocol: a probe/reply pair is one Cristian round trip, correlated by a
+client-chosen ``nonce`` instead of the gossip ``seq`` machinery, so the
+server keeps no per-client state at all:
+
+* ``probe`` - a lightweight client asking a serving node for external
+  bounds; carries only a non-negative ``nonce`` the reply must echo.
+* ``reply`` - the server's answer: finite source-time bounds
+  ``[lower, upper]`` valid at the instant the server computed them,
+  a ``degraded`` flag when the bounds include an extra staleness/
+  quarantine drift allowance, and the server state's ``age`` (local
+  seconds since its estimator's last event, informational).
+* ``shed``  - explicit load-shedding refusal: the server cannot (token
+  bucket or queue full) or will not (no bounded estimate yet) answer;
+  carries a ``retry_after`` hint and a ``reason``.  An overloaded server
+  that *says so* keeps clients honest - silence is indistinguishable
+  from loss and would be retried immediately.
+
 **Decoding never raises.**  Bytes off the wire are adversarial input:
 :func:`decode_frame` returns a :class:`DecodeResult` whose ``error`` is a
 structured :class:`WireError` for malformed input - short or truncated
@@ -42,6 +61,7 @@ sim-path tampering.
 from __future__ import annotations
 
 import json
+import math
 import struct
 from dataclasses import dataclass, field
 from typing import Dict, Optional
@@ -50,12 +70,14 @@ from ..core.bootstrap import BootstrapSnapshot
 from ..core.errors import ProtocolError
 from ..core.events import Event, ProcessorId
 from ..core.history import HistoryPayload
+from ..core.intervals import ClockBound
 
 __all__ = [
     "WIRE_VERSION",
     "MAGIC",
     "MAX_BODY_BYTES",
     "FRAME_TYPES",
+    "SERVE_FRAME_TYPES",
     "Frame",
     "WireError",
     "DecodeResult",
@@ -65,6 +87,9 @@ __all__ = [
     "sync_frame",
     "ack_frame",
     "join_frame",
+    "probe_frame",
+    "reply_frame",
+    "shed_frame",
 ]
 
 #: current wire format version; bump on any incompatible body change
@@ -79,7 +104,10 @@ _HEADER = struct.Struct(">2sBI")
 #: bounds what a hostile peer can make a node parse
 MAX_BODY_BYTES = 60_000
 
-FRAME_TYPES = ("hello", "sync", "ack", "join")
+FRAME_TYPES = ("hello", "sync", "ack", "join", "probe", "reply", "shed")
+
+#: frame types of the stateless serving tier (nonce-correlated, seq-less)
+SERVE_FRAME_TYPES = ("probe", "reply", "shed")
 
 
 @dataclass(frozen=True)
@@ -97,6 +125,18 @@ class Frame:
     payload: Optional[HistoryPayload] = None
     #: sync answering a join: the sponsor's bootstrap snapshot
     boot: Optional[BootstrapSnapshot] = None
+    #: probe/reply/shed: the client-chosen correlation token
+    nonce: Optional[int] = None
+    #: reply only: finite source-time bounds at the server's reply instant
+    bound: Optional[ClockBound] = None
+    #: reply only: bounds carry an extra staleness/quarantine allowance
+    degraded: bool = False
+    #: reply only: server local seconds since its estimator's last event
+    age: Optional[float] = None
+    #: shed only: suggested client wait before re-probing (seconds)
+    retry_after: Optional[float] = None
+    #: shed only: why the server refused (``overload``/``queue``/``unsynced``)
+    reason: Optional[str] = None
     #: hello extras (advertised wire version, etc.)
     meta: Dict = field(default_factory=dict)
 
@@ -164,6 +204,73 @@ def join_frame(src: ProcessorId, dst: ProcessorId) -> Frame:
     return Frame(type="join", src=src, dst=dst, meta={"wire": WIRE_VERSION})
 
 
+def _check_nonce(nonce: int) -> int:
+    if not isinstance(nonce, int) or isinstance(nonce, bool) or nonce < 0:
+        raise ProtocolError(f"serve frames need a non-negative int nonce, got {nonce!r}")
+    return nonce
+
+
+def probe_frame(src: ProcessorId, dst: ProcessorId, nonce: int) -> Frame:
+    """A lightweight client's Cristian probe to a serving endpoint."""
+    return Frame(type="probe", src=src, dst=dst, nonce=_check_nonce(nonce))
+
+
+def reply_frame(
+    src: ProcessorId,
+    dst: ProcessorId,
+    nonce: int,
+    bound: ClockBound,
+    *,
+    degraded: bool = False,
+    age: float = 0.0,
+) -> Frame:
+    """The server's answer to one probe.
+
+    Only *finite* bounds travel: an unsynced server must shed (with
+    reason ``unsynced``) instead - an infinite endpoint is not
+    strict-JSON-representable and carries no information a client could
+    act on anyway.
+    """
+    if not bound.is_bounded:
+        raise ProtocolError("reply frames carry finite bounds only; shed instead")
+    if age < 0:
+        raise ProtocolError(f"reply age must be non-negative, got {age}")
+    return Frame(
+        type="reply",
+        src=src,
+        dst=dst,
+        nonce=_check_nonce(nonce),
+        bound=bound,
+        degraded=bool(degraded),
+        age=float(age),
+    )
+
+
+def shed_frame(
+    src: ProcessorId,
+    dst: ProcessorId,
+    nonce: int,
+    *,
+    retry_after: float,
+    reason: str = "overload",
+) -> Frame:
+    """An explicit load-shedding refusal of one probe."""
+    if not (retry_after >= 0) or math.isinf(retry_after):
+        raise ProtocolError(
+            f"retry_after must be finite and non-negative, got {retry_after!r}"
+        )
+    if not isinstance(reason, str) or not reason:
+        raise ProtocolError(f"shed reason must be a non-empty string, got {reason!r}")
+    return Frame(
+        type="shed",
+        src=src,
+        dst=dst,
+        nonce=_check_nonce(nonce),
+        retry_after=float(retry_after),
+        reason=reason,
+    )
+
+
 # -- encode ----------------------------------------------------------------------------
 
 
@@ -183,6 +290,19 @@ def encode_frame(frame: Frame) -> bytes:
         body["payload"] = frame.payload.to_dict()
     if frame.boot is not None:
         body["boot"] = frame.boot.to_dict()
+    if frame.nonce is not None:
+        body["nonce"] = frame.nonce
+    if frame.bound is not None:
+        body["lower"] = frame.bound.lower
+        body["upper"] = frame.bound.upper
+    if frame.degraded:
+        body["degraded"] = True
+    if frame.age is not None:
+        body["age"] = frame.age
+    if frame.retry_after is not None:
+        body["retry_after"] = frame.retry_after
+    if frame.reason is not None:
+        body["reason"] = frame.reason
     if frame.meta:
         body["meta"] = dict(frame.meta)
     try:
@@ -255,6 +375,80 @@ def decode_frame(data: bytes) -> DecodeResult:
             return DecodeResult(
                 error=WireError("bad-frame", f"{ftype} needs a non-negative seq, got {seq!r}", src=src)
             )
+    nonce = None
+    bound = None
+    degraded = False
+    age = None
+    retry_after = None
+    reason = None
+    if ftype in SERVE_FRAME_TYPES:
+        nonce = body.get("nonce")
+        if not isinstance(nonce, int) or isinstance(nonce, bool) or nonce < 0:
+            return DecodeResult(
+                error=WireError(
+                    "bad-frame", f"{ftype} needs a non-negative nonce, got {nonce!r}", src=src
+                )
+            )
+    if ftype == "reply":
+        lower = body.get("lower")
+        upper = body.get("upper")
+        for name, value in (("lower", lower), ("upper", upper)):
+            if (
+                isinstance(value, bool)
+                or not isinstance(value, (int, float))
+                or not math.isfinite(value)
+            ):
+                return DecodeResult(
+                    error=WireError(
+                        "bad-frame", f"reply needs a finite {name}, got {value!r}", src=src
+                    )
+                )
+        if lower > upper:
+            return DecodeResult(
+                error=WireError(
+                    "bad-frame", f"reply bound is empty: [{lower}, {upper}]", src=src
+                )
+            )
+        bound = ClockBound(float(lower), float(upper))
+        degraded = body.get("degraded", False)
+        if not isinstance(degraded, bool):
+            return DecodeResult(
+                error=WireError("bad-frame", "reply degraded flag is not a bool", src=src)
+            )
+        age = body.get("age", 0.0)
+        if (
+            isinstance(age, bool)
+            or not isinstance(age, (int, float))
+            or not math.isfinite(age)
+            or age < 0
+        ):
+            return DecodeResult(
+                error=WireError(
+                    "bad-frame", f"reply needs a finite non-negative age, got {age!r}", src=src
+                )
+            )
+        age = float(age)
+    if ftype == "shed":
+        retry_after = body.get("retry_after")
+        if (
+            isinstance(retry_after, bool)
+            or not isinstance(retry_after, (int, float))
+            or not math.isfinite(retry_after)
+            or retry_after < 0
+        ):
+            return DecodeResult(
+                error=WireError(
+                    "bad-frame",
+                    f"shed needs a finite non-negative retry_after, got {retry_after!r}",
+                    src=src,
+                )
+            )
+        retry_after = float(retry_after)
+        reason = body.get("reason", "overload")
+        if not isinstance(reason, str) or not reason:
+            return DecodeResult(
+                error=WireError("bad-frame", "shed reason is not a non-empty string", src=src)
+            )
     payload = None
     boot = None
     if ftype == "sync":
@@ -281,6 +475,12 @@ def decode_frame(data: bytes) -> DecodeResult:
             lt=lt if ftype == "sync" else None,
             payload=payload,
             boot=boot,
+            nonce=nonce,
+            bound=bound,
+            degraded=degraded,
+            age=age,
+            retry_after=retry_after,
+            reason=reason,
             meta=dict(meta),
         )
     )
