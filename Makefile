@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-json bench-compare bench-refresh experiments experiments-quick chaos chaos-byz churn examples fuzz fuzz-long rt-demo rt-smoke serve-demo loadtest serve-smoke clean
+.PHONY: install test bench bench-json bench-compare bench-refresh experiments experiments-quick chaos chaos-byz churn examples fuzz fuzz-long rt-demo rt-smoke serve-demo loadtest serve-smoke strata-demo hierarchy-smoke clean
 
 # relative slowdown tolerated by the perf gate before it fails.  0.75
 # accommodates CPU-throttled/shared dev machines (observed run-to-run
@@ -41,7 +41,9 @@ bench-compare:
 		--assert-speedup "test_agdp_backend_comparison[128-numpy]" \
 			"test_agdp_backend_comparison[128-dict]" 2.0 \
 		--assert-speedup "test_serve_garbage_rejection" \
-			"test_serve_probe_throughput" 2.0
+			"test_serve_probe_throughput" 2.0 \
+		--assert-speedup "test_compose_delegated_throughput" \
+			"test_delegation_reply_throughput" 3.0
 
 # rebless the committed baseline after an intentional perf change
 # (bench-json with intent: review the diff of BENCH_core.json)
@@ -106,6 +108,21 @@ loadtest:
 		--bucket-rate 40 --bucket-burst 5 --max-interval 0.03 \
 		--require-sound --out serve_load_run.json
 
+# stratum federation demo: a 3-node core delegating to two downstream
+# tiers in one process, skewed clocks everywhere but the borders (~4 s)
+strata-demo:
+	$(PYTHON) -m repro.rt.strata.cli --core-nodes 3 --tiers 2 --tier-nodes 2 \
+		--duration 4 --skew-ppm 120 --require-sound
+
+# the CI hierarchy gate: a two-tier federation across real OS processes
+# over UDP, primary anchor crashed mid-run - the downstream border must
+# re-elect with zero soundness violations (fixed seed, partial archive)
+hierarchy-smoke:
+	$(PYTHON) -m repro.rt.strata.cli --procs --core-nodes 3 --tiers 1 \
+		--tier-nodes 2 --duration 8 --skew-ppm 120 --sync-period 0.15 \
+		--max-age 1.0 --crash-anchor 3 --seed 0 \
+		--require-sound --require-election --out strata_smoke_run.json
+
 # the CI serving gate: primary crash mid-load over loopback with skewed
 # clocks, plus a UDP swarm - both must end with zero unsound accepts
 serve-smoke:
@@ -118,5 +135,5 @@ serve-smoke:
 clean:
 	rm -rf .pytest_cache .hypothesis src/repro.egg-info
 	rm -f BENCH_fresh.json BENCH_compare.md
-	rm -f serve_load_run.json serve_smoke_run.json
+	rm -f serve_load_run.json serve_smoke_run.json strata_smoke_run.json
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

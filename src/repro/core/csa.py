@@ -357,6 +357,12 @@ class EfficientCSA(Estimator):
         self._debug_check()
 
     def on_delivery_confirmed(self, send_eid: EventId) -> None:
+        # these two hooks fire without a local event, so the audit anchors
+        # at the last local time (as estimate() does); a confirm or loss
+        # landing on corrupted state must recover first - recovery drops
+        # the pending token, so the confirm degrades to a no-op and the
+        # loss is recorded against the rebuilt history, both sound
+        self._audit(self._last_local.lt if self._last_local is not None else 0.0)
         token = self._pending_tokens.pop(send_eid, None)
         if token is not None:
             self.history.confirm_delivery(token)
@@ -364,6 +370,7 @@ class EfficientCSA(Estimator):
 
     def on_loss_detected(self, send_eid: EventId) -> None:
         """Sec 3.3: locally detected loss of a message this processor sent."""
+        self._audit(self._last_local.lt if self._last_local is not None else 0.0)
         token = self._pending_tokens.pop(send_eid, None)
         if token is not None:
             self.history.abort_delivery(token)
@@ -384,6 +391,7 @@ class EfficientCSA(Estimator):
         """
         if self.suspicion is None:
             return
+        self._audit(at_lt)
         self.validation_failures.append(
             ValidationFailure(kind=kind, accused=(accused,), detail=detail)
         )

@@ -28,6 +28,7 @@ from . import (  # noqa: F401  (imported for registration side effects)
     e9_loss,
     e10_convergence,
     e11_churn,
+    e12_hierarchy,
     x1_internal,
     x2_adaptive,
 )

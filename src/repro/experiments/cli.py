@@ -39,6 +39,7 @@ QUICK_OVERRIDES: Dict[str, Dict[str, object]] = {
     "x1-internal-sync": {"sizes": (4,), "duration": 60.0},
     "e10-convergence": {"n": 5, "duration": 80.0},
     "e11-churn": {"shapes": ("line",), "duration": 60.0},
+    "e12-hierarchy": {"tiers": 1, "duration": 3.0},
     "x2-adaptive-polling": {"n_clients": 3, "duration": 250.0},
 }
 

@@ -28,8 +28,12 @@ Layers (bottom up):
   accrual-style failover.
 * :mod:`repro.rt.loadgen` - the serving-tier load generator and its
   run-document scorecard.
-* :mod:`repro.rt.cli` / :mod:`repro.rt.serve_cli` - the ``repro-rt``
-  and ``repro-serve`` entry points.
+* :mod:`repro.rt.strata` - the stratum hierarchy: federated multi-tier
+  clusters (optionally spanning OS processes over UDP) with anchor
+  delegation, crash-driven re-election, and gradient sync metrics.
+* :mod:`repro.rt.cli` / :mod:`repro.rt.serve_cli` /
+  :mod:`repro.rt.strata.cli` - the ``repro-rt``, ``repro-serve``, and
+  ``repro-strata`` entry points.
 """
 
 from .client import (

@@ -108,6 +108,9 @@ def shape_links(
         return [(names[0], names[i]) for i in range(1, n)]
     if shape == "full":
         return [(names[i], names[j]) for i in range(n) for j in range(i + 1, n)]
+    if shape == "tree":
+        # complete binary tree rooted at names[0]: node i hangs off (i-1)//2
+        return [(names[(i - 1) // 2], names[i]) for i in range(1, n)]
     raise ValueError(f"unknown shape {shape!r}")
 
 
@@ -119,9 +122,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--nodes", type=int, default=3, help="cluster size (default 3)")
     parser.add_argument(
         "--shape",
-        choices=("line", "ring", "star", "full"),
+        choices=("line", "ring", "star", "full", "tree"),
         default="line",
-        help="topology over n0..n{N-1}; n0 is the source (default line)",
+        help="topology over n0..n{N-1}; n0 is the source/root (default line)",
     )
     parser.add_argument(
         "--transport",

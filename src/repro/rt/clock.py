@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import abc
 import time
+from typing import Optional
 
 from ..core.errors import SimulationError
 from ..core.specs import DriftSpec
@@ -57,11 +58,21 @@ class TimeBase:
 
     One instance is shared by every node of an in-process cluster plus the
     harness, so sampled truths and event real-times are mutually
-    comparable.  The origin is captured at construction.
+    comparable.  The origin is captured at construction, or supplied
+    explicitly: on Linux ``time.monotonic()`` is ``CLOCK_MONOTONIC``,
+    which every process of one boot reads off the same axis, so a
+    federation spanning OS processes ships one ``origin`` reading to its
+    children and all their ``elapsed()`` readings stay mutually
+    comparable (:mod:`repro.rt.strata.federation`).
     """
 
-    def __init__(self):
-        self._origin = time.monotonic()
+    def __init__(self, origin: Optional[float] = None):
+        self._origin = time.monotonic() if origin is None else float(origin)
+
+    @property
+    def origin(self) -> float:
+        """The raw ``time.monotonic()`` reading this base measures from."""
+        return self._origin
 
     def elapsed(self) -> float:
         """Seconds of real time since this time base was created."""

@@ -44,7 +44,7 @@ from ..sim.serialize import (
 from ..sim.trace import ExecutionTrace
 from .clock import ClockSource, MonotonicClockSource, TimeBase
 from .node import Node, NodeConfig, NodeStats
-from .transport import FaultMiddleware, LoopbackTransport, Transport, UDPTransport
+from .transport import Transport
 
 __all__ = [
     "CrashSchedule",
@@ -201,8 +201,14 @@ class RtRunResult:
     def soundness_violations(self) -> List[EstimateSample]:
         return [s for s in self.samples if not s.sound]
 
-    def samples_for(self, proc: ProcessorId) -> List[EstimateSample]:
-        return [s for s in self.samples if s.proc == proc]
+    def samples_for(
+        self, proc: ProcessorId, channel: Optional[str] = None
+    ) -> List[EstimateSample]:
+        return [
+            s
+            for s in self.samples
+            if s.proc == proc and (channel is None or s.channel == channel)
+        ]
 
     def recoveries(self) -> Dict[ProcessorId, int]:
         """Per node: self-stabilization recoveries its estimator performed."""
@@ -212,16 +218,24 @@ class RtRunResult:
             if stats.recoveries
         }
 
-    def reconvergence_after(self, rt0: float, proc: ProcessorId) -> Tuple[float, int]:
+    def reconvergence_after(
+        self, rt0: float, proc: ProcessorId, channel: Optional[str] = None
+    ) -> Tuple[float, int]:
         """Re-convergence after a disruption at elapsed time ``rt0``.
 
         Returns ``(rt_delta, samples_examined)`` exactly like the
         simulator's :meth:`~repro.sim.runner.RunResult.reconvergence_after`:
         the lag from ``rt0`` to the first sample of ``proc`` from which
         every remaining sample is sound and bounded, or ``(inf, n)`` if
-        the tail never settles.
+        the tail never settles.  ``channel`` restricts the verdict to one
+        sample channel (e.g. ``"strata"`` for federation-level bounds).
+
+        Edge sentinel: a processor with **zero** samples after ``rt0``
+        (crashed before its first estimate, or filtered out by
+        ``channel``) yields ``(inf, 0)`` - never an exception.  Treat an
+        infinite lag with a zero tail as "no evidence", not "diverged".
         """
-        tail = [s for s in self.samples_for(proc) if s.rt >= rt0]
+        tail = [s for s in self.samples_for(proc, channel) if s.rt >= rt0]
         settled_from: Optional[float] = None
         for sample in tail:
             good = sample.sound and sample.bound.is_bounded
@@ -263,33 +277,41 @@ def _make_transport(
     *,
     extra_procs: Sequence[ProcessorId] = (),
     extra_links: Sequence[Tuple[ProcessorId, ProcessorId]] = (),
-) -> Transport:
+    directory=None,
+):
     """The cluster transport, optionally extended with serve-tier endpoints.
 
     ``extra_procs``/``extra_links`` register non-protocol endpoints (serve
     sockets, load clients) with the UDP address book and the fault
     topology, so a :class:`FaultPlan` can target client<->server links the
     same way it targets gossip links.
+
+    The heavy lifting lives in :mod:`repro.rt.strata.membership` now: a
+    single cluster is the one-tier instantiation of the federation's
+    membership layer.  Pass a pre-populated
+    :class:`~repro.rt.strata.membership.PeerDirectory` to share one
+    address book (and hence one UDP address space) across clusters.
     """
-    endpoints = tuple(config.processors) + tuple(extra_procs)
-    if config.transport == "udp":
-        inner: Transport = UDPTransport({proc: ("127.0.0.1", 0) for proc in endpoints})
-    else:
-        inner = LoopbackTransport(
-            delay=config.loopback_delay,
-            jitter=config.loopback_jitter,
-            seed=config.seed,
-        )
-    if config.faults is None or config.faults.is_noop:
-        return inner
-    return FaultMiddleware(
-        inner,
-        config.faults,
-        time_base,
-        procs=endpoints,
+    # imported here, not at module top: strata rides on this module, and
+    # the lazy import keeps the cluster <-> strata dependency acyclic
+    from .strata.membership import PeerDirectory, build_transport
+
+    if directory is None:
+        directory = PeerDirectory()
+    for name in tuple(config.processors) + tuple(extra_procs):
+        if name not in directory:
+            directory.register(name)
+    return build_transport(
+        config.transport,
+        directory,
+        time_base=time_base,
         links=tuple(config.links) + tuple(extra_links),
+        faults=config.faults,
         source=config.source_proc,
-    )
+        loopback_delay=config.loopback_delay,
+        loopback_jitter=config.loopback_jitter,
+        seed=config.seed,
+    ), directory
 
 
 def _merge_trace(nodes: Sequence[Node]) -> ExecutionTrace:
@@ -355,16 +377,32 @@ class LiveCluster:
         *,
         extra_procs: Sequence[ProcessorId] = (),
         extra_links: Sequence[Tuple[ProcessorId, ProcessorId]] = (),
+        transport: Optional[Transport] = None,
+        time_base: Optional[TimeBase] = None,
+        directory=None,
     ):
         self.config = config
         self.spec = build_spec(config)
-        self.time_base = TimeBase()
-        self.transport = _make_transport(
-            config,
-            self.time_base,
-            extra_procs=extra_procs,
-            extra_links=extra_links,
-        )
+        self.time_base = time_base if time_base is not None else TimeBase()
+        #: whether this cluster built (and therefore starts/stops) its
+        #: transport; a federation injects one shared transport into many
+        #: clusters and owns its lifecycle itself
+        self.owns_transport = transport is None
+        if transport is None:
+            self.transport, self.directory = _make_transport(
+                config,
+                self.time_base,
+                extra_procs=extra_procs,
+                extra_links=extra_links,
+                directory=directory,
+            )
+        else:
+            self.transport = transport
+            self.directory = directory
+        #: hooks called as ``hook(node, rt, bound)`` for every recorded
+        #: sample; the strata tier runner derives federation-channel
+        #: samples from the same atomic reading
+        self.on_sample: List = []
         self.sponsors = {join.proc: join.sponsor for join in config.joins}
         self.nodes = [
             Node(
@@ -428,7 +466,8 @@ class LiveCluster:
     async def start(self) -> None:
         """Start transport, non-joiner nodes and companions, and drivers."""
         self._started = True
-        await self.transport.start()
+        if self.owns_transport:
+            await self.transport.start()
         for node in self.nodes:
             if node.proc not in self.sponsors:
                 await node.start()
@@ -455,6 +494,8 @@ class LiveCluster:
             self.samples.append(
                 EstimateSample(rt=rt, proc=node.proc, channel="rt", bound=bound, truth=rt)
             )
+            for hook in self.on_sample:
+                hook(node, rt, bound)
 
     async def run_sampling(self, abort: Optional[asyncio.Event] = None) -> bool:
         """Sample on the configured period until ``duration`` elapses.
@@ -496,7 +537,8 @@ class LiveCluster:
             # drain in-flight loopback deliveries so the trace is settled
             await asyncio.sleep(0)
         finally:
-            await self.transport.stop()
+            if self.owns_transport:
+                await self.transport.stop()
 
     def result(self, *, aborted: bool = False) -> RtRunResult:
         """Assemble the evidence collected so far into an RtRunResult."""

@@ -34,18 +34,30 @@ from .serve import ServeConfig, ServeNode, serve_endpoint
 __all__ = [
     "ServeLoadConfig",
     "ServeLoadResult",
+    "percentile",
     "run_serve_load",
     "run_serve_load_sync",
 ]
 
 
-def _percentile(values: Sequence[float], q: float) -> Optional[float]:
-    """Nearest-rank percentile (q in [0, 100]); None on empty input."""
+def percentile(values: Sequence[float], q: float) -> Optional[float]:
+    """Nearest-rank percentile (``q`` in [0, 100]).
+
+    Empty input yields the documented ``None`` sentinel - never an
+    exception - so scorecard math stays total even when a processor or
+    client produced zero samples (crashed before its first estimate,
+    shed on every probe, filtered down to nothing).  Consumers must
+    treat ``None`` as "no evidence", not as zero.
+    """
     if not values:
         return None
     ordered = sorted(values)
     rank = max(1, math.ceil(q / 100.0 * len(ordered)))
     return ordered[min(rank, len(ordered)) - 1]
+
+
+#: backwards-compatible alias for the pre-public name
+_percentile = percentile
 
 
 @dataclass(frozen=True)
@@ -142,8 +154,13 @@ class ServeLoadResult:
         return shed / probes if probes else 0.0
 
     def p99_error_bound(self) -> Optional[float]:
-        """99th-percentile worst-case error over every accepted bound."""
-        return _percentile([s.error_bound for s in self.accepted_samples], 99.0)
+        """99th-percentile worst-case error over every accepted bound.
+
+        ``None`` (the :func:`percentile` sentinel) when no client ever
+        got a bound accepted - e.g. every probe shed or every server
+        crashed before answering.
+        """
+        return percentile([s.error_bound for s in self.accepted_samples], 99.0)
 
     def failover_events(self) -> List[Tuple[float, str, ProcessorId, ProcessorId]]:
         events = [

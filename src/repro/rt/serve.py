@@ -211,10 +211,17 @@ class ServeNode:
         node: Node,
         transport: Optional[Transport] = None,
         config: Optional[ServeConfig] = None,
+        bound_source=None,
     ):
         self.node = node
         self.transport = transport if transport is not None else node.transport
         self.config = config if config is not None else ServeConfig()
+        #: optional override answering ``(bound, degraded, age)`` or None
+        #: in place of the node's own estimator - e.g. a stratum border's
+        #: :meth:`~repro.rt.strata.delegation.AnchorLink.composed_now`,
+        #: so a downstream tier's serving endpoint hands clients
+        #: federation-level source-time bounds instead of tier-local ones
+        self.bound_source = bound_source
         self.endpoint = serve_endpoint(node.proc)
         self.bucket = TokenBucket(self.config.bucket_rate, self.config.bucket_burst)
         self.stats = ServeStats()
@@ -337,6 +344,26 @@ class ServeNode:
         Cristian widening sound: the interval held at an instant inside
         the client's own probe->reply window.
         """
+        if self.bound_source is not None:
+            sourced = self.bound_source()
+            if sourced is None or not sourced[0].is_bounded:
+                return self._shed_bytes(
+                    frame, self.config.unsynced_retry_after, "unsynced"
+                )
+            bound, degraded, age = sourced
+            if degraded:
+                self.stats.degraded_replies += 1
+            self.stats.replies += 1
+            return encode_frame(
+                reply_frame(
+                    self.endpoint,
+                    frame.src,
+                    frame.nonce,
+                    bound,
+                    degraded=degraded,
+                    age=age,
+                )
+            )
         rt, bound = self.node.estimate_at_now()
         if not bound.is_bounded:
             return self._shed_bytes(frame, self.config.unsynced_retry_after, "unsynced")

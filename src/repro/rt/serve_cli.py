@@ -47,9 +47,9 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--nodes", type=int, default=3, help="cluster size (default 3)")
     cluster.add_argument(
         "--shape",
-        choices=("line", "ring", "star", "full"),
+        choices=("line", "ring", "star", "full", "tree"),
         default="full",
-        help="topology over n0..n{N-1}; n0 is the source (default full)",
+        help="topology over n0..n{N-1}; n0 is the source/root (default full)",
     )
     cluster.add_argument(
         "--transport",

@@ -1,0 +1,656 @@
+"""Anchor delegation: export, adopt, compose, and re-elect.
+
+The hierarchy's one new protocol idea, built from pieces that already
+exist.  A :class:`DelegationServer` rides a synced node exactly like the
+Cristian serving tier (:mod:`repro.rt.serve`): its own transport
+endpoint, never-raise decode, nonce correlation, zero per-client state.
+It answers ``dreq`` frames with ``deleg`` frames carrying the node's
+source-time bounds plus the indirection count:
+
+* on a **core** node the bounds come from the node's own estimator and
+  travel with ``hops=1`` (estimator -> consumer: one indirection);
+* on a downstream **border** the bounds come from the tier's adopted
+  upstream bound (a ``bound_source`` callable) and travel with
+  ``hops=2`` (estimator -> border -> consumer) - the ceiling the wire
+  format enforces, so the paper's ``K2 <= 2`` discipline holds *per
+  tier*: every consumer is at most two indirections from the nearest
+  tier's own time authority, and depth is carried honestly in
+  ``stratum`` instead of hidden in an unbounded hop count.
+
+An :class:`AnchorLink` is the border's client side: one Cristian round
+trip per ``sync_period`` against the current anchor, adopting
+``[L, U + beta * rtt]`` anchored at the border's receive local time
+(the same widening argument as :class:`~repro.rt.client.ServeClient`).
+The adopted bound *expires*: :meth:`AnchorLink.current` refuses to serve
+a bound older than ``max_age`` border-local seconds, so an anchor outage
+degrades the tier to unbounded external estimates instead of silently
+drift-rotting ones - which is exactly what makes downstream
+re-convergence measurable through ``reconvergence_after``.
+
+Re-election reuses the existing accrual detector
+(:class:`~repro.rt.client.AccrualHealth`): probe timeouts raise the
+suspicion score, and past ``failover_threshold`` the link rotates to the
+next candidate in its ordered list, recording an :class:`ElectionEvent`.
+Sheds (an unsynced anchor saying so) count as liveness, not failure.
+
+:func:`compose_delegated` is the soundness core: a tier-internal bound
+``[l, u]`` on the *border's local time* composed with a delegated bound
+anchored at border-local ``a0`` through the border clock's advertised
+drift.  Every step widens or drift-advances a sound interval, so the
+composed interval contains true source time whenever its inputs did.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ...core.errors import SimulationError
+from ...core.events import ProcessorId
+from ...core.intervals import ClockBound
+from ...core.specs import DriftSpec
+from ..client import AccrualHealth
+from ..clock import ClockSource, MonotonicClockSource, TimeBase
+from ..node import Node
+from ..transport import Transport
+from ..wire import (
+    MAX_DELEGATION_HOPS,
+    Frame,
+    decode_frame,
+    deleg_frame,
+    dreq_frame,
+    encode_frame,
+    shed_frame,
+)
+
+__all__ = [
+    "DELEG_SUFFIX",
+    "ANCHOR_LINK_SUFFIX",
+    "deleg_endpoint",
+    "deleg_owner",
+    "anchor_link_endpoint",
+    "DelegationConfig",
+    "DelegationStats",
+    "DelegationServer",
+    "DelegatedBound",
+    "ElectionEvent",
+    "AnchorLinkConfig",
+    "AnchorLinkStats",
+    "AnchorLink",
+    "compose_delegated",
+]
+
+#: appended to a node's processor id to name its delegation endpoint
+DELEG_SUFFIX = "!deleg"
+
+#: appended to a border's processor id to name its anchor-link endpoint
+ANCHOR_LINK_SUFFIX = "!anchor"
+
+
+def deleg_endpoint(proc: ProcessorId) -> ProcessorId:
+    """The transport endpoint name of ``proc``'s delegation server."""
+    return f"{proc}{DELEG_SUFFIX}"
+
+
+def deleg_owner(endpoint: ProcessorId) -> Optional[ProcessorId]:
+    """The node behind a delegation endpoint name, or ``None`` if not one."""
+    if endpoint.endswith(DELEG_SUFFIX) and len(endpoint) > len(DELEG_SUFFIX):
+        return endpoint[: -len(DELEG_SUFFIX)]
+    return None
+
+
+def anchor_link_endpoint(proc: ProcessorId) -> ProcessorId:
+    """The transport endpoint name of border ``proc``'s anchor link."""
+    return f"{proc}{ANCHOR_LINK_SUFFIX}"
+
+
+# -- server side -----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DelegationConfig:
+    """Tunables of one delegation endpoint."""
+
+    #: estimator state older than this (local s) answers as degraded
+    stale_after: float = 1.0
+    #: drift allowance per stale local second; None -> the serving
+    #: clock's advertised worst deviation
+    degraded_rho: Optional[float] = None
+    #: shed retry hint while there is nothing finite to delegate
+    unsynced_retry_after: float = 0.25
+
+    def __post_init__(self):
+        if self.stale_after < 0:
+            raise SimulationError("stale_after must be non-negative")
+        if self.degraded_rho is not None and self.degraded_rho < 0:
+            raise SimulationError("degraded_rho must be non-negative")
+        if self.unsynced_retry_after < 0:
+            raise SimulationError("unsynced_retry_after must be non-negative")
+
+
+@dataclass
+class DelegationStats:
+    """Live counters of one delegation endpoint."""
+
+    dreqs: int = 0
+    replies: int = 0
+    degraded_replies: int = 0
+    #: shed verdicts by reason (only ``unsynced`` today)
+    shed: Dict[str, int] = field(default_factory=dict)
+    decode_errors: int = 0
+    rejected_frames: int = 0
+    #: requests silently dropped because the backing node was down
+    dropped_down: int = 0
+
+    @property
+    def shed_total(self) -> int:
+        return sum(self.shed.values())
+
+    def to_dict(self) -> Dict:
+        return {
+            "dreqs": self.dreqs,
+            "replies": self.replies,
+            "degraded_replies": self.degraded_replies,
+            "shed": dict(sorted(self.shed.items())),
+            "shed_total": self.shed_total,
+            "decode_errors": self.decode_errors,
+            "rejected_frames": self.rejected_frames,
+            "dropped_down": self.dropped_down,
+        }
+
+
+#: a bound source answers ``(bound, degraded, age)`` or None when unsynced
+BoundSource = Callable[[], Optional[Tuple[ClockBound, bool, float]]]
+
+
+class DelegationServer:
+    """One delegation endpoint riding a node, answering ``dreq`` frames.
+
+    Without a ``bound_source`` the server exports the node's own
+    estimator with ``hops=1`` (the core role, widened when stale or
+    quarantined exactly like :class:`~repro.rt.serve.ServeNode`).  With
+    one - a border re-exporting its :meth:`AnchorLink.composed_now` -
+    answers carry ``hops=2``, the ``K2`` ceiling.  Delegation traffic is
+    tier-to-tier and low-rate, so there is no admission control; the
+    answer is computed inline on the receive path.
+    """
+
+    def __init__(
+        self,
+        node: Node,
+        *,
+        stratum: int,
+        transport: Optional[Transport] = None,
+        config: Optional[DelegationConfig] = None,
+        bound_source: Optional[BoundSource] = None,
+    ):
+        if stratum < 0:
+            raise SimulationError(f"stratum must be non-negative, got {stratum}")
+        if stratum > 0 and bound_source is None:
+            raise SimulationError(
+                "a downstream delegation server re-exports an adopted bound; "
+                "pass bound_source (e.g. AnchorLink.composed_now)"
+            )
+        self.node = node
+        self.stratum = stratum
+        self.transport = transport if transport is not None else node.transport
+        self.config = config if config is not None else DelegationConfig()
+        self.bound_source = bound_source
+        self.hops = 1 if bound_source is None else MAX_DELEGATION_HOPS
+        self.endpoint = deleg_endpoint(node.proc)
+        self.stats = DelegationStats()
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    async def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.transport.register(self.endpoint, self._on_datagram)
+        ensure = getattr(self.transport, "ensure_endpoint", None)
+        if ensure is not None:
+            await ensure(self.endpoint)
+
+    async def stop(self) -> None:
+        self._running = False
+        self.transport.unregister(self.endpoint)
+
+    def _on_datagram(self, data: bytes) -> None:
+        answer = self.handle_dreq_bytes(data)
+        if answer is not None:
+            self.transport.send(self.endpoint, self._last_src, answer)
+
+    # -- synchronous core (also the benchmark surface) ---------------------------
+
+    def handle_dreq_bytes(self, data: bytes) -> Optional[bytes]:
+        """Decode + answer one delegation request synchronously.
+
+        Returns the ``deleg``/``shed`` bytes, or ``None`` for
+        undecodable or non-dreq input (counted, never raised) and for
+        requests arriving while the backing node is down.
+        """
+        result = decode_frame(data)
+        if result.error is not None:
+            self.stats.decode_errors += 1
+            return None
+        frame = result.frame
+        if frame.type != "dreq" or frame.dst != self.endpoint:
+            self.stats.rejected_frames += 1
+            return None
+        self.stats.dreqs += 1
+        if not self.node.running or not self._running:
+            self.stats.dropped_down += 1
+            return None
+        self._last_src = frame.src
+        return self._answer(frame)
+
+    def _shed_bytes(self, frame: Frame, reason: str) -> bytes:
+        self.stats.shed[reason] = self.stats.shed.get(reason, 0) + 1
+        return encode_frame(
+            shed_frame(
+                self.endpoint,
+                frame.src,
+                frame.nonce,
+                retry_after=self.config.unsynced_retry_after,
+                reason=reason,
+            )
+        )
+
+    def _answer(self, frame: Frame) -> bytes:
+        if self.bound_source is not None:
+            sourced = self.bound_source()
+            if sourced is None:
+                return self._shed_bytes(frame, "unsynced")
+            bound, degraded, age = sourced
+            if not bound.is_bounded:
+                return self._shed_bytes(frame, "unsynced")
+        else:
+            rt, bound = self.node.estimate_at_now()
+            if not bound.is_bounded:
+                return self._shed_bytes(frame, "unsynced")
+            estimator = self.node.estimator
+            last = estimator.last_local_event
+            lt = self.node.clock.lt_at(rt)
+            age = max(0.0, lt - last.lt) if last is not None else 0.0
+            quarantined = bool(getattr(estimator, "degraded", False))
+            degraded = quarantined or age > self.config.stale_after
+            if degraded:
+                rho = self.config.degraded_rho
+                if rho is None:
+                    rho = self.node.clock.advertised.max_deviation
+                bound = bound.widen(rho * age, rho * age)
+        if degraded:
+            self.stats.degraded_replies += 1
+        self.stats.replies += 1
+        return encode_frame(
+            deleg_frame(
+                self.endpoint,
+                frame.src,
+                frame.nonce,
+                bound,
+                hops=self.hops,
+                stratum=self.stratum,
+                degraded=degraded,
+                age=age,
+            )
+        )
+
+
+# -- border side -----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DelegatedBound:
+    """One adopted upstream bound, anchored at the border's clock."""
+
+    #: Cristian-widened source-time bounds, valid when the border's
+    #: local time read ``anchor_lt``
+    bound: ClockBound
+    anchor_lt: float
+    anchor_rt: float
+    #: indirection count as received (1 from a core node, 2 re-exported)
+    hops: int
+    #: the answering tier's stratum depth
+    stratum: int
+    #: the upstream processor that answered
+    anchor: ProcessorId
+    degraded: bool
+
+
+@dataclass(frozen=True)
+class ElectionEvent:
+    """One anchor re-election performed by a border's link."""
+
+    rt: float
+    tier: str
+    border: ProcessorId
+    previous: ProcessorId
+    new: ProcessorId
+
+    def to_dict(self) -> Dict:
+        return {
+            "rt": self.rt,
+            "tier": self.tier,
+            "border": self.border,
+            "previous": self.previous,
+            "new": self.new,
+        }
+
+
+@dataclass(frozen=True)
+class AnchorLinkConfig:
+    """Static configuration of one border's upstream link."""
+
+    #: the border processor this link serves
+    border: ProcessorId
+    #: ordered upstream candidates (processor names; endpoints derived)
+    anchors: Tuple[ProcessorId, ...]
+    #: delegation round-trip cadence (border local seconds)
+    sync_period: float = 0.25
+    probe_timeout: float = 0.25
+    #: accrual score at which the link elects the next candidate
+    failover_threshold: float = 3.0
+    #: adopted bound older than this (border local s) stops being served
+    max_age: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if not self.anchors:
+            raise SimulationError("an anchor link needs at least one candidate")
+        if len(set(self.anchors)) != len(self.anchors):
+            raise SimulationError("duplicate anchor candidates")
+        if self.border in self.anchors:
+            raise SimulationError("a border cannot anchor on itself")
+        if self.sync_period <= 0 or self.probe_timeout <= 0:
+            raise SimulationError("sync_period and probe_timeout must be positive")
+        if self.failover_threshold <= 0:
+            raise SimulationError("failover_threshold must be positive")
+        if self.max_age <= 0:
+            raise SimulationError("max_age must be positive")
+
+
+@dataclass
+class AnchorLinkStats:
+    """Live counters of one anchor link."""
+
+    dreqs: int = 0
+    adopted: int = 0
+    degraded_adopted: int = 0
+    sheds: int = 0
+    timeouts: int = 0
+    elections: int = 0
+    #: current() calls refused because the adopted bound had expired
+    stale_refusals: int = 0
+    unmatched: int = 0
+    decode_errors: int = 0
+
+    def to_dict(self) -> Dict:
+        return {
+            "dreqs": self.dreqs,
+            "adopted": self.adopted,
+            "degraded_adopted": self.degraded_adopted,
+            "sheds": self.sheds,
+            "timeouts": self.timeouts,
+            "elections": self.elections,
+            "stale_refusals": self.stale_refusals,
+            "unmatched": self.unmatched,
+            "decode_errors": self.decode_errors,
+        }
+
+
+class AnchorLink:
+    """A border's client of its upstream anchors: adopt, expire, re-elect.
+
+    Runs as a companion of the border node (same ``start``/``stop``
+    protocol as :class:`~repro.rt.serve.ServeNode`), so a crashed border
+    takes its upstream link down with it.
+    """
+
+    def __init__(
+        self,
+        config: AnchorLinkConfig,
+        transport: Transport,
+        time_base: TimeBase,
+        clock: Optional[ClockSource] = None,
+        *,
+        tier: str = "",
+    ):
+        self.config = config
+        self.tier = tier
+        self.transport = transport
+        self.time_base = time_base
+        self.clock = clock if clock is not None else MonotonicClockSource()
+        self.endpoint = anchor_link_endpoint(config.border)
+        self.health = AccrualHealth()
+        self.stats = AnchorLinkStats()
+        self.adopted: Optional[DelegatedBound] = None
+        self.elections: List[ElectionEvent] = []
+        self._anchor_index = 0
+        self._nonce = 0
+        #: nonce -> (send lt, anchor endpoint probed, reply future)
+        self._pending: Dict[int, Tuple[float, ProcessorId, asyncio.Future]] = {}
+        self._rng = random.Random(config.seed)
+        self._task: Optional[asyncio.Task] = None
+        self._running = False
+
+    @property
+    def anchor(self) -> ProcessorId:
+        """The upstream processor currently anchored on."""
+        return self.config.anchors[self._anchor_index]
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def _now(self) -> Tuple[float, float]:
+        rt = self.time_base.elapsed()
+        return rt, self.clock.lt_at(rt)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.transport.register(self.endpoint, self._on_datagram)
+        ensure = getattr(self.transport, "ensure_endpoint", None)
+        if ensure is not None:
+            await ensure(self.endpoint)
+        self._task = asyncio.get_running_loop().create_task(self._sync_loop())
+
+    async def stop(self) -> None:
+        self._running = False
+        self.transport.unregister(self.endpoint)
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        for _lt0, _anchor, future in self._pending.values():
+            if not future.done():
+                future.cancel()
+        self._pending.clear()
+
+    # -- receive path ------------------------------------------------------------
+
+    def _on_datagram(self, data: bytes) -> None:
+        result = decode_frame(data)
+        if result.error is not None:
+            self.stats.decode_errors += 1
+            return
+        frame = result.frame
+        if frame.type not in ("deleg", "shed") or frame.dst != self.endpoint:
+            self.stats.unmatched += 1
+            return
+        entry = self._pending.get(frame.nonce)
+        if entry is None or entry[1] != frame.src:
+            # expired nonce or an answer claiming a server this request
+            # never targeted: at-most-once, first matching answer wins
+            self.stats.unmatched += 1
+            return
+        _lt0, _anchor, future = self._pending.pop(frame.nonce)
+        if not future.done():
+            future.set_result(frame)
+
+    # -- sync loop ---------------------------------------------------------------
+
+    async def _sync_loop(self) -> None:
+        period = self.config.sync_period
+        while self._running:
+            await self._sync_once()
+            # jittered so many borders never resynchronize into a storm
+            await asyncio.sleep(period * (0.9 + 0.2 * self._rng.random()))
+
+    async def _sync_once(self) -> None:
+        """One delegation round trip against the current anchor."""
+        _rt0, lt0 = self._now()
+        nonce = self._nonce
+        self._nonce += 1
+        target = deleg_endpoint(self.anchor)
+        future = asyncio.get_running_loop().create_future()
+        self._pending[nonce] = (lt0, target, future)
+        self.stats.dreqs += 1
+        self.transport.send(
+            self.endpoint, target, encode_frame(dreq_frame(self.endpoint, target, nonce))
+        )
+        try:
+            frame = await asyncio.wait_for(future, timeout=self.config.probe_timeout)
+        except asyncio.TimeoutError:
+            self._pending.pop(nonce, None)
+            self._on_timeout()
+            return
+        except asyncio.CancelledError:
+            self._pending.pop(nonce, None)
+            raise
+        if frame.type == "shed":
+            # the anchor is alive but unsynced: liveness without progress
+            self.stats.sheds += 1
+            self.health.on_alive()
+            return
+        self._adopt(frame, lt0)
+
+    def _adopt(self, frame: Frame, lt0: float) -> None:
+        rt1, lt1 = self._now()
+        rtt_lt = max(0.0, lt1 - lt0)
+        # the anchor's interval held at an instant inside [lt0, lt1]; the
+        # source runs at real time and at most beta * rtt real seconds
+        # have passed since, so only the upper endpoint needs widening
+        beta = self.clock.advertised.beta
+        accepted = ClockBound(frame.bound.lower, frame.bound.upper + beta * rtt_lt)
+        self.adopted = DelegatedBound(
+            bound=accepted,
+            anchor_lt=lt1,
+            anchor_rt=rt1,
+            hops=frame.hops,
+            stratum=frame.stratum,
+            anchor=self.anchor,
+            degraded=frame.degraded,
+        )
+        self.stats.adopted += 1
+        if frame.degraded:
+            self.stats.degraded_adopted += 1
+        self.health.on_reply(lt1)
+
+    def _on_timeout(self) -> None:
+        self.stats.timeouts += 1
+        self.health.on_failure()
+        if len(self.config.anchors) < 2:
+            return
+        _rt, lt = self._now()
+        if self.health.score(lt) >= self.config.failover_threshold:
+            self._elect()
+
+    def _elect(self) -> None:
+        """Rotate to the next candidate in the ordered succession list."""
+        rt, _lt = self._now()
+        previous = self.anchor
+        self._anchor_index = (self._anchor_index + 1) % len(self.config.anchors)
+        self.stats.elections += 1
+        self.elections.append(
+            ElectionEvent(
+                rt=rt,
+                tier=self.tier,
+                border=self.config.border,
+                previous=previous,
+                new=self.anchor,
+            )
+        )
+        self.health.reset()
+
+    # -- introspection -----------------------------------------------------------
+
+    def current(self) -> Optional[DelegatedBound]:
+        """The adopted bound, or ``None`` once it has aged past ``max_age``.
+
+        Expiry is the honesty mechanism: during an anchor outage the
+        border would otherwise keep drift-advancing an ever-wider bound
+        forever; refusing instead makes the tier's external estimates
+        unbounded, which ``reconvergence_after`` can see and time.
+        """
+        if self.adopted is None:
+            return None
+        _rt, lt = self._now()
+        if lt - self.adopted.anchor_lt > self.config.max_age:
+            self.stats.stale_refusals += 1
+            return None
+        return self.adopted
+
+    def composed_now(self) -> Optional[Tuple[ClockBound, bool, float]]:
+        """The adopted bound advanced to now: a re-export ``bound_source``.
+
+        Returns ``(bound, degraded, age)`` in the shape
+        :class:`DelegationServer` expects, or ``None`` while nothing
+        fresh is adopted.
+        """
+        delegated = self.current()
+        if delegated is None:
+            return None
+        _rt, lt = self._now()
+        age = max(0.0, lt - delegated.anchor_lt)
+        bound = delegated.bound.advance(age, self.clock.advertised)
+        return bound, delegated.degraded, age
+
+
+def compose_delegated(
+    internal: ClockBound,
+    delegated: Optional[DelegatedBound],
+    border_drift: DriftSpec,
+) -> ClockBound:
+    """External source-time bounds from a tier-internal estimate.
+
+    ``internal`` bounds the *border's local time* at the sample instant
+    (the border is the tier's internal source, so that is exactly what
+    tier estimators produce).  ``delegated`` places true source time in
+    an interval valid when the border's clock read ``anchor_lt``.
+    Advancing the delegated interval from ``anchor_lt`` to each internal
+    endpoint through the border clock's advertised drift - minding the
+    sign, since an internal lower bound may precede the anchor instant -
+    yields sound external bounds:
+
+    if border-lt is in ``[l, u]`` and source was in ``[L, U]`` at
+    border-lt ``a0``, then source is now in
+    ``[L + adv_low(l - a0), U + adv_high(u - a0)]`` with
+    ``adv_low(d) = alpha*d (d >= 0) | beta*d (d < 0)`` and
+    ``adv_high`` the mirror image.
+
+    Unbounded or missing inputs yield the honestly unbounded interval.
+    """
+    if delegated is None or not internal.is_bounded:
+        return ClockBound.unbounded()
+    alpha, beta = border_drift.alpha, border_drift.beta
+    low_delta = internal.lower - delegated.anchor_lt
+    high_delta = internal.upper - delegated.anchor_lt
+    low = delegated.bound.lower + (
+        alpha * low_delta if low_delta >= 0 else beta * low_delta
+    )
+    high = delegated.bound.upper + (
+        beta * high_delta if high_delta >= 0 else alpha * high_delta
+    )
+    return ClockBound(low, high)

@@ -1,0 +1,159 @@
+"""Gradient scorecard: pairwise sync quality as a function of hop distance.
+
+The gradient clock synchronization literature (Fan & Lynch; Lenzen,
+Locher & Wattenhofer) asks how the *skew between two nodes* scales with
+their *distance in the network*, not just with the network diameter.  A
+stratum hierarchy is exactly the setting where that distinction bites:
+two nodes inside one tier sit a hop or two apart, while nodes in sibling
+tiers are separated by the whole delegation path through stratum 0.
+
+The scorecard works on recorded external estimates (the ``strata``
+channel samples every tier emits).  For a pair ``(a, b)`` it matches
+samples nearest in real time and compares *offset errors*
+
+    ``skew = |(mid_a - rt_a) - (mid_b - rt_b)|``
+
+i.e. each node's midpoint estimate of source time minus the real time of
+its own sample.  Subtracting ``rt`` first makes the comparison robust to
+the samples not being taken at the same instant: a perfectly synced pair
+scores ~0 even when their sampling cadences interleave arbitrarily,
+because source time advances at real-time rate.  Pairs are then bucketed
+by hop distance over the federation's union graph (tier links plus
+border-anchor links), giving the empirical gradient: mean/max observed
+skew per hop count.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...core.events import ProcessorId
+from ...sim.runner import EstimateSample
+from .membership import FederationSpec
+
+__all__ = ["GradientRow", "gradient_scorecard"]
+
+
+@dataclass(frozen=True)
+class GradientRow:
+    """Observed skew statistics for one node pair."""
+
+    a: ProcessorId
+    b: ProcessorId
+    #: hop distance over the federation union graph; None if disconnected
+    hops: Optional[int]
+    mean_skew: float
+    max_skew: float
+    #: number of matched sample pairs behind the statistics
+    samples: int
+
+    def to_dict(self) -> Dict:
+        return {
+            "a": self.a,
+            "b": self.b,
+            "hops": self.hops,
+            "mean_skew": self.mean_skew,
+            "max_skew": self.max_skew,
+            "samples": self.samples,
+        }
+
+
+def _offset_series(
+    samples: Sequence[EstimateSample], proc: ProcessorId, channel: str
+) -> Tuple[List[float], List[float]]:
+    """Per-proc (rt, midpoint - rt) series of bounded channel samples."""
+    rts: List[float] = []
+    offsets: List[float] = []
+    for sample in samples:
+        if sample.proc != proc or sample.channel != channel:
+            continue
+        if not sample.bound.is_bounded:
+            continue
+        rts.append(sample.rt)
+        offsets.append(sample.bound.midpoint - sample.rt)
+    return rts, offsets
+
+
+def _match_nearest(
+    rts_a: List[float],
+    offs_a: List[float],
+    rts_b: List[float],
+    offs_b: List[float],
+    *,
+    max_gap: float,
+) -> List[float]:
+    """Skews of each a-sample against b's nearest-in-time sample."""
+    skews: List[float] = []
+    for rt, off_a in zip(rts_a, offs_a):
+        idx = bisect_left(rts_b, rt)
+        best = None
+        for j in (idx - 1, idx):
+            if 0 <= j < len(rts_b):
+                gap = abs(rts_b[j] - rt)
+                if best is None or gap < best[0]:
+                    best = (gap, offs_b[j])
+        if best is not None and best[0] <= max_gap:
+            skews.append(abs(off_a - best[1]))
+    return skews
+
+
+def gradient_scorecard(
+    spec: FederationSpec,
+    samples: Sequence[EstimateSample],
+    *,
+    channel: str = "strata",
+    max_gap: float = 0.5,
+) -> Dict:
+    """Pairwise skew vs hop distance over a federation's recorded samples.
+
+    Returns a serialize-v2-ready dict::
+
+        {"channel": ..., "max_gap": ..., "pairs": [GradientRow dicts],
+         "by_hops": {"1": {"pairs": n, "mean_skew": ..., "max_skew": ...}, ...}}
+
+    Pairs with no matched samples (one side never bounded, or sampling
+    windows disjoint beyond ``max_gap``) are reported with ``samples=0``
+    and NaN-free zero skews so the document stays JSON-clean; they are
+    excluded from the ``by_hops`` aggregates.
+    """
+    procs = spec.all_processors
+    series = {proc: _offset_series(samples, proc, channel) for proc in procs}
+    pairs: List[GradientRow] = []
+    by_hops: Dict[int, List[float]] = {}
+    by_hops_max: Dict[int, float] = {}
+    for i, a in enumerate(procs):
+        for b in procs[i + 1 :]:
+            rts_a, offs_a = series[a]
+            rts_b, offs_b = series[b]
+            skews = _match_nearest(rts_a, offs_a, rts_b, offs_b, max_gap=max_gap)
+            hops = spec.hop_distance(a, b)
+            if skews:
+                row = GradientRow(
+                    a=a,
+                    b=b,
+                    hops=hops,
+                    mean_skew=sum(skews) / len(skews),
+                    max_skew=max(skews),
+                    samples=len(skews),
+                )
+                if hops is not None:
+                    by_hops.setdefault(hops, []).append(row.mean_skew)
+                    by_hops_max[hops] = max(by_hops_max.get(hops, 0.0), row.max_skew)
+            else:
+                row = GradientRow(a=a, b=b, hops=hops, mean_skew=0.0, max_skew=0.0, samples=0)
+            pairs.append(row)
+    return {
+        "channel": channel,
+        "max_gap": max_gap,
+        "pairs": [row.to_dict() for row in pairs],
+        "by_hops": {
+            str(hops): {
+                "pairs": len(means),
+                "mean_skew": sum(means) / len(means),
+                "max_skew": by_hops_max[hops],
+            }
+            for hops, means in sorted(by_hops.items())
+        },
+    }

@@ -1,0 +1,124 @@
+"""Child-process entry point: run one downstream tier of a federation.
+
+``python -m repro.rt.strata.tier_main`` speaks the stdio handshake
+documented in :mod:`repro.rt.strata.federation`: one JSON boot line on
+stdin (shared time-base origin, federation config, this tier's name, the
+parent's resolved addresses), then ``STRATA-ADDR`` out, ``STRATA-PEERS``
+in, run to the shared deadline, ``STRATA-DOC`` out.
+
+Clean death: SIGINT sets the abort event, the tier winds down at the
+next period edge, and the STRATA-DOC payload is still emitted with
+``aborted`` set - the parent decides the overall exit status.  A child
+never exits with a traceback over a mere interrupt.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import sys
+from typing import Dict, Optional
+
+from .federation import (
+    ADDR_TAG,
+    DOC_TAG,
+    PEERS_TAG,
+    FederationConfig,
+    register_federation,
+    tier_endpoints,
+)
+from .membership import PeerDirectory, build_transport
+from ..clock import TimeBase
+from .tier import TierRunner
+
+
+def _read_boot_line() -> Dict:
+    line = sys.stdin.readline()
+    if not line.strip():
+        raise SystemExit("tier_main: expected a JSON boot line on stdin")
+    return json.loads(line)
+
+
+async def _await_peers(timeout: float) -> Optional[Dict]:
+    """Wait for the parent's STRATA-PEERS relay (also the start barrier).
+
+    stdin is read in a worker thread so the tier's event loop keeps
+    running.  A missing relay is survivable - the boot line already
+    carried the parent's addresses - so a timeout degrades to ``None``
+    instead of failing the run.
+    """
+    loop = asyncio.get_running_loop()
+    try:
+        line = await asyncio.wait_for(
+            loop.run_in_executor(None, sys.stdin.readline), timeout=timeout
+        )
+    except asyncio.TimeoutError:
+        return None
+    text = (line or "").strip()
+    if not text.startswith(PEERS_TAG + " "):
+        return None
+    try:
+        return json.loads(text[len(PEERS_TAG) + 1 :])
+    except json.JSONDecodeError:
+        return None
+
+
+async def _drive(boot: Dict) -> int:
+    config = FederationConfig.from_dict(boot["federation"])
+    tier = config.spec.tier(boot["tier"])
+    time_base = TimeBase(float(boot["origin"]))
+    directory = PeerDirectory()
+    register_federation(directory, config.spec)
+    for name, (host, port) in boot.get("addresses", {}).items():
+        directory.update_address(name, host, int(port))
+
+    abort = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    try:
+        loop.add_signal_handler(signal.SIGINT, abort.set)
+        loop.add_signal_handler(signal.SIGTERM, abort.set)
+    except (NotImplementedError, RuntimeError):
+        pass
+
+    transport = build_transport("udp", directory, time_base=time_base)
+    runner = TierRunner(
+        config.tier_config(tier, transport_kind="udp"),
+        transport=transport,
+        time_base=time_base,
+        directory=directory,
+    )
+    aborted = False
+    try:
+        await transport.start()
+        await runner.start()
+        own = {
+            name: list(directory.addresses[name]) for name in tier_endpoints(tier)
+        }
+        print(ADDR_TAG + " " + json.dumps(own), flush=True)
+        peers = await _await_peers(timeout=20.0)
+        if peers:
+            for name, (host, port) in peers.items():
+                if name in directory:
+                    directory.update_address(name, host, int(port))
+        aborted = await runner.run_sampling(abort)
+    finally:
+        await runner.finish()
+        await transport.stop()
+    result = runner.result(aborted=aborted)
+    payload = {
+        "tier": result.to_dict(),
+        "document": result.run.to_document(),
+        "aborted": aborted,
+    }
+    print(DOC_TAG + " " + json.dumps(payload), flush=True)
+    return 0
+
+
+def main() -> int:
+    boot = _read_boot_line()
+    return asyncio.run(_drive(boot))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,6 +46,20 @@ server keeps no per-client state at all:
   that *says so* keeps clients honest - silence is indistinguishable
   from loss and would be retried immediately.
 
+The *stratum hierarchy* (:mod:`repro.rt.strata`) adds one more stateless
+pair with the same nonce-correlation discipline.  A downstream tier's
+border node asks an upstream anchor for delegated source-time bounds:
+
+* ``dreq``  - a delegation request; like ``probe``, it carries only the
+  requesting border's nonce.
+* ``deleg`` - the anchor's answer: finite source-time bounds plus
+  ``hops`` (how many indirections separate the bounds from the
+  answering tier's own time authority - the paper's ``K2 <= 2`` bound,
+  enforced at decode: ``1`` for a core node serving its own estimator,
+  ``2`` for a border re-exporting an adopted bound) and ``stratum``
+  (the answering tier's depth, ``0`` = core).  Refusals reuse ``shed``
+  (reason ``unsynced``), so an unsynced anchor stays loudly alive.
+
 **Decoding never raises.**  Bytes off the wire are adversarial input:
 :func:`decode_frame` returns a :class:`DecodeResult` whose ``error`` is a
 structured :class:`WireError` for malformed input - short or truncated
@@ -78,6 +92,8 @@ __all__ = [
     "MAX_BODY_BYTES",
     "FRAME_TYPES",
     "SERVE_FRAME_TYPES",
+    "STRATA_FRAME_TYPES",
+    "MAX_DELEGATION_HOPS",
     "Frame",
     "WireError",
     "DecodeResult",
@@ -90,6 +106,8 @@ __all__ = [
     "probe_frame",
     "reply_frame",
     "shed_frame",
+    "dreq_frame",
+    "deleg_frame",
 ]
 
 #: current wire format version; bump on any incompatible body change
@@ -104,10 +122,17 @@ _HEADER = struct.Struct(">2sBI")
 #: bounds what a hostile peer can make a node parse
 MAX_BODY_BYTES = 60_000
 
-FRAME_TYPES = ("hello", "sync", "ack", "join", "probe", "reply", "shed")
+FRAME_TYPES = ("hello", "sync", "ack", "join", "probe", "reply", "shed", "dreq", "deleg")
 
 #: frame types of the stateless serving tier (nonce-correlated, seq-less)
 SERVE_FRAME_TYPES = ("probe", "reply", "shed")
+
+#: frame types of the stratum hierarchy's delegation channel
+STRATA_FRAME_TYPES = ("dreq", "deleg")
+
+#: the paper's ``K2``: delegated bounds may be at most this many
+#: indirections from the answering tier's own time authority
+MAX_DELEGATION_HOPS = 2
 
 
 @dataclass(frozen=True)
@@ -137,6 +162,10 @@ class Frame:
     retry_after: Optional[float] = None
     #: shed only: why the server refused (``overload``/``queue``/``unsynced``)
     reason: Optional[str] = None
+    #: deleg only: indirections from the answering tier's time authority
+    hops: Optional[int] = None
+    #: deleg only: the answering tier's stratum depth (0 = core)
+    stratum: Optional[int] = None
     #: hello extras (advertised wire version, etc.)
     meta: Dict = field(default_factory=dict)
 
@@ -271,6 +300,55 @@ def shed_frame(
     )
 
 
+def dreq_frame(src: ProcessorId, dst: ProcessorId, nonce: int) -> Frame:
+    """A border node's delegation request to an upstream anchor endpoint."""
+    return Frame(type="dreq", src=src, dst=dst, nonce=_check_nonce(nonce))
+
+
+def deleg_frame(
+    src: ProcessorId,
+    dst: ProcessorId,
+    nonce: int,
+    bound: ClockBound,
+    *,
+    hops: int,
+    stratum: int,
+    degraded: bool = False,
+    age: float = 0.0,
+) -> Frame:
+    """An anchor's delegated source-time bounds for one ``dreq``.
+
+    Like ``reply``, only finite bounds travel (shed ``unsynced``
+    otherwise).  ``hops`` states how many indirections separate the
+    bounds from the answering tier's own time authority and must respect
+    the paper's ``K2`` bound: ``1`` (a core node serving its own
+    estimator) or ``2`` (a border re-exporting an adopted bound).
+    """
+    if not bound.is_bounded:
+        raise ProtocolError("deleg frames carry finite bounds only; shed instead")
+    if not isinstance(hops, int) or isinstance(hops, bool) or not (
+        1 <= hops <= MAX_DELEGATION_HOPS
+    ):
+        raise ProtocolError(
+            f"deleg hops must be an int in [1, {MAX_DELEGATION_HOPS}], got {hops!r}"
+        )
+    if not isinstance(stratum, int) or isinstance(stratum, bool) or stratum < 0:
+        raise ProtocolError(f"deleg stratum must be a non-negative int, got {stratum!r}")
+    if age < 0:
+        raise ProtocolError(f"deleg age must be non-negative, got {age}")
+    return Frame(
+        type="deleg",
+        src=src,
+        dst=dst,
+        nonce=_check_nonce(nonce),
+        bound=bound,
+        degraded=bool(degraded),
+        age=float(age),
+        hops=hops,
+        stratum=stratum,
+    )
+
+
 # -- encode ----------------------------------------------------------------------------
 
 
@@ -303,6 +381,10 @@ def encode_frame(frame: Frame) -> bytes:
         body["retry_after"] = frame.retry_after
     if frame.reason is not None:
         body["reason"] = frame.reason
+    if frame.hops is not None:
+        body["hops"] = frame.hops
+    if frame.stratum is not None:
+        body["stratum"] = frame.stratum
     if frame.meta:
         body["meta"] = dict(frame.meta)
     try:
@@ -381,7 +463,9 @@ def decode_frame(data: bytes) -> DecodeResult:
     age = None
     retry_after = None
     reason = None
-    if ftype in SERVE_FRAME_TYPES:
+    hops = None
+    stratum = None
+    if ftype in SERVE_FRAME_TYPES or ftype in STRATA_FRAME_TYPES:
         nonce = body.get("nonce")
         if not isinstance(nonce, int) or isinstance(nonce, bool) or nonce < 0:
             return DecodeResult(
@@ -389,7 +473,7 @@ def decode_frame(data: bytes) -> DecodeResult:
                     "bad-frame", f"{ftype} needs a non-negative nonce, got {nonce!r}", src=src
                 )
             )
-    if ftype == "reply":
+    if ftype in ("reply", "deleg"):
         lower = body.get("lower")
         upper = body.get("upper")
         for name, value in (("lower", lower), ("upper", upper)):
@@ -400,20 +484,20 @@ def decode_frame(data: bytes) -> DecodeResult:
             ):
                 return DecodeResult(
                     error=WireError(
-                        "bad-frame", f"reply needs a finite {name}, got {value!r}", src=src
+                        "bad-frame", f"{ftype} needs a finite {name}, got {value!r}", src=src
                     )
                 )
         if lower > upper:
             return DecodeResult(
                 error=WireError(
-                    "bad-frame", f"reply bound is empty: [{lower}, {upper}]", src=src
+                    "bad-frame", f"{ftype} bound is empty: [{lower}, {upper}]", src=src
                 )
             )
         bound = ClockBound(float(lower), float(upper))
         degraded = body.get("degraded", False)
         if not isinstance(degraded, bool):
             return DecodeResult(
-                error=WireError("bad-frame", "reply degraded flag is not a bool", src=src)
+                error=WireError("bad-frame", f"{ftype} degraded flag is not a bool", src=src)
             )
         age = body.get("age", 0.0)
         if (
@@ -424,10 +508,31 @@ def decode_frame(data: bytes) -> DecodeResult:
         ):
             return DecodeResult(
                 error=WireError(
-                    "bad-frame", f"reply needs a finite non-negative age, got {age!r}", src=src
+                    "bad-frame", f"{ftype} needs a finite non-negative age, got {age!r}", src=src
                 )
             )
         age = float(age)
+    if ftype == "deleg":
+        hops = body.get("hops")
+        if not isinstance(hops, int) or isinstance(hops, bool) or not (
+            1 <= hops <= MAX_DELEGATION_HOPS
+        ):
+            # the K2 <= 2 indirection bound is part of the wire contract:
+            # a frame claiming deeper indirection is rejected, not widened
+            return DecodeResult(
+                error=WireError(
+                    "bad-frame",
+                    f"deleg hops must be in [1, {MAX_DELEGATION_HOPS}], got {hops!r}",
+                    src=src,
+                )
+            )
+        stratum = body.get("stratum")
+        if not isinstance(stratum, int) or isinstance(stratum, bool) or stratum < 0:
+            return DecodeResult(
+                error=WireError(
+                    "bad-frame", f"deleg needs a non-negative stratum, got {stratum!r}", src=src
+                )
+            )
     if ftype == "shed":
         retry_after = body.get("retry_after")
         if (
@@ -481,6 +586,8 @@ def decode_frame(data: bytes) -> DecodeResult:
             age=age,
             retry_after=retry_after,
             reason=reason,
+            hops=hops,
+            stratum=stratum,
             meta=dict(meta),
         )
     )

@@ -121,3 +121,43 @@ def test_scramble_before_any_state_is_refused():
     spec = line3_spec()
     empty = EfficientCSA("a", spec, self_heal=True)
     assert not scramble_estimator(empty, "agdp", random.Random(2))
+
+
+def _unreliable_healing_estimator():
+    """A self-healing, debug-checked estimator with one unsettled send."""
+    spec = line3_spec()
+    victim = EfficientCSA(
+        "a",
+        spec,
+        reliable=False,
+        self_heal=True,
+        suspicion=SuspicionPolicy(),
+        debug_checks=True,
+    )
+    source = EfficientCSA("src", spec, reliable=False)
+    s1 = send("src", 0, 10.0, dest="a")
+    victim.on_receive(recv("a", 0, 13.5, s1), source.on_send(s1))
+    s2 = send("a", 1, 14.0, dest="src")
+    victim.on_send(s2)  # delivery never settles: the token stays pending
+    return victim, s2
+
+
+@pytest.mark.parametrize("settle", ["loss", "confirm"])
+def test_loss_and_confirm_hooks_audit_too(settle):
+    """A drop or ack landing on corrupted state recovers, never trips debug.
+
+    Found by the churn differential sweep: ``on_loss_detected`` and
+    ``on_delivery_confirmed`` fire without a local event, so without an
+    entry audit a scramble sat unrepaired while the debug invariant hooks
+    validated the poisoned matrix.
+    """
+    victim, s2 = _unreliable_healing_estimator()
+    assert scramble_estimator(victim, "agdp", random.Random(13))
+    if settle == "loss":
+        victim.on_loss_detected(s2.eid)  # must audit + rebuild, not raise
+        assert s2.eid in victim.history.loss_flags
+    else:
+        victim.on_delivery_confirmed(s2.eid)  # degrades to a no-op
+    assert victim.recoveries == 1
+    assert victim.self_check()
+    assert victim.estimate().is_bounded

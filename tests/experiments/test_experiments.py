@@ -29,6 +29,7 @@ class TestRegistry:
             "x2-adaptive-polling",
             "chaos-soak",
             "e11-churn",
+            "e12-hierarchy",
         }
         assert set(REGISTRY) == expected
 
