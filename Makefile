@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-json bench-compare bench-refresh experiments experiments-quick chaos chaos-byz churn examples fuzz fuzz-long rt-demo rt-smoke serve-demo loadtest serve-smoke strata-demo hierarchy-smoke clean
+.PHONY: install test bench bench-json bench-compare bench-refresh experiments experiments-quick chaos chaos-byz churn examples fuzz fuzz-long rt-demo rt-smoke wire-smoke serve-demo loadtest serve-smoke strata-demo hierarchy-smoke clean
 
 # relative slowdown tolerated by the perf gate before it fails.  0.75
 # accommodates CPU-throttled/shared dev machines (observed run-to-run
@@ -43,7 +43,13 @@ bench-compare:
 		--assert-speedup "test_serve_garbage_rejection" \
 			"test_serve_probe_throughput" 2.0 \
 		--assert-speedup "test_compose_delegated_throughput" \
-			"test_delegation_reply_throughput" 3.0
+			"test_delegation_reply_throughput" 3.0 \
+		--assert-speedup "test_sync_encode_decode[binary]" \
+			"test_sync_encode_decode[json]" 3.0 \
+		--assert-improved-vs benchmarks/BENCH_pre_wire_baseline.json \
+			"test_line_gossip_run[12]" 2.0 \
+		--assert-improved-vs benchmarks/BENCH_pre_wire_baseline.json \
+			"test_ntp_hierarchy_run[shape1]" 2.0
 
 # rebless the committed baseline after an intentional perf change
 # (bench-json with intent: review the diff of BENCH_core.json)
@@ -88,6 +94,16 @@ examples:
 rt-demo:
 	$(PYTHON) -m repro.rt.cli --nodes 4 --shape ring --duration 4 \
 		--period 0.2 --drifting --require-converged
+
+# the CI wire gate: a mixed-codec UDP cluster (n2 pinned to the v2 JSON
+# codec, everyone else negotiating v3 binary) must converge with zero
+# soundness violations; the checker then verifies the archived document
+# records the mixed codec map and passes the Thm 2.1 oracle
+wire-smoke:
+	$(PYTHON) -m repro.rt.cli --nodes 4 --shape line --transport udp \
+		--duration 4 --period 0.2 --drifting --json-node n2 --seed 0 \
+		--require-converged --out wire_smoke_run.json
+	$(PYTHON) scripts/check_wire_smoke.py wire_smoke_run.json
 
 # the CI runtime gate: loopback + real UDP sockets, both must converge
 rt-smoke:
@@ -136,4 +152,5 @@ clean:
 	rm -rf .pytest_cache .hypothesis src/repro.egg-info
 	rm -f BENCH_fresh.json BENCH_compare.md
 	rm -f serve_load_run.json serve_smoke_run.json strata_smoke_run.json
+	rm -f wire_smoke_run.json rt_loopback_run.json rt_udp_run.json
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

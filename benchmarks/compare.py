@@ -22,7 +22,13 @@ Stdlib only (CI installs nothing for it).  Usage::
 * ``--assert-speedup FAST SLOW MIN_RATIO`` (repeatable) additionally
   requires ``mean(SLOW) / mean(FAST) >= MIN_RATIO`` *within the fresh
   run* - machine-independent, used to pin the compacted numpy AGDP
-  backend's required speedup over the dict backend.
+  backend's required speedup over the dict backend and the binary wire
+  codec's speedup over JSON.
+* ``--assert-improved-vs FILE NAME MIN_RATIO`` (repeatable) requires
+  ``mean(NAME in FILE) / mean(NAME fresh) >= MIN_RATIO`` - a floor
+  against a *frozen* historical baseline, used to pin the batched
+  engine + binary wire speedups against the pre-optimization numbers
+  even after ``bench-refresh`` reblesses ``BENCH_core.json``.
 * ``--report PATH`` writes the comparison table as markdown (uploaded as
   a CI artifact).
 """
@@ -79,6 +85,14 @@ def main(argv: List[str] | None = None) -> int:
         metavar=("FAST", "SLOW", "MIN_RATIO"),
         help="require mean(SLOW)/mean(FAST) >= MIN_RATIO in the fresh run",
     )
+    parser.add_argument(
+        "--assert-improved-vs",
+        nargs=3,
+        action="append",
+        default=[],
+        metavar=("FILE", "NAME", "MIN_RATIO"),
+        help="require mean(NAME in FILE)/mean(NAME in fresh) >= MIN_RATIO",
+    )
     args = parser.parse_args(argv)
     if args.tolerance < 0:
         parser.error("--tolerance must be non-negative")
@@ -128,6 +142,34 @@ def main(argv: List[str] | None = None) -> int:
             )
         speedups.append((fast, slow, required, actual, ok))
 
+    improvements = []  # (label, required, actual, ok)
+    frozen_cache: Dict[str, Dict[str, float]] = {}
+    for path, name, min_ratio in args.assert_improved_vs:
+        required = float(min_ratio)
+        label = f"{name} vs {os.path.basename(path)}"
+        if path not in frozen_cache:
+            frozen_cache[path] = load_means(path)
+        frozen = frozen_cache[path]
+        if name not in frozen:
+            failures.append(f"improvement gate {label}: {name} missing from {path}")
+            improvements.append((label, required, None, False))
+            continue
+        if name not in fresh:
+            failures.append(
+                f"improvement gate {label}: {name} missing from the fresh run"
+            )
+            improvements.append((label, required, None, False))
+            continue
+        actual = frozen[name] / fresh[name]
+        ok = actual >= required
+        if not ok:
+            failures.append(
+                f"improvement gate: {name} = {format_seconds(fresh[name])} vs frozen "
+                f"{format_seconds(frozen[name])} ({actual:.2f}x, required >= "
+                f"{required:.2f}x)"
+            )
+        improvements.append((label, required, actual, ok))
+
     lines = [
         f"# Benchmark comparison",
         "",
@@ -159,6 +201,21 @@ def main(argv: List[str] | None = None) -> int:
                 "| {} vs {} | >= {:.2f}x | {} | {} |".format(
                     slow,
                     fast,
+                    required,
+                    f"{actual:.2f}x" if actual is not None else "-",
+                    "ok" if ok else "FAILED",
+                )
+            )
+    if improvements:
+        lines += [
+            "",
+            "| improvement gate | required | actual | status |",
+            "|---|---|---|---|",
+        ]
+        for label, required, actual, ok in improvements:
+            lines.append(
+                "| {} | >= {:.2f}x | {} | {} |".format(
+                    label,
                     required,
                     f"{actual:.2f}x" if actual is not None else "-",
                     "ok" if ok else "FAILED",

@@ -1,0 +1,85 @@
+"""Assert the wire-smoke archive proves mixed-codec interop.
+
+The ``wire-smoke`` gate runs a UDP cluster with one node pinned to the
+v2 JSON codec while the rest negotiate v3 binary, so this script is the
+document-side half of the check: the archived run must record the mixed
+codec map, every sample must be sound, and the merged trace must pass
+the independent Theorem 2.1 oracle - the binary path is only allowed to
+be *faster*, never looser.
+
+Stdlib + the installed package only (the CI smoke jobs install no test
+extras).  Usage::
+
+    python scripts/check_wire_smoke.py wire_smoke_run.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.sim.serialize import load_run
+from repro.testing.oracle import oracle_causal_past, oracle_external_bounds
+
+
+def main(path: str) -> int:
+    spec, trace, samples = load_run(path)
+    document = json.load(open(path))
+
+    codecs = document.get("codecs")
+    assert isinstance(codecs, dict) and codecs, "document must record node codecs"
+    used = set(codecs.values())
+    assert used == {"json", "binary"}, (
+        f"wire smoke needs a *mixed* cluster, got codecs {sorted(used)}"
+    )
+
+    assert len(trace) > 0 and len(samples) > 0, "empty archive"
+
+    def _endpoint(value):  # archives encode infinities as "inf"/"-inf"
+        if value == "inf":
+            return float("inf")
+        if value == "-inf":
+            return float("-inf")
+        return float(value)
+
+    unsound = [
+        s
+        for s in samples
+        if not (_endpoint(s["lower"]) <= s["truth"] <= _endpoint(s["upper"]))
+    ]
+    assert not unsound, f"{len(unsound)} sample(s) exclude the truth"
+
+    # Thm 2.1 oracle over the merged document: at each processor's last
+    # event the from-scratch oracle bound must contain the true real
+    # time - codec mixing must not perturb the evidence the estimators
+    # exchanged.
+    events = [record.event for record in trace]
+    rt_of = {record.event.eid: record.rt for record in trace}
+    last = {}
+    for event in events:
+        prev = last.get(event.proc)
+        if prev is None or event.seq > prev.seq:
+            last[event.proc] = event
+    checked = 0
+    for proc, event in sorted(last.items()):
+        past = oracle_causal_past(events, event.eid)
+        oracle = oracle_external_bounds(past, spec, event.eid)
+        truth = rt_of[event.eid]
+        assert oracle.contains(truth, tolerance=1e-6), (
+            f"oracle bound {oracle} at {event.eid} excludes rt {truth:.9g}"
+        )
+        if proc != spec.source:
+            assert oracle.is_bounded, f"{proc} never gathered two-sided evidence"
+        checked += 1
+
+    binary_nodes = sum(1 for codec in codecs.values() if codec == "binary")
+    print(
+        f"wire smoke ok: {len(codecs)} nodes ({binary_nodes} binary, "
+        f"{len(codecs) - binary_nodes} json), {len(events)} merged events, "
+        f"{len(samples)} sound samples, oracle parity at {checked} finals"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1]))

@@ -171,16 +171,19 @@ class AGDP:
             return  # no path improves
         # Ausiello et al. update: any strictly shorter path uses the new edge
         # exactly once (no negative cycles), so it decomposes r ~> x -> y ~> s.
-        to_x = {r: row[x] for r, row in self._dist.items() if not math.isinf(row[x])}
-        from_y = {s: d for s, d in self._dist[y].items() if not math.isinf(d)}
+        # Stored distances are finite or +inf (never NaN/-inf), so the
+        # comparisons below are equivalent to math.isinf checks; rows are
+        # paired with d(r, x) directly to keep the inner loop free of
+        # lookups into the outer matrix.
+        to_x = [(row, d_rx) for row in self._dist.values() if (d_rx := row[x]) != INF]
+        from_y = [(s, d) for s, d in self._dist[y].items() if d != INF]
         # finite relaxation candidates - the backend-independent cost unit
         # (the numpy backend charges the identical quantity); hoisted out of
         # the inner loop so counting costs O(1) per insertion
         self.stats.pair_updates += len(to_x) * len(from_y)
-        for r, d_rx in to_x.items():
-            row = self._dist[r]
+        for row, d_rx in to_x:
             base = d_rx + weight
-            for s, d_ys in from_y.items():
+            for s, d_ys in from_y:
                 candidate = base + d_ys
                 if candidate < row[s]:
                     row[s] = candidate
@@ -223,6 +226,22 @@ class AGDP:
             self.insert_edge(x, y, w)
         for victim in kills:
             self.kill(victim)
+
+    def step_batch(
+        self,
+        steps: Iterable[
+            Tuple[NodeKey, Iterable[Tuple[NodeKey, NodeKey, float]], Iterable[NodeKey]]
+        ],
+    ) -> None:
+        """Apply many input steps in order (the batch-delivery hot path).
+
+        One delivered payload of ``k`` events becomes one call carrying
+        ``k`` ``(node, edges, kills)`` steps; observable behaviour (matrix
+        contents, stats counters, invariant-hook firing order, failure
+        points) is identical to ``k`` sequential :meth:`step` calls.
+        """
+        for node, edges, kills in steps:
+            self.step(node, edges, kills)
 
     def matrix_size(self) -> int:
         """Current number of matrix cells held (space proxy for Lemma 3.5)."""

@@ -105,6 +105,10 @@ class NumpyAGDP:
             # cells outside the active prefix are never read before being
             # re-initialised by add_node, so the backing store is empty
             self._matrix = np.empty((self._capacity, self._capacity))
+            #: reusable candidate buffer for the Ausiello outer sum, grown
+            #: with the matrix - keeps the per-edge hot path allocation-free
+            self._scratch = np.empty((self._capacity, self._capacity))
+            self._vec = np.empty(self._capacity)
             self._n = 0
             self._slot: Dict[NodeKey, int] = {}
             self._keys: List[NodeKey] = []  # slot index -> node key
@@ -185,6 +189,8 @@ class NumpyAGDP:
         n = self._n
         grown[:n, :n] = self._matrix[:n, :n]
         self._matrix = grown
+        self._scratch = np.empty((new_capacity, new_capacity))
+        self._vec = np.empty(new_capacity)
         self._capacity = new_capacity
 
     def add_node(self, node: NodeKey) -> None:
@@ -246,13 +252,20 @@ class NumpyAGDP:
         to_x = block[:, xi]
         from_y = block[yi, :]
         # the same quantity the dict backend counts: finite relaxation
-        # candidates, not the full n^2 block
-        self.stats.pair_updates += int(np.isfinite(to_x).sum()) * int(
-            np.isfinite(from_y).sum()
+        # candidates, not the full n^2 block (stored distances are finite
+        # or +inf, never NaN/-inf, so ``< inf`` is the finiteness test)
+        self.stats.pair_updates += np.count_nonzero(to_x < np.inf) * np.count_nonzero(
+            from_y < np.inf
         )
         # (d(r, x) + w) + d(y, s): association matches the dict backend so
-        # both produce bit-identical floats
-        np.minimum(block, np.add.outer(to_x + weight, from_y), out=block)
+        # both produce bit-identical floats; the candidate matrix lands in
+        # the preallocated scratch block instead of a fresh allocation
+        n = block.shape[0]
+        shifted = self._vec[:n]
+        np.add(to_x, weight, out=shifted)
+        scratch = self._scratch[:n, :n]
+        np.add.outer(shifted, from_y, out=scratch)
+        np.minimum(block, scratch, out=block)
 
     def kill(self, node: NodeKey) -> None:
         if node not in self:
@@ -333,6 +346,20 @@ class NumpyAGDP:
                     self.invariant_hook(self)
         for victim in kills:
             self.kill(victim)
+
+    def step_batch(
+        self,
+        steps: Iterable[
+            Tuple[NodeKey, Iterable[Tuple[NodeKey, NodeKey, float]], Iterable[NodeKey]]
+        ],
+    ) -> None:
+        """Apply many input steps in order (the batch-delivery hot path).
+
+        Same contract as :meth:`repro.core.agdp.AGDP.step_batch`:
+        observable behaviour is identical to sequential :meth:`step` calls.
+        """
+        for node, edges, kills in steps:
+            self.step(node, edges, kills)
 
     def matrix_size(self) -> int:
         """Current number of distance cells held (space proxy, Lemma 3.5).

@@ -41,7 +41,9 @@ optimality for the affected pairs.
 
 **AGDP backends** (``agdp_backend``): ``"dict"`` (pure-Python, the
 reference), ``"numpy"`` (compacted dense matrix, vectorised Ausiello
-update - the fast choice for large live sets), and
+update - observably identical to the dict solver and the default
+wherever numpy is importable; pass ``"dict"`` explicitly to force the
+pure-Python solver), and
 ``"numpy-source-only"`` (maintains only the source representative's
 distance row/column by incremental relaxation - O(affected edges) per
 insertion; :meth:`estimate` and :meth:`estimate_of` work,
@@ -87,6 +89,21 @@ from .specs import SystemSpec, TOP
 from .validate import ValidationFailure, validate_payload
 
 __all__ = ["EfficientCSA", "CSAStats", "QuarantineDiagnostic", "RecoveryEvent"]
+
+_NUMPY_AVAILABLE: Optional[bool] = None
+
+
+def _numpy_available() -> bool:
+    """Whether the vectorised AGDP backend can be imported (cached)."""
+    global _NUMPY_AVAILABLE
+    if _NUMPY_AVAILABLE is None:
+        try:
+            import numpy  # noqa: F401
+
+            _NUMPY_AVAILABLE = True
+        except ImportError:  # pragma: no cover - numpy is a test dependency
+            _NUMPY_AVAILABLE = False
+    return _NUMPY_AVAILABLE
 
 
 @dataclass(frozen=True)
@@ -164,7 +181,7 @@ class EfficientCSA(Estimator):
         *,
         reliable: bool = True,
         agdp_gc: bool = True,
-        agdp_backend: str = "dict",
+        agdp_backend: Optional[str] = None,
         history_gc: bool = True,
         track_reports: bool = False,
         degraded_mode: bool = False,
@@ -173,6 +190,12 @@ class EfficientCSA(Estimator):
         debug_checks: Optional[bool] = None,
     ):
         super().__init__(proc, spec)
+        if agdp_backend is None:
+            # the vectorised backend is observably identical to the dict
+            # solver (bit-identical distances and counters, enforced by
+            # tests/core/test_agdp_numpy.py) and far faster on the payload
+            # hot path, so it is the default wherever numpy exists
+            agdp_backend = "numpy" if _numpy_available() else "dict"
         if agdp_backend == "numpy-source-only" and (
             degraded_mode or suspicion is not None
         ):
@@ -327,8 +350,7 @@ class EfficientCSA(Estimator):
         if self.suspicion is not None:
             payload = self._screen_payload(sender, payload, event)
         new_events, new_flags = self.history.ingest_payload(sender, payload)
-        for reported in new_events:
-            self._ingest(reported)
+        self._ingest_reported(new_events)
         if self._retain_log:
             # records the history re-buffered rather than learned (covered
             # by an adopted frontier) never reach the event log; retain
@@ -629,6 +651,75 @@ class EfficientCSA(Estimator):
         self._rebuild()
 
     # -- core insertion ------------------------------------------------------------
+
+    def _ingest_reported(self, events: List[Event]) -> None:
+        """Insert a delivered payload's fresh records as one AGDP batch.
+
+        One payload of ``k`` events costs one :meth:`AGDP.step_batch` call
+        instead of ``k`` scalar passes.  The steps are handed over as a
+        generator, so each event's edges and kill-set are computed against
+        the live/AGDP state left by the *previous* step - interleaving,
+        counters, and failure points are identical to the scalar loop.
+
+        Hardened, degraded, and source-only estimators keep the scalar
+        path: those modes mutate blame/quarantine/anchor state mid-stream,
+        which the streamlined step generator does not model.
+        """
+        if (
+            self.suspicion is not None
+            or self.degraded_mode
+            or getattr(self.agdp, "source_only", False)
+        ):
+            for event in events:
+                self._ingest(event)
+            return
+        self.agdp.step_batch(self._reported_steps(events))
+
+    def _reported_steps(self, events: List[Event]):
+        """Yield ``(node, edges, kills)`` AGDP steps for reported events.
+
+        The edge construction mirrors :meth:`_agdp_insert`'s non-hardened,
+        non-degraded branch exactly; see there for the constraint
+        derivations.  Lazy on purpose: :meth:`AGDP.step_batch` pulls the
+        next step only after applying the previous one, so even the state
+        left behind by a mid-payload failure matches the scalar loop.
+        """
+        live = self.live
+        agdp = self.agdp
+        spec = self.spec
+        source = spec.source
+        retain = self._retain_log and not self._replaying
+        for event in events:
+            eid = event.eid
+            if retain:
+                self._event_log.append(event)
+                self._log_index[eid] = event
+            edges: List[Tuple[EventId, EventId, float]] = []
+            pred = live.last_event(event.proc)
+            if pred is not None:
+                pred_id, pred_lt = pred
+                if pred_id != eid.pred():
+                    raise ProtocolError(
+                        f"{self.proc!r} inserting {eid} after {pred_id} (gap)"
+                    )
+                drift = spec.drift_of(event.proc)
+                delta = event.lt - pred_lt
+                edges.append((eid, pred_id, (drift.beta - 1.0) * delta))
+                edges.append((pred_id, eid, (1.0 - drift.alpha) * delta))
+            if event.is_receive:
+                send_lt = live.send_lt(event.send_eid)
+                if send_lt is not None and event.send_eid in agdp:
+                    transit = spec.transit_of(event.send_eid.proc, event.proc)
+                    observed = event.lt - send_lt
+                    if transit.is_bounded:
+                        edges.append(
+                            (eid, event.send_eid, transit.upper - observed)
+                        )
+                    edges.append((event.send_eid, eid, observed - transit.lower))
+            kills = [k for k in live.observe(event) if k in agdp]
+            if event.proc == source:
+                self._source_rep = eid
+            yield eid, edges, kills
 
     def _ingest(self, event: Event) -> None:
         """Log (hardened/self-heal mode) and insert one event into the graph layer."""

@@ -73,10 +73,18 @@ class EventId:
 
     proc: ProcessorId
     seq: int
+    #: cached ``hash((proc, seq))``; event ids are the keys of every hot
+    #: protocol table (AGDP rows, history buffers, live sets), and the
+    #: dataclass-generated hash allocates a fresh tuple per call
+    _hash: int = field(default=0, init=False, repr=False, compare=False)
 
     def __post_init__(self):
         if self.seq < 0:
             raise ValueError(f"event sequence numbers are non-negative, got {self.seq}")
+        object.__setattr__(self, "_hash", hash((self.proc, self.seq)))
+
+    def __hash__(self):
+        return self._hash
 
     def pred(self) -> Optional["EventId"]:
         """The id of the previous event at the same processor, or ``None``."""

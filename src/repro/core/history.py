@@ -440,6 +440,33 @@ class HistoryModule:
             self._tokens[token.token_id] = token
         return payload, token.token_id
 
+    def prepare_payloads(
+        self, neighbors: Iterable[ProcessorId]
+    ) -> Dict[ProcessorId, Tuple[HistoryPayload, int]]:
+        """Prepare one payload per neighbor in a single pass (broadcast path).
+
+        Equivalent to calling :meth:`prepare_payload` for each neighbor in
+        order, with one optimisation: when several neighbors lack exactly
+        the same records and flags - the common shape right after a burst
+        of local events, before any watermark has diverged - the
+        :class:`HistoryPayload` object is built once and *shared* between
+        the results.  Callers that serialize payloads can then encode per
+        distinct object instead of per destination.  Tokens stay
+        per-neighbor (watermark advances are independent).
+        """
+        results: Dict[ProcessorId, Tuple[HistoryPayload, int]] = {}
+        shared: Dict[Tuple[Tuple[int, ...], Tuple[EventId, ...]], HistoryPayload] = {}
+        for neighbor in neighbors:
+            payload, token = self.prepare_payload(neighbor)
+            key = (tuple(map(id, payload.records)), payload.loss_flags)
+            cached = shared.get(key)
+            if cached is None:
+                shared[key] = payload
+            else:
+                payload = cached
+            results[neighbor] = (payload, token)
+        return results
+
     def confirm_delivery(self, token_id: int) -> None:
         """Acknowledge that the payload under ``token_id`` reached its neighbor."""
         self._settle(self._take_token(token_id), confirmed=True)

@@ -45,6 +45,11 @@ class LiveTracker:
         self.events_observed = 0
         #: peak number of simultaneously live points
         self.max_live = 0
+        #: undelivered sends that are *not* their processor's last event;
+        #: the live set is {last event per proc} | undelivered, and the
+        #: overlap is exactly the undelivered sends still at the frontier,
+        #: so live_count = len(_last) + this counter without building a set
+        self._undelivered_nonlast = 0
 
     # -- queries -----------------------------------------------------------------
 
@@ -78,7 +83,7 @@ class LiveTracker:
         return live
 
     def live_count(self) -> int:
-        return len(self.live_points())
+        return len(self._last) + self._undelivered_nonlast
 
     def undelivered_sends(self) -> Set[EventId]:
         return set(self._undelivered)
@@ -129,6 +134,9 @@ class LiveTracker:
                 )
             self._undelivered[eid] = lt
         self._lost.update(lost)
+        self._undelivered_nonlast = sum(
+            1 for eid in self._undelivered if self.last_seq(eid.proc) != eid.seq
+        )
         self.max_live = max(self.max_live, self.live_count())
 
     def observe(self, event: Event, *, lenient: bool = False) -> List[EventId]:
@@ -161,12 +169,17 @@ class LiveTracker:
             # the old last point stays live only as an undelivered send
             if prev_id not in self._undelivered:
                 dead.append(prev_id)
+            else:
+                # superseded at the frontier but still in flight: it now
+                # counts toward the undelivered-nonlast overlap correction
+                self._undelivered_nonlast += 1
         if event.is_receive:
             send_eid = event.send_eid
             if send_eid in self._undelivered:
                 del self._undelivered[send_eid]
                 if self.last_seq(send_eid.proc) != send_eid.seq:
                     dead.append(send_eid)
+                    self._undelivered_nonlast -= 1
             elif send_eid not in self._lost and self.knows(send_eid):
                 if not lenient:
                     raise ProtocolError(
@@ -191,6 +204,7 @@ class LiveTracker:
         del self._undelivered[send_eid]
         if self.last_seq(send_eid.proc) == send_eid.seq:
             return []
+        self._undelivered_nonlast -= 1
         return [send_eid]
 
     @property

@@ -164,6 +164,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail-stop PROC at STOP elapsed seconds (restart at RESTART)",
     )
     parser.add_argument("--seed", type=int, default=0, help="seed for jitter and clocks")
+    parser.add_argument(
+        "--codec",
+        choices=("binary", "json"),
+        default="binary",
+        help="default wire codec for every node (default binary)",
+    )
+    parser.add_argument(
+        "--json-node",
+        metavar="PROC",
+        action="append",
+        default=[],
+        help="pin PROC to the v2 JSON codec (mixed-codec interop testing)",
+    )
     parser.add_argument("--out", help="archive the run as a serialize-v2 JSON document")
     parser.add_argument(
         "--timeout",
@@ -226,6 +239,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             transport=args.transport,
             crashes=crashes,
             seed=args.seed,
+            codec=args.codec,
+            codecs={proc: "json" for proc in args.json_node},
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

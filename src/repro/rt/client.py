@@ -51,7 +51,7 @@ from ..core.events import ProcessorId
 from ..core.intervals import ClockBound
 from .clock import ClockSource, MonotonicClockSource, TimeBase
 from .transport import Transport
-from .wire import Frame, decode_frame, encode_frame, probe_frame
+from .wire import WIRE_CODECS, Frame, decode_frame, encode_frame, probe_frame
 
 __all__ = [
     "AccrualHealth",
@@ -157,8 +157,12 @@ class ClientConfig:
     #: consecutive sheds after which an overloaded server is abandoned
     shed_failover_streak: int = 8
     seed: int = 0
+    #: wire codec for probes; the server echoes it in replies and sheds
+    codec: str = "binary"
 
     def __post_init__(self):
+        if self.codec not in WIRE_CODECS:
+            raise SimulationError(f"unknown wire codec {self.codec!r}")
         if not self.servers:
             raise SimulationError("a client needs at least one server")
         if len(set(self.servers)) != len(self.servers):
@@ -335,7 +339,11 @@ class ServeClient:
         future = asyncio.get_running_loop().create_future()
         self._pending[nonce] = (lt0, server, future)
         self.stats.probes += 1
-        self.transport.send(self.name, server, encode_frame(probe_frame(self.name, server, nonce)))
+        self.transport.send(
+            self.name,
+            server,
+            encode_frame(probe_frame(self.name, server, nonce), self.config.codec),
+        )
         try:
             frame = await asyncio.wait_for(future, timeout=self.config.probe_timeout)
         except asyncio.TimeoutError:

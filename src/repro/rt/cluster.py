@@ -45,6 +45,7 @@ from ..sim.trace import ExecutionTrace
 from .clock import ClockSource, MonotonicClockSource, TimeBase
 from .node import Node, NodeConfig, NodeStats
 from .transport import Transport
+from .wire import WIRE_CODECS
 
 __all__ = [
     "CrashSchedule",
@@ -116,8 +117,21 @@ class ClusterConfig:
     joins: Tuple[JoinSchedule, ...] = ()
     gossip_jitter: float = 0.1
     seed: int = 0
+    #: default wire codec for every node ("binary" self-negotiates down
+    #: to JSON per peer, so mixing is always safe)
+    codec: str = "binary"
+    #: per-processor codec overrides, e.g. one legacy JSON node in an
+    #: otherwise binary cluster
+    codecs: Mapping[ProcessorId, str] = field(default_factory=dict)
 
     def __post_init__(self):
+        if self.codec not in WIRE_CODECS:
+            raise SimulationError(f"unknown wire codec {self.codec!r}")
+        for proc, codec in self.codecs.items():
+            if proc not in self.processors:
+                raise SimulationError(f"codec configured for unknown processor {proc!r}")
+            if codec not in WIRE_CODECS:
+                raise SimulationError(f"unknown wire codec {codec!r} for {proc!r}")
         if len(self.processors) < 2:
             raise SimulationError("a cluster needs at least two processors")
         if self.transport not in ("loopback", "udp"):
@@ -162,6 +176,9 @@ class ClusterConfig:
         clock = self.clocks.get(proc)
         return clock if clock is not None else MonotonicClockSource()
 
+    def codec_for(self, proc: ProcessorId) -> str:
+        return self.codecs.get(proc, self.codec)
+
 
 def build_spec(config: ClusterConfig) -> SystemSpec:
     """The advertised :class:`SystemSpec` of a cluster: clocks tell the truth.
@@ -197,6 +214,9 @@ class RtRunResult:
     link_rows: List[Dict]
     #: the run was cut short (SIGINT / --timeout); evidence is partial
     aborted: bool = False
+    #: per-node configured wire codec (what each node *advertises*; actual
+    #: per-link traffic is whatever negotiation settled on)
+    node_codecs: Dict[ProcessorId, str] = field(default_factory=dict)
 
     def soundness_violations(self) -> List[EstimateSample]:
         return [s for s in self.samples if not s.sound]
@@ -258,6 +278,10 @@ class RtRunResult:
             "messages_lost": self.messages_lost,
             "links": self.link_rows,
         }
+        if self.node_codecs:
+            # extra key, passes through load_run untouched; the wire-smoke
+            # gate reads it to assert the mixed-codec shape actually ran
+            document["codecs"] = dict(self.node_codecs)
         if self.aborted:
             # extra keys pass through load_run untouched; readers that
             # care (CI gates) can tell a clean run from a truncated one
@@ -414,6 +438,7 @@ class LiveCluster:
                     retransmit=config.retransmit,
                     seed=config.seed + index,
                     sponsor=self.sponsors.get(proc),
+                    codec=config.codec_for(proc),
                 ),
                 self.transport,
                 clock=config.clock_for(proc),
@@ -553,6 +578,9 @@ class LiveCluster:
             messages_lost=len(trace.lost_sends),
             link_rows=_link_rows(self.nodes),
             aborted=aborted,
+            node_codecs={
+                node.proc: node.config.codec for node in self.nodes
+            },
         )
 
 

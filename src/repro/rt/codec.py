@@ -1,0 +1,829 @@
+"""The struct-packed binary body format (wire version 3).
+
+The framing header (magic, version byte, u32 body length) is shared with
+the JSON codec (:mod:`repro.rt.wire`); this module packs and parses the
+*body* of version-3 frames.  Wire version 3 exists because the profile of
+real gossip traffic is a few hot field shapes repeated thousands of
+times: JSON spends most of each sync frame re-spelling key names and
+decimal-printing floats, and :func:`json.loads` dominates the node's
+receive path.  The binary body removes both costs:
+
+``body := flags u8 | packed...`` where bit 0 of ``flags`` marks a
+zlib-compressed remainder, and ``packed`` is::
+
+    type u8                     index into FRAME_TYPES
+    strings                     varint count, then varint-length utf8 each
+    src varint, dst varint      string-table indices
+    <per-type fields>           see below
+    meta                        varint-length strict-JSON blob ('' = {})
+
+Integers are unsigned LEB128 varints; signed quantities use zigzag.
+Per-type fields:
+
+* ``hello``/``join`` - nothing beyond the meta trailer.
+* ``ack`` - ``seq`` varint.
+* ``sync`` - ``seq`` varint, ``lt`` f64, the packed history payload, and
+  a ``boot`` presence byte followed by a varint-length JSON blob of
+  ``BootstrapSnapshot.to_dict()`` when present.  Bootstrap snapshots ride
+  one frame per join handshake - a cold path - so they stay JSON inside
+  the binary body rather than doubling the packed surface.
+* ``probe``/``dreq`` - ``nonce`` varint.
+* ``reply`` - ``nonce`` varint, ``lower``/``upper`` f64, ``degraded``
+  u8, ``age`` f64.
+* ``deleg`` - the ``reply`` fields plus ``hops`` u8 and ``stratum``
+  varint.
+* ``shed`` - ``nonce`` varint, ``retry_after`` f64, ``reason`` string
+  index.
+
+The history payload is where the compaction pays: records are a packed
+event array with **delta-encoded** ``seq`` (zigzag varint of the running
+difference) and **losslessly delta-encoded** ``lt``: the zigzag of the
+difference between consecutive IEEE-754 bit patterns, emitted as one
+byte when it fits in 7 bits, else as ``0x80|n`` followed by the ``n``
+big-endian magnitude bytes.  Neighbouring gossip timestamps share
+exponent and high mantissa bits, so the deltas are short, and
+bit-pattern arithmetic makes the round trip exact; the length-prefixed
+form parses in a single ``int.from_bytes`` instead of a per-byte varint
+loop.  Loss flags are packed ``(proc index, seq)`` varint pairs.
+
+Bodies larger than :data:`COMPRESS_THRESHOLD` are zlib-compressed when
+that actually helps; decompression is bounded by ``MAX_BODY_BYTES`` so a
+hostile peer cannot smuggle a decompression bomb past the frame cap.
+
+**Decoding never raises** and mirrors the JSON decoder's taxonomy:
+structural failures are ``bad-frame`` (with the claimed ``src`` once the
+string table and envelope parsed), payload records that fail validation
+are ``bad-payload``, snapshot blobs ``bad-boot``.  Encode/decode is
+strictly symmetric: ``decode(encode(f)).frame == f`` for every frame the
+constructors in :mod:`repro.rt.wire` can build, which the differential
+fuzz suite (:mod:`tests.rt.test_codec`) enforces against the JSON round
+trip.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import struct
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+from ..core.bootstrap import BootstrapSnapshot
+from ..core.errors import ProtocolError
+from ..core.events import Event, EventId, EventKind
+from ..core.history import HistoryPayload
+from ..core.intervals import ClockBound
+from .wire import (
+    FRAME_TYPES,
+    MAGIC,
+    MAX_BODY_BYTES,
+    MAX_DELEGATION_HOPS,
+    WIRE_VERSION_BINARY,
+    DecodeResult,
+    Frame,
+    WireError,
+)
+
+__all__ = [
+    "COMPRESS_THRESHOLD",
+    "encode_frame_binary",
+    "decode_body_binary",
+]
+
+#: bodies above this size are zlib-compressed (when compression shrinks
+#: them); small frames skip the codec round trip entirely
+COMPRESS_THRESHOLD = 1024
+
+_HEADER = struct.Struct(">2sBI")
+_F64 = struct.Struct(">d")
+_U64 = struct.Struct(">Q")
+
+_TYPE_INDEX = {name: i for i, name in enumerate(FRAME_TYPES)}
+
+_KIND_CODE = {EventKind.SEND: 0, EventKind.RECEIVE: 1, EventKind.INTERNAL: 2}
+_KIND_FROM_CODE = {code: kind for kind, code in _KIND_CODE.items()}
+
+#: flags-byte bits
+_FLAG_ZLIB = 0x01
+
+_INF = math.inf
+_NEG_INF = -math.inf
+
+
+# -- primitives ------------------------------------------------------------------------
+
+
+def _put_varint(out: bytearray, value: int) -> None:
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _put_zigzag(out: bytearray, value: int) -> None:
+    _put_varint(out, (value << 1) if value >= 0 else ((-value) << 1) - 1)
+
+
+class _Truncated(Exception):
+    """Internal decode failure; converted to a WireError, never escapes."""
+
+
+class _Reader:
+    __slots__ = ("data", "pos", "end")
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+        self.end = len(data)
+
+    def varint(self) -> int:
+        data, pos, end = self.data, self.pos, self.end
+        result = 0
+        shift = 0
+        while True:
+            if pos >= end:
+                raise _Truncated("truncated varint")
+            byte = data[pos]
+            pos += 1
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                break
+            shift += 7
+            if shift > 70:
+                raise _Truncated("varint overflow")
+        self.pos = pos
+        return result
+
+    def zigzag(self) -> int:
+        raw = self.varint()
+        return (raw >> 1) if not raw & 1 else -((raw + 1) >> 1)
+
+    def u8(self) -> int:
+        if self.pos >= self.end:
+            raise _Truncated("truncated byte")
+        value = self.data[self.pos]
+        self.pos += 1
+        return value
+
+    def f64(self) -> float:
+        if self.pos + 8 > self.end:
+            raise _Truncated("truncated f64")
+        (value,) = _F64.unpack_from(self.data, self.pos)
+        self.pos += 8
+        return value
+
+    def raw(self, length: int) -> bytes:
+        if length < 0 or self.pos + length > self.end:
+            raise _Truncated(f"truncated field of {length} bytes")
+        chunk = self.data[self.pos : self.pos + length]
+        self.pos += length
+        return chunk
+
+    def blob(self) -> bytes:
+        return self.raw(self.varint())
+
+    def done(self) -> bool:
+        return self.pos == self.end
+
+
+# -- encode ----------------------------------------------------------------------------
+
+
+class _StringTable:
+    """Collects the distinct strings of a frame; emitted once, referenced
+
+    by varint index.  Processor names repeat heavily inside payloads, so
+    interning them is most of the sync-frame size win after the key-name
+    removal."""
+
+    __slots__ = ("index", "names")
+
+    def __init__(self):
+        self.index: Dict[str, int] = {}
+        self.names: List[str] = []
+
+    def add(self, name: str) -> int:
+        idx = self.index.get(name)
+        if idx is None:
+            idx = self.index[name] = len(self.names)
+            self.names.append(name)
+        return idx
+
+    def emit(self, out: bytearray) -> None:
+        _put_varint(out, len(self.names))
+        for name in self.names:
+            encoded = name.encode("utf-8")
+            _put_varint(out, len(encoded))
+            out.extend(encoded)
+
+
+def _pack_payload(out: bytearray, table: _StringTable, payload: HistoryPayload) -> None:
+    # fully inlined: this loop runs once per record of every sync frame a
+    # node emits, so varint emission is open-coded for the one-byte common
+    # case instead of calling _put_varint/_put_zigzag per field, and the
+    # event kind is resolved by identity (enum __hash__ is a Python-level
+    # call and shows up hot under profile)
+    append = out.append
+    extend = out.extend
+    index = table.index
+    names = table.names
+    f64_pack = _F64.pack
+    internal_kind = EventKind.INTERNAL
+    send_kind = EventKind.SEND
+    _put_varint(out, len(payload.records))
+    prev_seq = 0
+    prev_bits = 0
+    for event in payload.records:
+        eid = event.eid
+        ekind = event.kind
+        kind = 2 if ekind is internal_kind else (0 if ekind is send_kind else 1)
+        append(kind)
+        proc = eid.proc
+        idx = index.get(proc)
+        if idx is None:
+            idx = index[proc] = len(names)
+            names.append(proc)
+        if idx < 128:
+            append(idx)
+        else:
+            _put_varint(out, idx)
+        seq = eid.seq
+        delta = seq - prev_seq
+        prev_seq = seq
+        zz = (delta << 1) if delta >= 0 else ((-delta) << 1) - 1
+        if zz < 128:
+            append(zz)
+        else:
+            _put_varint(out, zz)
+        bits = int.from_bytes(f64_pack(event.lt), "big")
+        delta = bits - prev_bits
+        prev_bits = bits
+        zz = (delta << 1) if delta >= 0 else ((-delta) << 1) - 1
+        if zz < 128:
+            append(zz)
+        else:
+            chunk = zz.to_bytes((zz.bit_length() + 7) >> 3, "big")
+            append(0x80 | len(chunk))
+            extend(chunk)
+        if kind == 0:
+            dest = event.dest
+            idx = index.get(dest)
+            if idx is None:
+                idx = index[dest] = len(names)
+                names.append(dest)
+            _put_varint(out, idx)
+        elif kind == 1:
+            send_eid = event.send_eid
+            sproc = send_eid.proc
+            idx = index.get(sproc)
+            if idx is None:
+                idx = index[sproc] = len(names)
+                names.append(sproc)
+            _put_varint(out, idx)
+            _put_varint(out, send_eid.seq)
+    _put_varint(out, len(payload.loss_flags))
+    for flag in payload.loss_flags:
+        _put_varint(out, table.add(flag.proc))
+        _put_varint(out, flag.seq)
+
+
+def _json_blob(out: bytearray, document) -> None:
+    try:
+        encoded = json.dumps(document, separators=(",", ":"), allow_nan=False).encode()
+    except ValueError as exc:
+        raise ProtocolError(f"frame body is not strict-JSON-safe: {exc}") from None
+    _put_varint(out, len(encoded))
+    out.extend(encoded)
+
+
+def encode_frame_binary(frame: Frame) -> bytes:
+    """Serialize ``frame`` as a version-3 binary frame.
+
+    Raises :class:`ProtocolError` on local misuse (an oversized body, a
+    non-JSON-safe meta) exactly like the JSON encoder.
+    """
+    table = _StringTable()
+    packed = bytearray()
+    src_idx = table.add(frame.src)
+    dst_idx = table.add(frame.dst)
+    fields = bytearray()
+    ftype = frame.type
+    if ftype == "ack":
+        fields_seq = frame.seq
+        if fields_seq is None:
+            raise ProtocolError("ack frames need a seq")
+        _put_varint(fields, fields_seq)
+    elif ftype == "sync":
+        if frame.seq is None or frame.lt is None or frame.payload is None:
+            raise ProtocolError("sync frames need seq, lt, and a payload")
+        _put_varint(fields, frame.seq)
+        fields.extend(_F64.pack(frame.lt))
+        _pack_payload(fields, table, frame.payload)
+        if frame.boot is not None:
+            fields.append(1)
+            _json_blob(fields, frame.boot.to_dict())
+        else:
+            fields.append(0)
+    elif ftype in ("probe", "dreq"):
+        _put_varint(fields, _require_nonce(frame))
+    elif ftype in ("reply", "deleg"):
+        if frame.bound is None:
+            raise ProtocolError(f"{ftype} frames need a bound")
+        _put_varint(fields, _require_nonce(frame))
+        fields.extend(_F64.pack(frame.bound.lower))
+        fields.extend(_F64.pack(frame.bound.upper))
+        fields.append(1 if frame.degraded else 0)
+        fields.extend(_F64.pack(frame.age if frame.age is not None else 0.0))
+        if ftype == "deleg":
+            if frame.hops is None or frame.stratum is None:
+                raise ProtocolError("deleg frames need hops and stratum")
+            fields.append(frame.hops)
+            _put_varint(fields, frame.stratum)
+    elif ftype == "shed":
+        if frame.retry_after is None or not frame.reason:
+            raise ProtocolError("shed frames need retry_after and a reason")
+        _put_varint(fields, _require_nonce(frame))
+        fields.extend(_F64.pack(frame.retry_after))
+        _put_varint(fields, table.add(frame.reason))
+    elif ftype not in ("hello", "join"):
+        raise ProtocolError(f"unknown frame type {ftype!r}")
+    # string table first (it is only complete once the fields packed)
+    packed.append(_TYPE_INDEX[ftype])
+    table.emit(packed)
+    _put_varint(packed, src_idx)
+    _put_varint(packed, dst_idx)
+    packed.extend(fields)
+    if frame.meta:
+        _json_blob(packed, dict(frame.meta))
+    else:
+        _put_varint(packed, 0)
+    body = bytes(packed)
+    flags = 0
+    if len(body) > COMPRESS_THRESHOLD:
+        squeezed = zlib.compress(body, 6)
+        if len(squeezed) < len(body):
+            body = squeezed
+            flags |= _FLAG_ZLIB
+    body = bytes([flags]) + body
+    if len(body) > MAX_BODY_BYTES:
+        raise ProtocolError(
+            f"frame body of {len(body)} bytes exceeds the {MAX_BODY_BYTES} cap"
+        )
+    return _HEADER.pack(MAGIC, WIRE_VERSION_BINARY, len(body)) + body
+
+
+def _require_nonce(frame: Frame) -> int:
+    if frame.nonce is None:
+        raise ProtocolError(f"{frame.type} frames need a nonce")
+    return frame.nonce
+
+
+# -- decode ----------------------------------------------------------------------------
+
+
+def _bad(detail: str, src: Optional[str] = None) -> DecodeResult:
+    return DecodeResult(
+        error=WireError("bad-frame", detail, src=src), version=WIRE_VERSION_BINARY
+    )
+
+
+def _finite(value: float) -> bool:
+    return math.isfinite(value)
+
+
+#: interned :class:`EventId` values.  An event id is a pure value - the
+#: pair fully determines the object - so sharing instances across decoded
+#: frames is observably transparent, and gossip traffic re-reports the
+#: same ids to every neighbor.  Bounded: the cache is simply dropped when
+#: full (ids age out naturally as the execution advances).
+_EID_CACHE: Dict[Tuple[str, int], EventId] = {}
+_EID_CACHE_MAX = 1 << 16
+
+
+def _intern_eid(proc: str, seq: int) -> EventId:
+    cache = _EID_CACHE
+    key = (proc, seq)
+    eid = cache.get(key)
+    if eid is None:
+        if len(cache) >= _EID_CACHE_MAX:
+            cache.clear()
+        eid = cache[key] = EventId(proc, seq)
+    return eid
+
+
+#: interned decoded :class:`Event` records, keyed by their full field
+#: tuple (with ``lt`` as its raw bit pattern, so a hit skips the float
+#: conversion too).  An event is a frozen pure value and gossip
+#: re-reports the same records to every neighbor of every hop, so in
+#: steady state nearly every record of a sync frame is a hit.  Key
+#: lengths disambiguate the kind: internal ``(proc, seq, bits)``, send
+#: ``(proc, seq, bits, dest)``, receive
+#: ``(proc, seq, bits, send_proc, send_seq)``.
+_EVENT_CACHE: Dict[tuple, Event] = {}
+_EVENT_CACHE_MAX = 1 << 16
+
+
+def _unpack_payload(
+    reader: _Reader, strings: List[str]
+) -> Tuple[Optional[HistoryPayload], Optional[str]]:
+    """Parse the packed payload; returns ``(payload, error_detail)``.
+
+    The record loop is the receive hot path of every gossip node, so it
+    is open-coded: varints are parsed inline against local bindings, and
+    records are materialised through ``__new__`` plus a ``__dict__`` swap
+    - the exact field set (including the derived ``link``) that
+    :class:`Event`'s constructor would produce, with every constructor
+    validation replicated inline, minus the per-field ``__setattr__``
+    round trips.
+    """
+    data = reader.data
+    pos = reader.pos
+    end = reader.end
+    count = reader.varint()
+    pos = reader.pos
+    if count > MAX_BODY_BYTES:
+        return None, f"implausible record count {count}"
+    records: List[Event] = []
+    append = records.append
+    event_new = Event.__new__
+    set_raw = object.__setattr__
+    event_cache = _EVENT_CACHE
+    cache_get = event_cache.get
+    f64_unpack = _F64.unpack
+    send_kind = EventKind.SEND
+    receive_kind = EventKind.RECEIVE
+    internal_kind = EventKind.INTERNAL
+    n_strings = len(strings)
+    prev_seq = 0
+    prev_bits = 0
+    try:
+        for _ in range(count):
+            if pos >= end:
+                raise _Truncated("truncated record")
+            kind_code = data[pos]
+            pos += 1
+            # proc index varint (one byte in the common case)
+            byte = data[pos]
+            pos += 1
+            if byte < 128:
+                idx = byte
+            else:
+                idx = byte & 0x7F
+                shift = 7
+                while True:
+                    byte = data[pos]
+                    pos += 1
+                    idx |= (byte & 0x7F) << shift
+                    if not byte & 0x80:
+                        break
+                    shift += 7
+            if idx >= n_strings:
+                raise _Truncated(f"string index {idx} out of range")
+            proc = strings[idx]
+            if not proc:
+                return None, "event record needs a non-empty proc"
+            # seq zigzag delta
+            byte = data[pos]
+            pos += 1
+            if byte < 128:
+                raw = byte
+            else:
+                raw = byte & 0x7F
+                shift = 7
+                while True:
+                    byte = data[pos]
+                    pos += 1
+                    raw |= (byte & 0x7F) << shift
+                    if not byte & 0x80:
+                        break
+                    shift += 7
+            seq = prev_seq + ((raw >> 1) if not raw & 1 else -((raw + 1) >> 1))
+            if seq < 0:
+                return None, f"event record needs a non-negative seq, got {seq}"
+            prev_seq = seq
+            # lt bit-pattern delta: one byte, or 0x80|n then n magnitude bytes
+            byte = data[pos]
+            pos += 1
+            if byte < 128:
+                raw = byte
+            else:
+                n = byte & 0x7F
+                nxt = pos + n
+                if nxt > end:
+                    raise _Truncated("truncated lt delta")
+                raw = int.from_bytes(data[pos:nxt], "big")
+                pos = nxt
+            bits = (
+                prev_bits + ((raw >> 1) if not raw & 1 else -((raw + 1) >> 1))
+            ) & 0xFFFFFFFFFFFFFFFF
+            prev_bits = bits
+            if kind_code == 2:
+                key = (proc, seq, bits)
+                event = cache_get(key)
+                if event is None:
+                    (lt,) = f64_unpack(bits.to_bytes(8, "big"))
+                    if lt != lt or lt == _INF or lt == _NEG_INF:
+                        return None, f"event local time must be finite, got {lt!r}"
+                    event = event_new(Event)
+                    set_raw(
+                        event,
+                        "__dict__",
+                        {
+                            "eid": _intern_eid(proc, seq),
+                            "lt": lt,
+                            "kind": internal_kind,
+                            "dest": None,
+                            "send_eid": None,
+                            "link": None,
+                        },
+                    )
+                    if len(event_cache) >= _EVENT_CACHE_MAX:
+                        event_cache.clear()
+                    event_cache[key] = event
+            elif kind_code == 0:
+                byte = data[pos]
+                pos += 1
+                if byte < 128:
+                    idx = byte
+                else:
+                    idx = byte & 0x7F
+                    shift = 7
+                    while True:
+                        byte = data[pos]
+                        pos += 1
+                        idx |= (byte & 0x7F) << shift
+                        if not byte & 0x80:
+                            break
+                        shift += 7
+                if idx >= n_strings:
+                    raise _Truncated(f"string index {idx} out of range")
+                dest = strings[idx]
+                key = (proc, seq, bits, dest)
+                event = cache_get(key)
+                if event is None:
+                    (lt,) = f64_unpack(bits.to_bytes(8, "big"))
+                    if lt != lt or lt == _INF or lt == _NEG_INF:
+                        return None, f"event local time must be finite, got {lt!r}"
+                    if not dest:
+                        return None, "send record needs a non-empty dest"
+                    if dest == proc:
+                        return None, f"a link must join two distinct processors, got {proc!r} twice"
+                    event = event_new(Event)
+                    set_raw(
+                        event,
+                        "__dict__",
+                        {
+                            "eid": _intern_eid(proc, seq),
+                            "lt": lt,
+                            "kind": send_kind,
+                            "dest": dest,
+                            "send_eid": None,
+                            "link": (proc, dest) if proc <= dest else (dest, proc),
+                        },
+                    )
+                    if len(event_cache) >= _EVENT_CACHE_MAX:
+                        event_cache.clear()
+                    event_cache[key] = event
+            elif kind_code == 1:
+                byte = data[pos]
+                pos += 1
+                if byte < 128:
+                    idx = byte
+                else:
+                    idx = byte & 0x7F
+                    shift = 7
+                    while True:
+                        byte = data[pos]
+                        pos += 1
+                        idx |= (byte & 0x7F) << shift
+                        if not byte & 0x80:
+                            break
+                        shift += 7
+                if idx >= n_strings:
+                    raise _Truncated(f"string index {idx} out of range")
+                send_proc = strings[idx]
+                byte = data[pos]
+                pos += 1
+                if byte < 128:
+                    send_seq = byte
+                else:
+                    send_seq = byte & 0x7F
+                    shift = 7
+                    while True:
+                        byte = data[pos]
+                        pos += 1
+                        send_seq |= (byte & 0x7F) << shift
+                        if not byte & 0x80:
+                            break
+                        shift += 7
+                key = (proc, seq, bits, send_proc, send_seq)
+                event = cache_get(key)
+                if event is None:
+                    (lt,) = f64_unpack(bits.to_bytes(8, "big"))
+                    if lt != lt or lt == _INF or lt == _NEG_INF:
+                        return None, f"event local time must be finite, got {lt!r}"
+                    if not send_proc:
+                        return None, "receive record needs a non-empty send proc"
+                    if send_proc == proc:
+                        return None, (
+                            f"receive event {proc}#{seq} cannot receive from its own processor"
+                        )
+                    event = event_new(Event)
+                    set_raw(
+                        event,
+                        "__dict__",
+                        {
+                            "eid": _intern_eid(proc, seq),
+                            "lt": lt,
+                            "kind": receive_kind,
+                            "dest": None,
+                            "send_eid": _intern_eid(send_proc, send_seq),
+                            "link": (proc, send_proc)
+                            if proc <= send_proc
+                            else (send_proc, proc),
+                        },
+                    )
+                    if len(event_cache) >= _EVENT_CACHE_MAX:
+                        event_cache.clear()
+                    event_cache[key] = event
+            else:
+                return None, f"unknown event kind code {kind_code}"
+            append(event)
+    except IndexError:
+        return None, "truncated record"
+    except _Truncated as exc:
+        return None, str(exc)
+    reader.pos = pos
+    flag_count = reader.varint()
+    if flag_count > MAX_BODY_BYTES:
+        return None, f"implausible loss-flag count {flag_count}"
+    flags = []
+    try:
+        for _ in range(flag_count):
+            proc = _string_at(strings, reader.varint())
+            if not proc:
+                return None, "loss flag needs a non-empty proc"
+            flags.append(_intern_eid(proc, reader.varint()))
+    except _Truncated as exc:
+        return None, str(exc)
+    return HistoryPayload(records=tuple(records), loss_flags=tuple(flags)), None
+
+
+def _string_at(strings: List[str], index: int) -> Optional[str]:
+    if index >= len(strings):
+        raise _Truncated(f"string index {index} out of range")
+    return strings[index]
+
+
+def decode_body_binary(body: bytes) -> DecodeResult:
+    """Parse an untrusted version-3 body into a frame or a structured error.
+
+    Mirrors the JSON decoder's validation outcomes field for field; the
+    result's ``version`` is always :data:`~repro.rt.wire.WIRE_VERSION_BINARY`
+    so stateless endpoints can echo the codec.
+    """
+    src: Optional[str] = None
+    try:
+        if not body:
+            return _bad("empty body")
+        flags = body[0]
+        rest = body[1:]
+        if flags & _FLAG_ZLIB:
+            try:
+                # cap decompression at the frame limit: anything larger
+                # could never have been encoded by a conforming peer
+                rest = zlib.decompressobj().decompress(rest, MAX_BODY_BYTES + 1)
+            except zlib.error as exc:
+                return _bad(f"bad zlib stream: {exc}")
+            if len(rest) > MAX_BODY_BYTES:
+                return DecodeResult(
+                    error=WireError(
+                        "oversized", "decompressed body exceeds cap", src=None
+                    ),
+                    version=WIRE_VERSION_BINARY,
+                )
+        reader = _Reader(rest)
+        type_code = reader.u8()
+        if type_code >= len(FRAME_TYPES):
+            return _bad(f"unknown type code {type_code}")
+        ftype = FRAME_TYPES[type_code]
+        string_count = reader.varint()
+        if string_count > MAX_BODY_BYTES:
+            return _bad(f"implausible string count {string_count}")
+        strings: List[str] = []
+        for _ in range(string_count):
+            raw = reader.blob()
+            try:
+                strings.append(raw.decode("utf-8"))
+            except UnicodeDecodeError as exc:
+                return _bad(f"bad utf-8 in string table: {exc}")
+        src = _string_at(strings, reader.varint())
+        dst = _string_at(strings, reader.varint())
+        if not src or not dst:
+            return _bad("missing or non-string src/dst", src=src or None)
+        seq = None
+        lt = None
+        payload = None
+        boot = None
+        nonce = None
+        bound = None
+        degraded = False
+        age = None
+        retry_after = None
+        reason = None
+        hops = None
+        stratum = None
+        if ftype == "ack":
+            seq = reader.varint()
+        elif ftype == "sync":
+            seq = reader.varint()
+            lt = reader.f64()
+            payload, detail = _unpack_payload(reader, strings)
+            if payload is None:
+                return DecodeResult(
+                    error=WireError("bad-payload", detail, src=src),
+                    version=WIRE_VERSION_BINARY,
+                )
+            if reader.u8():
+                blob = reader.blob()
+                try:
+                    boot = BootstrapSnapshot.from_dict(json.loads(blob))
+                except (ValueError, UnicodeDecodeError) as exc:
+                    return DecodeResult(
+                        error=WireError("bad-boot", str(exc), src=src),
+                        version=WIRE_VERSION_BINARY,
+                    )
+        elif ftype in ("probe", "dreq"):
+            nonce = reader.varint()
+        elif ftype in ("reply", "deleg"):
+            nonce = reader.varint()
+            lower = reader.f64()
+            upper = reader.f64()
+            if not _finite(lower) or not _finite(upper):
+                return _bad(f"{ftype} needs finite bounds", src=src)
+            if lower > upper:
+                return _bad(f"{ftype} bound is empty: [{lower}, {upper}]", src=src)
+            bound = ClockBound(lower, upper)
+            degraded = bool(reader.u8())
+            age = reader.f64()
+            if not _finite(age) or age < 0:
+                return _bad(f"{ftype} needs a finite non-negative age, got {age!r}", src=src)
+            if ftype == "deleg":
+                hops = reader.u8()
+                if not (1 <= hops <= MAX_DELEGATION_HOPS):
+                    # same wire contract as JSON: K2 <= 2, rejected not widened
+                    return _bad(
+                        f"deleg hops must be in [1, {MAX_DELEGATION_HOPS}], got {hops!r}",
+                        src=src,
+                    )
+                stratum = reader.varint()
+        elif ftype == "shed":
+            nonce = reader.varint()
+            retry_after = reader.f64()
+            if not _finite(retry_after) or retry_after < 0:
+                return _bad(
+                    f"shed needs a finite non-negative retry_after, got {retry_after!r}",
+                    src=src,
+                )
+            reason = _string_at(strings, reader.varint())
+            if not reason:
+                return _bad("shed reason is not a non-empty string", src=src)
+        meta_blob = reader.blob()
+        if meta_blob:
+            try:
+                meta = json.loads(meta_blob)
+            except (ValueError, UnicodeDecodeError) as exc:
+                return _bad(f"bad meta blob: {exc}", src=src)
+            if not isinstance(meta, dict):
+                return _bad("meta is not an object", src=src)
+        else:
+            meta = {}
+        if not reader.done():
+            return _bad(f"{reader.end - reader.pos} trailing bytes after body", src=src)
+    except _Truncated as exc:
+        return _bad(str(exc), src=src)
+    return DecodeResult(
+        frame=Frame(
+            type=ftype,
+            src=src,
+            dst=dst,
+            seq=seq,
+            lt=lt,
+            payload=payload,
+            boot=boot,
+            nonce=nonce,
+            bound=bound,
+            degraded=degraded,
+            age=age,
+            retry_after=retry_after,
+            reason=reason,
+            hops=hops,
+            stratum=stratum,
+            meta=meta,
+        ),
+        version=WIRE_VERSION_BINARY,
+    )

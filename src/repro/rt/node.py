@@ -62,9 +62,12 @@ from ..sim.faults import RetransmitPolicy
 from .clock import ClockSource, MonotonicClockSource, TimeBase
 from .transport import Transport
 from .wire import (
+    MAX_BODY_BYTES,
+    WIRE_CODECS,
+    WIRE_VERSION_BINARY,
     Frame,
     ack_frame,
-    decode_frame,
+    decode_frames,
     encode_frame,
     hello_frame,
     join_frame,
@@ -95,6 +98,11 @@ class LinkStats:
     duplicates: int = 0
     decode_errors: int = 0
     rejected_frames: int = 0
+    #: datagrams actually written to the transport (coalescing makes this
+    #: smaller than the frame count toward binary peers)
+    datagrams: int = 0
+    #: frames that shared a datagram with an earlier frame
+    coalesced: int = 0
     #: join requests received from this peer (we acted as its sponsor)
     join_requests: int = 0
     #: highest own seq this peer has confirmed (-1: nothing acked yet)
@@ -123,8 +131,14 @@ class NodeConfig:
     #: how long (s) a fresh joiner holds gossip for its sponsor's boot
     #: before falling back to a cold join; irrelevant without a sponsor
     boot_patience: float = 2.0
+    #: preferred wire codec: "binary" advertises and upgrades to the
+    #: packed v3 bodies per peer (after the peer advertises too), "json"
+    #: pins this node to v2 JSON frames and advertises nothing else
+    codec: str = "binary"
 
     def __post_init__(self):
+        if self.codec not in WIRE_CODECS:
+            raise SimulationError(f"unknown wire codec {self.codec!r}")
         if self.gossip_period <= 0:
             raise SimulationError(
                 f"gossip period must be positive, got {self.gossip_period}"
@@ -221,6 +235,13 @@ class Node:
         self.boot_deferred = 0
         #: elapsed instant after which a fresh joiner stops waiting
         self._boot_deadline: Optional[float] = None
+        #: per-peer negotiated wire codec; every link starts as JSON and
+        #: upgrades (never downgrades mid-stream) once the peer proves
+        #: binary-capable - by advertising it in a hello/join meta or by
+        #: sending a binary frame itself
+        self._peer_codec: Dict[ProcessorId, str] = {p: "json" for p in self.peers}
+        #: per-peer frames awaiting the next coalesced datagram flush
+        self._outbox: Dict[ProcessorId, List[bytes]] = {}
         self._gossip_task: Optional[asyncio.Task] = None
         self._running = False
 
@@ -243,8 +264,12 @@ class Node:
         if ensure is not None:
             await ensure(self.proc)
         for peer in self.peers:
-            self.transport.send(
-                self.proc, peer, encode_frame(hello_frame(self.proc, peer))
+            self._send_frame(
+                peer,
+                encode_frame(
+                    hello_frame(self.proc, peer, codecs=self._advertised()),
+                    self._codec_for(peer),
+                ),
             )
         if self.config.sponsor is not None and getattr(self.estimator, "is_fresh", False):
             self._boot_deadline = self.time_base.elapsed() + self.config.boot_patience
@@ -258,6 +283,9 @@ class Node:
         later :meth:`start` resumes from them.
         """
         self._running = False
+        # unflushed frames die with the process: datagram semantics, and
+        # the peers' loss timers already cover the gap
+        self._outbox.clear()
         self.transport.unregister(self.proc)
         if self._gossip_task is not None:
             self._gossip_task.cancel()
@@ -302,6 +330,59 @@ class Node:
 
     # -- send path ---------------------------------------------------------------
 
+    def _advertised(self) -> Tuple[str, ...]:
+        """Codecs this node offers in hello/join meta."""
+        return WIRE_CODECS if self.config.codec == "binary" else ("json",)
+
+    def _codec_for(self, peer: ProcessorId) -> str:
+        """The codec for the next frame to ``peer`` (negotiated, sticky)."""
+        if self.config.codec == "binary" and self._peer_codec.get(peer) == "binary":
+            return "binary"
+        return "json"
+
+    def _send_frame(self, peer: ProcessorId, data: bytes) -> None:
+        """Queue one encoded frame for ``peer``, coalescing when possible.
+
+        Toward binary-negotiated peers frames gather in a per-peer outbox
+        and flush on the next loop turn as concatenated datagrams under
+        ``MAX_BODY_BYTES`` - a gossip round's sync plus any acks ride one
+        datagram.  JSON peers get the classic frame-per-datagram path:
+        their decode loop may predate :func:`decode_frames`.
+        """
+        if self._codec_for(peer) != "binary":
+            stats = self.stats.get(peer)
+            if stats is not None:
+                stats.datagrams += 1
+            self.transport.send(self.proc, peer, data)
+            return
+        box = self._outbox.setdefault(peer, [])
+        box.append(data)
+        if len(box) == 1:
+            asyncio.get_running_loop().call_soon(self._flush_outbox, peer)
+
+    def _flush_outbox(self, peer: ProcessorId) -> None:
+        frames = self._outbox.pop(peer, None)
+        if not frames:
+            return
+        stats = self.stats.get(peer)
+        datagram = bytearray()
+        packed = 0
+        for chunk in frames:
+            if datagram and len(datagram) + len(chunk) > MAX_BODY_BYTES:
+                self.transport.send(self.proc, peer, bytes(datagram))
+                if stats is not None:
+                    stats.datagrams += 1
+                    stats.coalesced += packed - 1
+                datagram = bytearray()
+                packed = 0
+            datagram.extend(chunk)
+            packed += 1
+        if datagram:
+            self.transport.send(self.proc, peer, bytes(datagram))
+            if stats is not None:
+                stats.datagrams += 1
+                stats.coalesced += packed - 1
+
     async def _gossip_loop(self) -> None:
         period = self.config.gossip_period
         while self._running:
@@ -336,8 +417,12 @@ class Node:
         sponsor = self.config.sponsor
         if sponsor is None or not getattr(self.estimator, "is_fresh", False):
             return
-        self.transport.send(
-            self.proc, sponsor, encode_frame(join_frame(self.proc, sponsor))
+        self._send_frame(
+            sponsor,
+            encode_frame(
+                join_frame(self.proc, sponsor, codecs=self._advertised()),
+                self._codec_for(sponsor),
+            ),
         )
 
     def _send_sync(self, dest: ProcessorId, *, attempt: int, boot: bool = False) -> None:
@@ -364,19 +449,22 @@ class Node:
         stats.sent += 1
         if attempt > 0:
             stats.retransmissions += 1
+        codec = self._codec_for(dest)
         frame_bytes: Optional[bytes] = None
         if boot:
             take = getattr(self.estimator, "bootstrap_snapshot", None)
             if take is not None:
                 try:
-                    frame_bytes = encode_frame(sync_frame(event, payload, boot=take()))
+                    frame_bytes = encode_frame(
+                        sync_frame(event, payload, boot=take()), codec
+                    )
                     self.boot_sent += 1
                 except Exception:
                     self.boot_oversized += 1
                     frame_bytes = None
         if frame_bytes is None:
-            frame_bytes = encode_frame(sync_frame(event, payload))
-        self.transport.send(self.proc, dest, frame_bytes)
+            frame_bytes = encode_frame(sync_frame(event, payload), codec)
+        self._send_frame(dest, frame_bytes)
         timer = asyncio.get_running_loop().call_later(
             self.config.retransmit.timeout_for(attempt),
             self._on_ack_timeout,
@@ -399,16 +487,21 @@ class Node:
     # -- receive path ------------------------------------------------------------
 
     def _on_datagram(self, data: bytes) -> None:
-        result = decode_frame(data)
-        if result.error is not None:
-            self._on_decode_error(result.error)
-            return
-        frame = result.frame
+        # one datagram may carry several coalesced frames; decode_frames
+        # degrades to exactly decode_frame for the single-frame case
+        for result in decode_frames(data):
+            if result.error is not None:
+                self._on_decode_error(result.error)
+                continue
+            self._on_frame(result.frame, result.version)
+
+    def _on_frame(self, frame: Frame, version: Optional[int]) -> None:
         if frame.src not in self._seen or frame.dst != self.proc:
             # not one of our links: count it where we can, never crash
             if frame.src in self.stats:
                 self.stats[frame.src].rejected_frames += 1
             return
+        self._learn_codec(frame, version)
         self.peer_last_seen[frame.src] = self.time_base.elapsed()
         if frame.type == "hello":
             return
@@ -419,6 +512,25 @@ class Node:
             self._on_ack(frame)
             return
         self._on_sync(frame)
+
+    def _learn_codec(self, frame: Frame, version: Optional[int]) -> None:
+        """Upgrade the peer's negotiated codec on positive evidence only.
+
+        A binary frame from the peer, or a hello/join whose meta
+        advertises ``"binary"``, proves the peer speaks v3; nothing ever
+        downgrades an upgraded link (per-peer fallback happens by never
+        upgrading, not by switching mid-stream).
+        """
+        src = frame.src
+        if self._peer_codec.get(src) == "binary":
+            return
+        if version == WIRE_VERSION_BINARY:
+            self._peer_codec[src] = "binary"
+            return
+        if frame.type in ("hello", "join"):
+            codecs = frame.meta.get("codecs")
+            if isinstance(codecs, (list, tuple)) and "binary" in codecs:
+                self._peer_codec[src] = "binary"
 
     def _on_join(self, frame: Frame) -> None:
         """Sponsor a joining neighbor: answer with a boot-carrying sync.
@@ -518,7 +630,9 @@ class Node:
             self.stats[frame.src].rejected_frames += 1
 
     def _ack(self, peer: ProcessorId, seq: int) -> None:
-        self.transport.send(self.proc, peer, encode_frame(ack_frame(self.proc, peer, seq)))
+        self._send_frame(
+            peer, encode_frame(ack_frame(self.proc, peer, seq), self._codec_for(peer))
+        )
 
     # -- introspection -----------------------------------------------------------
 

@@ -51,13 +51,20 @@ from __future__ import annotations
 import asyncio
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Optional
+from typing import Deque, Dict, Optional, Tuple
 
 from ..core.errors import SimulationError
 from ..core.events import ProcessorId
 from .node import Node
 from .transport import Transport
-from .wire import Frame, decode_frame, encode_frame, reply_frame, shed_frame
+from .wire import (
+    WIRE_VERSION_BINARY,
+    Frame,
+    decode_frame,
+    encode_frame,
+    reply_frame,
+    shed_frame,
+)
 
 __all__ = [
     "SERVE_SUFFIX",
@@ -225,7 +232,8 @@ class ServeNode:
         self.endpoint = serve_endpoint(node.proc)
         self.bucket = TokenBucket(self.config.bucket_rate, self.config.bucket_burst)
         self.stats = ServeStats()
-        self._queue: Deque[Frame] = deque()
+        #: admitted probes with the codec each arrived in (echoed back)
+        self._queue: Deque[Tuple[Frame, str]] = deque()
         self._wakeup: Optional[asyncio.Event] = None
         self._worker: Optional[asyncio.Task] = None
         self._running = False
@@ -265,18 +273,19 @@ class ServeNode:
     # -- receive path ------------------------------------------------------------
 
     def _on_datagram(self, data: bytes) -> None:
-        frame = self._decode_probe(data)
-        if frame is None:
+        decoded = self._decode_probe(data)
+        if decoded is None:
             return
+        frame, codec = decoded
         if not self.node.running or not self._running:
             # the backing node is crashed: a dead server answers nothing
             self.stats.dropped_down += 1
             return
-        shed = self._admit(frame, self.node.time_base.elapsed())
+        shed = self._admit(frame, self.node.time_base.elapsed(), codec)
         if shed is not None:
             self.transport.send(self.endpoint, frame.src, shed)
             return
-        self._queue.append(frame)
+        self._queue.append((frame, codec))
         self.stats.max_queue_depth = max(self.stats.max_queue_depth, len(self._queue))
         if self._wakeup is not None:
             self._wakeup.set()
@@ -288,18 +297,22 @@ class ServeNode:
                 self._wakeup.clear()
                 await self._wakeup.wait()
                 continue
-            frame = self._queue.popleft()
+            frame, codec = self._queue.popleft()
             if config.service_time > 0:
                 await asyncio.sleep(config.service_time)
             if not self._running or not self.node.running:
                 self.stats.dropped_down += 1
                 continue
-            self.transport.send(self.endpoint, frame.src, self._answer(frame))
+            self.transport.send(self.endpoint, frame.src, self._answer(frame, codec))
 
     # -- synchronous core (fast path; also the benchmark surface) ----------------
 
-    def _decode_probe(self, data: bytes) -> Optional[Frame]:
-        """Untrusted bytes -> a well-formed probe, or ``None`` (counted)."""
+    def _decode_probe(self, data: bytes) -> Optional[Tuple[Frame, str]]:
+        """Untrusted bytes -> ``(probe, codec)``, or ``None`` (counted).
+
+        The codec is whatever the probe arrived in; the serving tier is
+        stateless per client, so the reply (or shed) simply echoes it.
+        """
         result = decode_frame(data)
         if result.error is not None:
             self.stats.decode_errors += 1
@@ -311,9 +324,12 @@ class ServeNode:
             self.stats.rejected_frames += 1
             return None
         self.stats.probes += 1
-        return frame
+        codec = "binary" if result.version == WIRE_VERSION_BINARY else "json"
+        return frame, codec
 
-    def _shed_bytes(self, frame: Frame, retry_after: float, reason: str) -> bytes:
+    def _shed_bytes(
+        self, frame: Frame, retry_after: float, reason: str, codec: str = "json"
+    ) -> bytes:
         self.stats.shed[reason] = self.stats.shed.get(reason, 0) + 1
         return encode_frame(
             shed_frame(
@@ -322,21 +338,24 @@ class ServeNode:
                 frame.nonce,
                 retry_after=retry_after,
                 reason=reason,
-            )
+            ),
+            codec,
         )
 
-    def _admit(self, frame: Frame, now: float) -> Optional[bytes]:
+    def _admit(self, frame: Frame, now: float, codec: str = "json") -> Optional[bytes]:
         """Admission verdict: ``None`` to serve, else the shed frame bytes."""
         if not self.bucket.try_take(now):
-            return self._shed_bytes(frame, self.bucket.retry_after(now), "overload")
+            return self._shed_bytes(
+                frame, self.bucket.retry_after(now), "overload", codec
+            )
         if len(self._queue) >= self.config.queue_limit:
             # the queue's worth of work plus one bucket interval is an
             # honest drain estimate under the admitted rate
             hint = self.config.queue_limit / self.config.bucket_rate
-            return self._shed_bytes(frame, hint, "queue")
+            return self._shed_bytes(frame, hint, "queue", codec)
         return None
 
-    def _answer(self, frame: Frame) -> bytes:
+    def _answer(self, frame: Frame, codec: str = "json") -> bytes:
         """The reply (or unsynced shed) for one admitted probe.
 
         The bound is computed *here*, strictly between the probe's arrival
@@ -348,7 +367,7 @@ class ServeNode:
             sourced = self.bound_source()
             if sourced is None or not sourced[0].is_bounded:
                 return self._shed_bytes(
-                    frame, self.config.unsynced_retry_after, "unsynced"
+                    frame, self.config.unsynced_retry_after, "unsynced", codec
                 )
             bound, degraded, age = sourced
             if degraded:
@@ -362,11 +381,14 @@ class ServeNode:
                     bound,
                     degraded=degraded,
                     age=age,
-                )
+                ),
+                codec,
             )
         rt, bound = self.node.estimate_at_now()
         if not bound.is_bounded:
-            return self._shed_bytes(frame, self.config.unsynced_retry_after, "unsynced")
+            return self._shed_bytes(
+                frame, self.config.unsynced_retry_after, "unsynced", codec
+            )
         estimator = self.node.estimator
         last = estimator.last_local_event
         lt = self.node.clock.lt_at(rt)
@@ -388,7 +410,8 @@ class ServeNode:
                 bound,
                 degraded=degraded,
                 age=age,
-            )
+            ),
+            codec,
         )
 
     def handle_probe_bytes(self, data: bytes) -> Optional[bytes]:
@@ -398,10 +421,11 @@ class ServeNode:
         asyncio shell minus the queue hop.  Returns the reply/shed bytes,
         or ``None`` for undecodable or non-probe input.
         """
-        frame = self._decode_probe(data)
-        if frame is None:
+        decoded = self._decode_probe(data)
+        if decoded is None:
             return None
-        shed = self._admit(frame, self.node.time_base.elapsed())
+        frame, codec = decoded
+        shed = self._admit(frame, self.node.time_base.elapsed(), codec)
         if shed is not None:
             return shed
-        return self._answer(frame)
+        return self._answer(frame, codec)

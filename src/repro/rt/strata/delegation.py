@@ -57,6 +57,8 @@ from ..node import Node
 from ..transport import Transport
 from ..wire import (
     MAX_DELEGATION_HOPS,
+    WIRE_CODECS,
+    WIRE_VERSION_BINARY,
     Frame,
     decode_frame,
     deleg_frame,
@@ -247,9 +249,11 @@ class DelegationServer:
             self.stats.dropped_down += 1
             return None
         self._last_src = frame.src
-        return self._answer(frame)
+        # stateless per border: the answer echoes the request's codec
+        codec = "binary" if result.version == WIRE_VERSION_BINARY else "json"
+        return self._answer(frame, codec)
 
-    def _shed_bytes(self, frame: Frame, reason: str) -> bytes:
+    def _shed_bytes(self, frame: Frame, reason: str, codec: str = "json") -> bytes:
         self.stats.shed[reason] = self.stats.shed.get(reason, 0) + 1
         return encode_frame(
             shed_frame(
@@ -258,21 +262,22 @@ class DelegationServer:
                 frame.nonce,
                 retry_after=self.config.unsynced_retry_after,
                 reason=reason,
-            )
+            ),
+            codec,
         )
 
-    def _answer(self, frame: Frame) -> bytes:
+    def _answer(self, frame: Frame, codec: str = "json") -> bytes:
         if self.bound_source is not None:
             sourced = self.bound_source()
             if sourced is None:
-                return self._shed_bytes(frame, "unsynced")
+                return self._shed_bytes(frame, "unsynced", codec)
             bound, degraded, age = sourced
             if not bound.is_bounded:
-                return self._shed_bytes(frame, "unsynced")
+                return self._shed_bytes(frame, "unsynced", codec)
         else:
             rt, bound = self.node.estimate_at_now()
             if not bound.is_bounded:
-                return self._shed_bytes(frame, "unsynced")
+                return self._shed_bytes(frame, "unsynced", codec)
             estimator = self.node.estimator
             last = estimator.last_local_event
             lt = self.node.clock.lt_at(rt)
@@ -297,7 +302,8 @@ class DelegationServer:
                 stratum=self.stratum,
                 degraded=degraded,
                 age=age,
-            )
+            ),
+            codec,
         )
 
 
@@ -358,8 +364,12 @@ class AnchorLinkConfig:
     #: adopted bound older than this (border local s) stops being served
     max_age: float = 2.0
     seed: int = 0
+    #: wire codec for delegation requests; the anchor echoes it back
+    codec: str = "binary"
 
     def __post_init__(self):
+        if self.codec not in WIRE_CODECS:
+            raise SimulationError(f"unknown wire codec {self.codec!r}")
         if not self.anchors:
             raise SimulationError("an anchor link needs at least one candidate")
         if len(set(self.anchors)) != len(self.anchors):
@@ -518,7 +528,9 @@ class AnchorLink:
         self._pending[nonce] = (lt0, target, future)
         self.stats.dreqs += 1
         self.transport.send(
-            self.endpoint, target, encode_frame(dreq_frame(self.endpoint, target, nonce))
+            self.endpoint,
+            target,
+            encode_frame(dreq_frame(self.endpoint, target, nonce), self.config.codec),
         )
         try:
             frame = await asyncio.wait_for(future, timeout=self.config.probe_timeout)

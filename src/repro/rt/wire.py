@@ -88,6 +88,8 @@ from ..core.intervals import ClockBound
 
 __all__ = [
     "WIRE_VERSION",
+    "WIRE_VERSION_BINARY",
+    "WIRE_CODECS",
     "MAGIC",
     "MAX_BODY_BYTES",
     "FRAME_TYPES",
@@ -99,6 +101,7 @@ __all__ = [
     "DecodeResult",
     "encode_frame",
     "decode_frame",
+    "decode_frames",
     "hello_frame",
     "sync_frame",
     "ack_frame",
@@ -110,8 +113,18 @@ __all__ = [
     "deleg_frame",
 ]
 
-#: current wire format version; bump on any incompatible body change
-WIRE_VERSION = 1
+#: current JSON wire format version; bump on any incompatible body change.
+#: Version 1 frames (identical JSON bodies) are still accepted on decode.
+WIRE_VERSION = 2
+
+#: the struct-packed binary body format (:mod:`repro.rt.codec`); selected
+#: per *frame* by the version byte, so mixed-codec traffic coexists on
+#: one socket
+WIRE_VERSION_BINARY = 3
+
+#: codec names a node may advertise in ``hello``/``join`` meta; peers fall
+#: back to JSON for any peer that does not advertise ``binary``
+WIRE_CODECS = ("json", "binary")
 
 #: frame preamble - two magic bytes, so stray datagrams fail fast
 MAGIC = b"RS"
@@ -188,10 +201,16 @@ class WireError:
 
 @dataclass(frozen=True)
 class DecodeResult:
-    """Outcome of :func:`decode_frame`: exactly one of frame/error is set."""
+    """Outcome of :func:`decode_frame`: exactly one of frame/error is set.
+
+    ``version`` is the wire version byte of the decoded frame (when the
+    header parsed far enough to read one); stateless endpoints echo their
+    answer in the codec the request arrived in.
+    """
 
     frame: Optional[Frame] = None
     error: Optional[WireError] = None
+    version: Optional[int] = None
 
     @property
     def ok(self) -> bool:
@@ -201,8 +220,21 @@ class DecodeResult:
 # -- construction helpers --------------------------------------------------------------
 
 
-def hello_frame(src: ProcessorId, dst: ProcessorId) -> Frame:
-    return Frame(type="hello", src=src, dst=dst, meta={"wire": WIRE_VERSION})
+def hello_frame(
+    src: ProcessorId, dst: ProcessorId, *, codecs: Optional[tuple] = None
+) -> Frame:
+    """Peer liveness/discovery; meta advertises the sender's codec support.
+
+    A peer that advertises ``binary`` may be sent version-3 frames; anyone
+    else (including version-1 nodes, whose hello carries no ``codecs`` at
+    all) is spoken to in JSON.
+    """
+    return Frame(
+        type="hello",
+        src=src,
+        dst=dst,
+        meta={"wire": WIRE_VERSION, "codecs": list(WIRE_CODECS if codecs is None else codecs)},
+    )
 
 
 def sync_frame(
@@ -228,9 +260,16 @@ def ack_frame(src: ProcessorId, dst: ProcessorId, seq: int) -> Frame:
     return Frame(type="ack", src=src, dst=dst, seq=seq)
 
 
-def join_frame(src: ProcessorId, dst: ProcessorId) -> Frame:
+def join_frame(
+    src: ProcessorId, dst: ProcessorId, *, codecs: Optional[tuple] = None
+) -> Frame:
     """A fresh node's bootstrap request to its sponsor neighbor."""
-    return Frame(type="join", src=src, dst=dst, meta={"wire": WIRE_VERSION})
+    return Frame(
+        type="join",
+        src=src,
+        dst=dst,
+        meta={"wire": WIRE_VERSION, "codecs": list(WIRE_CODECS if codecs is None else codecs)},
+    )
 
 
 def _check_nonce(nonce: int) -> int:
@@ -352,13 +391,33 @@ def deleg_frame(
 # -- encode ----------------------------------------------------------------------------
 
 
-def encode_frame(frame: Frame) -> bytes:
+_BINARY_CODEC = None
+
+
+def _binary_codec():
+    """Import :mod:`repro.rt.codec` once (it imports back from this module,
+    so the import must be deferred past module init) and cache it."""
+    global _BINARY_CODEC
+    if _BINARY_CODEC is None:
+        from . import codec as _BINARY_CODEC  # noqa: F811 - rebinds the global
+
+    return _BINARY_CODEC
+
+
+def encode_frame(frame: Frame, codec: str = "json") -> bytes:
     """Serialize a frame; raises :class:`ProtocolError` on local misuse.
 
-    Encoding errors are *our* bugs or limits (an oversized payload), not
-    remote input, hence the exception - callers on the send path treat it
-    like a lost message.
+    ``codec`` selects the body format: ``"json"`` (wire version 2, the
+    interoperable default) or ``"binary"`` (version 3, the struct-packed
+    hot-path format of :mod:`repro.rt.codec`).  Encoding errors are *our*
+    bugs or limits (an oversized payload), not remote input, hence the
+    exception - callers on the send path treat it like a lost message.
     """
+    if codec == "binary":
+        binary = _binary_codec()
+        return binary.encode_frame_binary(frame)
+    if codec != "json":
+        raise ProtocolError(f"unknown wire codec {codec!r}")
     body: Dict = {"type": frame.type, "src": frame.src, "dst": frame.dst}
     if frame.seq is not None:
         body["seq"] = frame.seq
@@ -408,7 +467,11 @@ def _envelope_src(body) -> Optional[ProcessorId]:
 
 
 def decode_frame(data: bytes) -> DecodeResult:
-    """Parse untrusted bytes into a frame or a structured error."""
+    """Parse untrusted bytes into a frame or a structured error.
+
+    The version byte selects the body decoder per frame: 1 and 2 are the
+    JSON body (unchanged between those versions), 3 is the binary codec.
+    """
     if len(data) < _HEADER.size:
         return DecodeResult(
             error=WireError("short-frame", f"{len(data)} bytes < {_HEADER.size}-byte header")
@@ -416,13 +479,17 @@ def decode_frame(data: bytes) -> DecodeResult:
     magic, version, length = _HEADER.unpack_from(data)
     if magic != MAGIC:
         return DecodeResult(error=WireError("bad-magic", f"preamble {magic!r}"))
-    if version != WIRE_VERSION:
+    if version not in (1, WIRE_VERSION, WIRE_VERSION_BINARY):
         return DecodeResult(
-            error=WireError("bad-version", f"wire version {version}, expected {WIRE_VERSION}")
+            error=WireError(
+                "bad-version",
+                f"wire version {version}, expected <= {WIRE_VERSION_BINARY}",
+            )
         )
     if length > MAX_BODY_BYTES:
         return DecodeResult(
-            error=WireError("oversized", f"declared body of {length} bytes exceeds cap")
+            error=WireError("oversized", f"declared body of {length} bytes exceeds cap"),
+            version=version,
         )
     body_bytes = data[_HEADER.size :]
     if len(body_bytes) != length:
@@ -430,8 +497,11 @@ def decode_frame(data: bytes) -> DecodeResult:
             error=WireError(
                 "length-mismatch",
                 f"declared {length} body bytes, got {len(body_bytes)} (truncated or padded)",
-            )
+            ),
+            version=version,
         )
+    if version == WIRE_VERSION_BINARY:
+        return _binary_codec().decode_body_binary(body_bytes)
     try:
         body = json.loads(body_bytes)
     except (ValueError, UnicodeDecodeError) as exc:
@@ -589,5 +659,36 @@ def decode_frame(data: bytes) -> DecodeResult:
             hops=hops,
             stratum=stratum,
             meta=dict(meta),
-        )
+        ),
+        version=version,
     )
+
+
+def decode_frames(data: bytes):
+    """Iterate the frames of one datagram (coalesced-flush receive path).
+
+    A datagram may carry several concatenated self-framed frames; each is
+    decoded independently (so one bad frame does not poison its
+    neighbors) and yielded as a :class:`DecodeResult`.  When the header of
+    the next frame cannot be trusted to delimit it - short or truncated
+    input, bad magic, an oversized declaration - the structured error is
+    yielded and iteration stops: there is no sound way to find the next
+    boundary.
+    """
+    offset = 0
+    total = len(data)
+    while offset < total:
+        chunk = data[offset:]
+        if len(chunk) < _HEADER.size:
+            yield decode_frame(chunk)  # short-frame
+            return
+        magic, version, length = _HEADER.unpack_from(chunk)
+        if magic != MAGIC or length > MAX_BODY_BYTES:
+            yield decode_frame(chunk)  # bad-magic / oversized
+            return
+        end = _HEADER.size + length
+        if len(chunk) < end:
+            yield decode_frame(chunk)  # length-mismatch (truncated)
+            return
+        yield decode_frame(chunk[:end])
+        offset += end

@@ -22,6 +22,7 @@ from repro.rt.wire import (
     MAGIC,
     MAX_BODY_BYTES,
     WIRE_VERSION,
+    WIRE_VERSION_BINARY,
     ack_frame,
     decode_frame,
     encode_frame,
@@ -95,10 +96,10 @@ class TestRejectionPaths:
 
     def test_bad_version(self):
         data = bytearray(_sync_bytes())
-        data[2] = WIRE_VERSION + 1
+        data[2] = 99  # far past both the JSON and binary wire versions
         error = self.decode(bytes(data))
         assert error.code == "bad-version"
-        assert str(WIRE_VERSION) in error.detail
+        assert str(WIRE_VERSION_BINARY) in error.detail
 
     def test_truncated_body(self):
         data = _sync_bytes()
